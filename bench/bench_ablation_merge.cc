@@ -1,0 +1,128 @@
+// Ablation A1 (design choice of §3.5): keep per-component synopses separate
+// vs. serve queries from one merged synopsis.
+//
+// The paper keeps all synopses as separate catalog entries because an
+// estimate E_A + E_B from separate synopses is generally at least as
+// accurate as E_{A⊕B} from the combined synopsis, trading catalog space for
+// accuracy. This bench quantifies both sides for the two mergeable types:
+// error from separate vs merged estimates, per-query time for each path,
+// and the catalog bytes each strategy retains.
+
+#include <cinttypes>
+
+#include "bench_common.h"
+
+namespace lsmstats::bench {
+namespace {
+
+void Run(const Flags& flags) {
+  const uint64_t records = flags.GetU64("records", 200000);
+  const size_t values = flags.GetU64("values", 2000);
+  const size_t queries = flags.GetU64("queries", 1000);
+  const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
+  const size_t budget = flags.GetU64("budget", 256);
+  const size_t components = flags.GetU64("components", 16);
+
+  std::printf("Ablation A1: separate vs merged synopses (records=%" PRIu64
+              ", %zu components, %zu-element synopses)\n",
+              records, components, budget);
+
+  PrintHeader("A1  [normalized L1 error | ms/query | catalog bytes]",
+              {"Spread", "Synopsis", "err_separate", "err_merged",
+               "ms_separate", "ms_merged", "bytes_sep", "bytes_merged"});
+  for (SpreadDistribution spread : AllSpreadDistributions()) {
+    DistributionSpec spec;
+    spec.spread = spread;
+    spec.frequency = FrequencyDistribution::kZipfRandom;
+    spec.num_values = values;
+    spec.total_records = records;
+    spec.domain = ValueDomain(0, log_domain);
+    spec.seed = 42;
+    auto dist = SyntheticDistribution::Generate(spec);
+
+    std::vector<StatsRig::SynopsisSlot> slots = {
+        {"EquiWidth", SynopsisType::kEquiWidthHistogram, budget},
+        {"Wavelet", SynopsisType::kWavelet, budget},
+    };
+    ScopedTempDir dir;
+    StatsRig rig(dir.path(), spec.domain, slots,
+                 std::make_shared<ConstantMergePolicy>(components),
+                 records / (2 * components) + 1);
+    rig.IngestAll(dist.ExpandShuffled(7));
+    rig.Flush();
+
+    auto query_set = QueryGenerator::Make(QueryType::kFixedLength,
+                                          spec.domain, 128, 99, queries);
+
+    CardinalityEstimator::Options separate_options;
+    separate_options.enable_merged_cache = false;
+    CardinalityEstimator separate(rig.catalog(), separate_options);
+    CardinalityEstimator merged(rig.catalog(), {});
+
+    for (const auto& slot : slots) {
+      StatisticsKey key{"rig", slot.label, 0};
+      auto run = [&](CardinalityEstimator& estimator, double* error,
+                     double* millis) {
+        estimator.EstimateRangePartition(key, 0, 1);  // warm the cache
+        *error = NormalizedL1Error(
+            query_set,
+            [&](const RangeQuery& q) {
+              return estimator.EstimateRangePartition(key, q.lo, q.hi);
+            },
+            [&](const RangeQuery& q) { return dist.ExactRange(q.lo, q.hi); },
+            dist.total_records());
+        WallTimer timer;
+        double checksum = 0;
+        for (const RangeQuery& q : query_set) {
+          checksum += estimator.EstimateRangePartition(key, q.lo, q.hi);
+        }
+        (void)checksum;
+        *millis =
+            timer.ElapsedMillis() / static_cast<double>(query_set.size());
+      };
+      double err_sep, ms_sep, err_merged, ms_merged;
+      run(separate, &err_sep, &ms_sep);
+      run(merged, &err_merged, &ms_merged);
+
+      // Space: all separate entries vs one merged synopsis pair.
+      uint64_t bytes_separate = 0;
+      uint64_t bytes_merged = 0;
+      auto entries = rig.catalog()->GetSynopses(key);
+      for (const auto& entry : entries) {
+        Encoder enc;
+        entry.synopsis->EncodeTo(&enc);
+        bytes_separate += enc.size();
+      }
+      if (!entries.empty()) {
+        std::unique_ptr<Synopsis> folded = entries[0].synopsis->Clone();
+        for (size_t i = 1; i < entries.size(); ++i) {
+          auto combined =
+              MergeSynopses(*folded, *entries[i].synopsis, budget);
+          LSMSTATS_CHECK_OK(combined.status());
+          folded = std::move(combined).value();
+        }
+        Encoder enc;
+        folded->EncodeTo(&enc);
+        bytes_merged = enc.size();
+      }
+
+      PrintCell(SpreadDistributionToString(spread));
+      PrintCell(slot.label);
+      PrintCell(err_sep);
+      PrintCell(err_merged);
+      PrintCell(ms_sep);
+      PrintCell(ms_merged);
+      PrintCell(static_cast<double>(bytes_separate));
+      PrintCell(static_cast<double>(bytes_merged));
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats::bench
+
+int main(int argc, char** argv) {
+  lsmstats::bench::Run(lsmstats::bench::Flags(argc, argv));
+  return 0;
+}

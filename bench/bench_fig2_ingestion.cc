@@ -1,0 +1,167 @@
+// Figure 2: ingestion overhead of statistics collection.
+//
+// Measures the total time to ingest a tweet-like dataset (a) via bulkload,
+// which builds one component per index bottom-up, and (b) through data
+// feeds — a push-based socket feed and a pull-based file feed — which drive
+// the full spectrum of LSM lifecycle events (flushes + merges). Each mode
+// runs with statistics collection disabled (NoStats) and with each of the
+// three synopsis types.
+//
+// Expected shape (paper §4.2): no significant overhead from any
+// statistics-gathering algorithm relative to the NoStats baseline — the
+// streaming builders ride along with work the LSM events do anyway.
+
+#include <cinttypes>
+
+#include "bench_common.h"
+#include "db/dataset.h"
+#include "workload/feed.h"
+#include "workload/tweets.h"
+
+namespace lsmstats::bench {
+namespace {
+
+std::vector<SynopsisType> AllModes() {
+  return {SynopsisType::kNone, SynopsisType::kEquiWidthHistogram,
+          SynopsisType::kEquiHeightHistogram, SynopsisType::kWavelet};
+}
+
+std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
+                                     const ValueDomain& domain,
+                                     SynopsisType type, size_t budget,
+                                     uint64_t memtable_entries,
+                                     SynopsisSink* sink) {
+  DatasetOptions options;
+  options.directory = dir;
+  options.name = "tweets";
+  options.schema = TweetSchema(domain);
+  options.synopsis_type = type;
+  options.synopsis_budget = budget;
+  options.memtable_max_entries = memtable_entries;
+  options.merge_policy = std::make_shared<TieredMergePolicy>();
+  options.sink = type == SynopsisType::kNone ? nullptr : sink;
+  auto dataset = Dataset::Open(std::move(options));
+  LSMSTATS_CHECK_OK(dataset.status());
+  return std::move(dataset).value();
+}
+
+void Run(const Flags& flags) {
+  const uint64_t records = flags.GetU64("records", 30000);
+  const size_t payload = flags.GetU64("payload", 1000);
+  const size_t budget = flags.GetU64("budget", 256);
+  const uint64_t memtable_entries = flags.GetU64("memtable", 4096);
+  const std::string mode = flags.GetString("mode", "all");
+  const ValueDomain domain(0, 16);
+
+  DistributionSpec spec;
+  spec.spread = SpreadDistribution::kZipfRandom;
+  spec.frequency = FrequencyDistribution::kZipf;
+  spec.num_values = 2000;
+  spec.total_records = records;
+  spec.domain = domain;
+  auto dist = SyntheticDistribution::Generate(spec);
+
+  std::printf("Figure 2: ingestion time (records=%" PRIu64
+              ", ~%zu B payloads, %zu-element synopses)\n",
+              records, payload, budget);
+
+  auto make_records = [&]() {
+    TweetGenerator generator(dist, payload, 7);
+    std::vector<Record> result;
+    result.reserve(records);
+    while (generator.HasNext()) result.push_back(generator.Next());
+    return result;
+  };
+  std::vector<Record> base_records = make_records();
+
+  // Untimed warm-up so the first measured configuration does not absorb
+  // cold page-cache and allocator costs.
+  {
+    StatisticsCatalog catalog;
+    LocalCatalogSink sink(&catalog);
+    ScopedTempDir dir;
+    auto dataset = OpenDataset(dir.path(), domain, SynopsisType::kNone,
+                               budget, memtable_entries, &sink);
+    std::vector<Record> warmup = base_records;
+    LSMSTATS_CHECK_OK(dataset->Load(std::move(warmup)));
+  }
+
+  if (mode == "all" || mode == "bulkload") {
+    PrintHeader("Fig 2a: bulkload ingestion",
+                {"Synopsis", "seconds", "us/record"});
+    for (SynopsisType type : AllModes()) {
+      StatisticsCatalog catalog;
+      LocalCatalogSink sink(&catalog);
+      ScopedTempDir dir;
+      auto dataset = OpenDataset(dir.path(), domain, type, budget,
+                                 memtable_entries, &sink);
+      std::vector<Record> sorted = base_records;  // already pk-ascending
+      WallTimer timer;
+      LSMSTATS_CHECK_OK(dataset->Load(std::move(sorted)));
+      double seconds = timer.ElapsedSeconds();
+      PrintCell(SynopsisTypeToString(type));
+      PrintCell(seconds);
+      PrintCell(seconds * 1e6 / static_cast<double>(records));
+      EndRow();
+    }
+  }
+
+  if (mode == "all" || mode == "feed") {
+    PrintHeader("Fig 2b: feed ingestion",
+                {"Synopsis", "socket_sec", "file_sec", "us/rec_socket",
+                 "us/rec_file"});
+    for (SynopsisType type : AllModes()) {
+      double socket_seconds = 0;
+      double file_seconds = 0;
+      {
+        StatisticsCatalog catalog;
+        LocalCatalogSink sink(&catalog);
+        ScopedTempDir dir;
+        auto dataset = OpenDataset(dir.path(), domain, type, budget,
+                                   memtable_entries, &sink);
+        auto feed = SocketFeed::Start(base_records,
+                                      base_records[0].fields.size());
+        LSMSTATS_CHECK_OK(feed.status());
+        WallTimer timer;
+        FeedOp op;
+        while ((*feed)->Next(&op)) {
+          LSMSTATS_CHECK_OK(dataset->Insert(op.record));
+        }
+        LSMSTATS_CHECK_OK(dataset->Flush());
+        socket_seconds = timer.ElapsedSeconds();
+        LSMSTATS_CHECK_OK((*feed)->status());
+      }
+      {
+        StatisticsCatalog catalog;
+        LocalCatalogSink sink(&catalog);
+        ScopedTempDir dir;
+        auto dataset = OpenDataset(dir.path(), domain, type, budget,
+                                   memtable_entries, &sink);
+        auto feed = FileFeed::Create(dir.path() + "/feed.dat", base_records,
+                                     base_records[0].fields.size());
+        LSMSTATS_CHECK_OK(feed.status());
+        WallTimer timer;
+        FeedOp op;
+        while ((*feed)->Next(&op)) {
+          LSMSTATS_CHECK_OK(dataset->Insert(op.record));
+        }
+        LSMSTATS_CHECK_OK(dataset->Flush());
+        file_seconds = timer.ElapsedSeconds();
+      }
+      PrintCell(SynopsisTypeToString(type));
+      PrintCell(socket_seconds);
+      PrintCell(file_seconds);
+      PrintCell(socket_seconds * 1e6 / static_cast<double>(records));
+      PrintCell(file_seconds * 1e6 / static_cast<double>(records));
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats::bench
+
+int main(int argc, char** argv) {
+  lsmstats::bench::Run(lsmstats::bench::Flags(argc, argv));
+  return 0;
+}

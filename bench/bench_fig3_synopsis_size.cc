@@ -1,0 +1,90 @@
+// Figure 3: estimation accuracy vs. synopsis size.
+//
+// For datasets with (a) Uniform, (b) Zipf, (c) ZipfRandom frequency
+// distributions — each across the six spread distributions — measure the
+// normalized L1 absolute error of FixedLength(128) queries while the
+// synopsis element budget grows 16 -> 1024, for all three synopsis types.
+//
+// Expected shape (paper §4.3.1): near-zero error for smooth-CDF cases
+// (Uniform frequencies with non-random spreads); error falls with synopsis
+// size elsewhere; histograms plateau on skewed (Zipf) data while wavelets
+// keep improving and win overall.
+
+#include <cinttypes>
+
+#include "bench_common.h"
+
+namespace lsmstats::bench {
+namespace {
+
+void Run(const Flags& flags) {
+  // Defaults are scaled down from the paper's 50M records / 32-bit domain to
+  // a single-core box while preserving the ratio of query length to value
+  // spread (queries cover ~4 values), which is what the accuracy shapes
+  // depend on.
+  const uint64_t records = flags.GetU64("records", 200000);
+  const size_t values = flags.GetU64("values", 2000);
+  const size_t queries = flags.GetU64("queries", 1000);
+  const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
+  const uint64_t query_length = flags.GetU64("query_length", 128);
+  const std::vector<size_t> sizes = {16, 64, 256, 1024};
+
+  std::printf("Figure 3: accuracy vs synopsis size "
+              "(records=%" PRIu64 ", values=%zu, queries=%zu, "
+              "FixedLength(%" PRIu64 "))\n",
+              records, values, queries, query_length);
+
+  for (FrequencyDistribution frequency : AllFrequencyDistributions()) {
+    PrintHeader(std::string("Fig 3, frequencies = ") +
+                    FrequencyDistributionToString(frequency) +
+                    "  [normalized L1 error]",
+                {"Spread", "Synopsis", "16", "64", "256", "1024"});
+    for (SpreadDistribution spread : AllSpreadDistributions()) {
+      DistributionSpec spec;
+      spec.spread = spread;
+      spec.frequency = frequency;
+      spec.num_values = values;
+      spec.total_records = records;
+      spec.domain = ValueDomain(0, log_domain);
+      spec.seed = 42;
+      auto dist = SyntheticDistribution::Generate(spec);
+
+      // One ingestion pass collects all type x size slots.
+      std::vector<StatsRig::SynopsisSlot> slots;
+      for (SynopsisType type : EvaluatedSynopsisTypes()) {
+        for (size_t size : sizes) {
+          slots.push_back({std::string(SynopsisTypeToString(type)) + "/" +
+                               std::to_string(size),
+                           type, size});
+        }
+      }
+      ScopedTempDir dir;
+      StatsRig rig(dir.path(), spec.domain, slots,
+                   std::make_shared<ConstantMergePolicy>(5),
+                   /*memtable_entries=*/records / 12 + 1);
+      rig.IngestAll(dist.ExpandShuffled(7));
+      rig.Flush();
+
+      auto query_set = QueryGenerator::Make(
+          QueryType::kFixedLength, spec.domain, query_length, 99, queries);
+      for (SynopsisType type : EvaluatedSynopsisTypes()) {
+        PrintCell(SpreadDistributionToString(spread));
+        PrintCell(SynopsisTypeToString(type));
+        for (size_t size : sizes) {
+          std::string label = std::string(SynopsisTypeToString(type)) + "/" +
+                              std::to_string(size);
+          PrintCell(MeasureError(rig, label, query_set, dist));
+        }
+        EndRow();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats::bench
+
+int main(int argc, char** argv) {
+  lsmstats::bench::Run(lsmstats::bench::Flags(argc, argv));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 4: estimation accuracy vs. query type.
+//
+// For a dataset with Zipf frequencies, measure the normalized L1 error of
+// Point, FixedLength(128), HalfOpen, and Random queries across all six
+// spread distributions (256-element synopses, the paper's fixed choice after
+// §4.3.1).
+//
+// Expected shape (paper §4.3.2, log-scale figure): Point < FixedLength <
+// HalfOpen ≈ Random, because wider ranges return more tuples and the L1
+// metric grows with the touched fraction of the dataset.
+
+#include <cinttypes>
+
+#include "bench_common.h"
+
+namespace lsmstats::bench {
+namespace {
+
+void Run(const Flags& flags) {
+  const uint64_t records = flags.GetU64("records", 200000);
+  const size_t values = flags.GetU64("values", 2000);
+  const size_t queries = flags.GetU64("queries", 1000);
+  const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
+  const size_t budget = flags.GetU64("budget", 256);
+  const auto frequency = ParseFrequencyDistribution(
+      flags.GetString("frequencies", "Zipf"));
+  LSMSTATS_CHECK_OK(frequency.status());
+
+  std::printf("Figure 4: accuracy vs query type (records=%" PRIu64
+              ", %s frequencies, %zu-element synopses)\n",
+              records, FrequencyDistributionToString(*frequency), budget);
+
+  PrintHeader("Fig 4  [normalized L1 error]",
+              {"Spread", "Synopsis", "Point", "FixedLength", "HalfOpen",
+               "Random"});
+  for (SpreadDistribution spread : AllSpreadDistributions()) {
+    DistributionSpec spec;
+    spec.spread = spread;
+    spec.frequency = *frequency;
+    spec.num_values = values;
+    spec.total_records = records;
+    spec.domain = ValueDomain(0, log_domain);
+    spec.seed = 42;
+    auto dist = SyntheticDistribution::Generate(spec);
+
+    std::vector<StatsRig::SynopsisSlot> slots;
+    for (SynopsisType type : EvaluatedSynopsisTypes()) {
+      slots.push_back({SynopsisTypeToString(type), type, budget});
+    }
+    ScopedTempDir dir;
+    StatsRig rig(dir.path(), spec.domain, slots,
+                 std::make_shared<ConstantMergePolicy>(5),
+                 records / 12 + 1);
+    rig.IngestAll(dist.ExpandShuffled(7));
+    rig.Flush();
+
+    for (SynopsisType type : EvaluatedSynopsisTypes()) {
+      PrintCell(SpreadDistributionToString(spread));
+      PrintCell(SynopsisTypeToString(type));
+      for (QueryType query_type : AllQueryTypes()) {
+        auto query_set = QueryGenerator::Make(query_type, spec.domain, 128,
+                                              99, queries);
+        PrintCell(
+            MeasureError(rig, SynopsisTypeToString(type), query_set, dist));
+      }
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats::bench
+
+int main(int argc, char** argv) {
+  lsmstats::bench::Run(lsmstats::bench::Flags(argc, argv));
+  return 0;
+}

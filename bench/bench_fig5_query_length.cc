@@ -1,0 +1,71 @@
+// Figure 5: estimation accuracy vs. FixedLength query size.
+//
+// Zipf-frequency datasets, 256-element synopses, query lengths 8 -> 256.
+//
+// Expected shape (paper §4.3.2): error grows with the query range, because
+// longer ranges return a larger fraction of the dataset and the normalized
+// L1 metric scales with it.
+
+#include <cinttypes>
+
+#include "bench_common.h"
+
+namespace lsmstats::bench {
+namespace {
+
+void Run(const Flags& flags) {
+  const uint64_t records = flags.GetU64("records", 200000);
+  const size_t values = flags.GetU64("values", 2000);
+  const size_t queries = flags.GetU64("queries", 1000);
+  const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
+  const size_t budget = flags.GetU64("budget", 256);
+  const std::vector<uint64_t> lengths = {8, 32, 128, 256};
+
+  std::printf("Figure 5: accuracy vs FixedLength query size (records=%" PRIu64
+              ", Zipf frequencies, %zu-element synopses)\n",
+              records, budget);
+
+  PrintHeader("Fig 5  [normalized L1 error]",
+              {"Spread", "Synopsis", "8", "32", "128", "256"});
+  for (SpreadDistribution spread : AllSpreadDistributions()) {
+    DistributionSpec spec;
+    spec.spread = spread;
+    spec.frequency = FrequencyDistribution::kZipf;
+    spec.num_values = values;
+    spec.total_records = records;
+    spec.domain = ValueDomain(0, log_domain);
+    spec.seed = 42;
+    auto dist = SyntheticDistribution::Generate(spec);
+
+    std::vector<StatsRig::SynopsisSlot> slots;
+    for (SynopsisType type : EvaluatedSynopsisTypes()) {
+      slots.push_back({SynopsisTypeToString(type), type, budget});
+    }
+    ScopedTempDir dir;
+    StatsRig rig(dir.path(), spec.domain, slots,
+                 std::make_shared<ConstantMergePolicy>(5),
+                 records / 12 + 1);
+    rig.IngestAll(dist.ExpandShuffled(7));
+    rig.Flush();
+
+    for (SynopsisType type : EvaluatedSynopsisTypes()) {
+      PrintCell(SpreadDistributionToString(spread));
+      PrintCell(SynopsisTypeToString(type));
+      for (uint64_t length : lengths) {
+        auto query_set = QueryGenerator::Make(
+            QueryType::kFixedLength, spec.domain, length, 99, queries);
+        PrintCell(
+            MeasureError(rig, SynopsisTypeToString(type), query_set, dist));
+      }
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats::bench
+
+int main(int argc, char** argv) {
+  lsmstats::bench::Run(lsmstats::bench::Flags(argc, argv));
+  return 0;
+}

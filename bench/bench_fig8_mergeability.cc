@@ -1,0 +1,125 @@
+// Figure 8: query-time overhead — NoMerge (maximum component count) vs.
+// Bulkload (single component).
+//
+// Zipf-frequency datasets are ingested twice: once through the feed path
+// under the NoMerge policy (every memtable flush survives as its own
+// component and synopsis) and once via bulkload (one component, one
+// synopsis). The per-query estimation overhead is measured with the merged
+// cache disabled, as in Figure 6b.
+//
+// Expected shape (paper §4.3.5): NoMerge consistently above Bulkload, but
+// the difference is small for all synopsis types and both stay
+// sub-millisecond — mergeability matters more for statistics storage than
+// for query time.
+
+#include <cinttypes>
+
+#include "bench_common.h"
+
+namespace lsmstats::bench {
+namespace {
+
+void Run(const Flags& flags) {
+  const uint64_t records = flags.GetU64("records", 200000);
+  const size_t values = flags.GetU64("values", 2000);
+  const size_t queries = flags.GetU64("queries", 1000);
+  const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
+  const size_t budget = flags.GetU64("budget", 256);
+  const size_t flush_count = flags.GetU64("flushes", 24);
+
+  std::printf("Figure 8: query-time overhead, NoMerge vs Bulkload "
+              "(records=%" PRIu64 ", Zipf frequencies, %zu-element "
+              "synopses, ~%zu NoMerge components)\n",
+              records, budget, flush_count);
+
+  PrintHeader("Fig 8  [ms per estimate]",
+              {"Spread", "Synopsis", "NoMerge", "Bulkload", "components"});
+  for (SpreadDistribution spread : AllSpreadDistributions()) {
+    DistributionSpec spec;
+    spec.spread = spread;
+    spec.frequency = FrequencyDistribution::kZipf;
+    spec.num_values = values;
+    spec.total_records = records;
+    spec.domain = ValueDomain(0, log_domain);
+    spec.seed = 42;
+    auto dist = SyntheticDistribution::Generate(spec);
+    auto record_values = dist.ExpandShuffled(7);
+    auto query_set = QueryGenerator::Make(QueryType::kFixedLength,
+                                          spec.domain, 128, 99, queries);
+
+    std::vector<StatsRig::SynopsisSlot> slots;
+    for (SynopsisType type : EvaluatedSynopsisTypes()) {
+      slots.push_back({SynopsisTypeToString(type), type, budget});
+    }
+
+    // NoMerge: feed-style ingestion, every flush a component.
+    ScopedTempDir nomerge_dir;
+    StatsRig nomerge(nomerge_dir.path(), spec.domain, slots,
+                     std::make_shared<NoMergePolicy>(),
+                     records / flush_count + 1);
+    nomerge.IngestAll(record_values);
+    nomerge.Flush();
+
+    // Bulkload: one pre-sorted component.
+    ScopedTempDir bulk_dir;
+    StatsRig bulk(bulk_dir.path(), spec.domain, slots,
+                  std::make_shared<NoMergePolicy>(), records + 1);
+    {
+      std::vector<Entry> entries;
+      entries.reserve(record_values.size());
+      std::vector<std::pair<int64_t, int64_t>> pairs;
+      pairs.reserve(record_values.size());
+      for (size_t pk = 0; pk < record_values.size(); ++pk) {
+        pairs.push_back({record_values[pk], static_cast<int64_t>(pk)});
+      }
+      std::sort(pairs.begin(), pairs.end());
+      for (const auto& [sk, pk] : pairs) {
+        entries.push_back({SecondaryKey(sk, pk), "", false});
+      }
+      VectorEntryCursor cursor(std::move(entries));
+      LSMSTATS_CHECK_OK(
+          bulk.tree()->Bulkload(&cursor, record_values.size()));
+    }
+
+    CardinalityEstimator::Options options;
+    options.enable_merged_cache = false;
+    CardinalityEstimator nomerge_estimator(nomerge.catalog(), options);
+    CardinalityEstimator bulk_estimator(bulk.catalog(), options);
+
+    auto warm_up = [&](CardinalityEstimator& estimator) {
+      for (SynopsisType type : EvaluatedSynopsisTypes()) {
+        estimator.EstimateRangePartition(
+            {"rig", SynopsisTypeToString(type), 0}, 0, 1);
+      }
+    };
+    warm_up(nomerge_estimator);
+    warm_up(bulk_estimator);
+
+    for (SynopsisType type : EvaluatedSynopsisTypes()) {
+      StatisticsKey key{"rig", SynopsisTypeToString(type), 0};
+      auto time_one = [&](CardinalityEstimator& estimator) {
+        WallTimer timer;
+        double checksum = 0;
+        for (const RangeQuery& q : query_set) {
+          checksum += estimator.EstimateRangePartition(key, q.lo, q.hi);
+        }
+        (void)checksum;
+        return timer.ElapsedMillis() / static_cast<double>(query_set.size());
+      };
+      PrintCell(SpreadDistributionToString(spread));
+      PrintCell(SynopsisTypeToString(type));
+      PrintCell(time_one(nomerge_estimator));
+      PrintCell(time_one(bulk_estimator));
+      PrintCell(static_cast<double>(nomerge.tree()->ComponentCount()));
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats::bench
+
+int main(int argc, char** argv) {
+  lsmstats::bench::Run(lsmstats::bench::Flags(argc, argv));
+  return 0;
+}

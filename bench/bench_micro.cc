@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark): per-operation costs of the building
+// blocks on the ingestion critical path and the query optimization path.
+//
+// The paper's central overhead claim (§4.2) is that synopsis construction is
+// cheap enough to ride on LSM events; these benchmarks show the per-record
+// builder cost next to the per-record LSM write cost, and the per-query
+// estimation cost next to it all.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/random.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/memtable.h"
+#include "stats/cardinality_estimator.h"
+#include "stats/statistics_collector.h"
+#include "synopsis/builder.h"
+#include "synopsis/wavelet.h"
+#include "workload/distribution.h"
+
+namespace lsmstats {
+namespace {
+
+const ValueDomain kDomain(0, 20);
+
+std::vector<int64_t> SortedValues(size_t n) {
+  DistributionSpec spec;
+  spec.spread = SpreadDistribution::kZipfRandom;
+  spec.frequency = FrequencyDistribution::kZipf;
+  spec.num_values = n / 20 + 1;
+  spec.total_records = n;
+  spec.domain = kDomain;
+  auto dist = SyntheticDistribution::Generate(spec);
+  std::vector<int64_t> values = dist.ExpandShuffled(3);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+// ----------------------------------------------------- synopsis builders
+
+void BM_SynopsisBuild(benchmark::State& state, SynopsisType type) {
+  const size_t n = 100000;
+  std::vector<int64_t> values = SortedValues(n);
+  for (auto _ : state) {
+    SynopsisConfig config{type, 256, kDomain};
+    auto builder = CreateSynopsisBuilder(config, n);
+    for (int64_t v : values) builder->Add(v);
+    benchmark::DoNotOptimize(builder->Finish());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+
+BENCHMARK_CAPTURE(BM_SynopsisBuild, EquiWidth,
+                  SynopsisType::kEquiWidthHistogram);
+BENCHMARK_CAPTURE(BM_SynopsisBuild, EquiHeight,
+                  SynopsisType::kEquiHeightHistogram);
+BENCHMARK_CAPTURE(BM_SynopsisBuild, Wavelet, SynopsisType::kWavelet);
+BENCHMARK_CAPTURE(BM_SynopsisBuild, GKQuantile, SynopsisType::kGKQuantile);
+
+// ------------------------------------------------------------- memtable
+
+void BM_MemTablePut(benchmark::State& state) {
+  Random rng(5);
+  MemTable memtable;
+  int64_t pk = 0;
+  for (auto _ : state) {
+    memtable.Put(SecondaryKey(static_cast<int64_t>(rng.Uniform(1 << 20)),
+                              pk++),
+                 "", true);
+    if (memtable.EntryCount() >= 1 << 16) {
+      state.PauseTiming();
+      memtable.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTablePut);
+
+// ------------------------------------------------------------- lsm write
+
+void BM_LsmPutWithStats(benchmark::State& state, SynopsisType type) {
+  char tmpl[] = "/tmp/lsmstats_micro_XXXXXX";
+  std::string dir = ::mkdtemp(tmpl);
+  StatisticsCatalog catalog;
+  LocalCatalogSink sink(&catalog);
+  LsmTreeOptions options;
+  options.directory = dir;
+  options.memtable_max_entries = 1 << 14;
+  auto tree_or = LsmTree::Open(options);
+  auto tree = std::move(tree_or).value();
+  StatisticsCollector collector({"micro", "f", 0},
+                                SynopsisConfig{type, 256, kDomain}, &sink);
+  tree->AddListener(&collector);
+  Random rng(5);
+  int64_t pk = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree->Put(SecondaryKey(static_cast<int64_t>(rng.Uniform(1 << 20)),
+                               pk++),
+                  "", true));
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK_CAPTURE(BM_LsmPutWithStats, NoStats, SynopsisType::kNone);
+BENCHMARK_CAPTURE(BM_LsmPutWithStats, Wavelet, SynopsisType::kWavelet);
+
+// -------------------------------------------------------------- estimate
+
+void BM_Estimate(benchmark::State& state, SynopsisType type,
+                 bool enable_cache) {
+  const size_t n = 100000;
+  std::vector<int64_t> values = SortedValues(n);
+  StatisticsCatalog catalog;
+  StatisticsKey key{"micro", "f", 0};
+  // 16 component synopses.
+  const size_t kComponents = 16;
+  size_t chunk = values.size() / kComponents;
+  for (size_t c = 0; c < kComponents; ++c) {
+    SynopsisConfig config{type, 256, kDomain};
+    auto builder = CreateSynopsisBuilder(config, chunk);
+    std::vector<int64_t> slice(values.begin() + c * chunk,
+                               values.begin() + (c + 1) * chunk);
+    std::sort(slice.begin(), slice.end());
+    for (int64_t v : slice) builder->Add(v);
+    SynopsisEntry entry;
+    entry.component_id = c + 1;
+    entry.timestamp = c + 1;
+    entry.synopsis =
+        std::shared_ptr<const Synopsis>(builder->Finish().release());
+    catalog.Register(key, std::move(entry), {});
+  }
+  CardinalityEstimator::Options options;
+  options.enable_merged_cache = enable_cache;
+  CardinalityEstimator estimator(&catalog, options);
+  estimator.EstimateRangePartition(key, 0, 1);  // warm the cache
+  Random rng(9);
+  for (auto _ : state) {
+    int64_t lo = static_cast<int64_t>(rng.Uniform((1 << 20) - 128));
+    benchmark::DoNotOptimize(
+        estimator.EstimateRangePartition(key, lo, lo + 127));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_Estimate, EquiWidth_separate,
+                  SynopsisType::kEquiWidthHistogram, false);
+BENCHMARK_CAPTURE(BM_Estimate, EquiWidth_cached,
+                  SynopsisType::kEquiWidthHistogram, true);
+BENCHMARK_CAPTURE(BM_Estimate, EquiHeight_separate,
+                  SynopsisType::kEquiHeightHistogram, false);
+BENCHMARK_CAPTURE(BM_Estimate, Wavelet_separate, SynopsisType::kWavelet,
+                  false);
+BENCHMARK_CAPTURE(BM_Estimate, Wavelet_cached, SynopsisType::kWavelet, true);
+
+// --------------------------------------------------- wavelet reconstruct
+
+void BM_WaveletPointReconstruction(benchmark::State& state) {
+  std::vector<int64_t> values = SortedValues(100000);
+  SynopsisConfig config{SynopsisType::kWavelet, 256, kDomain};
+  auto builder = CreateSynopsisBuilder(config, values.size());
+  for (int64_t v : values) builder->Add(v);
+  auto synopsis = builder->Finish();
+  auto* wavelet = static_cast<WaveletSynopsis*>(synopsis.get());
+  Random rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wavelet->ReconstructPoint(rng.Uniform(1ULL << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveletPointReconstruction);
+
+}  // namespace
+}  // namespace lsmstats
+
+BENCHMARK_MAIN();

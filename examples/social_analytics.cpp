@@ -1,0 +1,162 @@
+// Social-media analytics: a continuously ingesting tweet store whose query
+// optimizer uses LSM-collected statistics for the two §3.6 decisions:
+//
+//   1. skipping low-selectivity secondary-index probes (a probe + primary
+//      lookup per match only pays off below a selectivity threshold), and
+//   2. choosing between an indexed nested-loop join and a scan join.
+//
+// The example streams a changeable tweet feed (inserts + updates + deletes),
+// then plans a few analytical queries with and without statistics to show
+// the decisions a heuristic optimizer would get wrong.
+//
+//   $ ./social_analytics
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "db/dataset.h"
+#include "stats/cardinality_estimator.h"
+#include "stats/optimizer_hints.h"
+#include "workload/distribution.h"
+#include "workload/feed.h"
+#include "workload/tweets.h"
+
+using namespace lsmstats;
+
+int main() {
+  std::string dir = "/tmp/lsmstats_social";
+  std::filesystem::remove_all(dir);
+
+  // Influencer-score distribution: most accounts tiny, few huge.
+  DistributionSpec spec;
+  spec.spread = SpreadDistribution::kZipfRandom;
+  spec.frequency = FrequencyDistribution::kZipf;
+  spec.num_values = 3000;
+  spec.total_records = 60000;
+  spec.domain = ValueDomain(0, 16);
+  auto dist = SyntheticDistribution::Generate(spec);
+
+  StatisticsCatalog catalog;
+  LocalCatalogSink sink(&catalog);
+  DatasetOptions options;
+  options.directory = dir;
+  options.name = "tweets";
+  options.schema = TweetSchema(spec.domain);
+  options.synopsis_type = SynopsisType::kWavelet;
+  options.synopsis_budget = 256;
+  options.memtable_max_entries = 8000;
+  options.merge_policy = std::make_shared<TieredMergePolicy>();
+  options.sink = &sink;
+  auto dataset_or = Dataset::Open(std::move(options));
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "%s\n", dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  auto& dataset = *dataset_or.value();
+
+  // Stream the firehose: 60k inserts with 10% updates and 10% deletes.
+  std::printf("streaming changeable tweet feed...\n");
+  TweetGenerator generator(dist, /*payload_bytes=*/120, 7);
+  std::vector<Record> base;
+  while (generator.HasNext()) base.push_back(generator.Next());
+  ChangeableFeedOptions feed_options;
+  feed_options.update_ratio = 0.1;
+  feed_options.delete_ratio = 0.1;
+  ChangeableFeed feed(std::move(base), &dist, 0, feed_options);
+  FeedOp op;
+  uint64_t ops = 0;
+  while (feed.Next(&op)) {
+    Status s;
+    switch (op.kind) {
+      case FeedOp::Kind::kInsert:
+        s = dataset.Insert(op.record);
+        break;
+      case FeedOp::Kind::kUpdate:
+        s = dataset.Update(op.record);
+        break;
+      case FeedOp::Kind::kDelete:
+        s = dataset.Delete(op.record.pk);
+        break;
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "feed op failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ++ops;
+  }
+  (void)dataset.Flush();
+  std::printf("  %" PRIu64 " operations, %zu LSM components, %" PRIu64
+              " live tweets\n\n",
+              ops, dataset.primary()->ComponentCount(),
+              dataset.live_records());
+
+  CardinalityEstimator estimator(&catalog, {});
+  AccessCostModel cost;
+  cost.total_records = static_cast<double>(dataset.live_records());
+
+  // --- Decision 1: index probe vs full scan -------------------------------
+  std::printf("Q1: SELECT * FROM tweets WHERE metric BETWEEN lo AND hi\n");
+  std::printf("%-22s%-12s%-12s%-12s%-14s%-10s\n", "predicate", "est.card",
+              "scan.cost", "probe.cost", "plan", "exact");
+  // The Zipf head lives at low metric values, the sparse tail at high ones:
+  // a range's width says nothing about its cardinality, which is precisely
+  // why the optimizer needs statistics.
+  struct Predicate {
+    int64_t lo, hi;
+  } predicates[] = {
+      {0, 80},          // narrow but hits the Zipf head -> scan
+      {0, 65535},       // everything -> scan
+      {30000, 34000},   // wide but sparse tail -> probe
+      {60000, 65535},   // wide, nearly empty -> probe
+  };
+  for (const Predicate& p : predicates) {
+    RangePredicatePlan plan = PlanRangePredicate(
+        &estimator, cost, "tweets", kTweetMetricField, p.lo, p.hi);
+    uint64_t exact =
+        dataset.CountRange(kTweetMetricField, p.lo, p.hi).value();
+    std::printf("[%6" PRId64 ",%6" PRId64 "]      %-12.0f%-12.0f%-12.0f%-14s"
+                "%-10" PRIu64 "\n",
+                p.lo, p.hi, plan.estimated_cardinality, plan.scan_cost,
+                plan.probe_cost, AccessPathToString(plan.path), exact);
+  }
+
+  // --- Decision 2: join method --------------------------------------------
+  std::printf("\nQ2: campaigns JOIN tweets ON tweets.metric = "
+              "campaigns.target  (|campaigns| = 200)\n");
+  const double outer = 200;
+  // Two campaign mixes: one targets the viral head of the distribution, one
+  // targets niche accounts. The estimator prices a probe of each mix by the
+  // average point cardinality over its target range.
+  struct Campaign {
+    const char* name;
+    int64_t lo, hi;
+  } campaigns[] = {
+      {"viral-head targets", 0, 200},
+      {"niche-tail targets", 30000, 65535},
+  };
+  for (const Campaign& campaign : campaigns) {
+    double matches =
+        estimator.EstimateRange("tweets", kTweetMetricField, campaign.lo,
+                                campaign.hi) /
+        static_cast<double>(campaign.hi - campaign.lo + 1);
+    JoinMethod method = ChooseJoinMethod(cost, outer, matches);
+    std::printf("  %-20s est. matches/probe %-8.2f scan-join %-8.0f "
+                "indexed-NL %-8.0f -> %s\n",
+                campaign.name, matches, cost.ScanJoinCost(outer),
+                cost.IndexJoinCost(outer, matches),
+                JoinMethodToString(method));
+  }
+
+  // --- What a statistics-free heuristic would do --------------------------
+  std::printf("\nWithout statistics, a heuristic optimizer must guess: it "
+              "probes the index for every\nrange predicate, which for "
+              "[0,65535] touches every live record through the index —\n"
+              "about %.0fx the cost of the scan it should have chosen.\n",
+              cost.IndexProbeCost(static_cast<double>(
+                  dataset.live_records())) /
+                  cost.FullScanCost());
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

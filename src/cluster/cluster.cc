@@ -1,0 +1,72 @@
+#include "cluster/cluster.h"
+
+namespace lsmstats {
+
+StatusOr<std::unique_ptr<Cluster>> Cluster::Start(
+    size_t num_partitions, const std::string& base_directory,
+    DatasetOptions options, CardinalityEstimator::Options estimator_options) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("cluster needs at least one partition");
+  }
+  auto cluster = std::unique_ptr<Cluster>(new Cluster(estimator_options));
+  cluster->dataset_name_ = options.name;
+  for (size_t i = 0; i < num_partitions; ++i) {
+    auto node = NodeController::Start(static_cast<uint32_t>(i),
+                                      base_directory, options,
+                                      &cluster->controller_);
+    LSMSTATS_RETURN_IF_ERROR(node.status());
+    cluster->nodes_.push_back(std::move(node).value());
+  }
+  return cluster;
+}
+
+size_t Cluster::PartitionOf(int64_t pk) const {
+  // Fibonacci hashing spreads sequential pks evenly.
+  uint64_t h = static_cast<uint64_t>(pk) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(h % nodes_.size());
+}
+
+Status Cluster::Insert(const Record& record) {
+  return nodes_[PartitionOf(record.pk)]->dataset()->Insert(record);
+}
+
+Status Cluster::Update(const Record& record) {
+  return nodes_[PartitionOf(record.pk)]->dataset()->Update(record);
+}
+
+Status Cluster::Delete(int64_t pk) {
+  return nodes_[PartitionOf(pk)]->dataset()->Delete(pk);
+}
+
+Status Cluster::FlushAll() {
+  for (auto& node : nodes_) {
+    LSMSTATS_RETURN_IF_ERROR(node->dataset()->Flush());
+  }
+  return Status::OK();
+}
+
+Status Cluster::ForceFullMergeAll() {
+  for (auto& node : nodes_) {
+    LSMSTATS_RETURN_IF_ERROR(node->dataset()->ForceFullMerge());
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Cluster::CountRange(const std::string& field, int64_t lo,
+                                       int64_t hi) const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    auto count = node->dataset()->CountRange(field, lo, hi);
+    LSMSTATS_RETURN_IF_ERROR(count.status());
+    total += count.value();
+  }
+  return total;
+}
+
+double Cluster::EstimateRange(const std::string& field, int64_t lo,
+                              int64_t hi,
+                              CardinalityEstimator::QueryStats* stats) {
+  return controller_.EstimateRange(dataset_name_, field, lo, hi, stats);
+}
+
+}  // namespace lsmstats

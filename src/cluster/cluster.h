@@ -1,0 +1,62 @@
+// Convenience wrapper: a whole shared-nothing cluster (paper §4.1's 4-node,
+// 8-partition setup, scaled by parameters).
+//
+// Records are hash-partitioned on primary key across node controllers; every
+// node collects statistics locally and ships them (as bytes) to the single
+// cluster controller, whose estimator answers global cardinality queries by
+// summing per-partition estimates.
+
+#ifndef LSMSTATS_CLUSTER_CLUSTER_H_
+#define LSMSTATS_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_controller.h"
+#include "cluster/node_controller.h"
+
+namespace lsmstats {
+
+class Cluster {
+ public:
+  // Starts `num_partitions` node controllers under `base_directory`, each
+  // holding one partition of the dataset described by `options` (directory,
+  // partition, and sink fields are overridden per node).
+  static StatusOr<std::unique_ptr<Cluster>> Start(
+      size_t num_partitions, const std::string& base_directory,
+      DatasetOptions options,
+      CardinalityEstimator::Options estimator_options = {});
+
+  // Routes by hash(pk).
+  Status Insert(const Record& record);
+  Status Update(const Record& record);
+  Status Delete(int64_t pk);
+  Status FlushAll();
+  Status ForceFullMergeAll();
+
+  // Global exact cardinality (scatter-gather over all partitions).
+  StatusOr<uint64_t> CountRange(const std::string& field, int64_t lo,
+                                int64_t hi) const;
+
+  double EstimateRange(const std::string& field, int64_t lo, int64_t hi,
+                       CardinalityEstimator::QueryStats* stats = nullptr);
+
+  ClusterController& controller() { return controller_; }
+  size_t num_partitions() const { return nodes_.size(); }
+  NodeController* node(size_t i) { return nodes_[i].get(); }
+
+ private:
+  explicit Cluster(CardinalityEstimator::Options estimator_options)
+      : controller_(estimator_options) {}
+
+  size_t PartitionOf(int64_t pk) const;
+
+  ClusterController controller_;
+  std::string dataset_name_;
+  std::vector<std::unique_ptr<NodeController>> nodes_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_CLUSTER_CLUSTER_H_

@@ -1,0 +1,86 @@
+#include "cluster/cluster_controller.h"
+
+namespace lsmstats {
+
+void ComponentStatsMessage::EncodeTo(Encoder* enc) const {
+  enc->PutString(key.dataset);
+  enc->PutString(key.field);
+  enc->PutU32(key.partition);
+  enc->PutVarint64(component_id);
+  enc->PutVarint64(timestamp);
+  enc->PutVarint64(record_count);
+  enc->PutVarint64(replaced_component_ids.size());
+  for (uint64_t id : replaced_component_ids) enc->PutVarint64(id);
+  enc->PutString(synopsis_bytes);
+  enc->PutString(anti_synopsis_bytes);
+}
+
+StatusOr<ComponentStatsMessage> ComponentStatsMessage::DecodeFrom(
+    Decoder* dec) {
+  ComponentStatsMessage msg;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetString(&msg.key.dataset));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetString(&msg.key.field));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU32(&msg.key.partition));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&msg.component_id));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&msg.timestamp));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&msg.record_count));
+  uint64_t replaced_count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&replaced_count));
+  if (replaced_count > dec->remaining()) {
+    return Status::Corruption("replaced-id count exceeds message size");
+  }
+  msg.replaced_component_ids.resize(replaced_count);
+  for (auto& id : msg.replaced_component_ids) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&id));
+  }
+  LSMSTATS_RETURN_IF_ERROR(dec->GetString(&msg.synopsis_bytes));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetString(&msg.anti_synopsis_bytes));
+  return msg;
+}
+
+ClusterController::ClusterController(
+    CardinalityEstimator::Options estimator_options)
+    : estimator_(&catalog_, estimator_options) {}
+
+Status ClusterController::ReceiveStatistics(std::string_view message_bytes) {
+  ++messages_received_;
+  bytes_received_ += message_bytes.size();
+
+  Decoder dec(message_bytes);
+  auto msg_or = ComponentStatsMessage::DecodeFrom(&dec);
+  LSMSTATS_RETURN_IF_ERROR(msg_or.status());
+  ComponentStatsMessage msg = std::move(msg_or).value();
+
+  if (msg.record_count == 0) {
+    // Merge reconciled everything away: only drop the replaced entries.
+    catalog_.Drop(msg.key, msg.replaced_component_ids);
+    return Status::OK();
+  }
+  SynopsisEntry entry;
+  entry.component_id = msg.component_id;
+  entry.timestamp = msg.timestamp;
+  {
+    Decoder syn_dec(msg.synopsis_bytes);
+    auto synopsis = DecodeSynopsis(&syn_dec);
+    LSMSTATS_RETURN_IF_ERROR(synopsis.status());
+    entry.synopsis = std::shared_ptr<const Synopsis>(
+        std::move(synopsis).value().release());
+  }
+  if (!msg.anti_synopsis_bytes.empty()) {
+    Decoder anti_dec(msg.anti_synopsis_bytes);
+    auto anti = DecodeSynopsis(&anti_dec);
+    LSMSTATS_RETURN_IF_ERROR(anti.status());
+    entry.anti_synopsis = std::shared_ptr<const Synopsis>(
+        std::move(anti).value().release());
+  }
+  catalog_.Register(msg.key, std::move(entry), msg.replaced_component_ids);
+  return Status::OK();
+}
+
+double ClusterController::EstimateRange(
+    const std::string& dataset, const std::string& field, int64_t lo,
+    int64_t hi, CardinalityEstimator::QueryStats* stats) {
+  return estimator_.EstimateRange(dataset, field, lo, hi, stats);
+}
+
+}  // namespace lsmstats

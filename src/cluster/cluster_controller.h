@@ -1,0 +1,71 @@
+// Cluster controller of the shared-nothing simulation (paper §3.4).
+//
+// AsterixDB runs a master (Cluster Controller) that coordinates a set of
+// slave Node Controllers. Each LSM event on a node produces a local synopsis
+// which is serialized and "sent over the network" to the cluster controller,
+// where it is persisted in the system catalog for the query optimizer. Here
+// the network is a byte-level message channel: node controllers only ever
+// hand over encoded ComponentStatsMessages, so (de)serialization, transport
+// cost accounting, and catalog maintenance are exercised exactly as in a
+// real deployment — just without the NIC.
+
+#ifndef LSMSTATS_CLUSTER_CLUSTER_CONTROLLER_H_
+#define LSMSTATS_CLUSTER_CLUSTER_CONTROLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/cardinality_estimator.h"
+#include "stats/statistics_catalog.h"
+
+namespace lsmstats {
+
+// Wire format for one component's statistics.
+struct ComponentStatsMessage {
+  StatisticsKey key;
+  uint64_t component_id = 0;
+  uint64_t timestamp = 0;
+  uint64_t record_count = 0;
+  std::vector<uint64_t> replaced_component_ids;
+  // Serialized synopses (empty string when the component is empty).
+  std::string synopsis_bytes;
+  std::string anti_synopsis_bytes;
+
+  void EncodeTo(Encoder* enc) const;
+  static StatusOr<ComponentStatsMessage> DecodeFrom(Decoder* dec);
+};
+
+class ClusterController {
+ public:
+  explicit ClusterController(CardinalityEstimator::Options estimator_options =
+                                 CardinalityEstimator::Options());
+
+  // The "network" receive path: decodes the message and updates the global
+  // statistics catalog.
+  Status ReceiveStatistics(std::string_view message_bytes);
+
+  // Cluster-wide cardinality estimate for a dataset field (sums the
+  // per-partition estimates, Algorithm 2 over each partition's stream).
+  double EstimateRange(const std::string& dataset, const std::string& field,
+                       int64_t lo, int64_t hi,
+                       CardinalityEstimator::QueryStats* stats = nullptr);
+
+  const StatisticsCatalog& catalog() const { return catalog_; }
+  CardinalityEstimator& estimator() { return estimator_; }
+
+  // Transport accounting.
+  uint64_t messages_received() const { return messages_received_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  StatisticsCatalog catalog_;
+  CardinalityEstimator estimator_;
+  uint64_t messages_received_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_CLUSTER_CLUSTER_CONTROLLER_H_

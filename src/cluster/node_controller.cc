@@ -1,0 +1,61 @@
+#include "cluster/node_controller.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace lsmstats {
+
+void NodeController::TransportSink::PublishComponentStatistics(
+    const StatisticsKey& key, const ComponentMetadata& metadata,
+    const std::vector<uint64_t>& replaced_component_ids,
+    std::shared_ptr<const Synopsis> synopsis,
+    std::shared_ptr<const Synopsis> anti_synopsis) {
+  ComponentStatsMessage msg;
+  msg.key = key;
+  msg.component_id = metadata.id;
+  msg.timestamp = metadata.timestamp;
+  msg.record_count = metadata.record_count;
+  msg.replaced_component_ids = replaced_component_ids;
+  if (metadata.record_count > 0 && synopsis) {
+    Encoder enc;
+    synopsis->EncodeTo(&enc);
+    msg.synopsis_bytes = enc.Release();
+  }
+  if (metadata.record_count > 0 && anti_synopsis &&
+      anti_synopsis->TotalRecords() > 0) {
+    Encoder enc;
+    anti_synopsis->EncodeTo(&enc);
+    msg.anti_synopsis_bytes = enc.Release();
+  }
+  Encoder wire;
+  msg.EncodeTo(&wire);
+  ++messages_sent;
+  bytes_sent += wire.size();
+  Status s = controller_->ReceiveStatistics(wire.buffer());
+  if (!s.ok()) {
+    LSMSTATS_LOG(kError) << "cluster controller rejected statistics: "
+                         << s.ToString();
+  }
+}
+
+NodeController::NodeController(uint32_t node_id, ClusterController* controller)
+    : node_id_(node_id),
+      sink_(std::make_unique<TransportSink>(controller)) {}
+
+StatusOr<std::unique_ptr<NodeController>> NodeController::Start(
+    uint32_t node_id, const std::string& base_directory,
+    DatasetOptions options, ClusterController* controller) {
+  LSMSTATS_CHECK(controller != nullptr);
+  auto node = std::unique_ptr<NodeController>(
+      new NodeController(node_id, controller));
+  options.directory = base_directory + "/node" + std::to_string(node_id);
+  LSMSTATS_RETURN_IF_ERROR(CreateDirIfMissing(base_directory));
+  options.partition = node_id;
+  options.sink = node->sink_.get();
+  auto dataset = Dataset::Open(std::move(options));
+  LSMSTATS_RETURN_IF_ERROR(dataset.status());
+  node->dataset_ = std::move(dataset).value();
+  return node;
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,65 @@
+// Node controller of the shared-nothing simulation (paper §3.4).
+//
+// Each node owns one partition of a dataset (its own LSM trees on its own
+// directory). Its statistics collectors publish into a transport sink that
+// serializes every synopsis pair into a ComponentStatsMessage and ships the
+// bytes to the cluster controller — statistics leave the node only in wire
+// format.
+
+#ifndef LSMSTATS_CLUSTER_NODE_CONTROLLER_H_
+#define LSMSTATS_CLUSTER_NODE_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_controller.h"
+#include "db/dataset.h"
+
+namespace lsmstats {
+
+class NodeController {
+ public:
+  // `options` describes the dataset; the node overrides directory (a
+  // per-node subdirectory), partition id, and sink. `controller` must
+  // outlive the node.
+  static StatusOr<std::unique_ptr<NodeController>> Start(
+      uint32_t node_id, const std::string& base_directory,
+      DatasetOptions options, ClusterController* controller);
+
+  uint32_t node_id() const { return node_id_; }
+  Dataset* dataset() { return dataset_.get(); }
+  const Dataset* dataset() const { return dataset_.get(); }
+
+  uint64_t messages_sent() const { return sink_->messages_sent; }
+  uint64_t bytes_sent() const { return sink_->bytes_sent; }
+
+ private:
+  // Serializes synopses and delivers the bytes to the cluster controller.
+  class TransportSink : public SynopsisSink {
+   public:
+    explicit TransportSink(ClusterController* controller)
+        : controller_(controller) {}
+
+    void PublishComponentStatistics(
+        const StatisticsKey& key, const ComponentMetadata& metadata,
+        const std::vector<uint64_t>& replaced_component_ids,
+        std::shared_ptr<const Synopsis> synopsis,
+        std::shared_ptr<const Synopsis> anti_synopsis) override;
+
+    uint64_t messages_sent = 0;
+    uint64_t bytes_sent = 0;
+
+   private:
+    ClusterController* controller_;
+  };
+
+  NodeController(uint32_t node_id, ClusterController* controller);
+
+  uint32_t node_id_;
+  std::unique_ptr<TransportSink> sink_;
+  std::unique_ptr<Dataset> dataset_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_CLUSTER_NODE_CONTROLLER_H_

@@ -1,0 +1,49 @@
+// Invariant-checking macros.
+//
+// The library does not use C++ exceptions (see DESIGN.md); recoverable errors
+// travel through Status/StatusOr, while programming errors and violated
+// invariants abort the process with a diagnostic. LSMSTATS_CHECK is always on;
+// LSMSTATS_DCHECK compiles away in NDEBUG builds and is meant for hot paths.
+
+#ifndef LSMSTATS_COMMON_CHECK_H_
+#define LSMSTATS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsmstats::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lsmstats::internal
+
+#define LSMSTATS_CHECK(expr)                                        \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::lsmstats::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                               \
+  } while (0)
+
+#define LSMSTATS_CHECK_OK(status_expr)                                  \
+  do {                                                                  \
+    const ::lsmstats::Status& _s = (status_expr);                       \
+    if (!_s.ok()) {                                                     \
+      ::lsmstats::internal::CheckFailed(__FILE__, __LINE__,             \
+                                        _s.ToString().c_str());         \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define LSMSTATS_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#else
+#define LSMSTATS_DCHECK(expr) LSMSTATS_CHECK(expr)
+#endif
+
+#endif  // LSMSTATS_COMMON_CHECK_H_

@@ -1,0 +1,44 @@
+#include "common/dictionary.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+Dictionary Dictionary::BuildSorted(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary dict;
+  dict.by_code_ = std::move(values);
+  for (size_t i = 0; i < dict.by_code_.size(); ++i) {
+    dict.by_value_.emplace(dict.by_code_[i], static_cast<int64_t>(i));
+  }
+  dict.ordered_size_ = dict.by_code_.size();
+  return dict;
+}
+
+int64_t Dictionary::Intern(std::string_view value) {
+  auto it = by_value_.find(value);
+  if (it != by_value_.end()) return it->second;
+  int64_t code = static_cast<int64_t>(by_code_.size());
+  by_code_.emplace_back(value);
+  by_value_.emplace(std::string(value), code);
+  return code;
+}
+
+StatusOr<int64_t> Dictionary::Lookup(std::string_view value) const {
+  auto it = by_value_.find(value);
+  if (it == by_value_.end()) {
+    return Status::NotFound("value not in dictionary");
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Decode(int64_t code) const {
+  LSMSTATS_CHECK(code >= 0 &&
+                 static_cast<size_t>(code) < by_code_.size());
+  return by_code_[static_cast<size_t>(code)];
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,59 @@
+// Order-preserving dictionary encoding for variable-length values.
+//
+// Paper §3.1: variable-length types such as strings leverage dictionary
+// encoding to reduce them to the fixed-length integer problem the synopsis
+// builders operate on. A dictionary built from the sorted distinct values
+// assigns codes that preserve the string order, so range predicates over the
+// strings map to range predicates over the codes.
+//
+// Codes added after the bulk build (Intern on a previously unseen string) are
+// appended past the ordered region and therefore do not preserve order with
+// respect to earlier codes; point estimates remain exact but range estimates
+// over late additions degrade. This mirrors how practical systems refresh
+// order-preserving dictionaries periodically.
+
+#ifndef LSMSTATS_COMMON_DICTIONARY_H_
+#define LSMSTATS_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsmstats {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Builds an order-preserving dictionary from `values` (duplicates allowed;
+  // they are collapsed). Codes are dense: 0..distinct-1 in sort order.
+  static Dictionary BuildSorted(std::vector<std::string> values);
+
+  // Returns the code for `value`, assigning a fresh (non-order-preserving)
+  // code if unseen.
+  int64_t Intern(std::string_view value);
+
+  // Returns the code for `value`, or NotFound.
+  StatusOr<int64_t> Lookup(std::string_view value) const;
+
+  // Inverse mapping. Requires a valid code.
+  const std::string& Decode(int64_t code) const;
+
+  size_t size() const { return by_code_.size(); }
+
+  // Number of codes assigned by BuildSorted (the order-preserving prefix).
+  size_t ordered_size() const { return ordered_size_; }
+
+ private:
+  std::map<std::string, int64_t, std::less<>> by_value_;
+  std::vector<std::string> by_code_;
+  size_t ordered_size_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_DICTIONARY_H_

@@ -1,0 +1,174 @@
+#include "common/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace lsmstats {
+
+namespace {
+
+constexpr size_t kWriteBufferSize = 1 << 16;
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IOError(context + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Writable
+
+WritableFile::WritableFile(int fd) : fd_(fd) {
+  buffer_.reserve(kWriteBufferSize);
+}
+
+WritableFile::~WritableFile() {
+  if (fd_ >= 0) {
+    (void)FlushBuffer();
+    ::close(fd_);
+  }
+}
+
+StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open for write " + path);
+  return std::unique_ptr<WritableFile>(new WritableFile(fd));
+}
+
+Status WritableFile::Append(std::string_view data) {
+  size_ += data.size();
+  if (buffer_.size() + data.size() <= kWriteBufferSize) {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+  LSMSTATS_RETURN_IF_ERROR(FlushBuffer());
+  if (data.size() >= kWriteBufferSize) {
+    // Large payload: write through.
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) return ErrnoStatus("write");
+      written += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+  buffer_.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status WritableFile::FlushBuffer() {
+  size_t written = 0;
+  while (written < buffer_.size()) {
+    ssize_t n = ::write(fd_, buffer_.data() + written,
+                        buffer_.size() - written);
+    if (n < 0) return ErrnoStatus("write");
+    written += static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = FlushBuffer();
+  if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close");
+  fd_ = -1;
+  return s;
+}
+
+// ------------------------------------------------------------ RandomAccess
+
+RandomAccessFile::RandomAccessFile(int fd, uint64_t size)
+    : fd_(fd), size_(size) {}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::shared_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open for read " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat " + path);
+  }
+  return std::shared_ptr<RandomAccessFile>(
+      new RandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n,
+                              std::string* out) const {
+  out->resize(n);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, out->data() + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) return ErrnoStatus("pread");
+    if (r == 0) return Status::Corruption("read past end of file");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- Sequential
+
+SequentialFileReader::SequentialFileReader(
+    std::shared_ptr<RandomAccessFile> file, uint64_t offset, uint64_t limit,
+    size_t buffer_size)
+    : file_(std::move(file)),
+      position_(offset),
+      limit_(limit),
+      buffer_cap_(buffer_size) {}
+
+Status SequentialFileReader::Read(size_t n, std::string* out) {
+  out->clear();
+  out->reserve(n);
+  while (n > 0) {
+    if (buffer_pos_ >= buffer_.size()) {
+      if (position_ >= limit_) {
+        return Status::Corruption("sequential read past region end");
+      }
+      size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(buffer_cap_, limit_ - position_));
+      LSMSTATS_RETURN_IF_ERROR(file_->Read(position_, chunk, &buffer_));
+      position_ += chunk;
+      buffer_pos_ = 0;
+    }
+    size_t take = std::min(n, buffer_.size() - buffer_pos_);
+    out->append(buffer_.data() + buffer_pos_, take);
+    buffer_pos_ += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- Filesystem
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return ErrnoStatus("mkdir " + path);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) {
+    return Status::OK();
+  }
+  return ErrnoStatus("unlink " + path);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,97 @@
+// Thin POSIX file wrappers used by the LSM storage layer.
+//
+// WritableFile is an append-only buffered writer (components are written once,
+// sequentially, then sealed). RandomAccessFile supports positional reads for
+// point lookups, and SequentialFileReader provides a buffered forward scan for
+// merge cursors and full-component streams.
+
+#ifndef LSMSTATS_COMMON_FILE_H_
+#define LSMSTATS_COMMON_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lsmstats {
+
+class WritableFile {
+ public:
+  // Creates (truncates) `path` for writing.
+  static StatusOr<std::unique_ptr<WritableFile>> Create(
+      const std::string& path);
+
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  Status Append(std::string_view data);
+  // Flushes buffered data and closes the descriptor.
+  Status Close();
+
+  // Bytes appended so far (buffered or not).
+  uint64_t size() const { return size_; }
+
+ private:
+  explicit WritableFile(int fd);
+  Status FlushBuffer();
+
+  int fd_;
+  uint64_t size_ = 0;
+  std::string buffer_;
+};
+
+class RandomAccessFile {
+ public:
+  static StatusOr<std::shared_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  // Reads exactly `n` bytes at `offset` into `*out` (resized to n).
+  Status Read(uint64_t offset, size_t n, std::string* out) const;
+
+  uint64_t size() const { return size_; }
+
+ private:
+  RandomAccessFile(int fd, uint64_t size);
+
+  int fd_;
+  uint64_t size_;
+};
+
+// Buffered forward reader over a RandomAccessFile region.
+class SequentialFileReader {
+ public:
+  SequentialFileReader(std::shared_ptr<RandomAccessFile> file, uint64_t offset,
+                       uint64_t limit, size_t buffer_size = 1 << 16);
+
+  // Reads exactly `n` bytes; fails with Corruption if the region ends first.
+  Status Read(size_t n, std::string* out);
+
+  // True once every byte of the region has been consumed.
+  bool AtEnd() const {
+    return position_ >= limit_ && buffer_pos_ >= buffer_.size();
+  }
+
+ private:
+  std::shared_ptr<RandomAccessFile> file_;
+  uint64_t position_;
+  uint64_t limit_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  size_t buffer_cap_;
+};
+
+// Filesystem helpers.
+Status CreateDirIfMissing(const std::string& path);
+Status RemoveFileIfExists(const std::string& path);
+bool FileExists(const std::string& path);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_FILE_H_

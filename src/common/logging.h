@@ -1,0 +1,59 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (warnings and errors only); benchmarks and
+// examples raise the level to info to narrate LSM lifecycle events.
+
+#ifndef LSMSTATS_COMMON_LOGGING_H_
+#define LSMSTATS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lsmstats {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Global minimum severity that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LSMSTATS_LOG(level)                                              \
+  if (static_cast<int>(::lsmstats::LogLevel::level) >=                   \
+      static_cast<int>(::lsmstats::GetLogLevel()))                       \
+  ::lsmstats::internal::LogLine(::lsmstats::LogLevel::level, __FILE__,   \
+                                __LINE__)
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All generators in the workload module are seeded explicitly so that every
+// experiment is reproducible run-to-run. The engine is xoshiro256**, which is
+// fast, high quality, and has a tiny state, making it cheap to embed one per
+// generator object.
+
+#ifndef LSMSTATS_COMMON_RANDOM_H_
+#define LSMSTATS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lsmstats {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Samples ranks from a Zipf distribution with skew alpha over {0,...,n-1}
+// (rank 0 is the most probable). Uses the classic rejection-inversion-free
+// CDF-table method: exact, O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha, uint64_t seed);
+
+  size_t Next();
+  size_t n() const { return n_; }
+
+  // Probability mass of rank k.
+  double Pmf(size_t k) const;
+
+ private:
+  size_t n_;
+  std::vector<double> cdf_;
+  Random rng_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_RANDOM_H_

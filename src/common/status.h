@@ -1,0 +1,137 @@
+// Error model for the library.
+//
+// Recoverable failures are reported through Status (a code plus a message)
+// and StatusOr<T> (a Status or a value). The library never throws; callers
+// are expected to test ok() before using a StatusOr's value (accessing the
+// value of a failed StatusOr aborts).
+
+#ifndef LSMSTATS_COMMON_STATUS_H_
+#define LSMSTATS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "<CodeName>: <message>", or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A Status or a value of type T. Mirrors absl::StatusOr in spirit.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // in functions returning StatusOr<T>.
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT
+    LSMSTATS_CHECK(!std::get<Status>(repr_).ok());
+  }
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    LSMSTATS_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    LSMSTATS_CHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    LSMSTATS_CHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define LSMSTATS_RETURN_IF_ERROR(expr)        \
+  do {                                        \
+    ::lsmstats::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_STATUS_H_

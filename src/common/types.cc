@@ -1,0 +1,80 @@
+#include "common/types.h"
+
+#include <limits>
+
+namespace lsmstats {
+
+const char* FieldTypeToString(FieldType type) {
+  switch (type) {
+    case FieldType::kInt8:
+      return "int8";
+    case FieldType::kInt16:
+      return "int16";
+    case FieldType::kInt32:
+      return "int32";
+    case FieldType::kInt64:
+      return "int64";
+  }
+  return "unknown";
+}
+
+int FieldTypeBits(FieldType type) {
+  switch (type) {
+    case FieldType::kInt8:
+      return 8;
+    case FieldType::kInt16:
+      return 16;
+    case FieldType::kInt32:
+      return 32;
+    case FieldType::kInt64:
+      return 64;
+  }
+  return 0;
+}
+
+ValueDomain ValueDomain::ForType(FieldType type) {
+  switch (type) {
+    case FieldType::kInt8:
+      return ValueDomain(std::numeric_limits<int8_t>::min(), 8);
+    case FieldType::kInt16:
+      return ValueDomain(std::numeric_limits<int16_t>::min(), 16);
+    case FieldType::kInt32:
+      return ValueDomain(std::numeric_limits<int32_t>::min(), 32);
+    case FieldType::kInt64:
+      return ValueDomain(std::numeric_limits<int64_t>::min(), 64);
+  }
+  LSMSTATS_CHECK(false);
+  return ValueDomain(0, 1);
+}
+
+ValueDomain ValueDomain::Padded(int64_t min_value, int64_t max_value) {
+  LSMSTATS_CHECK(min_value <= max_value);
+  uint64_t span = static_cast<uint64_t>(max_value) -
+                  static_cast<uint64_t>(min_value);  // length - 1
+  int log_length = 1;
+  while (log_length < 64 && ((1ULL << log_length) - 1) < span) {
+    ++log_length;
+  }
+  return ValueDomain(min_value, log_length);
+}
+
+ValueDomain::ValueDomain(int64_t min_value, int log_length)
+    : min_value_(min_value), log_length_(log_length) {
+  LSMSTATS_CHECK(log_length >= 1 && log_length <= 64);
+  if (log_length < 64) {
+    // The domain must not wrap past the top of the int64 range.
+    uint64_t max_pos = (1ULL << log_length) - 1;
+    int64_t max_val =
+        static_cast<int64_t>(static_cast<uint64_t>(min_value) + max_pos);
+    LSMSTATS_CHECK(max_val >= min_value);
+  } else {
+    LSMSTATS_CHECK(min_value == std::numeric_limits<int64_t>::min());
+  }
+}
+
+std::string ValueDomain::ToString() const {
+  return "[" + std::to_string(min_value_) + ", +2^" +
+         std::to_string(log_length_) + ")";
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,94 @@
+// Typed integer value domains.
+//
+// Synopses are defined over arguments of fixed-length integer types
+// (int8/int16/int32/int64), mirroring paper §3.1: comparison-based synopses
+// (histograms) only need a total order, but hierarchical ones (wavelets) need
+// a fixed-size universe whose length is a power of two. A ValueDomain maps a
+// field's values onto positions {0, ..., 2^log_length - 1}; narrower value
+// ranges are padded with zeros up to the nearest power of two, and
+// variable-length types (strings) reach this representation through
+// dictionary encoding (see common/dictionary.h).
+
+#ifndef LSMSTATS_COMMON_TYPES_H_
+#define LSMSTATS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+enum class FieldType : uint8_t {
+  kInt8 = 0,
+  kInt16 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+};
+
+const char* FieldTypeToString(FieldType type);
+
+// Number of value bits in the type (8, 16, 32, 64).
+int FieldTypeBits(FieldType type);
+
+class ValueDomain {
+ public:
+  // Domain covering the full range of a fixed-length integer type.
+  static ValueDomain ForType(FieldType type);
+
+  // Smallest power-of-two domain starting at `min_value` that covers
+  // [min_value, max_value] (paper §3.1: pad with zeros to the nearest
+  // power of two).
+  static ValueDomain Padded(int64_t min_value, int64_t max_value);
+
+  // Domain [min_value, min_value + 2^log_length - 1]. log_length in [1, 64].
+  ValueDomain(int64_t min_value, int log_length);
+
+  int64_t min_value() const { return min_value_; }
+  int log_length() const { return log_length_; }
+
+  // Largest representable value in the domain.
+  int64_t max_value() const {
+    return static_cast<int64_t>(static_cast<uint64_t>(min_value_) +
+                                MaxPosition());
+  }
+
+  // Domain length minus one (the length itself overflows uint64 when
+  // log_length == 64).
+  uint64_t MaxPosition() const {
+    return log_length_ == 64 ? ~0ULL : (1ULL << log_length_) - 1;
+  }
+
+  bool Contains(int64_t value) const {
+    uint64_t pos = static_cast<uint64_t>(value) -
+                   static_cast<uint64_t>(min_value_);
+    return value >= min_value_ ? pos <= MaxPosition()
+                               : false;
+  }
+
+  // Zero-based position of `value` within the domain. Requires Contains().
+  uint64_t Position(int64_t value) const {
+    LSMSTATS_DCHECK(Contains(value));
+    return static_cast<uint64_t>(value) - static_cast<uint64_t>(min_value_);
+  }
+
+  // Inverse of Position().
+  int64_t ValueAt(uint64_t position) const {
+    LSMSTATS_DCHECK(position <= MaxPosition());
+    return static_cast<int64_t>(static_cast<uint64_t>(min_value_) + position);
+  }
+
+  bool operator==(const ValueDomain& other) const {
+    return min_value_ == other.min_value_ && log_length_ == other.log_length_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t min_value_;
+  int log_length_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_TYPES_H_

@@ -1,0 +1,371 @@
+#include "db/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+namespace {
+
+constexpr char kPrimaryKeyField[] = "_pk";
+
+}  // namespace
+
+Dataset::Dataset(DatasetOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
+  if (options.synopsis_type != SynopsisType::kNone &&
+      options.sink == nullptr) {
+    return Status::InvalidArgument(
+        "DatasetOptions.sink is required when statistics are enabled");
+  }
+  if (!options.merge_policy) {
+    options.merge_policy = std::make_shared<NoMergePolicy>();
+  }
+  auto dataset = std::unique_ptr<Dataset>(new Dataset(std::move(options)));
+  const DatasetOptions& opts = dataset->options_;
+
+  // Primary index. The dataset coordinates flushes itself so the trees run
+  // with auto_flush off.
+  LsmTreeOptions tree_options;
+  tree_options.directory = opts.directory;
+  tree_options.name = opts.name + "_pk";
+  tree_options.auto_flush = false;
+  tree_options.merge_policy = opts.merge_policy;
+  auto primary_or = LsmTree::Open(tree_options);
+  LSMSTATS_RETURN_IF_ERROR(primary_or.status());
+  dataset->primary_ = std::move(primary_or).value();
+
+  auto attach_collector = [&](const std::string& field,
+                              const ValueDomain& domain, LsmTree* tree) {
+    if (opts.synopsis_type == SynopsisType::kNone) return;
+    SynopsisConfig config;
+    config.type = opts.synopsis_type;
+    config.budget = opts.synopsis_budget;
+    config.domain = domain;
+    StatisticsKey key{opts.name, field, opts.partition};
+    dataset->collectors_.push_back(std::make_unique<StatisticsCollector>(
+        std::move(key), config, opts.sink));
+    tree->AddListener(dataset->collectors_.back().get());
+  };
+
+  if (opts.collect_primary_key_stats) {
+    attach_collector(kPrimaryKeyField, ValueDomain::ForType(FieldType::kInt64),
+                     dataset->primary_.get());
+  }
+  if (!opts.unsorted_stats_fields.empty()) {
+    if (opts.sink == nullptr) {
+      return Status::InvalidArgument(
+          "unsorted_stats_fields requires DatasetOptions.sink");
+    }
+    dataset->unsorted_collector_ = std::make_unique<UnsortedFieldCollector>(
+        opts.name, &dataset->options_.schema, opts.unsorted_stats_fields,
+        opts.synopsis_budget, opts.sink, opts.partition);
+    dataset->primary_->AddListener(dataset->unsorted_collector_.get());
+  }
+
+  // Secondary indexes on the indexed fields.
+  dataset->indexed_fields_ = opts.schema.IndexedFields();
+  for (size_t field_index : dataset->indexed_fields_) {
+    const FieldDef& def = opts.schema.field(field_index);
+    LsmTreeOptions sk_options;
+    sk_options.directory = opts.directory;
+    sk_options.name = opts.name + "_sk_" + def.name;
+    sk_options.auto_flush = false;
+    sk_options.merge_policy = opts.merge_policy;
+    auto tree_or = LsmTree::Open(sk_options);
+    LSMSTATS_RETURN_IF_ERROR(tree_or.status());
+    dataset->secondaries_.push_back(std::move(tree_or).value());
+    attach_collector(def.name, def.EffectiveDomain(),
+                     dataset->secondaries_.back().get());
+  }
+  // Composite secondary indexes (paper §5).
+  for (const auto& [field_a, field_b] : opts.composite_indexes) {
+    auto index_a = opts.schema.FieldIndex(field_a);
+    LSMSTATS_RETURN_IF_ERROR(index_a.status());
+    auto index_b = opts.schema.FieldIndex(field_b);
+    LSMSTATS_RETURN_IF_ERROR(index_b.status());
+    LsmTreeOptions ck_options;
+    ck_options.directory = opts.directory;
+    ck_options.name = opts.name + "_ck_" + field_a + "_" + field_b;
+    ck_options.auto_flush = false;
+    ck_options.merge_policy = opts.merge_policy;
+    auto tree = LsmTree::Open(ck_options);
+    LSMSTATS_RETURN_IF_ERROR(tree.status());
+    dataset->composite_fields_.push_back(
+        {index_a.value(), index_b.value()});
+    dataset->composite_trees_.push_back(std::move(tree).value());
+    if (opts.synopsis_type != SynopsisType::kNone) {
+      dataset->composite_collectors_.push_back(
+          std::make_unique<CompositeStatisticsCollector>(
+              dataset->CompositeStatsKey(field_a, field_b),
+              opts.schema.field(index_a.value()).EffectiveDomain(),
+              opts.schema.field(index_b.value()).EffectiveDomain(),
+              opts.synopsis_budget, opts.sink));
+      dataset->composite_trees_.back()->AddListener(
+          dataset->composite_collectors_.back().get());
+    }
+  }
+  return dataset;
+}
+
+LsmTree* Dataset::secondary(const std::string& field) {
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    if (options_.schema.field(indexed_fields_[i]).name == field) {
+      return secondaries_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+StatisticsKey Dataset::StatsKey(const std::string& field) const {
+  return StatisticsKey{options_.name, field, options_.partition};
+}
+
+StatisticsKey Dataset::CompositeStatsKey(const std::string& field_a,
+                                         const std::string& field_b) const {
+  return StatisticsKey{options_.name, field_a + "+" + field_b,
+                       options_.partition};
+}
+
+LsmTree* Dataset::composite(const std::string& field_a,
+                            const std::string& field_b) {
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    if (options_.schema.field(composite_fields_[i].first).name == field_a &&
+        options_.schema.field(composite_fields_[i].second).name == field_b) {
+      return composite_trees_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+Status Dataset::MaybeFlush() {
+  if (options_.auto_flush &&
+      primary_->memtable().EntryCount() >= options_.memtable_max_entries) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status Dataset::Insert(const Record& record) {
+  if (record.fields.size() != options_.schema.field_count()) {
+    return Status::InvalidArgument("record does not match schema");
+  }
+  std::string existing;
+  Status lookup = primary_->Get(PrimaryKey(record.pk), &existing);
+  if (lookup.ok()) {
+    return Status::AlreadyExists("pk " + std::to_string(record.pk));
+  }
+  if (lookup.code() != StatusCode::kNotFound) return lookup;
+  Encoder enc;
+  EncodeRecordValue(record, &enc);
+  LSMSTATS_RETURN_IF_ERROR(primary_->Put(PrimaryKey(record.pk), enc.Release(),
+                                         /*fresh_insert=*/true));
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    int64_t sk = record.fields[indexed_fields_[i]];
+    LSMSTATS_RETURN_IF_ERROR(secondaries_[i]->Put(SecondaryKey(sk, record.pk),
+                                                  "", /*fresh_insert=*/true));
+  }
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Put(
+        CompositeKey(record.fields[composite_fields_[i].first],
+                     record.fields[composite_fields_[i].second], record.pk),
+        "", /*fresh_insert=*/true));
+  }
+  ++live_records_;
+  return MaybeFlush();
+}
+
+Status Dataset::Update(const Record& record) {
+  if (record.fields.size() != options_.schema.field_count()) {
+    return Status::InvalidArgument("record does not match schema");
+  }
+  auto old_or = Get(record.pk);
+  if (!old_or.ok()) return old_or.status();
+  const Record& old_record = old_or.value();
+
+  Encoder enc;
+  EncodeRecordValue(record, &enc);
+  // The primary index needs no anti-matter for an update: the newer version
+  // shadows the older one and they reconcile at merge time (Appendix A).
+  LSMSTATS_RETURN_IF_ERROR(primary_->Put(PrimaryKey(record.pk), enc.Release(),
+                                         /*fresh_insert=*/false));
+  // Secondary indexes key on <SK, PK>, so a changed SK needs an anti-matter
+  // entry for the old pair plus a regular entry for the new one.
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    int64_t old_sk = old_record.fields[indexed_fields_[i]];
+    int64_t new_sk = record.fields[indexed_fields_[i]];
+    if (old_sk == new_sk) continue;
+    LSMSTATS_RETURN_IF_ERROR(
+        secondaries_[i]->Delete(SecondaryKey(old_sk, record.pk)));
+    LSMSTATS_RETURN_IF_ERROR(secondaries_[i]->Put(
+        SecondaryKey(new_sk, record.pk), "", /*fresh_insert=*/true));
+  }
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    int64_t old_a = old_record.fields[composite_fields_[i].first];
+    int64_t old_b = old_record.fields[composite_fields_[i].second];
+    int64_t new_a = record.fields[composite_fields_[i].first];
+    int64_t new_b = record.fields[composite_fields_[i].second];
+    if (old_a == new_a && old_b == new_b) continue;
+    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Delete(
+        CompositeKey(old_a, old_b, record.pk)));
+    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Put(
+        CompositeKey(new_a, new_b, record.pk), "", /*fresh_insert=*/true));
+  }
+  return MaybeFlush();
+}
+
+Status Dataset::Delete(int64_t pk) {
+  auto old_or = Get(pk);
+  if (!old_or.ok()) return old_or.status();
+  const Record& old_record = old_or.value();
+  LSMSTATS_RETURN_IF_ERROR(primary_->Delete(PrimaryKey(pk)));
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    int64_t sk = old_record.fields[indexed_fields_[i]];
+    LSMSTATS_RETURN_IF_ERROR(secondaries_[i]->Delete(SecondaryKey(sk, pk)));
+  }
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Delete(
+        CompositeKey(old_record.fields[composite_fields_[i].first],
+                     old_record.fields[composite_fields_[i].second], pk)));
+  }
+  --live_records_;
+  return MaybeFlush();
+}
+
+Status Dataset::Upsert(const Record& record) {
+  if (Get(record.pk).ok()) return Update(record);
+  return Insert(record);
+}
+
+Status Dataset::Load(std::vector<Record> records) {
+  if (!std::is_sorted(records.begin(), records.end(),
+                      [](const Record& a, const Record& b) {
+                        return a.pk < b.pk;
+                      })) {
+    return Status::InvalidArgument("bulkload input must be sorted by pk");
+  }
+  // Primary component.
+  {
+    std::vector<Entry> entries;
+    entries.reserve(records.size());
+    for (const Record& record : records) {
+      Encoder enc;
+      EncodeRecordValue(record, &enc);
+      entries.push_back({PrimaryKey(record.pk), enc.Release(), false});
+    }
+    VectorEntryCursor cursor(std::move(entries));
+    LSMSTATS_RETURN_IF_ERROR(
+        primary_->Bulkload(&cursor, records.size()));
+  }
+  // Secondary components: sort <SK, PK> pairs per index, as the sort
+  // operator at the bottom of AsterixDB's bulkload plan would (§3.2).
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    size_t field_index = indexed_fields_[i];
+    std::vector<Entry> entries;
+    entries.reserve(records.size());
+    for (const Record& record : records) {
+      entries.push_back(
+          {SecondaryKey(record.fields[field_index], record.pk), "", false});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    VectorEntryCursor cursor(std::move(entries));
+    LSMSTATS_RETURN_IF_ERROR(
+        secondaries_[i]->Bulkload(&cursor, records.size()));
+  }
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    std::vector<Entry> entries;
+    entries.reserve(records.size());
+    for (const Record& record : records) {
+      entries.push_back(
+          {CompositeKey(record.fields[composite_fields_[i].first],
+                        record.fields[composite_fields_[i].second],
+                        record.pk),
+           "", false});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    VectorEntryCursor cursor(std::move(entries));
+    LSMSTATS_RETURN_IF_ERROR(
+        composite_trees_[i]->Bulkload(&cursor, records.size()));
+  }
+  live_records_ += records.size();
+  return Status::OK();
+}
+
+StatusOr<Record> Dataset::Get(int64_t pk) const {
+  std::string value;
+  LSMSTATS_RETURN_IF_ERROR(primary_->Get(PrimaryKey(pk), &value));
+  Record record;
+  record.pk = pk;
+  LSMSTATS_RETURN_IF_ERROR(
+      DecodeRecordValue(value, options_.schema.field_count(), &record));
+  return record;
+}
+
+StatusOr<uint64_t> Dataset::CountRange(const std::string& field, int64_t lo,
+                                       int64_t hi) const {
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    if (options_.schema.field(indexed_fields_[i]).name != field) continue;
+    return secondaries_[i]->ScanCount(
+        SecondaryKey(lo, std::numeric_limits<int64_t>::min()),
+        SecondaryKey(hi, std::numeric_limits<int64_t>::max()));
+  }
+  return Status::NotFound("no secondary index on field " + field);
+}
+
+StatusOr<uint64_t> Dataset::CountRange2D(const std::string& field_a,
+                                         const std::string& field_b,
+                                         int64_t lo0, int64_t hi0,
+                                         int64_t lo1, int64_t hi1) const {
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    if (options_.schema.field(composite_fields_[i].first).name != field_a ||
+        options_.schema.field(composite_fields_[i].second).name != field_b) {
+      continue;
+    }
+    uint64_t count = 0;
+    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Scan(
+        CompositeKey(lo0, std::numeric_limits<int64_t>::min(),
+                     std::numeric_limits<int64_t>::min()),
+        CompositeKey(hi0, std::numeric_limits<int64_t>::max(),
+                     std::numeric_limits<int64_t>::max()),
+        [&](const Entry& entry) {
+          if (entry.key.k1 >= lo1 && entry.key.k1 <= hi1) ++count;
+        }));
+    return count;
+  }
+  return Status::NotFound("no composite index on " + field_a + "+" + field_b);
+}
+
+StatusOr<uint64_t> Dataset::CountAll() const {
+  return primary_->ScanCount(
+      PrimaryKey(std::numeric_limits<int64_t>::min()),
+      PrimaryKey(std::numeric_limits<int64_t>::max()));
+}
+
+Status Dataset::Flush() {
+  LSMSTATS_RETURN_IF_ERROR(primary_->Flush());
+  for (auto& secondary : secondaries_) {
+    LSMSTATS_RETURN_IF_ERROR(secondary->Flush());
+  }
+  for (auto& composite : composite_trees_) {
+    LSMSTATS_RETURN_IF_ERROR(composite->Flush());
+  }
+  return Status::OK();
+}
+
+Status Dataset::ForceFullMerge() {
+  LSMSTATS_RETURN_IF_ERROR(primary_->ForceFullMerge());
+  for (auto& secondary : secondaries_) {
+    LSMSTATS_RETURN_IF_ERROR(secondary->ForceFullMerge());
+  }
+  for (auto& composite : composite_trees_) {
+    LSMSTATS_RETURN_IF_ERROR(composite->ForceFullMerge());
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmstats

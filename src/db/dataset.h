@@ -1,0 +1,160 @@
+// Dataset: one logical collection backed by an LSM primary index plus one
+// LSM secondary index per indexed field, with statistics collectors attached
+// to every index (the AsterixDB storage layout of paper §3.1: the LSM
+// framework wraps both the primary B-tree and all secondary indexes).
+//
+// Like AsterixDB, the dataset enforces modification constraints — insert
+// fails on an existing key, update/delete require the key to exist (§4.3.4)
+// — which is what lets the memtable annihilate insert+delete pairs silently
+// instead of emitting anti-matter.
+//
+// Secondary index maintenance follows the LSM discipline (Appendix A): an
+// update that moves a record from SK a to SK b writes an anti-matter entry
+// for <a, pk> and a regular entry for <b, pk>; a delete writes anti-matter
+// for both the primary key and every <SK, pk>.
+//
+// All indexes flush together, driven by the primary memtable's budget, so
+// one "flush" of the dataset produces one component (and one synopsis) per
+// index — matching how the paper's prototype ties statistics to dataset
+// lifecycle events.
+
+#ifndef LSMSTATS_DB_DATASET_H_
+#define LSMSTATS_DB_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/record.h"
+#include "lsm/lsm_tree.h"
+#include "stats/statistics_collector.h"
+#include "stats/composite_collector.h"
+#include "stats/unsorted_field_collector.h"
+#include "synopsis/builder.h"
+
+namespace lsmstats {
+
+struct DatasetOptions {
+  std::string directory;
+  std::string name = "dataset";
+  Schema schema;
+  // Statistics configuration applied to every indexed field (the element
+  // budget knob of §4.3.1). SynopsisType::kNone disables collection — the
+  // NoStats baseline.
+  SynopsisType synopsis_type = SynopsisType::kNone;
+  size_t synopsis_budget = 256;
+  // Also collect statistics on the primary key.
+  bool collect_primary_key_stats = false;
+  // Composite secondary indexes <fieldA, fieldB, PK> (paper §5 future
+  // work). Each gets a 2-D grid-histogram collector; conjunctive range
+  // predicates over the pair are estimated without the independence
+  // assumption.
+  std::vector<std::pair<std::string, std::string>> composite_indexes;
+  // Non-indexed schema fields to cover with Greenwald-Khanna quantile
+  // sketches built from primary-component streams (the §5 future-work
+  // extension; see stats/unsorted_field_collector.h for the anti-matter
+  // caveat).
+  std::vector<std::string> unsorted_stats_fields;
+  // Flush all indexes once the primary memtable holds this many records.
+  uint64_t memtable_max_entries = 64 * 1024;
+  bool auto_flush = true;
+  // Shared by all indexes. Defaults to NoMerge.
+  std::shared_ptr<MergePolicy> merge_policy;
+  // Where collectors publish synopses; required unless kNone. Must outlive
+  // the dataset.
+  SynopsisSink* sink = nullptr;
+  // Partition tag carried in every published StatisticsKey (§3.4).
+  uint32_t partition = 0;
+};
+
+class Dataset {
+ public:
+  static StatusOr<std::unique_ptr<Dataset>> Open(DatasetOptions options);
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  // --- Modifications -------------------------------------------------------
+
+  // Fails with AlreadyExists if the primary key is present.
+  Status Insert(const Record& record);
+
+  // Fails with NotFound if the primary key is absent.
+  Status Update(const Record& record);
+  Status Delete(int64_t pk);
+
+  // Inserts or updates without a prior existence requirement.
+  Status Upsert(const Record& record);
+
+  // Bulkloads `records` (sorted by pk, duplicate-free) into empty indexes:
+  // the bottom-up path that produces a single component per index (§4.2).
+  Status Load(std::vector<Record> records);
+
+  // --- Reads ---------------------------------------------------------------
+
+  StatusOr<Record> Get(int64_t pk) const;
+
+  // Exact number of live records with field value in [lo, hi]: the ground
+  // truth oracle for the accuracy experiments, computed from the secondary
+  // index's reconciled scan.
+  StatusOr<uint64_t> CountRange(const std::string& field, int64_t lo,
+                                int64_t hi) const;
+
+  // Exact live record count.
+  StatusOr<uint64_t> CountAll() const;
+
+  // --- Lifecycle -----------------------------------------------------------
+
+  // Flushes every index (a staged-ingestion boundary, §4.3.4).
+  Status Flush();
+  Status ForceFullMerge();
+
+  // --- Introspection -------------------------------------------------------
+
+  const Schema& schema() const { return options_.schema; }
+  const DatasetOptions& options() const { return options_; }
+  LsmTree* primary() { return primary_.get(); }
+  const LsmTree* primary() const { return primary_.get(); }
+  LsmTree* secondary(const std::string& field);
+  LsmTree* composite(const std::string& field_a, const std::string& field_b);
+
+  // Statistics key under which a field's synopses are published.
+  StatisticsKey StatsKey(const std::string& field) const;
+
+  // Statistics key of a composite index's 2-D synopses ("fieldA+fieldB").
+  StatisticsKey CompositeStatsKey(const std::string& field_a,
+                                  const std::string& field_b) const;
+
+  // Exact number of live records with field_a in [lo0, hi0] AND field_b in
+  // [lo1, hi1]: the 2-D ground-truth oracle, from the composite index scan.
+  StatusOr<uint64_t> CountRange2D(const std::string& field_a,
+                                  const std::string& field_b, int64_t lo0,
+                                  int64_t hi0, int64_t lo1,
+                                  int64_t hi1) const;
+
+  uint64_t live_records() const { return live_records_; }
+
+ private:
+  explicit Dataset(DatasetOptions options);
+
+  Status MaybeFlush();
+
+  DatasetOptions options_;
+  std::unique_ptr<LsmTree> primary_;
+  // One per indexed field, schema order.
+  std::vector<size_t> indexed_fields_;
+  std::vector<std::unique_ptr<LsmTree>> secondaries_;
+  std::vector<std::unique_ptr<StatisticsCollector>> collectors_;
+  // One per composite index, schema-field-index pairs aligned with
+  // composite_trees_.
+  std::vector<std::pair<size_t, size_t>> composite_fields_;
+  std::vector<std::unique_ptr<LsmTree>> composite_trees_;
+  std::vector<std::unique_ptr<CompositeStatisticsCollector>>
+      composite_collectors_;
+  std::unique_ptr<UnsortedFieldCollector> unsorted_collector_;
+  uint64_t live_records_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_DB_DATASET_H_

@@ -1,0 +1,43 @@
+#include "db/record.h"
+
+namespace lsmstats {
+
+Schema::Schema(std::vector<FieldDef> fields) : fields_(std::move(fields)) {}
+
+StatusOr<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named " + name);
+}
+
+std::vector<size_t> Schema::IndexedFields() const {
+  std::vector<size_t> result;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].indexed) result.push_back(i);
+  }
+  return result;
+}
+
+void EncodeRecordValue(const Record& record, Encoder* enc) {
+  enc->PutVarint64(record.fields.size());
+  for (int64_t value : record.fields) enc->PutI64(value);
+  enc->PutString(record.payload);
+}
+
+Status DecodeRecordValue(std::string_view data, size_t field_count,
+                         Record* record) {
+  Decoder dec(data);
+  uint64_t count;
+  LSMSTATS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  if (count != field_count) {
+    return Status::Corruption("record field count mismatch");
+  }
+  record->fields.resize(count);
+  for (auto& value : record->fields) {
+    LSMSTATS_RETURN_IF_ERROR(dec.GetI64(&value));
+  }
+  return dec.GetString(&record->payload);
+}
+
+}  // namespace lsmstats

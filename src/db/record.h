@@ -1,0 +1,73 @@
+// Record and schema model.
+//
+// A record has an int64 primary key, a set of fixed-length integer fields
+// (the attributes statistics can be built on, paper §3.1), and an opaque
+// payload standing in for the rest of the document (tweet text, log line,
+// ...). The schema names the fields, fixes their integer types, and marks
+// which ones carry a secondary index — statistics are collected exactly on
+// indexed attributes.
+
+#ifndef LSMSTATS_DB_RECORD_H_
+#define LSMSTATS_DB_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lsmstats {
+
+struct FieldDef {
+  std::string name;
+  FieldType type = FieldType::kInt64;
+  bool indexed = false;
+  // Value domain used for synopses on this field. Defaults to the full
+  // domain of `type`; experiments narrow it (padded to a power of two) to
+  // match the generated data (§3.1).
+  std::optional<ValueDomain> domain;
+
+  ValueDomain EffectiveDomain() const {
+    return domain.has_value() ? *domain : ValueDomain::ForType(type);
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FieldDef> fields);
+
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  size_t field_count() const { return fields_.size(); }
+
+  // Index of a field by name, or NotFound.
+  StatusOr<size_t> FieldIndex(const std::string& name) const;
+
+  const FieldDef& field(size_t index) const { return fields_[index]; }
+
+  // Indices of all indexed fields.
+  std::vector<size_t> IndexedFields() const;
+
+ private:
+  std::vector<FieldDef> fields_;
+};
+
+struct Record {
+  int64_t pk = 0;
+  // One value per schema field, in schema order.
+  std::vector<int64_t> fields;
+  std::string payload;
+};
+
+// Serializes the non-key portion of a record (fields + payload) as the
+// primary index's value bytes.
+void EncodeRecordValue(const Record& record, Encoder* enc);
+Status DecodeRecordValue(std::string_view data, size_t field_count,
+                         Record* record);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_DB_RECORD_H_

@@ -1,0 +1,83 @@
+#include "lsm/bloom_filter.h"
+
+#include <algorithm>
+
+namespace lsmstats {
+
+namespace {
+
+// 128-bit multiply-based mixing (splitmix-style finalizer).
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t expected_keys, int bits_per_key) {
+  uint64_t bits = std::max<uint64_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 63) / 64, 0);
+  // k = ln(2) * bits_per_key, clamped to a sane range.
+  num_probes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 16);
+}
+
+uint64_t BloomFilter::HashKey(const LsmKey& key, uint64_t seed) {
+  return Mix(Mix(static_cast<uint64_t>(key.k0) + seed) ^
+             Mix(static_cast<uint64_t>(key.k1) * 0x9e3779b97f4a7c15ULL) ^
+             Mix(static_cast<uint64_t>(key.k2) * 0xc2b2ae3d27d4eb4fULL));
+}
+
+void BloomFilter::Add(const LsmKey& key) {
+  if (bits_.empty()) return;
+  uint64_t h1 = HashKey(key, 0x8445d61a4e774912ULL);
+  uint64_t h2 = HashKey(key, 0x3c6ef372fe94f82bULL) | 1;
+  uint64_t nbits = bits_.size() * 64;
+  for (int i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+}
+
+bool BloomFilter::MayContain(const LsmKey& key) const {
+  if (bits_.empty()) return false;
+  uint64_t h1 = HashKey(key, 0x8445d61a4e774912ULL);
+  uint64_t h2 = HashKey(key, 0x3c6ef372fe94f82bULL) | 1;
+  uint64_t nbits = bits_.size() * 64;
+  for (int i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::EncodeTo(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(num_probes_));
+  enc->PutVarint64(bits_.size());
+  for (uint64_t word : bits_) enc->PutU64(word);
+}
+
+StatusOr<BloomFilter> BloomFilter::DecodeFrom(Decoder* dec) {
+  BloomFilter filter;
+  uint32_t probes;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU32(&probes));
+  if (probes == 0 || probes > 64) {
+    return Status::Corruption("bloom filter probe count out of range");
+  }
+  filter.num_probes_ = static_cast<int>(probes);
+  uint64_t words;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&words));
+  if (words > dec->remaining() / 8) {
+    return Status::Corruption("bloom filter size exceeds buffer");
+  }
+  filter.bits_.resize(words);
+  for (uint64_t i = 0; i < words; ++i) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&filter.bits_[i]));
+  }
+  return filter;
+}
+
+}  // namespace lsmstats

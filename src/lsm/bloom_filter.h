@@ -1,0 +1,47 @@
+// Blocked-free classic Bloom filter over LSM keys.
+//
+// Every disk component carries a Bloom filter so that point lookups can skip
+// components that provably do not contain the key — the standard LSM read
+// optimization (RocksDB/AsterixDB both do this). The filter is built once by
+// the component builder and serialized into the component file.
+
+#ifndef LSMSTATS_LSM_BLOOM_FILTER_H_
+#define LSMSTATS_LSM_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "lsm/entry.h"
+
+namespace lsmstats {
+
+class BloomFilter {
+ public:
+  // Sizes the filter for `expected_keys` at `bits_per_key` (10 gives ~1% FPR).
+  explicit BloomFilter(uint64_t expected_keys, int bits_per_key = 10);
+
+  // An empty filter that matches nothing; used before deserialization.
+  BloomFilter() : num_probes_(1) {}
+
+  void Add(const LsmKey& key);
+
+  // False means the key is definitely absent.
+  bool MayContain(const LsmKey& key) const;
+
+  void EncodeTo(Encoder* enc) const;
+  static StatusOr<BloomFilter> DecodeFrom(Decoder* dec);
+
+  size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+ private:
+  static uint64_t HashKey(const LsmKey& key, uint64_t seed);
+
+  std::vector<uint64_t> bits_;
+  int num_probes_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_BLOOM_FILTER_H_

@@ -1,0 +1,272 @@
+#include "lsm/disk_component.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace lsmstats {
+
+namespace {
+
+constexpr uint64_t kComponentMagic = 0x4c534d5354415453ULL;  // "LSMSTATS"
+constexpr size_t kFooterSize = 11 * 8;
+
+}  // namespace
+
+void EncodeEntry(const Entry& entry, Encoder* enc) {
+  enc->PutI64(entry.key.k0);
+  enc->PutI64(entry.key.k1);
+  enc->PutI64(entry.key.k2);
+  enc->PutU8(entry.anti_matter ? 1 : 0);
+  enc->PutString(entry.value);
+}
+
+Status DecodeEntry(SequentialFileReader* reader, Entry* out) {
+  // Fixed prefix: k0, k1, k2, flags.
+  std::string head;
+  LSMSTATS_RETURN_IF_ERROR(reader->Read(8 + 8 + 8 + 1, &head));
+  Decoder dec(head);
+  LSMSTATS_RETURN_IF_ERROR(dec.GetI64(&out->key.k0));
+  LSMSTATS_RETURN_IF_ERROR(dec.GetI64(&out->key.k1));
+  LSMSTATS_RETURN_IF_ERROR(dec.GetI64(&out->key.k2));
+  uint8_t flags;
+  LSMSTATS_RETURN_IF_ERROR(dec.GetU8(&flags));
+  out->anti_matter = (flags & 1) != 0;
+  // Varint length, then payload.
+  uint64_t len = 0;
+  int shift = 0;
+  for (;;) {
+    std::string byte;
+    LSMSTATS_RETURN_IF_ERROR(reader->Read(1, &byte));
+    uint8_t b = static_cast<uint8_t>(byte[0]);
+    len |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return Status::Corruption("entry length varint too long");
+  }
+  return reader->Read(static_cast<size_t>(len), &out->value);
+}
+
+// ------------------------------------------------------------------ Builder
+
+DiskComponentBuilder::DiskComponentBuilder(std::string path,
+                                           uint64_t expected_entries)
+    : path_(std::move(path)), bloom_(expected_entries) {
+  auto file_or = WritableFile::Create(path_);
+  if (!file_or.ok()) {
+    open_status_ = file_or.status();
+    return;
+  }
+  file_ = std::move(file_or).value();
+}
+
+Status DiskComponentBuilder::Add(const Entry& entry) {
+  LSMSTATS_RETURN_IF_ERROR(open_status_);
+  if (has_entries_ && !(max_key_ < entry.key)) {
+    return Status::InvalidArgument("component entries must be strictly "
+                                   "increasing by key");
+  }
+  if (!has_entries_) {
+    min_key_ = entry.key;
+    has_entries_ = true;
+  }
+  max_key_ = entry.key;
+  if (record_count_ % kIndexInterval == 0) {
+    sparse_index_.emplace_back(entry.key, file_->size());
+  }
+  bloom_.Add(entry.key);
+  Encoder enc;
+  EncodeEntry(entry, &enc);
+  LSMSTATS_RETURN_IF_ERROR(file_->Append(enc.buffer()));
+  ++record_count_;
+  if (entry.anti_matter) ++anti_matter_count_;
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
+    uint64_t id, uint64_t timestamp) {
+  LSMSTATS_RETURN_IF_ERROR(open_status_);
+  uint64_t data_end = file_->size();
+
+  Encoder index_enc;
+  index_enc.PutVarint64(sparse_index_.size());
+  for (const auto& [key, offset] : sparse_index_) {
+    index_enc.PutI64(key.k0);
+    index_enc.PutI64(key.k1);
+    index_enc.PutI64(key.k2);
+    index_enc.PutU64(offset);
+  }
+  LSMSTATS_RETURN_IF_ERROR(file_->Append(index_enc.buffer()));
+
+  uint64_t bloom_offset = file_->size();
+  Encoder bloom_enc;
+  bloom_.EncodeTo(&bloom_enc);
+  LSMSTATS_RETURN_IF_ERROR(file_->Append(bloom_enc.buffer()));
+
+  Encoder footer;
+  footer.PutU64(data_end);
+  footer.PutU64(bloom_offset);
+  footer.PutU64(record_count_);
+  footer.PutU64(anti_matter_count_);
+  footer.PutI64(min_key_.k0);
+  footer.PutI64(min_key_.k1);
+  footer.PutI64(min_key_.k2);
+  footer.PutI64(max_key_.k0);
+  footer.PutI64(max_key_.k1);
+  footer.PutI64(max_key_.k2);
+  footer.PutU64(kComponentMagic);
+  LSMSTATS_CHECK(footer.size() == kFooterSize);
+  LSMSTATS_RETURN_IF_ERROR(file_->Append(footer.buffer()));
+  LSMSTATS_RETURN_IF_ERROR(file_->Close());
+  file_.reset();
+
+  return DiskComponent::Open(path_, id, timestamp);
+}
+
+void DiskComponentBuilder::Abandon() {
+  file_.reset();
+  (void)RemoveFileIfExists(path_);
+}
+
+// ------------------------------------------------------------------- Cursor
+
+ComponentCursor::ComponentCursor(std::shared_ptr<RandomAccessFile> file,
+                                 uint64_t offset, uint64_t data_end)
+    : reader_(std::move(file), offset, data_end) {
+  Next();
+}
+
+void ComponentCursor::Next() {
+  if (reader_.AtEnd()) {
+    valid_ = false;
+    return;
+  }
+  status_ = DecodeEntry(&reader_, &entry_);
+  valid_ = status_.ok();
+}
+
+// ---------------------------------------------------------------- Component
+
+StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
+    const std::string& path, uint64_t id, uint64_t timestamp) {
+  auto file_or = RandomAccessFile::Open(path);
+  LSMSTATS_RETURN_IF_ERROR(file_or.status());
+  std::shared_ptr<RandomAccessFile> file = std::move(file_or).value();
+
+  if (file->size() < kFooterSize) {
+    return Status::Corruption("component file too small: " + path);
+  }
+  std::string footer_bytes;
+  LSMSTATS_RETURN_IF_ERROR(
+      file->Read(file->size() - kFooterSize, kFooterSize, &footer_bytes));
+  Decoder footer(footer_bytes);
+
+  auto component = std::shared_ptr<DiskComponent>(new DiskComponent());
+  component->path_ = path;
+  component->file_ = file;
+  uint64_t bloom_offset;
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&component->data_end_));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&bloom_offset));
+  ComponentMetadata& md = component->metadata_;
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&md.record_count));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&md.anti_matter_count));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.min_key.k0));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.min_key.k1));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.min_key.k2));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.max_key.k0));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.max_key.k1));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.max_key.k2));
+  uint64_t magic;
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&magic));
+  if (magic != kComponentMagic) {
+    return Status::Corruption("bad component magic: " + path);
+  }
+  md.id = id;
+  md.timestamp = timestamp;
+  md.file_size = file->size();
+
+  if (component->data_end_ > bloom_offset ||
+      bloom_offset > file->size() - kFooterSize) {
+    return Status::Corruption("component section offsets out of order");
+  }
+
+  // Sparse index.
+  std::string index_bytes;
+  LSMSTATS_RETURN_IF_ERROR(file->Read(component->data_end_,
+                                      bloom_offset - component->data_end_,
+                                      &index_bytes));
+  Decoder index_dec(index_bytes);
+  uint64_t index_count;
+  LSMSTATS_RETURN_IF_ERROR(index_dec.GetVarint64(&index_count));
+  component->sparse_index_.reserve(index_count);
+  for (uint64_t i = 0; i < index_count; ++i) {
+    LsmKey key;
+    uint64_t offset;
+    LSMSTATS_RETURN_IF_ERROR(index_dec.GetI64(&key.k0));
+    LSMSTATS_RETURN_IF_ERROR(index_dec.GetI64(&key.k1));
+    LSMSTATS_RETURN_IF_ERROR(index_dec.GetI64(&key.k2));
+    LSMSTATS_RETURN_IF_ERROR(index_dec.GetU64(&offset));
+    component->sparse_index_.emplace_back(key, offset);
+  }
+
+  // Bloom filter.
+  std::string bloom_bytes;
+  LSMSTATS_RETURN_IF_ERROR(file->Read(
+      bloom_offset, file->size() - kFooterSize - bloom_offset, &bloom_bytes));
+  Decoder bloom_dec(bloom_bytes);
+  auto bloom_or = BloomFilter::DecodeFrom(&bloom_dec);
+  LSMSTATS_RETURN_IF_ERROR(bloom_or.status());
+  component->bloom_ = std::move(bloom_or).value();
+
+  return component;
+}
+
+uint64_t DiskComponent::SeekOffset(const LsmKey& key) const {
+  if (sparse_index_.empty()) return 0;
+  // Last index entry with key <= target.
+  auto it = std::upper_bound(
+      sparse_index_.begin(), sparse_index_.end(), key,
+      [](const LsmKey& k, const auto& e) { return k < e.first; });
+  if (it == sparse_index_.begin()) return 0;
+  return std::prev(it)->second;
+}
+
+Status DiskComponent::Get(const LsmKey& key, Entry* out) const {
+  if (metadata_.record_count == 0 || key < metadata_.min_key ||
+      metadata_.max_key < key || !bloom_.MayContain(key)) {
+    return Status::NotFound("key not in component");
+  }
+  SequentialFileReader reader(file_, SeekOffset(key), data_end_);
+  while (!reader.AtEnd()) {
+    Entry entry;
+    LSMSTATS_RETURN_IF_ERROR(DecodeEntry(&reader, &entry));
+    if (entry.key == key) {
+      *out = std::move(entry);
+      return Status::OK();
+    }
+    if (key < entry.key) break;
+  }
+  return Status::NotFound("key not in component");
+}
+
+std::unique_ptr<ComponentCursor> DiskComponent::NewCursor() const {
+  return std::unique_ptr<ComponentCursor>(
+      new ComponentCursor(file_, 0, data_end_));
+}
+
+std::unique_ptr<ComponentCursor> DiskComponent::NewCursorAt(
+    const LsmKey& start) const {
+  auto cursor = std::unique_ptr<ComponentCursor>(
+      new ComponentCursor(file_, SeekOffset(start), data_end_));
+  while (cursor->Valid() && cursor->entry().key < start) {
+    cursor->Next();
+  }
+  return cursor;
+}
+
+Status DiskComponent::DeleteFile() {
+  file_.reset();
+  return RemoveFileIfExists(path_);
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,146 @@
+// Immutable, file-backed LSM disk component.
+//
+// A component is a sorted run produced by exactly one LSM lifecycle event
+// (flush, merge, or bulkload) and never modified afterwards. On disk it is
+//
+//   [entries, key-sorted]  [sparse index]  [bloom filter]  [fixed footer]
+//
+// The sparse index keeps one (key, offset) pair every kIndexInterval entries,
+// which bounds a point lookup to one binary search plus a short sequential
+// scan; the Bloom filter lets lookups skip components that cannot contain the
+// key. The footer records the component metadata the statistics framework and
+// the merge policies consume: record/anti-matter counts and the key range.
+
+#ifndef LSMSTATS_LSM_DISK_COMPONENT_H_
+#define LSMSTATS_LSM_DISK_COMPONENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/file.h"
+#include "common/status.h"
+#include "lsm/bloom_filter.h"
+#include "lsm/entry.h"
+#include "lsm/entry_cursor.h"
+
+namespace lsmstats {
+
+// Summary of a sealed component; this is what event listeners and merge
+// policies see.
+struct ComponentMetadata {
+  uint64_t id = 0;
+  uint64_t record_count = 0;      // total entries, including anti-matter
+  uint64_t anti_matter_count = 0;
+  LsmKey min_key;
+  LsmKey max_key;
+  uint64_t file_size = 0;
+  // Logical creation timestamp assigned by the owning LsmTree; newer
+  // components have strictly larger timestamps.
+  uint64_t timestamp = 0;
+};
+
+class DiskComponent;
+
+// Writes one component file. Entries must arrive in strictly increasing key
+// order (the LSM events guarantee this: flush iterates the memtable in order,
+// merge consumes a sorted merge cursor, bulkload requires pre-sorted input).
+class DiskComponentBuilder {
+ public:
+  // `expected_entries` only sizes the Bloom filter; it may be an estimate.
+  DiskComponentBuilder(std::string path, uint64_t expected_entries);
+
+  DiskComponentBuilder(const DiskComponentBuilder&) = delete;
+  DiskComponentBuilder& operator=(const DiskComponentBuilder&) = delete;
+
+  Status Add(const Entry& entry);
+
+  // Seals the file and opens it as a component. `id` and `timestamp` are
+  // assigned by the owning tree.
+  StatusOr<std::shared_ptr<DiskComponent>> Finish(uint64_t id,
+                                                  uint64_t timestamp);
+
+  // Abandons the build and removes the partial file.
+  void Abandon();
+
+  uint64_t entries_added() const { return record_count_; }
+
+ private:
+  static constexpr uint64_t kIndexInterval = 64;
+
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  Status open_status_;
+  BloomFilter bloom_;
+  std::vector<std::pair<LsmKey, uint64_t>> sparse_index_;
+  uint64_t record_count_ = 0;
+  uint64_t anti_matter_count_ = 0;
+  LsmKey min_key_;
+  LsmKey max_key_;
+  bool has_entries_ = false;
+};
+
+// Forward scan over a component's entries, optionally starting at the first
+// key >= a seek target.
+class ComponentCursor : public EntryCursor {
+ public:
+  bool Valid() const override { return valid_; }
+  const Entry& entry() const override { return entry_; }
+  Status status() const override { return status_; }
+
+  void Next() override;
+
+ private:
+  friend class DiskComponent;
+  ComponentCursor(std::shared_ptr<RandomAccessFile> file, uint64_t offset,
+                  uint64_t data_end);
+
+  SequentialFileReader reader_;
+  Entry entry_;
+  bool valid_ = false;
+  Status status_;
+};
+
+class DiskComponent {
+ public:
+  static StatusOr<std::shared_ptr<DiskComponent>> Open(
+      const std::string& path, uint64_t id, uint64_t timestamp);
+
+  const ComponentMetadata& metadata() const { return metadata_; }
+  const std::string& path() const { return path_; }
+
+  // Point lookup. Returns the entry (possibly anti-matter) or NotFound.
+  Status Get(const LsmKey& key, Entry* out) const;
+
+  // Cursor over all entries.
+  std::unique_ptr<ComponentCursor> NewCursor() const;
+
+  // Cursor positioned at the first entry with key >= `start`.
+  std::unique_ptr<ComponentCursor> NewCursorAt(const LsmKey& start) const;
+
+  // Removes the backing file. The component must not be used afterwards.
+  Status DeleteFile();
+
+ private:
+  DiskComponent() = default;
+
+  // Offset of the sparse-index entry block that may contain `key`.
+  uint64_t SeekOffset(const LsmKey& key) const;
+
+  std::string path_;
+  std::shared_ptr<RandomAccessFile> file_;
+  ComponentMetadata metadata_;
+  uint64_t data_end_ = 0;
+  std::vector<std::pair<LsmKey, uint64_t>> sparse_index_;
+  BloomFilter bloom_;
+};
+
+// Entry wire helpers shared by the builder and readers.
+void EncodeEntry(const Entry& entry, Encoder* enc);
+Status DecodeEntry(SequentialFileReader* reader, Entry* out);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_DISK_COMPONENT_H_

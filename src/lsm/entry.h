@@ -1,0 +1,55 @@
+// Key and entry model shared by all LSM-ified indexes.
+//
+// Paper §3.1: disk operations in the LSM framework are generalized by a
+// single bulkload() routine that receives a stream of records ordered by
+// <PK> for primary index components, or by <SK, PK> pairs for secondary
+// index components. We model both — plus the composite-key indexes of the
+// paper's §5 future work — with a three-slot integer key compared
+// lexicographically: primary trees use k0 = PK; secondary trees use
+// k0 = SK, k1 = PK; composite secondary trees use k0 = SK1, k1 = SK2,
+// k2 = PK. Unused trailing slots stay zero, so narrower keys sort exactly
+// as before.
+//
+// An Entry is one record in a component: a key, an opaque value payload
+// (empty for secondary entries), and the anti-matter flag that marks entries
+// which cancel a matching record in an older component (Appendix A).
+
+#ifndef LSMSTATS_LSM_ENTRY_H_
+#define LSMSTATS_LSM_ENTRY_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace lsmstats {
+
+struct LsmKey {
+  int64_t k0 = 0;
+  int64_t k1 = 0;
+  int64_t k2 = 0;
+
+  friend auto operator<=>(const LsmKey&, const LsmKey&) = default;
+};
+
+// Key for a primary index (arity 1).
+inline LsmKey PrimaryKey(int64_t pk) { return LsmKey{pk, 0, 0}; }
+
+// Key for a secondary index (arity 2): sort by SK first, PK breaks ties.
+inline LsmKey SecondaryKey(int64_t sk, int64_t pk) {
+  return LsmKey{sk, pk, 0};
+}
+
+// Key for a composite secondary index (arity 3): <SK1, SK2, PK>.
+inline LsmKey CompositeKey(int64_t sk1, int64_t sk2, int64_t pk) {
+  return LsmKey{sk1, sk2, pk};
+}
+
+struct Entry {
+  LsmKey key;
+  std::string value;
+  bool anti_matter = false;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_ENTRY_H_

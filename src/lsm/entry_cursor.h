@@ -1,0 +1,48 @@
+// Abstract forward cursor over a sorted entry stream.
+//
+// Disk components, memtable snapshots, and k-way merge cursors all expose
+// this interface, so LSM operations (merge, scan, bulkload) are written once
+// against "a unified sorted record stream abstraction" — paper §3.5 relies on
+// exactly this property to rebuild synopses during merges.
+
+#ifndef LSMSTATS_LSM_ENTRY_CURSOR_H_
+#define LSMSTATS_LSM_ENTRY_CURSOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/entry.h"
+
+namespace lsmstats {
+
+class EntryCursor {
+ public:
+  virtual ~EntryCursor() = default;
+
+  virtual bool Valid() const = 0;
+  virtual const Entry& entry() const = 0;
+  virtual void Next() = 0;
+  virtual Status status() const = 0;
+};
+
+// Cursor over an in-memory, pre-sorted entry vector (memtable snapshots,
+// bulkload inputs, tests).
+class VectorEntryCursor : public EntryCursor {
+ public:
+  explicit VectorEntryCursor(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  bool Valid() const override { return pos_ < entries_.size(); }
+  const Entry& entry() const override { return entries_[pos_]; }
+  void Next() override { ++pos_; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_ENTRY_CURSOR_H_

@@ -1,0 +1,17 @@
+#include "lsm/event_listener.h"
+
+namespace lsmstats {
+
+const char* LsmOperationToString(LsmOperation op) {
+  switch (op) {
+    case LsmOperation::kFlush:
+      return "flush";
+    case LsmOperation::kMerge:
+      return "merge";
+    case LsmOperation::kBulkload:
+      return "bulkload";
+  }
+  return "unknown";
+}
+
+}  // namespace lsmstats

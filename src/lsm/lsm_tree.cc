@@ -1,0 +1,319 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.h"
+#include "lsm/merge_cursor.h"
+
+namespace lsmstats {
+
+LsmTree::LsmTree(LsmTreeOptions options) : options_(std::move(options)) {
+  if (!options_.merge_policy) {
+    options_.merge_policy = std::make_shared<NoMergePolicy>();
+  }
+}
+
+StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("LsmTreeOptions.directory is required");
+  }
+  LSMSTATS_RETURN_IF_ERROR(CreateDirIfMissing(options.directory));
+  auto tree = std::unique_ptr<LsmTree>(new LsmTree(std::move(options)));
+
+  // Recover components left by a previous incarnation of this tree: files
+  // named <name>_<id>.cmp. Ids are assigned monotonically, so sorting by id
+  // descending restores the newest-first stack order.
+  std::vector<uint64_t> recovered_ids;
+  const std::string prefix = tree->options_.name + "_";
+  std::error_code ec;
+  for (const auto& dir_entry :
+       std::filesystem::directory_iterator(tree->options_.directory, ec)) {
+    std::string filename = dir_entry.path().filename().string();
+    if (filename.rfind(prefix, 0) != 0) continue;
+    if (filename.size() <= prefix.size() + 4 ||
+        filename.substr(filename.size() - 4) != ".cmp") {
+      continue;
+    }
+    std::string id_text =
+        filename.substr(prefix.size(), filename.size() - prefix.size() - 4);
+    char* end = nullptr;
+    uint64_t id = std::strtoull(id_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;  // foreign file
+    recovered_ids.push_back(id);
+  }
+  if (ec) {
+    return Status::IOError("cannot list " + tree->options_.directory + ": " +
+                           ec.message());
+  }
+  std::sort(recovered_ids.rbegin(), recovered_ids.rend());
+  // Newest-first in the stack; timestamps must grow with recency, so the
+  // component at stack position i gets stamp (count - i).
+  for (size_t i = 0; i < recovered_ids.size(); ++i) {
+    uint64_t id = recovered_ids[i];
+    uint64_t timestamp = recovered_ids.size() - i;
+    auto component = DiskComponent::Open(tree->ComponentPath(id), id,
+                                         timestamp);
+    LSMSTATS_RETURN_IF_ERROR(component.status());
+    tree->components_.push_back(std::move(component).value());
+    tree->next_component_id_ = std::max(tree->next_component_id_, id + 1);
+  }
+  tree->logical_clock_ = recovered_ids.size() + 1;
+  return tree;
+}
+
+void LsmTree::AddListener(LsmEventListener* listener) {
+  listeners_.push_back(listener);
+}
+
+std::string LsmTree::ComponentPath(uint64_t id) const {
+  return options_.directory + "/" + options_.name + "_" + std::to_string(id) +
+         ".cmp";
+}
+
+bool LsmTree::MemTableFull() const {
+  return memtable_.EntryCount() >= options_.memtable_max_entries ||
+         memtable_.ApproximateBytes() >= options_.memtable_max_bytes;
+}
+
+Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
+  memtable_.Put(key, std::move(value), fresh_insert);
+  if (options_.auto_flush && MemTableFull()) return Flush();
+  return Status::OK();
+}
+
+Status LsmTree::Delete(const LsmKey& key) {
+  memtable_.Delete(key);
+  if (options_.auto_flush && MemTableFull()) return Flush();
+  return Status::OK();
+}
+
+Status LsmTree::PutAntiMatter(const LsmKey& key) {
+  memtable_.PutAntiMatter(key);
+  if (options_.auto_flush && MemTableFull()) return Flush();
+  return Status::OK();
+}
+
+Status LsmTree::Get(const LsmKey& key, std::string* value) const {
+  bool anti = false;
+  Status s = memtable_.Get(key, value, &anti);
+  if (s.ok()) {
+    return anti ? Status::NotFound("deleted") : Status::OK();
+  }
+  for (const auto& component : components_) {
+    Entry entry;
+    s = component->Get(key, &entry);
+    if (s.ok()) {
+      if (entry.anti_matter) return Status::NotFound("deleted");
+      *value = std::move(entry.value);
+      return Status::OK();
+    }
+    if (s.code() != StatusCode::kNotFound) return s;
+  }
+  return Status::NotFound("key absent");
+}
+
+Status LsmTree::Scan(const LsmKey& lo, const LsmKey& hi,
+                     const std::function<void(const Entry&)>& fn) const {
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.reserve(components_.size() + 1);
+  // Memtable snapshot restricted to the range.
+  std::vector<Entry> mem_entries;
+  memtable_.ForEach([&](const Entry& e) {
+    if (!(e.key < lo) && !(hi < e.key)) mem_entries.push_back(e);
+  });
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::move(mem_entries)));
+  for (const auto& component : components_) {
+    inputs.push_back(component->NewCursorAt(lo));
+  }
+  // The scan sees the whole tree, so anti-matter fully reconciles.
+  MergeCursor merged(std::move(inputs), /*drop_anti_matter=*/true);
+  while (merged.Valid()) {
+    if (hi < merged.entry().key) break;
+    fn(merged.entry());
+    merged.Next();
+  }
+  return merged.status();
+}
+
+StatusOr<uint64_t> LsmTree::ScanCount(const LsmKey& lo,
+                                      const LsmKey& hi) const {
+  uint64_t count = 0;
+  LSMSTATS_RETURN_IF_ERROR(
+      Scan(lo, hi, [&count](const Entry&) { ++count; }));
+  return count;
+}
+
+Status LsmTree::WriteComponent(const OperationContext& context,
+                               EntryCursor* input, size_t insert_pos,
+                               const std::vector<uint64_t>& replaced_ids,
+                               std::shared_ptr<DiskComponent>* out) {
+  std::vector<std::unique_ptr<ComponentWriteObserver>> observers;
+  for (LsmEventListener* listener : listeners_) {
+    auto observer = listener->OnOperationBegin(context);
+    if (observer) observers.push_back(std::move(observer));
+  }
+
+  uint64_t id = next_component_id_++;
+  DiskComponentBuilder builder(ComponentPath(id), context.expected_records);
+  while (input->Valid()) {
+    const Entry& entry = input->entry();
+    Status s = builder.Add(entry);
+    if (!s.ok()) {
+      builder.Abandon();
+      return s;
+    }
+    for (auto& observer : observers) observer->OnEntry(entry);
+    input->Next();
+  }
+  if (!input->status().ok()) {
+    builder.Abandon();
+    return input->status();
+  }
+  if (builder.entries_added() == 0) {
+    // A merge can reconcile everything away; represent that as "no new
+    // component" rather than an empty file.
+    builder.Abandon();
+    *out = nullptr;
+    ComponentMetadata empty;
+    empty.id = id;
+    empty.timestamp = logical_clock_++;
+    for (auto& observer : observers) {
+      observer->OnComponentSealed(empty, replaced_ids);
+    }
+    return Status::OK();
+  }
+
+  auto component_or = builder.Finish(id, logical_clock_++);
+  LSMSTATS_RETURN_IF_ERROR(component_or.status());
+  *out = std::move(component_or).value();
+  components_.insert(components_.begin() + static_cast<ptrdiff_t>(insert_pos),
+                     *out);
+  for (auto& observer : observers) {
+    observer->OnComponentSealed((*out)->metadata(), replaced_ids);
+  }
+  LSMSTATS_LOG(kDebug) << options_.name << ": "
+                       << LsmOperationToString(context.op) << " sealed "
+                       << (*out)->metadata().record_count << " entries ("
+                       << (*out)->metadata().anti_matter_count
+                       << " anti-matter) as component "
+                       << (*out)->metadata().id;
+  return Status::OK();
+}
+
+Status LsmTree::Flush() {
+  if (memtable_.Empty()) return Status::OK();
+
+  OperationContext context;
+  context.op = LsmOperation::kFlush;
+  context.expected_records = memtable_.EntryCount();
+  context.expected_anti_matter = memtable_.AntiMatterCount();
+
+  std::vector<Entry> entries;
+  entries.reserve(memtable_.EntryCount());
+  memtable_.ForEach([&](const Entry& e) { entries.push_back(e); });
+  VectorEntryCursor cursor(std::move(entries));
+
+  std::shared_ptr<DiskComponent> component;
+  LSMSTATS_RETURN_IF_ERROR(
+      WriteComponent(context, &cursor, /*insert_pos=*/0, {}, &component));
+  memtable_.Clear();
+  return MaybeMerge();
+}
+
+Status LsmTree::MaybeMerge() {
+  for (;;) {
+    auto decision = options_.merge_policy->PickMerge(ComponentsMetadata());
+    if (!decision.has_value()) return Status::OK();
+    LSMSTATS_CHECK(decision->begin < decision->end);
+    LSMSTATS_CHECK(decision->end <= components_.size());
+    LSMSTATS_CHECK(decision->end - decision->begin >= 2);
+    LSMSTATS_RETURN_IF_ERROR(MergeRange(*decision));
+  }
+}
+
+Status LsmTree::ForceFullMerge() {
+  if (components_.size() < 2) return Status::OK();
+  return MergeRange(MergeDecision{0, components_.size()});
+}
+
+Status LsmTree::MergeRange(const MergeDecision& decision) {
+  OperationContext context;
+  context.op = LsmOperation::kMerge;
+  context.includes_oldest_component = decision.end == components_.size();
+
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  std::vector<uint64_t> replaced_ids;
+  for (size_t i = decision.begin; i < decision.end; ++i) {
+    const ComponentMetadata& md = components_[i]->metadata();
+    context.expected_records += md.record_count;
+    context.expected_anti_matter += md.anti_matter_count;
+    inputs.push_back(components_[i]->NewCursor());
+    replaced_ids.push_back(md.id);
+  }
+  MergeCursor merged(std::move(inputs),
+                     /*drop_anti_matter=*/context.includes_oldest_component);
+
+  // Remove the inputs from the stack first so the new component lands in
+  // their place (recency order is preserved: everything in the range is
+  // newer than what follows and older than what precedes).
+  std::vector<std::shared_ptr<DiskComponent>> replaced(
+      components_.begin() + static_cast<ptrdiff_t>(decision.begin),
+      components_.begin() + static_cast<ptrdiff_t>(decision.end));
+  components_.erase(
+      components_.begin() + static_cast<ptrdiff_t>(decision.begin),
+      components_.begin() + static_cast<ptrdiff_t>(decision.end));
+
+  std::shared_ptr<DiskComponent> component;
+  Status s = WriteComponent(context, &merged, decision.begin, replaced_ids,
+                            &component);
+  if (!s.ok()) {
+    // Restore the stack; the merge failed before replacing anything.
+    components_.insert(components_.begin() +
+                           static_cast<ptrdiff_t>(decision.begin),
+                       replaced.begin(), replaced.end());
+    return s;
+  }
+  for (auto& old_component : replaced) {
+    LSMSTATS_RETURN_IF_ERROR(old_component->DeleteFile());
+  }
+  return Status::OK();
+}
+
+Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
+                         uint64_t expected_anti_matter) {
+  if (!memtable_.Empty()) {
+    return Status::FailedPrecondition(
+        "bulkload requires an empty memtable; flush first");
+  }
+  OperationContext context;
+  context.op = LsmOperation::kBulkload;
+  context.expected_records = expected_records;
+  context.expected_anti_matter = expected_anti_matter;
+
+  std::shared_ptr<DiskComponent> component;
+  LSMSTATS_RETURN_IF_ERROR(
+      WriteComponent(context, input, /*insert_pos=*/0, {}, &component));
+  return MaybeMerge();
+}
+
+std::vector<ComponentMetadata> LsmTree::ComponentsMetadata() const {
+  std::vector<ComponentMetadata> result;
+  result.reserve(components_.size());
+  for (const auto& component : components_) {
+    result.push_back(component->metadata());
+  }
+  return result;
+}
+
+uint64_t LsmTree::TotalDiskRecords() const {
+  uint64_t total = 0;
+  for (const auto& component : components_) {
+    total += component->metadata().record_count;
+  }
+  return total;
+}
+
+}  // namespace lsmstats

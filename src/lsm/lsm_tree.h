@@ -1,0 +1,145 @@
+// LSM-tree: the write-optimized index structure everything else builds on.
+//
+// Modifications land in an in-memory component (MemTable); when it fills up
+// it is flushed to an immutable disk component with one sequential write.
+// A merge policy periodically consolidates disk components, reconciling
+// anti-matter with the records it cancels (Appendix A). Flush, merge, and
+// bulkload all funnel through one WriteComponent() routine that streams a
+// sorted entry cursor into a component builder — and announces the stream to
+// registered LsmEventListeners, which is where statistics collection hooks in
+// (paper §3.1: "disk operations in the LSM framework can be generalized by a
+// single bulkload() routine").
+//
+// The tree is externally synchronized: one logical writer at a time. This
+// mirrors the per-partition single-writer model of AsterixDB node
+// controllers.
+
+#ifndef LSMSTATS_LSM_LSM_TREE_H_
+#define LSMSTATS_LSM_LSM_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lsm/disk_component.h"
+#include "lsm/entry.h"
+#include "lsm/entry_cursor.h"
+#include "lsm/event_listener.h"
+#include "lsm/memtable.h"
+#include "lsm/merge_policy.h"
+
+namespace lsmstats {
+
+struct LsmTreeOptions {
+  // Directory for component files; created if missing.
+  std::string directory;
+  // Name prefix for component files; unique per tree within a directory.
+  std::string name = "tree";
+  // Flush when the memtable reaches either bound.
+  uint64_t memtable_max_entries = 64 * 1024;
+  uint64_t memtable_max_bytes = 64ull << 20;
+  // When false, the caller drives flushes explicitly (paper §4.3.4 stages
+  // ingestion with forced flushes to control anti-matter placement).
+  bool auto_flush = true;
+  // Defaults to NoMergePolicy when null.
+  std::shared_ptr<MergePolicy> merge_policy;
+};
+
+class LsmTree {
+ public:
+  // Opens a tree, recovering any components a previous incarnation left in
+  // the directory (discovered by file name, ordered by component id — ids
+  // are monotone in creation order, so id order is recency order). The
+  // memtable's contents at crash time are lost, as in any LSM without a
+  // write-ahead log; see DESIGN.md.
+  static StatusOr<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  // Listeners must outlive the tree.
+  void AddListener(LsmEventListener* listener);
+
+  // --- Modifications (land in the memtable) -------------------------------
+
+  // Inserts or overwrites. `fresh_insert` marks keys the caller knows are
+  // absent from all older components (see MemTable::Put).
+  Status Put(const LsmKey& key, std::string value, bool fresh_insert = false);
+  Status Delete(const LsmKey& key);
+  Status PutAntiMatter(const LsmKey& key);
+
+  // --- Reads ---------------------------------------------------------------
+
+  // Point lookup across the memtable and all disk components, newest first.
+  // Returns NotFound for absent or deleted keys.
+  Status Get(const LsmKey& key, std::string* value) const;
+
+  // Invokes `fn` for every live (reconciled, non-anti-matter) entry with
+  // lo <= key <= hi, in key order.
+  Status Scan(const LsmKey& lo, const LsmKey& hi,
+              const std::function<void(const Entry&)>& fn) const;
+
+  // Exact number of live entries in [lo, hi] — the ground-truth cardinality
+  // oracle used by the accuracy experiments.
+  StatusOr<uint64_t> ScanCount(const LsmKey& lo, const LsmKey& hi) const;
+
+  // --- Lifecycle events ----------------------------------------------------
+
+  // Persists the memtable as a new disk component (no-op when empty), then
+  // lets the merge policy run.
+  Status Flush();
+
+  // Runs the merge policy until it makes no further decision.
+  Status MaybeMerge();
+
+  // Merges all disk components into one.
+  Status ForceFullMerge();
+
+  // Builds one component bottom-up from a sorted, reconciled entry stream.
+  // Requires an empty memtable. `expected_records` is the stream length
+  // (known from the sorter, paper §3.2).
+  Status Bulkload(EntryCursor* input, uint64_t expected_records,
+                  uint64_t expected_anti_matter = 0);
+
+  // --- Introspection -------------------------------------------------------
+
+  size_t ComponentCount() const { return components_.size(); }
+  std::vector<ComponentMetadata> ComponentsMetadata() const;
+  const MemTable& memtable() const { return memtable_; }
+  const LsmTreeOptions& options() const { return options_; }
+
+  // Total live-record estimate ignoring reconciliation (records - 2*anti
+  // would be exact only if every anti-matter cancels in-tree).
+  uint64_t TotalDiskRecords() const;
+
+ private:
+  explicit LsmTree(LsmTreeOptions options);
+
+  bool MemTableFull() const;
+  std::string ComponentPath(uint64_t id) const;
+
+  // Streams `input` into a new component, driving listeners. On success the
+  // new component replaces `replaced` components at position `insert_pos` in
+  // the stack.
+  Status WriteComponent(const OperationContext& context, EntryCursor* input,
+                        size_t insert_pos,
+                        const std::vector<uint64_t>& replaced_ids,
+                        std::shared_ptr<DiskComponent>* out);
+
+  // Performs one merge over components_[decision.begin, decision.end).
+  Status MergeRange(const MergeDecision& decision);
+
+  LsmTreeOptions options_;
+  MemTable memtable_;
+  // Newest first.
+  std::vector<std::shared_ptr<DiskComponent>> components_;
+  std::vector<LsmEventListener*> listeners_;
+  uint64_t next_component_id_ = 1;
+  uint64_t logical_clock_ = 1;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_LSM_TREE_H_

@@ -1,0 +1,76 @@
+#include "lsm/memtable.h"
+
+namespace lsmstats {
+
+namespace {
+constexpr uint64_t kPerEntryOverhead = 64;  // map node + key + flags
+}  // namespace
+
+void MemTable::Put(const LsmKey& key, std::string value, bool fresh_insert) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
+    if (it->second.anti_matter) {
+      --anti_matter_count_;
+      // Re-inserting over an anti-matter entry: the delete proves the key
+      // may exist in older components, so the new record is never fresh —
+      // a later delete must emit anti-matter, not silently annihilate.
+      fresh_insert = false;
+    } else {
+      // An update of a fresh insert is still wholly contained in this
+      // memtable generation; an update of anything older is not.
+      fresh_insert = it->second.fresh_insert;
+    }
+    approximate_bytes_ -= it->second.value.size();
+  } else {
+    approximate_bytes_ += kPerEntryOverhead;
+  }
+  approximate_bytes_ += value.size();
+  it->second.value = std::move(value);
+  it->second.anti_matter = false;
+  it->second.fresh_insert = fresh_insert;
+}
+
+void MemTable::Delete(const LsmKey& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && !it->second.anti_matter &&
+      it->second.fresh_insert) {
+    // Insert + delete within one memtable generation: annihilate silently.
+    approximate_bytes_ -= it->second.value.size() + kPerEntryOverhead;
+    entries_.erase(it);
+    return;
+  }
+  PutAntiMatter(key);
+}
+
+void MemTable::PutAntiMatter(const LsmKey& key) {
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
+    if (it->second.anti_matter) --anti_matter_count_;
+    approximate_bytes_ -= it->second.value.size();
+  } else {
+    approximate_bytes_ += kPerEntryOverhead;
+  }
+  it->second.value.clear();
+  it->second.anti_matter = true;
+  it->second.fresh_insert = false;
+  ++anti_matter_count_;
+}
+
+Status MemTable::Get(const LsmKey& key, std::string* value,
+                     bool* is_anti_matter) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("key not in memtable");
+  }
+  *is_anti_matter = it->second.anti_matter;
+  if (!it->second.anti_matter) *value = it->second.value;
+  return Status::OK();
+}
+
+void MemTable::Clear() {
+  entries_.clear();
+  anti_matter_count_ = 0;
+  approximate_bytes_ = 0;
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,84 @@
+// In-memory LSM component.
+//
+// All modifications happen here, in place (Appendix A): a put overwrites, a
+// delete installs an anti-matter entry that will cancel the record in older
+// disk components once flushed. Entries whose whole lifetime is contained in
+// the current memtable generation (inserted fresh, then deleted before any
+// flush) are silently removed instead of generating anti-matter — the paper's
+// §4.3.4 relies on exactly this behaviour ("as opposed to their just being
+// silently deleted within in-memory components").
+//
+// The memtable is externally synchronized, like the rest of the engine.
+
+#ifndef LSMSTATS_LSM_MEMTABLE_H_
+#define LSMSTATS_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "lsm/entry.h"
+
+namespace lsmstats {
+
+class MemTable {
+ public:
+  MemTable() = default;
+
+  // Inserts or overwrites a regular record. `fresh_insert` marks records
+  // known to not exist in any older component (the dataset layer knows this
+  // because it enforces insert/update/delete constraints, like AsterixDB).
+  void Put(const LsmKey& key, std::string value, bool fresh_insert);
+
+  // Deletes `key`. If the current in-memory entry is a fresh insert the pair
+  // annihilates silently; otherwise an anti-matter entry is recorded.
+  void Delete(const LsmKey& key);
+
+  // Unconditionally records an anti-matter entry (used by secondary index
+  // maintenance where the old <SK, PK> entry always lives on disk or in an
+  // earlier state).
+  void PutAntiMatter(const LsmKey& key);
+
+  // Point lookup within the memtable only. Returns:
+  //   kOk        -> *value filled, *is_anti_matter=false
+  //   kOk + anti -> key is deleted here (*is_anti_matter=true)
+  //   kNotFound  -> memtable has no information about the key
+  Status Get(const LsmKey& key, std::string* value,
+             bool* is_anti_matter) const;
+
+  // Number of entries (regular + anti-matter) that a flush would write.
+  uint64_t EntryCount() const { return entries_.size(); }
+  uint64_t AntiMatterCount() const { return anti_matter_count_; }
+  uint64_t ApproximateBytes() const { return approximate_bytes_; }
+  bool Empty() const { return entries_.empty(); }
+
+  void Clear();
+
+  // In-order iteration for flushes and scans.
+  template <typename Fn>  // Fn(const Entry&)
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, state] : entries_) {
+      Entry e;
+      e.key = key;
+      e.value = state.value;
+      e.anti_matter = state.anti_matter;
+      fn(e);
+    }
+  }
+
+ private:
+  struct EntryState {
+    std::string value;
+    bool anti_matter = false;
+    bool fresh_insert = false;
+  };
+
+  std::map<LsmKey, EntryState> entries_;
+  uint64_t anti_matter_count_ = 0;
+  uint64_t approximate_bytes_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_MEMTABLE_H_

@@ -1,0 +1,55 @@
+#include "lsm/merge_cursor.h"
+
+namespace lsmstats {
+
+MergeCursor::MergeCursor(std::vector<std::unique_ptr<EntryCursor>> inputs,
+                         bool drop_anti_matter)
+    : inputs_(std::move(inputs)), drop_anti_matter_(drop_anti_matter) {
+  FindNext();
+}
+
+void MergeCursor::Next() { FindNext(); }
+
+void MergeCursor::FindNext() {
+  // The fan-in of LSM merges is small (tens of components at most), so a
+  // linear scan per step is simpler than a heap and just as fast in practice.
+  for (;;) {
+    int winner = -1;
+    for (size_t i = 0; i < inputs_.size(); ++i) {
+      EntryCursor* cursor = inputs_[i].get();
+      if (!cursor->Valid()) {
+        if (!cursor->status().ok()) {
+          status_ = cursor->status();
+          valid_ = false;
+          return;
+        }
+        continue;
+      }
+      if (winner < 0 ||
+          cursor->entry().key < inputs_[winner]->entry().key) {
+        winner = static_cast<int>(i);
+      }
+    }
+    if (winner < 0) {
+      valid_ = false;
+      return;
+    }
+    entry_ = inputs_[winner]->entry();
+    // Skip this key in the winner and in every older input: the newest
+    // version shadows all of them.
+    const LsmKey key = entry_.key;
+    for (size_t i = static_cast<size_t>(winner); i < inputs_.size(); ++i) {
+      EntryCursor* cursor = inputs_[i].get();
+      if (cursor->Valid() && cursor->entry().key == key) {
+        cursor->Next();
+      }
+    }
+    if (entry_.anti_matter && drop_anti_matter_) {
+      continue;  // Reconciled away; nothing older can contain the key.
+    }
+    valid_ = true;
+    return;
+  }
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,45 @@
+// K-way reconciling merge over sorted entry streams.
+//
+// Inputs are ordered newest-first. For each key the newest version wins and
+// older versions are discarded. When the merge covers the oldest component of
+// the tree (`drop_anti_matter`), a winning anti-matter entry has nothing left
+// to cancel and is dropped from the output (Appendix A, Figure 10c);
+// otherwise it is preserved so it can still cancel records in components
+// outside the merge.
+
+#ifndef LSMSTATS_LSM_MERGE_CURSOR_H_
+#define LSMSTATS_LSM_MERGE_CURSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/entry_cursor.h"
+
+namespace lsmstats {
+
+class MergeCursor : public EntryCursor {
+ public:
+  // `inputs[0]` is the newest stream. Each input must be key-sorted and
+  // duplicate-free within itself.
+  MergeCursor(std::vector<std::unique_ptr<EntryCursor>> inputs,
+              bool drop_anti_matter);
+
+  bool Valid() const override { return valid_; }
+  const Entry& entry() const override { return entry_; }
+  void Next() override;
+  Status status() const override { return status_; }
+
+ private:
+  // Advances to the next reconciled entry, if any.
+  void FindNext();
+
+  std::vector<std::unique_ptr<EntryCursor>> inputs_;
+  Entry entry_;
+  bool valid_ = false;
+  bool drop_anti_matter_;
+  Status status_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_MERGE_CURSOR_H_

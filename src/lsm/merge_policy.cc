@@ -1,0 +1,101 @@
+#include "lsm/merge_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+std::optional<MergeDecision> NoMergePolicy::PickMerge(
+    const std::vector<ComponentMetadata>& components) const {
+  (void)components;
+  return std::nullopt;
+}
+
+ConstantMergePolicy::ConstantMergePolicy(size_t max_components)
+    : max_components_(max_components) {
+  LSMSTATS_CHECK(max_components >= 1);
+}
+
+std::optional<MergeDecision> ConstantMergePolicy::PickMerge(
+    const std::vector<ComponentMetadata>& components) const {
+  if (components.size() <= max_components_) return std::nullopt;
+  // Merge the oldest surplus components (always at least two) so the stack
+  // shrinks back to the bound in one step.
+  size_t surplus = components.size() - max_components_ + 1;
+  MergeDecision decision;
+  decision.begin = components.size() - surplus;
+  decision.end = components.size();
+  return decision;
+}
+
+std::string ConstantMergePolicy::name() const {
+  return "Constant(" + std::to_string(max_components_) + ")";
+}
+
+PrefixMergePolicy::PrefixMergePolicy(uint64_t max_mergable_size,
+                                     size_t max_tolerance_count)
+    : max_mergable_size_(max_mergable_size),
+      max_tolerance_count_(max_tolerance_count) {
+  LSMSTATS_CHECK(max_tolerance_count >= 1);
+}
+
+std::optional<MergeDecision> PrefixMergePolicy::PickMerge(
+    const std::vector<ComponentMetadata>& components) const {
+  // Longest newest-prefix of small components.
+  size_t prefix = 0;
+  uint64_t prefix_bytes = 0;
+  while (prefix < components.size() &&
+         components[prefix].file_size < max_mergable_size_ &&
+         prefix_bytes + components[prefix].file_size < max_mergable_size_) {
+    prefix_bytes += components[prefix].file_size;
+    ++prefix;
+  }
+  if (prefix > max_tolerance_count_ && prefix >= 2) {
+    return MergeDecision{0, prefix};
+  }
+  return std::nullopt;
+}
+
+std::string PrefixMergePolicy::name() const {
+  return "Prefix(max=" + std::to_string(max_mergable_size_) +
+         ",tolerance=" + std::to_string(max_tolerance_count_) + ")";
+}
+
+TieredMergePolicy::TieredMergePolicy(double size_ratio, size_t min_width,
+                                     size_t max_width)
+    : size_ratio_(size_ratio), min_width_(min_width), max_width_(max_width) {
+  LSMSTATS_CHECK(size_ratio >= 1.0);
+  LSMSTATS_CHECK(min_width >= 2);
+  LSMSTATS_CHECK(max_width >= min_width);
+}
+
+std::optional<MergeDecision> TieredMergePolicy::PickMerge(
+    const std::vector<ComponentMetadata>& components) const {
+  if (components.size() < min_width_) return std::nullopt;
+  // Search from the oldest end for a window of similar-sized components.
+  // Components are newest-first, so "oldest end" is the back.
+  for (size_t end = components.size(); end >= min_width_; --end) {
+    size_t begin_limit = end - std::min(max_width_, end);
+    uint64_t min_size = UINT64_MAX;
+    uint64_t max_size = 0;
+    for (size_t begin = end; begin-- > begin_limit;) {
+      min_size = std::min(min_size, components[begin].file_size);
+      max_size = std::max(max_size, components[begin].file_size);
+      size_t width = end - begin;
+      if (width >= min_width_ &&
+          static_cast<double>(max_size) <=
+              size_ratio_ * static_cast<double>(std::max<uint64_t>(
+                                1, min_size))) {
+        return MergeDecision{begin, end};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TieredMergePolicy::name() const {
+  return "Tiered(ratio=" + std::to_string(size_ratio_) + ")";
+}
+
+}  // namespace lsmstats

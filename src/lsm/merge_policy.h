@@ -1,0 +1,101 @@
+// Merge (compaction) policies.
+//
+// A policy examines the component stack (newest-first) after every flush and
+// may pick a contiguous range of components to merge. The paper's experiments
+// use AsterixDB's Constant policy (a fixed number of disk components per
+// partition, §4.3.3) and the NoMerge policy (maximum possible number of
+// components, §4.3.5); a size-tiered policy is included as the realistic
+// default for general use.
+
+#ifndef LSMSTATS_LSM_MERGE_POLICY_H_
+#define LSMSTATS_LSM_MERGE_POLICY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lsm/disk_component.h"
+
+namespace lsmstats {
+
+// Half-open range [begin, end) of indices into the newest-first component
+// vector. end - begin >= 2.
+struct MergeDecision {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+class MergePolicy {
+ public:
+  virtual ~MergePolicy() = default;
+
+  virtual std::optional<MergeDecision> PickMerge(
+      const std::vector<ComponentMetadata>& components) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Never merges; the component count grows without bound (paper §4.3.5).
+class NoMergePolicy : public MergePolicy {
+ public:
+  std::optional<MergeDecision> PickMerge(
+      const std::vector<ComponentMetadata>& components) const override;
+  std::string name() const override { return "NoMerge"; }
+};
+
+// Keeps at most `max_components` disk components by merging the oldest ones
+// together whenever the bound is exceeded (AsterixDB's Constant policy,
+// paper §4.3.3).
+class ConstantMergePolicy : public MergePolicy {
+ public:
+  explicit ConstantMergePolicy(size_t max_components);
+
+  std::optional<MergeDecision> PickMerge(
+      const std::vector<ComponentMetadata>& components) const override;
+  std::string name() const override;
+
+ private:
+  size_t max_components_;
+};
+
+// Modeled after AsterixDB's default Prefix policy: when more than
+// `max_tolerance_count` components smaller than `max_mergable_size` have
+// accumulated at the new end of the stack, the longest such newest-prefix is
+// merged. Large (already-merged) components are left alone, so write
+// amplification stays bounded while the component count hovers around the
+// tolerance.
+class PrefixMergePolicy : public MergePolicy {
+ public:
+  PrefixMergePolicy(uint64_t max_mergable_size = 64ull << 20,
+                    size_t max_tolerance_count = 5);
+
+  std::optional<MergeDecision> PickMerge(
+      const std::vector<ComponentMetadata>& components) const override;
+  std::string name() const override;
+
+ private:
+  uint64_t max_mergable_size_;
+  size_t max_tolerance_count_;
+};
+
+// Size-tiered: merges the first (oldest-most) window of at least `min_width`
+// adjacent components whose file sizes are within `size_ratio` of each other.
+class TieredMergePolicy : public MergePolicy {
+ public:
+  TieredMergePolicy(double size_ratio = 1.5, size_t min_width = 4,
+                    size_t max_width = 10);
+
+  std::optional<MergeDecision> PickMerge(
+      const std::vector<ComponentMetadata>& components) const override;
+  std::string name() const override;
+
+ private:
+  double size_ratio_;
+  size_t min_width_;
+  size_t max_width_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_MERGE_POLICY_H_

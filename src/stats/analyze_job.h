@@ -1,0 +1,52 @@
+// The classic offline statistics path: RUN ANALYZE.
+//
+// This is the baseline the paper's introduction argues against: a background
+// job that rescans the disk-resident dataset and produces a synopsis. It is
+// implemented faithfully — a full reconciled scan of the field's secondary
+// index, reading every live component — so the ablation benches can measure
+// both of its documented drawbacks against event-piggybacked statistics:
+//
+//   * the repeated scan I/O (bytes_read ~ the sum of all component files),
+//   * staleness: the synopsis reflects one instant; accuracy decays as
+//     ingestion continues until someone re-runs the job.
+//
+// Because ANALYZE sees the complete aggregate, it can also build synopsis
+// types the streaming framework cannot — MaxDiff in particular — which the
+// accuracy-ceiling ablation uses as a yardstick.
+
+#ifndef LSMSTATS_STATS_ANALYZE_JOB_H_
+#define LSMSTATS_STATS_ANALYZE_JOB_H_
+
+#include <memory>
+#include <string>
+
+#include "db/dataset.h"
+#include "stats/statistics_catalog.h"
+#include "synopsis/builder.h"
+
+namespace lsmstats {
+
+struct AnalyzeResult {
+  std::shared_ptr<const Synopsis> synopsis;
+  uint64_t records_scanned = 0;
+  // Bytes of component files the scan had to read through.
+  uint64_t bytes_read = 0;
+  double seconds = 0;
+};
+
+// Scans `field`'s secondary index of `dataset` and builds one synopsis of
+// `type` over the live (reconciled) records. Supports every synopsis type,
+// including the offline-only kMaxDiff.
+StatusOr<AnalyzeResult> RunAnalyze(Dataset* dataset, const std::string& field,
+                                   SynopsisType type, size_t budget);
+
+// Installs an ANALYZE result as THE statistics for `key`, dropping whatever
+// per-component entries were there (the classic model keeps exactly one
+// dataset-wide synopsis per attribute).
+void InstallAnalyzeResult(StatisticsCatalog* catalog,
+                          const StatisticsKey& key,
+                          const AnalyzeResult& result);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_STATS_ANALYZE_JOB_H_

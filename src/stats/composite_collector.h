@@ -1,0 +1,42 @@
+// Statistics collector for composite-key secondary indexes (paper §5).
+//
+// A composite index stores <SK1, SK2, PK> entries; its LSM events deliver
+// them sorted by (SK1, SK2), and this collector populates a 2-D grid
+// histogram (plus the anti-matter twin) from the two leading key slots in
+// the same single pass the 1-D collectors use. The resulting synopses answer
+// conjunctive range predicates without the attribute-independence
+// assumption.
+
+#ifndef LSMSTATS_STATS_COMPOSITE_COLLECTOR_H_
+#define LSMSTATS_STATS_COMPOSITE_COLLECTOR_H_
+
+#include <memory>
+
+#include "lsm/event_listener.h"
+#include "stats/statistics_collector.h"
+#include "synopsis/grid_histogram.h"
+
+namespace lsmstats {
+
+class CompositeStatisticsCollector : public LsmEventListener {
+ public:
+  CompositeStatisticsCollector(StatisticsKey key, ValueDomain domain0,
+                               ValueDomain domain1, size_t budget,
+                               SynopsisSink* sink);
+
+  std::unique_ptr<ComponentWriteObserver> OnOperationBegin(
+      const OperationContext& context) override;
+
+ private:
+  class Observer;
+
+  StatisticsKey key_;
+  ValueDomain domain0_;
+  ValueDomain domain1_;
+  size_t budget_;
+  SynopsisSink* sink_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_STATS_COMPOSITE_COLLECTOR_H_

@@ -1,0 +1,59 @@
+#include "stats/optimizer_hints.h"
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+const char* AccessPathToString(AccessPath path) {
+  switch (path) {
+    case AccessPath::kFullScan:
+      return "FULL-SCAN";
+    case AccessPath::kIndexProbe:
+      return "INDEX-PROBE";
+  }
+  return "unknown";
+}
+
+const char* JoinMethodToString(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kScanJoin:
+      return "SCAN-JOIN";
+    case JoinMethod::kIndexedNestedLoop:
+      return "INDEXED-NESTED-LOOP";
+  }
+  return "unknown";
+}
+
+AccessPath ChooseAccessPath(const AccessCostModel& model,
+                            double estimated_cardinality) {
+  return model.IndexProbeCost(estimated_cardinality) < model.FullScanCost()
+             ? AccessPath::kIndexProbe
+             : AccessPath::kFullScan;
+}
+
+JoinMethod ChooseJoinMethod(const AccessCostModel& model,
+                            double outer_cardinality,
+                            double estimated_matches_per_probe) {
+  return model.IndexJoinCost(outer_cardinality,
+                             estimated_matches_per_probe) <
+                 model.ScanJoinCost(outer_cardinality)
+             ? JoinMethod::kIndexedNestedLoop
+             : JoinMethod::kScanJoin;
+}
+
+RangePredicatePlan PlanRangePredicate(CardinalityEstimator* estimator,
+                                      const AccessCostModel& model,
+                                      const std::string& dataset,
+                                      const std::string& field, int64_t lo,
+                                      int64_t hi) {
+  LSMSTATS_CHECK(estimator != nullptr);
+  RangePredicatePlan plan;
+  plan.estimated_cardinality = estimator->EstimateRange(dataset, field, lo,
+                                                        hi);
+  plan.scan_cost = model.FullScanCost();
+  plan.probe_cost = model.IndexProbeCost(plan.estimated_cardinality);
+  plan.path = ChooseAccessPath(model, plan.estimated_cardinality);
+  return plan;
+}
+
+}  // namespace lsmstats

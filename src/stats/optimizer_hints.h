@@ -1,0 +1,88 @@
+// Cost-model-driven plan decisions (paper §3.6).
+//
+// The paper lists the two places its cardinality estimates plug into query
+// optimization: (1) skipping low-selectivity secondary-index probes, and
+// (2) deciding whether an indexed nested-loop join beats a scan join. This
+// module is that consumer: a deliberately small cost model (abstract page
+// I/Os; only the orderings matter) plus the two decision functions,
+// parameterized by estimates from the CardinalityEstimator. AsterixDB at the
+// time used a heuristic optimizer — the paper frames statistics as "the
+// first step towards building a full-fledged cost-based optimizer"; this is
+// that step in library form.
+
+#ifndef LSMSTATS_STATS_OPTIMIZER_HINTS_H_
+#define LSMSTATS_STATS_OPTIMIZER_HINTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stats/cardinality_estimator.h"
+
+namespace lsmstats {
+
+// Abstract cost model in page-I/O units. Defaults order the alternatives
+// sensibly for a disk-resident LSM dataset; absolute values are not
+// calibrated (the decisions only need the crossover points).
+struct AccessCostModel {
+  // Live records in the dataset.
+  double total_records = 0;
+  // Records per data page (drives the full-scan cost).
+  double records_per_page = 100.0;
+  // Fixed cost of descending a secondary index.
+  double index_descent_cost = 10.0;
+  // Cost per match: secondary entry + primary lookup.
+  double per_match_cost = 1.5;
+  // Per-outer-tuple bookkeeping of a scan join.
+  double scan_join_per_outer = 0.02;
+  // Per-probe overhead of an indexed nested-loop join.
+  double index_join_per_probe = 0.2;
+
+  double FullScanCost() const { return total_records / records_per_page; }
+  double IndexProbeCost(double estimated_matches) const {
+    return index_descent_cost + estimated_matches * per_match_cost;
+  }
+  double ScanJoinCost(double outer_cardinality) const {
+    return FullScanCost() + outer_cardinality * scan_join_per_outer;
+  }
+  double IndexJoinCost(double outer_cardinality,
+                       double matches_per_probe) const {
+    return outer_cardinality * (1.0 + matches_per_probe) *
+           index_join_per_probe;
+  }
+};
+
+enum class AccessPath { kFullScan = 0, kIndexProbe = 1 };
+enum class JoinMethod { kScanJoin = 0, kIndexedNestedLoop = 1 };
+
+const char* AccessPathToString(AccessPath path);
+const char* JoinMethodToString(JoinMethod method);
+
+// Decision 1 (§3.6): probe the secondary index only when the estimated
+// result is selective enough to beat the scan.
+AccessPath ChooseAccessPath(const AccessCostModel& model,
+                            double estimated_cardinality);
+
+// Decision 2 (§3.6): indexed nested-loop join vs scan join, from the
+// estimated matches per probe.
+JoinMethod ChooseJoinMethod(const AccessCostModel& model,
+                            double outer_cardinality,
+                            double estimated_matches_per_probe);
+
+// Convenience: plans `lo <= field <= hi` on `dataset` straight from the
+// estimator (sums all partitions), returning the chosen path and the
+// estimate it was based on.
+struct RangePredicatePlan {
+  AccessPath path = AccessPath::kFullScan;
+  double estimated_cardinality = 0;
+  double scan_cost = 0;
+  double probe_cost = 0;
+};
+RangePredicatePlan PlanRangePredicate(CardinalityEstimator* estimator,
+                                      const AccessCostModel& model,
+                                      const std::string& dataset,
+                                      const std::string& field, int64_t lo,
+                                      int64_t hi);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_STATS_OPTIMIZER_HINTS_H_

@@ -1,0 +1,179 @@
+#include "stats/statistics_catalog.h"
+
+#include <algorithm>
+
+#include "common/file.h"
+
+namespace lsmstats {
+
+void StatisticsCatalog::Register(
+    const StatisticsKey& key, SynopsisEntry entry,
+    const std::vector<uint64_t>& replaced_component_ids) {
+  Stream& stream = streams_[key];
+  if (!replaced_component_ids.empty()) {
+    auto replaced = [&](const SynopsisEntry& e) {
+      return std::find(replaced_component_ids.begin(),
+                       replaced_component_ids.end(),
+                       e.component_id) != replaced_component_ids.end();
+    };
+    stream.entries.erase(
+        std::remove_if(stream.entries.begin(), stream.entries.end(), replaced),
+        stream.entries.end());
+  }
+  stream.entries.push_back(std::move(entry));
+  ++stream.version;
+}
+
+void StatisticsCatalog::Drop(const StatisticsKey& key,
+                             const std::vector<uint64_t>& component_ids) {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) return;
+  auto dropped = [&](const SynopsisEntry& e) {
+    return std::find(component_ids.begin(), component_ids.end(),
+                     e.component_id) != component_ids.end();
+  };
+  it->second.entries.erase(std::remove_if(it->second.entries.begin(),
+                                          it->second.entries.end(), dropped),
+                           it->second.entries.end());
+  ++it->second.version;
+}
+
+std::vector<SynopsisEntry> StatisticsCatalog::GetSynopses(
+    const StatisticsKey& key) const {
+  auto it = streams_.find(key);
+  if (it == streams_.end()) return {};
+  return it->second.entries;
+}
+
+std::vector<SynopsisEntry> StatisticsCatalog::GetSynopsesAllPartitions(
+    const std::string& dataset, const std::string& field) const {
+  std::vector<SynopsisEntry> result;
+  for (const auto& [key, stream] : streams_) {
+    if (key.dataset == dataset && key.field == field) {
+      result.insert(result.end(), stream.entries.begin(),
+                    stream.entries.end());
+    }
+  }
+  return result;
+}
+
+std::vector<StatisticsKey> StatisticsCatalog::Keys(
+    const std::string& dataset, const std::string& field) const {
+  std::vector<StatisticsKey> result;
+  for (const auto& [key, stream] : streams_) {
+    if (key.dataset == dataset && key.field == field) {
+      result.push_back(key);
+    }
+  }
+  return result;
+}
+
+uint64_t StatisticsCatalog::Version(const StatisticsKey& key) const {
+  auto it = streams_.find(key);
+  return it == streams_.end() ? 0 : it->second.version;
+}
+
+uint64_t StatisticsCatalog::TotalStorageBytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, stream] : streams_) {
+    for (const SynopsisEntry& entry : stream.entries) {
+      for (const auto& synopsis : {entry.synopsis, entry.anti_synopsis}) {
+        if (!synopsis) continue;
+        Encoder enc;
+        synopsis->EncodeTo(&enc);
+        total += enc.size();
+      }
+    }
+  }
+  return total;
+}
+
+size_t StatisticsCatalog::EntryCount(const StatisticsKey& key) const {
+  auto it = streams_.find(key);
+  return it == streams_.end() ? 0 : it->second.entries.size();
+}
+
+void StatisticsCatalog::EncodeTo(Encoder* enc) const {
+  enc->PutVarint64(streams_.size());
+  for (const auto& [key, stream] : streams_) {
+    enc->PutString(key.dataset);
+    enc->PutString(key.field);
+    enc->PutU32(key.partition);
+    enc->PutVarint64(stream.version);
+    enc->PutVarint64(stream.entries.size());
+    for (const SynopsisEntry& entry : stream.entries) {
+      enc->PutVarint64(entry.component_id);
+      enc->PutVarint64(entry.timestamp);
+      for (const auto& synopsis : {entry.synopsis, entry.anti_synopsis}) {
+        if (synopsis) {
+          Encoder body;
+          synopsis->EncodeTo(&body);
+          enc->PutString(body.buffer());
+        } else {
+          enc->PutString("");
+        }
+      }
+    }
+  }
+}
+
+StatusOr<StatisticsCatalog> StatisticsCatalog::DecodeFrom(Decoder* dec) {
+  StatisticsCatalog catalog;
+  uint64_t stream_count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&stream_count));
+  for (uint64_t s = 0; s < stream_count; ++s) {
+    StatisticsKey key;
+    LSMSTATS_RETURN_IF_ERROR(dec->GetString(&key.dataset));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetString(&key.field));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU32(&key.partition));
+    Stream& stream = catalog.streams_[key];
+    LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&stream.version));
+    uint64_t entry_count;
+    LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry_count));
+    if (entry_count > dec->remaining()) {
+      return Status::Corruption("catalog entry count exceeds buffer");
+    }
+    stream.entries.resize(entry_count);
+    for (SynopsisEntry& entry : stream.entries) {
+      LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry.component_id));
+      LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry.timestamp));
+      for (auto* slot : {&entry.synopsis, &entry.anti_synopsis}) {
+        std::string body;
+        LSMSTATS_RETURN_IF_ERROR(dec->GetString(&body));
+        if (body.empty()) continue;
+        Decoder body_dec(body);
+        auto synopsis = DecodeSynopsis(&body_dec);
+        LSMSTATS_RETURN_IF_ERROR(synopsis.status());
+        *slot = std::shared_ptr<const Synopsis>(
+            std::move(synopsis).value().release());
+      }
+    }
+  }
+  return catalog;
+}
+
+Status StatisticsCatalog::SaveToFile(const std::string& path) const {
+  Encoder enc;
+  EncodeTo(&enc);
+  auto file = WritableFile::Create(path);
+  LSMSTATS_RETURN_IF_ERROR(file.status());
+  LSMSTATS_RETURN_IF_ERROR((*file)->Append(enc.buffer()));
+  return (*file)->Close();
+}
+
+Status StatisticsCatalog::LoadFromFile(const std::string& path) {
+  auto file = RandomAccessFile::Open(path);
+  LSMSTATS_RETURN_IF_ERROR(file.status());
+  std::string data;
+  LSMSTATS_RETURN_IF_ERROR((*file)->Read(0, (*file)->size(), &data));
+  Decoder dec(data);
+  auto catalog = DecodeFrom(&dec);
+  LSMSTATS_RETURN_IF_ERROR(catalog.status());
+  if (!dec.Done()) {
+    return Status::Corruption("trailing bytes after catalog");
+  }
+  *this = std::move(catalog).value();
+  return Status::OK();
+}
+
+}  // namespace lsmstats

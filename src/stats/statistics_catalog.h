@@ -1,0 +1,102 @@
+// System catalog for component statistics.
+//
+// Every LSM lifecycle event produces one (synopsis, anti-matter synopsis)
+// pair per indexed attribute, keyed by the component it summarizes (paper
+// §3.4: "each LSM-framework event creates a local synopsis which is ...
+// persisted in the system catalog, so that it can be used during query
+// optimization"). When a merge replaces components, their catalog entries are
+// dropped and the merged component's freshly rebuilt synopses take their
+// place (§3.5). A monotonically increasing version per (dataset, field)
+// supports the merged-synopsis cache staleness check of Algorithm 2.
+
+#ifndef LSMSTATS_STATS_STATISTICS_CATALOG_H_
+#define LSMSTATS_STATS_STATISTICS_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+// Statistics for one component and one attribute. The anti-matter synopsis is
+// the "anti-twin" of §3.3: it summarizes the anti-matter records so the
+// estimator can subtract their contribution.
+struct SynopsisEntry {
+  uint64_t component_id = 0;
+  // Logical creation time of the component; later entries are newer.
+  uint64_t timestamp = 0;
+  std::shared_ptr<const Synopsis> synopsis;
+  std::shared_ptr<const Synopsis> anti_synopsis;
+};
+
+// Identifies one statistics stream: a dataset attribute on one storage
+// partition (partition 0 unless running under the cluster simulation).
+struct StatisticsKey {
+  std::string dataset;
+  std::string field;
+  uint32_t partition = 0;
+
+  friend auto operator<=>(const StatisticsKey&, const StatisticsKey&) =
+      default;
+};
+
+class StatisticsCatalog {
+ public:
+  StatisticsCatalog() = default;
+
+  // Registers statistics for a newly sealed component and drops entries for
+  // the components it replaced (empty for flush/bulkload).
+  void Register(const StatisticsKey& key, SynopsisEntry entry,
+                const std::vector<uint64_t>& replaced_component_ids);
+
+  // Drops entries without adding a replacement (merge that reconciled every
+  // record away).
+  void Drop(const StatisticsKey& key,
+            const std::vector<uint64_t>& component_ids);
+
+  // All entries for one attribute, oldest first.
+  std::vector<SynopsisEntry> GetSynopses(const StatisticsKey& key) const;
+
+  // Entries for one (dataset, field) across all partitions, oldest first.
+  std::vector<SynopsisEntry> GetSynopsesAllPartitions(
+      const std::string& dataset, const std::string& field) const;
+
+  // All statistics keys present for (dataset, field), one per partition.
+  std::vector<StatisticsKey> Keys(const std::string& dataset,
+                                  const std::string& field) const;
+
+  // Bumped on every Register/Drop of the key; the estimator compares this to
+  // decide whether its cached merged synopsis is stale (Algorithm 2 isStale).
+  uint64_t Version(const StatisticsKey& key) const;
+
+  // Total serialized footprint of all stored synopses, in bytes — the
+  // "space occupied by the metadata" axis of §3.5.
+  uint64_t TotalStorageBytes() const;
+
+  size_t EntryCount(const StatisticsKey& key) const;
+
+  // Persistence: the catalog is durable metadata in the paper's design
+  // ("synopsis is persisted in the system catalog"). The whole catalog is
+  // serialized with the same encoding the cluster transport uses.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  void EncodeTo(Encoder* enc) const;
+  static StatusOr<StatisticsCatalog> DecodeFrom(Decoder* dec);
+
+ private:
+  struct Stream {
+    std::vector<SynopsisEntry> entries;
+    uint64_t version = 0;
+  };
+
+  std::map<StatisticsKey, Stream> streams_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_STATS_STATISTICS_CATALOG_H_

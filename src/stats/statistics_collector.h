@@ -1,0 +1,87 @@
+// Statistics collector: the bridge between LSM lifecycle events and synopsis
+// construction (paper §3.1–§3.3).
+//
+// One collector is attached per LSM-ified index (primary or secondary) whose
+// key carries a statistics-worthy attribute. On every flush / merge /
+// bulkload it instantiates two streaming builders — one for regular records,
+// one for anti-matter records (§3.3's synopsis-agnostic anti-matter handling)
+// — feeds them the component's key-sorted entry stream (the attribute value
+// is the leading key slot k0 in both primary and secondary layouts, §3.1),
+// and publishes the finished pair to a SynopsisSink together with the sealed
+// component's metadata.
+//
+// Sinks decouple collection from consumption: a LocalCatalogSink registers
+// into an in-process catalog; the cluster simulation's node controller sink
+// serializes the synopses and ships the bytes to the cluster controller
+// (§3.4).
+
+#ifndef LSMSTATS_STATS_STATISTICS_COLLECTOR_H_
+#define LSMSTATS_STATS_STATISTICS_COLLECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/event_listener.h"
+#include "stats/statistics_catalog.h"
+#include "synopsis/builder.h"
+
+namespace lsmstats {
+
+class SynopsisSink {
+ public:
+  virtual ~SynopsisSink() = default;
+
+  // `synopsis`/`anti_synopsis` summarize the sealed component's regular and
+  // anti-matter records. When the component is empty (a merge reconciled
+  // everything), `metadata.record_count` is 0 and both synopses are empty —
+  // the sink must still drop `replaced_component_ids`.
+  virtual void PublishComponentStatistics(
+      const StatisticsKey& key, const ComponentMetadata& metadata,
+      const std::vector<uint64_t>& replaced_component_ids,
+      std::shared_ptr<const Synopsis> synopsis,
+      std::shared_ptr<const Synopsis> anti_synopsis) = 0;
+};
+
+// Sink that registers synopses directly into an in-process catalog.
+class LocalCatalogSink : public SynopsisSink {
+ public:
+  explicit LocalCatalogSink(StatisticsCatalog* catalog) : catalog_(catalog) {}
+
+  void PublishComponentStatistics(
+      const StatisticsKey& key, const ComponentMetadata& metadata,
+      const std::vector<uint64_t>& replaced_component_ids,
+      std::shared_ptr<const Synopsis> synopsis,
+      std::shared_ptr<const Synopsis> anti_synopsis) override;
+
+ private:
+  StatisticsCatalog* catalog_;
+};
+
+class StatisticsCollector : public LsmEventListener {
+ public:
+  // `sink` must outlive the collector.
+  StatisticsCollector(StatisticsKey key, SynopsisConfig config,
+                      SynopsisSink* sink);
+
+  std::unique_ptr<ComponentWriteObserver> OnOperationBegin(
+      const OperationContext& context) override;
+
+  const SynopsisConfig& config() const { return config_; }
+
+  // Cumulative number of entries observed across all operations; used by the
+  // overhead experiments to verify the collector saw every record.
+  uint64_t entries_observed() const { return entries_observed_; }
+
+ private:
+  class Observer;
+
+  StatisticsKey key_;
+  SynopsisConfig config_;
+  SynopsisSink* sink_;
+  uint64_t entries_observed_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_STATS_STATISTICS_COLLECTOR_H_

@@ -1,0 +1,65 @@
+// Statistics on NON-indexed record fields (paper §5 future work).
+//
+// Indexed attributes get their sorted order for free, which is what lets the
+// paper's three synopsis types run in one streaming pass. Non-indexed fields
+// appear in primary-component streams in primary-key order — i.e., in
+// arbitrary value order — so this collector decodes each record from the
+// primary index's entry payload and feeds the field values into
+// order-insensitive Greenwald-Khanna sketch builders.
+//
+// Anti-matter caveat: a primary tombstone carries no record payload, so the
+// deleted record's field values are unknowable at collection time and no
+// anti-matter synopsis can be built. Estimates therefore over-count deleted
+// records *until the next merge*, which rebuilds the sketch from the
+// reconciled stream — the same self-correcting behaviour §3.5 relies on.
+// Delete-heavy workloads that need tight estimates should index the field.
+
+#ifndef LSMSTATS_STATS_UNSORTED_FIELD_COLLECTOR_H_
+#define LSMSTATS_STATS_UNSORTED_FIELD_COLLECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/record.h"
+#include "lsm/event_listener.h"
+#include "stats/statistics_collector.h"
+
+namespace lsmstats {
+
+class UnsortedFieldCollector : public LsmEventListener {
+ public:
+  // Collects GK sketches with `budget` tuples for each named schema field.
+  // `schema` and `sink` must outlive the collector. Attach to the PRIMARY
+  // index of the dataset (entries elsewhere do not carry records).
+  UnsortedFieldCollector(std::string dataset, const Schema* schema,
+                         std::vector<std::string> fields, size_t budget,
+                         SynopsisSink* sink, uint32_t partition = 0);
+
+  std::unique_ptr<ComponentWriteObserver> OnOperationBegin(
+      const OperationContext& context) override;
+
+  uint64_t records_observed() const { return records_observed_; }
+  uint64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  class Observer;
+
+  struct FieldSlot {
+    size_t field_index;
+    StatisticsKey key;
+    ValueDomain domain;
+  };
+
+  std::string dataset_;
+  const Schema* schema_;
+  size_t budget_;
+  SynopsisSink* sink_;
+  std::vector<FieldSlot> slots_;
+  uint64_t records_observed_ = 0;
+  uint64_t decode_failures_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_STATS_UNSORTED_FIELD_COLLECTOR_H_

@@ -1,0 +1,42 @@
+#include "synopsis/builder.h"
+
+#include "synopsis/equi_height_histogram.h"
+#include "synopsis/equi_width_histogram.h"
+#include "synopsis/gk_sketch.h"
+#include "synopsis/wavelet_builder.h"
+
+namespace lsmstats {
+
+std::unique_ptr<SynopsisBuilder> CreateSynopsisBuilder(
+    const SynopsisConfig& config, uint64_t expected_records) {
+  switch (config.type) {
+    case SynopsisType::kNone:
+      return nullptr;
+    case SynopsisType::kEquiWidthHistogram:
+      return std::make_unique<EquiWidthHistogramBuilder>(config.domain,
+                                                         config.budget);
+    case SynopsisType::kEquiHeightHistogram:
+      return std::make_unique<EquiHeightHistogramBuilder>(
+          config.domain, config.budget, expected_records);
+    case SynopsisType::kWavelet:
+      return std::make_unique<StreamingWaveletBuilder>(config.domain,
+                                                       config.budget);
+    case SynopsisType::kGKQuantile:
+      return std::make_unique<GKSketchBuilder>(config.domain, config.budget);
+    case SynopsisType::kMaxDiff:
+      // MaxDiff needs the complete aggregate up front (§2); it has no
+      // streaming builder and is produced by the offline ANALYZE job only.
+      return nullptr;
+    case SynopsisType::kGrid2D:
+      // Built by the composite-key collector, which feeds value PAIRS; the
+      // scalar builder interface does not apply.
+      return nullptr;
+    case SynopsisType::kVOptimal:
+      // O(V^2 B) dynamic program over the complete aggregate; offline
+      // (ANALYZE) only — exactly why §1 excludes it from the framework.
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,48 @@
+// Streaming synopsis builders (paper §3.2).
+//
+// A builder consumes one attribute value per record from a key-sorted
+// component stream (values arrive in non-decreasing order — the order is
+// imposed by the index, which is what makes linear-time construction
+// possible) and produces a synopsis at the end. The statistics collector
+// instantiates two builders per component: one for regular records and one
+// for anti-matter records (§3.3).
+
+#ifndef LSMSTATS_SYNOPSIS_BUILDER_H_
+#define LSMSTATS_SYNOPSIS_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+struct SynopsisConfig {
+  SynopsisType type = SynopsisType::kNone;
+  // Element budget: histogram buckets or wavelet coefficients.
+  size_t budget = 256;
+  // The attribute's (power-of-two) value domain.
+  ValueDomain domain = ValueDomain::ForType(FieldType::kInt64);
+};
+
+class SynopsisBuilder {
+ public:
+  virtual ~SynopsisBuilder() = default;
+
+  // Feeds one value. Values must be non-decreasing and inside the domain.
+  virtual void Add(int64_t value) = 0;
+
+  // Completes the build. The builder must not be reused afterwards.
+  virtual std::unique_ptr<Synopsis> Finish() = 0;
+};
+
+// `expected_records` is the input-stream length the equi-height histogram
+// needs up front to fix its bucket height (paper §3.2); the other types
+// ignore it. Returns nullptr for SynopsisType::kNone.
+std::unique_ptr<SynopsisBuilder> CreateSynopsisBuilder(
+    const SynopsisConfig& config, uint64_t expected_records);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_BUILDER_H_

@@ -1,0 +1,148 @@
+#include "synopsis/equi_height_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+EquiHeightHistogram::EquiHeightHistogram(const ValueDomain& domain,
+                                         size_t budget,
+                                         uint64_t start_position,
+                                         std::vector<Bucket> buckets,
+                                         uint64_t total_records)
+    : domain_(domain),
+      budget_(budget),
+      start_position_(start_position),
+      buckets_(std::move(buckets)),
+      total_records_(total_records) {
+  LSMSTATS_CHECK(budget >= 1);
+}
+
+double EquiHeightHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  if (hi < lo || buckets_.empty()) return 0.0;
+  lo = std::max(lo, domain_.min_value());
+  hi = std::min(hi, domain_.max_value());
+  if (hi < lo) return 0.0;
+  uint64_t lo_pos = domain_.Position(lo);
+  uint64_t hi_pos = domain_.Position(hi);
+
+  double estimate = 0.0;
+  uint64_t left = start_position_;
+  // Find the first bucket whose right border is >= lo_pos.
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), lo_pos,
+      [](const Bucket& b, uint64_t pos) { return b.right_position < pos; });
+  if (it != buckets_.begin()) left = std::prev(it)->right_position + 1;
+  for (; it != buckets_.end(); ++it) {
+    if (it->right_position < left) continue;  // degenerate, defensive
+    uint64_t ov_lo = std::max(left, lo_pos);
+    uint64_t ov_hi = std::min(it->right_position, hi_pos);
+    if (ov_lo > hi_pos) break;
+    if (ov_hi >= ov_lo) {
+      if (ov_lo == left && ov_hi == it->right_position) {
+        estimate += it->count;
+      } else {
+        // Continuous-value assumption within the bucket.
+        double bucket_len =
+            static_cast<double>(it->right_position - left) + 1.0;
+        double overlap_len = static_cast<double>(ov_hi - ov_lo) + 1.0;
+        estimate += it->count * (overlap_len / bucket_len);
+      }
+    }
+    left = it->right_position + 1;
+  }
+  return estimate;
+}
+
+void EquiHeightHistogram::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type()));
+  enc->PutI64(domain_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain_.log_length()));
+  enc->PutVarint64(budget_);
+  enc->PutVarint64(total_records_);
+  enc->PutU64(start_position_);
+  enc->PutVarint64(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    enc->PutU64(b.right_position);
+    enc->PutDouble(b.count);
+  }
+}
+
+StatusOr<std::unique_ptr<EquiHeightHistogram>> EquiHeightHistogram::DecodeFrom(
+    Decoder* dec) {
+  int64_t min_value;
+  uint8_t log_length;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min_value));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log_length));
+  if (log_length < 1 || log_length > 64) {
+    return Status::Corruption("bad domain log_length");
+  }
+  uint64_t budget, total, start, count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&budget));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&total));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&start));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&count));
+  if (budget == 0) return Status::Corruption("zero histogram budget");
+  if (budget > (1ULL << 26) || count > dec->remaining() / 16) {
+    return Status::Corruption("histogram size exceeds buffer");
+  }
+  std::vector<Bucket> buckets(count);
+  for (auto& b : buckets) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&b.right_position));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&b.count));
+  }
+  return std::make_unique<EquiHeightHistogram>(
+      ValueDomain(min_value, log_length), static_cast<size_t>(budget), start,
+      std::move(buckets), total);
+}
+
+std::unique_ptr<Synopsis> EquiHeightHistogram::Clone() const {
+  return std::make_unique<EquiHeightHistogram>(*this);
+}
+
+std::string EquiHeightHistogram::DebugString() const {
+  return "EquiHeight(buckets=" + std::to_string(buckets_.size()) +
+         ", total=" + std::to_string(total_records_) + ")";
+}
+
+EquiHeightHistogramBuilder::EquiHeightHistogramBuilder(
+    const ValueDomain& domain, size_t budget, uint64_t expected_records)
+    : domain_(domain), budget_(budget) {
+  LSMSTATS_CHECK(budget >= 1);
+  height_ = std::max<uint64_t>(
+      1, (expected_records + budget - 1) / budget);
+}
+
+void EquiHeightHistogramBuilder::Add(int64_t value) {
+  LSMSTATS_DCHECK(domain_.Contains(value));
+  uint64_t pos = domain_.Position(value);
+  if (!has_values_) {
+    has_values_ = true;
+    start_position_ = pos;
+    current_position_ = pos;
+  }
+  LSMSTATS_DCHECK(pos >= current_position_);
+  // Close at a value boundary once the bucket reaches the target height —
+  // but never open more buckets than the budget allows (the stream can be
+  // longer than expected_records when a merge reconciles less than assumed).
+  if (pos != current_position_ && current_count_ >= height_ &&
+      buckets_.size() + 1 < budget_) {
+    // Close the bucket at a value boundary so duplicates never split.
+    buckets_.push_back({current_position_, static_cast<double>(current_count_)});
+    current_count_ = 0;
+  }
+  current_position_ = pos;
+  ++current_count_;
+  ++total_records_;
+}
+
+std::unique_ptr<Synopsis> EquiHeightHistogramBuilder::Finish() {
+  if (current_count_ > 0) {
+    buckets_.push_back({current_position_, static_cast<double>(current_count_)});
+  }
+  return std::make_unique<EquiHeightHistogram>(
+      domain_, budget_, start_position_, std::move(buckets_), total_records_);
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,86 @@
+// Equi-height (equi-depth) histogram synopsis.
+//
+// The bucket height — the histogram "invariant" — is fixed up front from the
+// total record count of the input stream (known exactly for flushes and
+// bulkloads, and as the pre-reconciliation sum for merges; paper §3.2).
+// Buckets are then closed left-to-right as the sorted stream is consumed.
+// All duplicates of one value stay in one bucket, so a heavily skewed value
+// can overflow the nominal height — the effect behind the histogram accuracy
+// plateau on Zipfian data in paper Figure 3.
+//
+// Equi-height histograms are NOT mergeable (§3.5): bucket borders of two
+// histograms generally disagree.
+
+#ifndef LSMSTATS_SYNOPSIS_EQUI_HEIGHT_HISTOGRAM_H_
+#define LSMSTATS_SYNOPSIS_EQUI_HEIGHT_HISTOGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "synopsis/builder.h"
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+class EquiHeightHistogram : public Synopsis {
+ public:
+  struct Bucket {
+    // Inclusive right border, as a domain position.
+    uint64_t right_position = 0;
+    double count = 0.0;
+  };
+
+  EquiHeightHistogram(const ValueDomain& domain, size_t budget,
+                      uint64_t start_position, std::vector<Bucket> buckets,
+                      uint64_t total_records);
+
+  SynopsisType type() const override {
+    return SynopsisType::kEquiHeightHistogram;
+  }
+  const ValueDomain& domain() const override { return domain_; }
+  double EstimateRange(int64_t lo, int64_t hi) const override;
+  size_t ElementCount() const override { return buckets_.size(); }
+  size_t Budget() const override { return budget_; }
+  uint64_t TotalRecords() const override { return total_records_; }
+  void EncodeTo(Encoder* enc) const override;
+  std::unique_ptr<Synopsis> Clone() const override;
+  std::string DebugString() const override;
+
+  static StatusOr<std::unique_ptr<EquiHeightHistogram>> DecodeFrom(
+      Decoder* dec);
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+ private:
+  ValueDomain domain_;
+  size_t budget_;
+  // Inclusive left edge of the first bucket (the smallest position observed).
+  uint64_t start_position_;
+  std::vector<Bucket> buckets_;
+  uint64_t total_records_;
+};
+
+class EquiHeightHistogramBuilder : public SynopsisBuilder {
+ public:
+  // `expected_records` fixes the bucket height: ceil(expected / budget).
+  EquiHeightHistogramBuilder(const ValueDomain& domain, size_t budget,
+                             uint64_t expected_records);
+
+  void Add(int64_t value) override;
+  std::unique_ptr<Synopsis> Finish() override;
+
+ private:
+  ValueDomain domain_;
+  size_t budget_;
+  uint64_t height_;
+  uint64_t start_position_ = 0;
+  uint64_t current_position_ = 0;
+  uint64_t current_count_ = 0;
+  uint64_t total_records_ = 0;
+  bool has_values_ = false;
+  std::vector<EquiHeightHistogram::Bucket> buckets_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_EQUI_HEIGHT_HISTOGRAM_H_

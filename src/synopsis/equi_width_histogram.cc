@@ -1,0 +1,157 @@
+#include "synopsis/equi_width_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+namespace {
+
+unsigned __int128 DomainLength(const ValueDomain& domain) {
+  return static_cast<unsigned __int128>(1) << domain.log_length();
+}
+
+}  // namespace
+
+EquiWidthHistogram::EquiWidthHistogram(const ValueDomain& domain,
+                                       size_t budget)
+    : domain_(domain), budget_(budget) {
+  LSMSTATS_CHECK(budget >= 1);
+  unsigned __int128 length = DomainLength(domain_);
+  unsigned __int128 width = BucketWidth();
+  size_t buckets = static_cast<size_t>((length + width - 1) / width);
+  counts_.assign(buckets, 0.0);
+}
+
+unsigned __int128 EquiWidthHistogram::BucketWidth() const {
+  unsigned __int128 length = DomainLength(domain_);
+  return (length + budget_ - 1) / budget_;
+}
+
+size_t EquiWidthHistogram::BucketOf(uint64_t position) const {
+  return static_cast<size_t>(position / BucketWidth());
+}
+
+std::pair<uint64_t, uint64_t> EquiWidthHistogram::BucketRange(
+    size_t bucket) const {
+  unsigned __int128 width = BucketWidth();
+  unsigned __int128 first = width * bucket;
+  unsigned __int128 last = first + width - 1;
+  unsigned __int128 max_pos = DomainLength(domain_) - 1;
+  if (last > max_pos) last = max_pos;
+  return {static_cast<uint64_t>(first), static_cast<uint64_t>(last)};
+}
+
+void EquiWidthHistogram::AddValue(int64_t value, double count) {
+  LSMSTATS_DCHECK(domain_.Contains(value));
+  counts_[BucketOf(domain_.Position(value))] += count;
+  total_records_ += static_cast<uint64_t>(count);
+}
+
+double EquiWidthHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  if (hi < lo) return 0.0;
+  lo = std::max(lo, domain_.min_value());
+  hi = std::min(hi, domain_.max_value());
+  if (hi < lo) return 0.0;
+  uint64_t lo_pos = domain_.Position(lo);
+  uint64_t hi_pos = domain_.Position(hi);
+  size_t lo_bucket = BucketOf(lo_pos);
+  size_t hi_bucket = BucketOf(hi_pos);
+
+  double estimate = 0.0;
+  for (size_t b = lo_bucket; b <= hi_bucket; ++b) {
+    auto [first, last] = BucketRange(b);
+    uint64_t ov_lo = std::max(first, lo_pos);
+    uint64_t ov_hi = std::min(last, hi_pos);
+    if (ov_hi < ov_lo) continue;
+    if (ov_lo == first && ov_hi == last) {
+      estimate += counts_[b];
+    } else {
+      // Continuous-value assumption for partially overlapped buckets.
+      double bucket_len = static_cast<double>(last - first) + 1.0;
+      double overlap_len = static_cast<double>(ov_hi - ov_lo) + 1.0;
+      estimate += counts_[b] * (overlap_len / bucket_len);
+    }
+  }
+  return estimate;
+}
+
+Status EquiWidthHistogram::MergeFrom(const EquiWidthHistogram& other) {
+  if (!(domain_ == other.domain_) || counts_.size() != other.counts_.size()) {
+    return Status::InvalidArgument(
+        "equi-width histograms must share domain and bucket structure");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_records_ += other.total_records_;
+  return Status::OK();
+}
+
+void EquiWidthHistogram::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type()));
+  enc->PutI64(domain_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain_.log_length()));
+  enc->PutVarint64(budget_);
+  enc->PutVarint64(total_records_);
+  enc->PutVarint64(counts_.size());
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    // One element = right border + count, the uniform element layout that
+    // makes storage budgets comparable across synopsis types (§3.2).
+    enc->PutU64(BucketRange(b).second);
+    enc->PutDouble(counts_[b]);
+  }
+}
+
+StatusOr<std::unique_ptr<EquiWidthHistogram>> EquiWidthHistogram::DecodeFrom(
+    Decoder* dec) {
+  int64_t min_value;
+  uint8_t log_length;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min_value));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log_length));
+  if (log_length < 1 || log_length > 64) {
+    return Status::Corruption("bad domain log_length");
+  }
+  uint64_t budget, total, buckets;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&budget));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&total));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&buckets));
+  if (budget == 0) return Status::Corruption("zero histogram budget");
+  if (budget > (1ULL << 26) || buckets > dec->remaining() / 16) {
+    return Status::Corruption("histogram size exceeds buffer");
+  }
+  auto histogram = std::make_unique<EquiWidthHistogram>(
+      ValueDomain(min_value, log_length), static_cast<size_t>(budget));
+  if (histogram->counts_.size() != buckets) {
+    return Status::Corruption("bucket count mismatch");
+  }
+  histogram->total_records_ = total;
+  for (size_t b = 0; b < buckets; ++b) {
+    uint64_t border;
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&border));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&histogram->counts_[b]));
+  }
+  return histogram;
+}
+
+std::unique_ptr<Synopsis> EquiWidthHistogram::Clone() const {
+  return std::make_unique<EquiWidthHistogram>(*this);
+}
+
+std::string EquiWidthHistogram::DebugString() const {
+  return "EquiWidth(buckets=" + std::to_string(counts_.size()) +
+         ", total=" + std::to_string(total_records_) + ")";
+}
+
+EquiWidthHistogramBuilder::EquiWidthHistogramBuilder(
+    const ValueDomain& domain, size_t budget)
+    : histogram_(std::make_unique<EquiWidthHistogram>(domain, budget)) {}
+
+void EquiWidthHistogramBuilder::Add(int64_t value) {
+  histogram_->AddValue(value, 1.0);
+}
+
+std::unique_ptr<Synopsis> EquiWidthHistogramBuilder::Finish() {
+  return std::move(histogram_);
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,77 @@
+// Equi-width histogram synopsis.
+//
+// The bucket width is fixed up front from the domain length and the bucket
+// budget (the histogram "invariant", paper §3.2), so buckets can be populated
+// left-to-right as records arrive from the sorted stream. Equi-width
+// histograms merge naturally: two histograms over the same domain and budget
+// combine by adding bucket counts (§3.5).
+
+#ifndef LSMSTATS_SYNOPSIS_EQUI_WIDTH_HISTOGRAM_H_
+#define LSMSTATS_SYNOPSIS_EQUI_WIDTH_HISTOGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "synopsis/builder.h"
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+class EquiWidthHistogram : public Synopsis {
+ public:
+  // An empty histogram (all counts zero) over `domain` with `budget` buckets.
+  EquiWidthHistogram(const ValueDomain& domain, size_t budget);
+
+  SynopsisType type() const override {
+    return SynopsisType::kEquiWidthHistogram;
+  }
+  const ValueDomain& domain() const override { return domain_; }
+  double EstimateRange(int64_t lo, int64_t hi) const override;
+  size_t ElementCount() const override { return counts_.size(); }
+  size_t Budget() const override { return budget_; }
+  uint64_t TotalRecords() const override { return total_records_; }
+  void EncodeTo(Encoder* enc) const override;
+  std::unique_ptr<Synopsis> Clone() const override;
+  std::string DebugString() const override;
+
+  static StatusOr<std::unique_ptr<EquiWidthHistogram>> DecodeFrom(
+      Decoder* dec);
+
+  // Adds `count` records at `value`. Used by the builder and by tests.
+  void AddValue(int64_t value, double count);
+
+  // Adds `other`'s counts into this histogram. Requires identical domain and
+  // bucket structure.
+  Status MergeFrom(const EquiWidthHistogram& other);
+
+  // Bucket index of a domain position.
+  size_t BucketOf(uint64_t position) const;
+  double bucket_count(size_t bucket) const { return counts_[bucket]; }
+
+ private:
+  // Width of every bucket in domain positions. The domain length can be
+  // 2^64, hence the 128-bit type.
+  unsigned __int128 BucketWidth() const;
+  // Inclusive position range covered by `bucket`.
+  std::pair<uint64_t, uint64_t> BucketRange(size_t bucket) const;
+
+  ValueDomain domain_;
+  size_t budget_;
+  std::vector<double> counts_;
+  uint64_t total_records_ = 0;
+};
+
+class EquiWidthHistogramBuilder : public SynopsisBuilder {
+ public:
+  EquiWidthHistogramBuilder(const ValueDomain& domain, size_t budget);
+
+  void Add(int64_t value) override;
+  std::unique_ptr<Synopsis> Finish() override;
+
+ private:
+  std::unique_ptr<EquiWidthHistogram> histogram_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_EQUI_WIDTH_HISTOGRAM_H_

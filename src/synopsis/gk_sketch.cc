@@ -1,0 +1,182 @@
+#include "synopsis/gk_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+GKSketch::GKSketch(const ValueDomain& domain, size_t budget,
+                   std::vector<Tuple> tuples, uint64_t total_records)
+    : domain_(domain),
+      budget_(budget),
+      tuples_(std::move(tuples)),
+      total_records_(total_records) {
+  LSMSTATS_CHECK(budget >= 2);
+  Compress();
+}
+
+double GKSketch::EstimateRank(int64_t v) const {
+  // rank(v) ~ sum of g over tuples with value <= v, plus half the next
+  // tuple's uncertainty band (midpoint estimate).
+  double rank = 0;
+  for (const Tuple& tuple : tuples_) {
+    if (tuple.value > v) return rank + tuple.delta / 2.0;
+    rank += tuple.g;
+  }
+  return rank;
+}
+
+double GKSketch::EstimateRange(int64_t lo, int64_t hi) const {
+  if (hi < lo || tuples_.empty()) return 0.0;
+  double upper = EstimateRank(hi);
+  double lower = lo == std::numeric_limits<int64_t>::min()
+                     ? 0.0
+                     : EstimateRank(lo - 1);
+  return std::max(0.0, upper - lower);
+}
+
+Status GKSketch::MergeFrom(const GKSketch& other) {
+  if (!(domain_ == other.domain_)) {
+    return Status::InvalidArgument("GK sketches must share a domain");
+  }
+  // Standard GK merge: interleave the tuple lists in value order. Each
+  // tuple keeps its g; delta grows by the other summary's local uncertainty,
+  // conservatively bounded here by keeping the max delta.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) { return a.value < b.value; });
+  tuples_ = std::move(merged);
+  total_records_ += other.total_records_;
+  Compress();
+  return Status::OK();
+}
+
+void GKSketch::Compress() {
+  if (tuples_.size() <= budget_) return;
+  // Space-bounded GK compression: repeatedly merge the adjacent pair with
+  // the smallest resulting uncertainty band g_i + g_{i+1} + Δ_{i+1}
+  // (the classic COMPRESS rule, driven by a tuple budget instead of a fixed
+  // ε). Merging tuple i into its successor keeps the successor's value and
+  // Δ and absorbs g — the rank bounds of all other tuples are unaffected.
+  while (tuples_.size() > budget_) {
+    size_t best = 0;
+    double best_band = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < tuples_.size(); ++i) {
+      double band = tuples_[i].g + tuples_[i + 1].g + tuples_[i + 1].delta;
+      if (band < best_band) {
+        best_band = band;
+        best = i;
+      }
+    }
+    tuples_[best + 1].g += tuples_[best].g;
+    tuples_.erase(tuples_.begin() + static_cast<ptrdiff_t>(best));
+  }
+}
+
+void GKSketch::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type()));
+  enc->PutI64(domain_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain_.log_length()));
+  enc->PutVarint64(budget_);
+  enc->PutVarint64(total_records_);
+  enc->PutVarint64(tuples_.size());
+  for (const Tuple& tuple : tuples_) {
+    enc->PutI64(tuple.value);
+    enc->PutDouble(tuple.g);
+    enc->PutDouble(tuple.delta);
+  }
+}
+
+StatusOr<std::unique_ptr<GKSketch>> GKSketch::DecodeFrom(Decoder* dec) {
+  int64_t min_value;
+  uint8_t log_length;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min_value));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log_length));
+  if (log_length < 1 || log_length > 64) {
+    return Status::Corruption("bad domain log_length");
+  }
+  uint64_t budget, total, count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&budget));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&total));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&count));
+  if (budget < 2) return Status::Corruption("GK budget too small");
+  if (budget > (1ULL << 26) || count > dec->remaining() / 24) {
+    return Status::Corruption("GK sketch size exceeds buffer");
+  }
+  std::vector<GKSketch::Tuple> tuples(count);
+  for (auto& tuple : tuples) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&tuple.value));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&tuple.g));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&tuple.delta));
+  }
+  return std::make_unique<GKSketch>(ValueDomain(min_value, log_length),
+                                    static_cast<size_t>(budget),
+                                    std::move(tuples), total);
+}
+
+std::unique_ptr<Synopsis> GKSketch::Clone() const {
+  return std::make_unique<GKSketch>(*this);
+}
+
+std::string GKSketch::DebugString() const {
+  return "GKSketch(tuples=" + std::to_string(tuples_.size()) +
+         ", total=" + std::to_string(total_records_) + ")";
+}
+
+GKSketchBuilder::GKSketchBuilder(const ValueDomain& domain, size_t budget)
+    : domain_(domain), budget_(std::max<size_t>(2, budget)) {
+  buffer_.reserve(4 * budget_);
+}
+
+void GKSketchBuilder::Add(int64_t value) {
+  LSMSTATS_DCHECK(domain_.Contains(value));
+  buffer_.push_back(value);
+  ++total_records_;
+  if (buffer_.size() >= 4 * budget_) FlushBuffer();
+}
+
+void GKSketchBuilder::FlushBuffer() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  // Merge the sorted batch into the summary. An inserted unit tuple's rank
+  // uncertainty is its successor's band (g + Δ − 1), per the classic GK
+  // INSERT; tuples landing at either end are exact (Δ = 0).
+  std::vector<GKSketch::Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t ti = 0;
+  for (int64_t value : buffer_) {
+    while (ti < tuples_.size() && tuples_[ti].value <= value) {
+      merged.push_back(tuples_[ti++]);
+    }
+    double delta = 0.0;
+    if (ti < tuples_.size()) {
+      delta = std::max(0.0, tuples_[ti].g + tuples_[ti].delta - 1.0);
+    }
+    merged.push_back({value, 1.0, delta});
+  }
+  while (ti < tuples_.size()) merged.push_back(tuples_[ti++]);
+  tuples_ = std::move(merged);
+  buffer_.clear();
+  Compress();
+}
+
+void GKSketchBuilder::Compress() {
+  if (tuples_.size() <= 2 * budget_) return;
+  // Same greedy banding as GKSketch::Compress, applied at 2x the budget so
+  // incremental inserts have slack.
+  GKSketch scratch(domain_, budget_, std::move(tuples_), total_records_);
+  tuples_.assign(scratch.tuples().begin(), scratch.tuples().end());
+}
+
+std::unique_ptr<Synopsis> GKSketchBuilder::Finish() {
+  FlushBuffer();
+  return std::make_unique<GKSketch>(domain_, budget_, std::move(tuples_),
+                                    total_records_);
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,98 @@
+// Greenwald-Khanna ε-approximate quantile sketch.
+//
+// Implements the paper's §5 future-work direction: statistics on attributes
+// WITHOUT an index-imposed sort order. GK maintains a compressed set of
+// tuples (value, g, Δ) such that any rank query is answered within εN, in
+// one pass over an arbitrarily-ordered stream and O((1/ε) log εN) space
+// [Greenwald & Khanna, SIGMOD'01].
+//
+// As a synopsis, a range cardinality [lo, hi] is estimated as
+// rank(hi⁺) − rank(lo⁻), each within εN, so the estimate is within 2εN.
+// GK summaries are mergeable (concatenate tuple lists, re-compress; the
+// error grows to the max of the inputs' ε plus compression slack), which
+// slots them into the framework's mergeable-synopsis machinery.
+//
+// The sketch is exposed through the same Synopsis/SynopsisBuilder interfaces
+// as the paper's three types; unlike them its builder accepts values in ANY
+// order. The element budget maps to the compression threshold: the sketch is
+// compressed to at most `budget` tuples whenever it doubles past it.
+
+#ifndef LSMSTATS_SYNOPSIS_GK_SKETCH_H_
+#define LSMSTATS_SYNOPSIS_GK_SKETCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "synopsis/builder.h"
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+class GKSketch : public Synopsis {
+ public:
+  struct Tuple {
+    int64_t value = 0;
+    // Number of observations covered by this tuple beyond the previous one.
+    double g = 0;
+    // Uncertainty of this tuple's rank.
+    double delta = 0;
+  };
+
+  GKSketch(const ValueDomain& domain, size_t budget,
+           std::vector<Tuple> tuples, uint64_t total_records);
+
+  SynopsisType type() const override { return SynopsisType::kGKQuantile; }
+  const ValueDomain& domain() const override { return domain_; }
+  double EstimateRange(int64_t lo, int64_t hi) const override;
+  size_t ElementCount() const override { return tuples_.size(); }
+  size_t Budget() const override { return budget_; }
+  uint64_t TotalRecords() const override { return total_records_; }
+  void EncodeTo(Encoder* enc) const override;
+  std::unique_ptr<Synopsis> Clone() const override;
+  std::string DebugString() const override;
+
+  static StatusOr<std::unique_ptr<GKSketch>> DecodeFrom(Decoder* dec);
+
+  // Estimated number of records with value <= v.
+  double EstimateRank(int64_t v) const;
+
+  // Folds `other` in: tuple lists are merged by value and re-compressed to
+  // the budget.
+  Status MergeFrom(const GKSketch& other);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+ private:
+  void Compress();
+
+  ValueDomain domain_;
+  size_t budget_;
+  std::vector<Tuple> tuples_;  // ascending by value
+  uint64_t total_records_;
+};
+
+// One-pass builder over an arbitrarily-ordered value stream.
+class GKSketchBuilder : public SynopsisBuilder {
+ public:
+  GKSketchBuilder(const ValueDomain& domain, size_t budget);
+
+  // Values may arrive in ANY order (this is the point of the sketch).
+  void Add(int64_t value) override;
+  std::unique_ptr<Synopsis> Finish() override;
+
+ private:
+  ValueDomain domain_;
+  size_t budget_;
+  // Buffered insertions are merged into the tuple list in sorted batches;
+  // this keeps Add() amortized O(log n) without per-item list surgery.
+  std::vector<int64_t> buffer_;
+  std::vector<GKSketch::Tuple> tuples_;
+  uint64_t total_records_ = 0;
+
+  void FlushBuffer();
+  void Compress();
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_GK_SKETCH_H_

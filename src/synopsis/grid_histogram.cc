@@ -1,0 +1,169 @@
+#include "synopsis/grid_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+namespace {
+
+unsigned __int128 DomainLength(const ValueDomain& domain) {
+  return static_cast<unsigned __int128>(1) << domain.log_length();
+}
+
+}  // namespace
+
+GridHistogram::GridHistogram(const ValueDomain& domain0,
+                             const ValueDomain& domain1, size_t budget)
+    : domain0_(domain0), domain1_(domain1), budget_(budget) {
+  LSMSTATS_CHECK(budget >= 4);
+  cells_per_dim_ = static_cast<size_t>(std::sqrt(static_cast<double>(budget)));
+  LSMSTATS_CHECK(cells_per_dim_ >= 2);
+  // Never more cells than domain positions along either axis.
+  for (const ValueDomain* d : {&domain0_, &domain1_}) {
+    unsigned __int128 length = DomainLength(*d);
+    if (length < cells_per_dim_) {
+      cells_per_dim_ = static_cast<size_t>(length);
+    }
+  }
+  counts_.assign(cells_per_dim_ * cells_per_dim_, 0.0);
+}
+
+size_t GridHistogram::CellOf(const ValueDomain& domain,
+                             uint64_t position) const {
+  unsigned __int128 width =
+      (DomainLength(domain) + cells_per_dim_ - 1) / cells_per_dim_;
+  return static_cast<size_t>(position / width);
+}
+
+std::pair<uint64_t, uint64_t> GridHistogram::CellRange(
+    const ValueDomain& domain, size_t cell) const {
+  unsigned __int128 width =
+      (DomainLength(domain) + cells_per_dim_ - 1) / cells_per_dim_;
+  unsigned __int128 first = width * cell;
+  unsigned __int128 last = first + width - 1;
+  unsigned __int128 max_pos = DomainLength(domain) - 1;
+  if (last > max_pos) last = max_pos;
+  return {static_cast<uint64_t>(first), static_cast<uint64_t>(last)};
+}
+
+double GridHistogram::AxisOverlap(const ValueDomain& domain, size_t cell,
+                                  uint64_t lo_pos, uint64_t hi_pos) const {
+  auto [first, last] = CellRange(domain, cell);
+  uint64_t ov_lo = std::max(first, lo_pos);
+  uint64_t ov_hi = std::min(last, hi_pos);
+  if (ov_hi < ov_lo) return 0.0;
+  if (ov_lo == first && ov_hi == last) return 1.0;
+  return (static_cast<double>(ov_hi - ov_lo) + 1.0) /
+         (static_cast<double>(last - first) + 1.0);
+}
+
+void GridHistogram::AddValue(int64_t v0, int64_t v1, double count) {
+  LSMSTATS_DCHECK(domain0_.Contains(v0));
+  LSMSTATS_DCHECK(domain1_.Contains(v1));
+  size_t c0 = CellOf(domain0_, domain0_.Position(v0));
+  size_t c1 = CellOf(domain1_, domain1_.Position(v1));
+  counts_[c0 * cells_per_dim_ + c1] += count;
+  total_records_ += static_cast<uint64_t>(count);
+}
+
+double GridHistogram::EstimateRange2D(int64_t lo0, int64_t hi0, int64_t lo1,
+                                      int64_t hi1) const {
+  if (hi0 < lo0 || hi1 < lo1) return 0.0;
+  lo0 = std::max(lo0, domain0_.min_value());
+  hi0 = std::min(hi0, domain0_.max_value());
+  lo1 = std::max(lo1, domain1_.min_value());
+  hi1 = std::min(hi1, domain1_.max_value());
+  if (hi0 < lo0 || hi1 < lo1) return 0.0;
+  uint64_t lo0_pos = domain0_.Position(lo0), hi0_pos = domain0_.Position(hi0);
+  uint64_t lo1_pos = domain1_.Position(lo1), hi1_pos = domain1_.Position(hi1);
+  size_t first0 = CellOf(domain0_, lo0_pos), last0 = CellOf(domain0_, hi0_pos);
+  size_t first1 = CellOf(domain1_, lo1_pos), last1 = CellOf(domain1_, hi1_pos);
+
+  double estimate = 0.0;
+  for (size_t c0 = first0; c0 <= last0; ++c0) {
+    double overlap0 = AxisOverlap(domain0_, c0, lo0_pos, hi0_pos);
+    if (overlap0 == 0.0) continue;
+    for (size_t c1 = first1; c1 <= last1; ++c1) {
+      double overlap1 = AxisOverlap(domain1_, c1, lo1_pos, hi1_pos);
+      if (overlap1 == 0.0) continue;
+      estimate += counts_[c0 * cells_per_dim_ + c1] * overlap0 * overlap1;
+    }
+  }
+  return estimate;
+}
+
+double GridHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  return EstimateRange2D(lo, hi, domain1_.min_value(), domain1_.max_value());
+}
+
+Status GridHistogram::MergeFrom(const GridHistogram& other) {
+  if (!(domain0_ == other.domain0_) || !(domain1_ == other.domain1_) ||
+      cells_per_dim_ != other.cells_per_dim_) {
+    return Status::InvalidArgument(
+        "grid histograms must share domains and cell structure");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_records_ += other.total_records_;
+  return Status::OK();
+}
+
+void GridHistogram::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type()));
+  enc->PutI64(domain0_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain0_.log_length()));
+  enc->PutI64(domain1_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain1_.log_length()));
+  enc->PutVarint64(budget_);
+  enc->PutVarint64(total_records_);
+  enc->PutVarint64(cells_per_dim_);
+  for (double count : counts_) enc->PutDouble(count);
+}
+
+StatusOr<std::unique_ptr<GridHistogram>> GridHistogram::DecodeFrom(
+    Decoder* dec) {
+  int64_t min0, min1;
+  uint8_t log0, log1;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min0));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log0));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min1));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log1));
+  if (log0 < 1 || log0 > 64 || log1 < 1 || log1 > 64) {
+    return Status::Corruption("bad domain log_length");
+  }
+  uint64_t budget, total, cells;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&budget));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&total));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&cells));
+  if (budget < 4 || budget > (1ULL << 26)) {
+    return Status::Corruption("bad grid budget");
+  }
+  if (cells > (1ULL << 13) || cells * cells > dec->remaining() / 8 + 1) {
+    return Status::Corruption("grid size exceeds buffer");
+  }
+  auto grid = std::make_unique<GridHistogram>(
+      ValueDomain(min0, log0), ValueDomain(min1, log1),
+      static_cast<size_t>(budget));
+  if (grid->cells_per_dim_ != cells) {
+    return Status::Corruption("grid cell-count mismatch");
+  }
+  grid->total_records_ = total;
+  for (double& count : grid->counts_) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&count));
+  }
+  return grid;
+}
+
+std::unique_ptr<Synopsis> GridHistogram::Clone() const {
+  return std::make_unique<GridHistogram>(*this);
+}
+
+std::string GridHistogram::DebugString() const {
+  return "Grid2D(" + std::to_string(cells_per_dim_) + "x" +
+         std::to_string(cells_per_dim_) +
+         ", total=" + std::to_string(total_records_) + ")";
+}
+
+}  // namespace lsmstats

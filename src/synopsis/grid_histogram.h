@@ -1,0 +1,85 @@
+// Two-dimensional equi-width grid histogram (paper §5 future work:
+// "multidimensional index types (e.g., B-Trees with composite keys)" and
+// multi-dimensional synopses [49, 50]).
+//
+// A composite secondary index <SK1, SK2, PK> delivers its entries sorted by
+// (SK1, SK2), so a grid of bx x by equi-width cells over the two attribute
+// domains can be populated in the same single streaming pass as the 1-D
+// synopses. 2-D estimates answer conjunctive range predicates
+// (a <= f1 <= b AND c <= f2 <= d) without the attribute-independence
+// assumption that multiplying two 1-D estimates makes — the classic source
+// of join-order disasters on correlated attributes.
+//
+// One grid cell serializes like ~1.5 plain elements (two borders + count
+// are amortized by the grid structure: only counts are stored, cell extents
+// are implicit), so budgets stay comparable: budget = bx * by cells.
+// Grid histograms merge (add cell counts), like their 1-D counterpart.
+
+#ifndef LSMSTATS_SYNOPSIS_GRID_HISTOGRAM_H_
+#define LSMSTATS_SYNOPSIS_GRID_HISTOGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+class GridHistogram : public Synopsis {
+ public:
+  // An empty grid with `cells_per_dim[i]`^2 total cells; budget is split
+  // evenly: bx = by = floor(sqrt(budget)).
+  GridHistogram(const ValueDomain& domain0, const ValueDomain& domain1,
+                size_t budget);
+
+  SynopsisType type() const override { return SynopsisType::kGrid2D; }
+  // The primary (first) attribute's domain.
+  const ValueDomain& domain() const override { return domain0_; }
+  const ValueDomain& domain1() const { return domain1_; }
+
+  // 1-D estimates marginalize over the second attribute.
+  double EstimateRange(int64_t lo, int64_t hi) const override;
+
+  // Conjunctive 2-D estimate: records with lo0 <= f1 <= hi0 AND
+  // lo1 <= f2 <= hi1 (continuous-value assumption within cells, both axes).
+  double EstimateRange2D(int64_t lo0, int64_t hi0, int64_t lo1,
+                         int64_t hi1) const;
+
+  size_t ElementCount() const override { return counts_.size(); }
+  size_t Budget() const override { return budget_; }
+  uint64_t TotalRecords() const override { return total_records_; }
+  void EncodeTo(Encoder* enc) const override;
+  std::unique_ptr<Synopsis> Clone() const override;
+  std::string DebugString() const override;
+
+  static StatusOr<std::unique_ptr<GridHistogram>> DecodeFrom(Decoder* dec);
+
+  // Adds one record at (v0, v1); values may arrive in any order but the
+  // composite collector always feeds them (SK1, SK2)-sorted.
+  void AddValue(int64_t v0, int64_t v1, double count);
+
+  Status MergeFrom(const GridHistogram& other);
+
+  size_t cells_per_dim() const { return cells_per_dim_; }
+
+ private:
+  // Cell index along one axis.
+  size_t CellOf(const ValueDomain& domain, uint64_t position) const;
+  // Inclusive position extent of cell `c` along `domain`'s axis.
+  std::pair<uint64_t, uint64_t> CellRange(const ValueDomain& domain,
+                                          size_t cell) const;
+  // Fraction of cell `c` (along `domain`) covered by [lo_pos, hi_pos].
+  double AxisOverlap(const ValueDomain& domain, size_t cell, uint64_t lo_pos,
+                     uint64_t hi_pos) const;
+
+  ValueDomain domain0_;
+  ValueDomain domain1_;
+  size_t budget_;
+  size_t cells_per_dim_;
+  std::vector<double> counts_;  // row-major: [cell0 * cells_per_dim + cell1]
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_GRID_HISTOGRAM_H_

@@ -1,0 +1,303 @@
+#include "synopsis/maxdiff_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+MaxDiffHistogram::MaxDiffHistogram(const ValueDomain& domain, size_t budget,
+                                   std::vector<Bucket> buckets,
+                                   uint64_t total_records)
+    : domain_(domain),
+      budget_(budget),
+      buckets_(std::move(buckets)),
+      total_records_(total_records) {
+  LSMSTATS_CHECK(budget >= 1);
+}
+
+std::unique_ptr<MaxDiffHistogram> MaxDiffHistogram::Build(
+    const ValueDomain& domain, size_t budget,
+    const std::vector<std::pair<uint64_t, uint64_t>>& position_frequencies) {
+  if (position_frequencies.empty()) {
+    return std::make_unique<MaxDiffHistogram>(domain, budget,
+                                              std::vector<Bucket>{}, 0);
+  }
+  const size_t n = position_frequencies.size();
+  // Area of value i = spread_i x frequency_i, with the spread of the last
+  // value taken as 1 (Poosala's convention for the final element).
+  // Boundaries go after the B-1 largest |area_{i+1} - area_i|.
+  std::vector<double> area(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t spread = i + 1 < n ? position_frequencies[i + 1].first -
+                                      position_frequencies[i].first
+                                : 1;
+    area[i] = static_cast<double>(spread) *
+              static_cast<double>(position_frequencies[i].second);
+  }
+  std::vector<std::pair<double, size_t>> diffs;  // (diff, boundary after i)
+  diffs.reserve(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    diffs.push_back({std::abs(area[i + 1] - area[i]), i});
+  }
+  size_t boundaries = std::min(budget - 1, diffs.size());
+  std::partial_sort(diffs.begin(),
+                    diffs.begin() + static_cast<ptrdiff_t>(boundaries),
+                    diffs.end(), std::greater<>());
+  std::vector<size_t> cut_after(boundaries);
+  for (size_t b = 0; b < boundaries; ++b) cut_after[b] = diffs[b].second;
+  std::sort(cut_after.begin(), cut_after.end());
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(boundaries + 1);
+  uint64_t total = 0;
+  double bucket_count = 0;
+  uint64_t bucket_left = position_frequencies.front().first;
+  size_t next_cut = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bucket_count += static_cast<double>(position_frequencies[i].second);
+    total += position_frequencies[i].second;
+    bool close = i + 1 == n || (next_cut < cut_after.size() &&
+                                cut_after[next_cut] == i);
+    if (close) {
+      if (next_cut < cut_after.size() && cut_after[next_cut] == i) {
+        ++next_cut;
+      }
+      buckets.push_back(
+          {bucket_left, position_frequencies[i].first, bucket_count});
+      bucket_count = 0;
+      if (i + 1 < n) bucket_left = position_frequencies[i + 1].first;
+    }
+  }
+  return std::make_unique<MaxDiffHistogram>(domain, budget,
+                                            std::move(buckets), total);
+}
+
+double EstimateExtentBuckets(const ValueDomain& domain,
+                             const std::vector<MaxDiffHistogram::Bucket>& b,
+                             int64_t lo, int64_t hi) {
+  if (hi < lo || b.empty()) return 0.0;
+  lo = std::max(lo, domain.min_value());
+  hi = std::min(hi, domain.max_value());
+  if (hi < lo) return 0.0;
+  uint64_t lo_pos = domain.Position(lo);
+  uint64_t hi_pos = domain.Position(hi);
+
+  double estimate = 0.0;
+  auto it = std::lower_bound(b.begin(), b.end(), lo_pos,
+                             [](const MaxDiffHistogram::Bucket& bucket,
+                                uint64_t pos) {
+                               return bucket.right_position < pos;
+                             });
+  for (; it != b.end(); ++it) {
+    if (it->left_position > hi_pos) break;
+    uint64_t ov_lo = std::max(it->left_position, lo_pos);
+    uint64_t ov_hi = std::min(it->right_position, hi_pos);
+    if (ov_hi < ov_lo) continue;
+    if (ov_lo == it->left_position && ov_hi == it->right_position) {
+      estimate += it->count;
+    } else {
+      double bucket_len =
+          static_cast<double>(it->right_position - it->left_position) + 1.0;
+      double overlap_len = static_cast<double>(ov_hi - ov_lo) + 1.0;
+      estimate += it->count * (overlap_len / bucket_len);
+    }
+  }
+  return estimate;
+}
+
+double MaxDiffHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  return EstimateExtentBuckets(domain_, buckets_, lo, hi);
+}
+
+void MaxDiffHistogram::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type()));
+  enc->PutI64(domain_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain_.log_length()));
+  enc->PutVarint64(budget_);
+  enc->PutVarint64(total_records_);
+  enc->PutVarint64(buckets_.size());
+  for (const Bucket& b : buckets_) {
+    enc->PutU64(b.left_position);
+    enc->PutU64(b.right_position);
+    enc->PutDouble(b.count);
+  }
+}
+
+StatusOr<std::unique_ptr<MaxDiffHistogram>> MaxDiffHistogram::DecodeFrom(
+    Decoder* dec) {
+  int64_t min_value;
+  uint8_t log_length;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min_value));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log_length));
+  if (log_length < 1 || log_length > 64) {
+    return Status::Corruption("bad domain log_length");
+  }
+  uint64_t budget, total, count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&budget));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&total));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&count));
+  if (budget == 0) return Status::Corruption("zero histogram budget");
+  if (budget > (1ULL << 26) || count > dec->remaining() / 24) {
+    return Status::Corruption("histogram size exceeds buffer");
+  }
+  std::vector<Bucket> buckets(count);
+  for (auto& b : buckets) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&b.left_position));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&b.right_position));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&b.count));
+  }
+  return std::make_unique<MaxDiffHistogram>(
+      ValueDomain(min_value, log_length), static_cast<size_t>(budget),
+      std::move(buckets), total);
+}
+
+std::unique_ptr<Synopsis> MaxDiffHistogram::Clone() const {
+  return std::make_unique<MaxDiffHistogram>(*this);
+}
+
+std::string MaxDiffHistogram::DebugString() const {
+  return "MaxDiff(buckets=" + std::to_string(buckets_.size()) +
+         ", total=" + std::to_string(total_records_) + ")";
+}
+
+// ---------------------------------------------------------------- VOptimal
+
+VOptimalHistogram::VOptimalHistogram(const ValueDomain& domain, size_t budget,
+                                     std::vector<Bucket> buckets,
+                                     uint64_t total_records)
+    : domain_(domain),
+      budget_(budget),
+      buckets_(std::move(buckets)),
+      total_records_(total_records) {
+  LSMSTATS_CHECK(budget >= 1);
+}
+
+std::unique_ptr<VOptimalHistogram> VOptimalHistogram::Build(
+    const ValueDomain& domain, size_t budget,
+    const std::vector<std::pair<uint64_t, uint64_t>>& position_frequencies) {
+  const size_t n = position_frequencies.size();
+  if (n == 0) {
+    return std::make_unique<VOptimalHistogram>(domain, budget,
+                                               std::vector<Bucket>{}, 0);
+  }
+  const size_t b = std::min(budget, n);
+
+  // Prefix sums of f and f^2 for O(1) within-bucket SSE:
+  // sse(i..j) = sum(f^2) - sum(f)^2 / count.
+  std::vector<double> sum(n + 1, 0.0), sum_sq(n + 1, 0.0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double f = static_cast<double>(position_frequencies[i].second);
+    sum[i + 1] = sum[i] + f;
+    sum_sq[i + 1] = sum_sq[i] + f * f;
+    total += position_frequencies[i].second;
+  }
+  auto sse = [&](size_t i, size_t j) {  // values i..j inclusive, 0-based
+    double s = sum[j + 1] - sum[i];
+    double sq = sum_sq[j + 1] - sum_sq[i];
+    double cnt = static_cast<double>(j - i + 1);
+    return sq - s * s / cnt;
+  };
+
+  // DP: error[k][i] = best SSE for the first i values in k buckets.
+  // O(n^2 * b) time, O(n * b) space for boundary backtracking.
+  constexpr double kInf = 1e300;
+  std::vector<double> previous(n + 1, kInf), current(n + 1, kInf);
+  std::vector<std::vector<uint32_t>> split(
+      b + 1, std::vector<uint32_t>(n + 1, 0));
+  previous[0] = 0.0;
+  for (size_t k = 1; k <= b; ++k) {
+    current.assign(n + 1, kInf);
+    for (size_t i = k; i <= n; ++i) {
+      for (size_t j = k - 1; j < i; ++j) {
+        if (previous[j] >= kInf) continue;
+        double candidate = previous[j] + sse(j, i - 1);
+        if (candidate < current[i]) {
+          current[i] = candidate;
+          split[k][i] = static_cast<uint32_t>(j);
+        }
+      }
+    }
+    std::swap(previous, current);
+  }
+
+  // Backtrack bucket boundaries.
+  std::vector<size_t> starts;  // start index of each bucket, reversed
+  size_t end = n;
+  for (size_t k = b; k >= 1 && end > 0; --k) {
+    size_t start = split[k][end];
+    starts.push_back(start);
+    end = start;
+  }
+  std::reverse(starts.begin(), starts.end());
+
+  std::vector<Bucket> buckets;
+  buckets.reserve(starts.size());
+  for (size_t s = 0; s < starts.size(); ++s) {
+    size_t first = starts[s];
+    size_t last = s + 1 < starts.size() ? starts[s + 1] - 1 : n - 1;
+    double count = sum[last + 1] - sum[first];
+    buckets.push_back({position_frequencies[first].first,
+                       position_frequencies[last].first, count});
+  }
+  return std::make_unique<VOptimalHistogram>(domain, budget,
+                                             std::move(buckets), total);
+}
+
+double VOptimalHistogram::EstimateRange(int64_t lo, int64_t hi) const {
+  return EstimateExtentBuckets(domain_, buckets_, lo, hi);
+}
+
+void VOptimalHistogram::EncodeTo(Encoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(type()));
+  enc->PutI64(domain_.min_value());
+  enc->PutU8(static_cast<uint8_t>(domain_.log_length()));
+  enc->PutVarint64(budget_);
+  enc->PutVarint64(total_records_);
+  enc->PutVarint64(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    enc->PutU64(bucket.left_position);
+    enc->PutU64(bucket.right_position);
+    enc->PutDouble(bucket.count);
+  }
+}
+
+StatusOr<std::unique_ptr<VOptimalHistogram>> VOptimalHistogram::DecodeFrom(
+    Decoder* dec) {
+  int64_t min_value;
+  uint8_t log_length;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&min_value));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetU8(&log_length));
+  if (log_length < 1 || log_length > 64) {
+    return Status::Corruption("bad domain log_length");
+  }
+  uint64_t budget, total, count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&budget));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&total));
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&count));
+  if (budget == 0) return Status::Corruption("zero histogram budget");
+  if (budget > (1ULL << 26) || count > dec->remaining() / 24) {
+    return Status::Corruption("histogram size exceeds buffer");
+  }
+  std::vector<Bucket> buckets(count);
+  for (auto& bucket : buckets) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&bucket.left_position));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&bucket.right_position));
+    LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&bucket.count));
+  }
+  return std::make_unique<VOptimalHistogram>(
+      ValueDomain(min_value, log_length), static_cast<size_t>(budget),
+      std::move(buckets), total);
+}
+
+std::unique_ptr<Synopsis> VOptimalHistogram::Clone() const {
+  return std::make_unique<VOptimalHistogram>(*this);
+}
+
+std::string VOptimalHistogram::DebugString() const {
+  return "VOptimal(buckets=" + std::to_string(buckets_.size()) +
+         ", total=" + std::to_string(total_records_) + ")";
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,123 @@
+// MaxDiff(V,A) histogram — an OFFLINE reference synopsis.
+//
+// Poosala et al. [41] showed MaxDiff (bucket boundaries at the B-1 largest
+// differences of adjacent area values, area = spread x frequency) beats
+// canonical equi-width/equi-height histograms. The paper excludes it from
+// the LSM framework because its construction "requires multiple passes over
+// the sorted data, which can not be achieved in a streaming environment"
+// (§2) — it needs the complete (value, frequency) aggregate before placing
+// any boundary.
+//
+// It is implemented here exactly as that reference point: built by the
+// offline ANALYZE job (stats/analyze_job.h) from a full scan, and used by
+// the ablation benches to quantify what the framework's linear-time
+// single-pass restriction costs in accuracy.
+//
+// MaxDiff histograms are not mergeable (boundaries are data-dependent, like
+// equi-height).
+
+#ifndef LSMSTATS_SYNOPSIS_MAXDIFF_HISTOGRAM_H_
+#define LSMSTATS_SYNOPSIS_MAXDIFF_HISTOGRAM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "synopsis/synopsis.h"
+
+namespace lsmstats {
+
+class MaxDiffHistogram : public Synopsis {
+ public:
+  // Unlike the equi-height layout, MaxDiff buckets record BOTH extents, so
+  // the gap between two buckets estimates to exactly zero and an isolated
+  // spike keeps its full mass. This costs half an extra element per bucket,
+  // an acceptable deviation for an offline accuracy yardstick.
+  struct Bucket {
+    uint64_t left_position = 0;
+    uint64_t right_position = 0;  // inclusive
+    double count = 0.0;
+  };
+
+  MaxDiffHistogram(const ValueDomain& domain, size_t budget,
+                   std::vector<Bucket> buckets, uint64_t total_records);
+
+  // Builds from the complete value-frequency aggregate, positions strictly
+  // ascending — the input only a full offline pass can produce.
+  static std::unique_ptr<MaxDiffHistogram> Build(
+      const ValueDomain& domain, size_t budget,
+      const std::vector<std::pair<uint64_t, uint64_t>>& position_frequencies);
+
+  SynopsisType type() const override { return SynopsisType::kMaxDiff; }
+  const ValueDomain& domain() const override { return domain_; }
+  double EstimateRange(int64_t lo, int64_t hi) const override;
+  size_t ElementCount() const override { return buckets_.size(); }
+  size_t Budget() const override { return budget_; }
+  uint64_t TotalRecords() const override { return total_records_; }
+  void EncodeTo(Encoder* enc) const override;
+  std::unique_ptr<Synopsis> Clone() const override;
+  std::string DebugString() const override;
+
+  static StatusOr<std::unique_ptr<MaxDiffHistogram>> DecodeFrom(Decoder* dec);
+
+ private:
+  ValueDomain domain_;
+  size_t budget_;
+  std::vector<Bucket> buckets_;
+  uint64_t total_records_;
+};
+
+// V-Optimal histogram — the second OFFLINE reference synopsis.
+//
+// Buckets are placed to minimize the total within-bucket frequency variance
+// (SSE), via the classic O(V^2 * B) dynamic program — the "increased time
+// complexity" that rules it out of the paper's on-the-fly framework (§1:
+// "this would effectively eliminate synopses-collecting algorithms with
+// high asymptotic complexity (like V-optimal histograms)"). Implemented so
+// the build-cost ablation can demonstrate that argument with numbers, and
+// as a second accuracy yardstick next to MaxDiff.
+//
+// Shares the explicit-extent bucket representation (and estimate semantics)
+// with MaxDiffHistogram. Not mergeable; offline (ANALYZE) only.
+class VOptimalHistogram : public Synopsis {
+ public:
+  using Bucket = MaxDiffHistogram::Bucket;
+
+  VOptimalHistogram(const ValueDomain& domain, size_t budget,
+                    std::vector<Bucket> buckets, uint64_t total_records);
+
+  // O(V^2 * B) dynamic program over the complete aggregate. Caps V at a few
+  // thousand in practice; the bench measures exactly how it scales.
+  static std::unique_ptr<VOptimalHistogram> Build(
+      const ValueDomain& domain, size_t budget,
+      const std::vector<std::pair<uint64_t, uint64_t>>& position_frequencies);
+
+  SynopsisType type() const override { return SynopsisType::kVOptimal; }
+  const ValueDomain& domain() const override { return domain_; }
+  double EstimateRange(int64_t lo, int64_t hi) const override;
+  size_t ElementCount() const override { return buckets_.size(); }
+  size_t Budget() const override { return budget_; }
+  uint64_t TotalRecords() const override { return total_records_; }
+  void EncodeTo(Encoder* enc) const override;
+  std::unique_ptr<Synopsis> Clone() const override;
+  std::string DebugString() const override;
+
+  static StatusOr<std::unique_ptr<VOptimalHistogram>> DecodeFrom(
+      Decoder* dec);
+
+ private:
+  ValueDomain domain_;
+  size_t budget_;
+  std::vector<Bucket> buckets_;
+  uint64_t total_records_;
+};
+
+// Shared estimate logic for explicit-extent bucket lists (MaxDiff and
+// V-Optimal).
+double EstimateExtentBuckets(const ValueDomain& domain,
+                             const std::vector<MaxDiffHistogram::Bucket>& b,
+                             int64_t lo, int64_t hi);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_MAXDIFF_HISTOGRAM_H_

@@ -1,0 +1,99 @@
+// Statistical synopsis interface (paper §3.2).
+//
+// A synopsis is a compressed representation of the frequency distribution of
+// one indexed attribute within one LSM component. All synopsis types share an
+// element budget where one element — a histogram bucket (right border +
+// count) or a wavelet coefficient (error-tree index + value) — occupies the
+// same serialized space, so storage budgets compare fairly across types.
+//
+// Estimates are range-sums over the attribute's value domain: the estimated
+// number of records with lo <= value <= hi. Mergeability is a per-type trait
+// (paper §3.5): equi-width histograms and wavelets merge, equi-height
+// histograms do not.
+
+#ifndef LSMSTATS_SYNOPSIS_SYNOPSIS_H_
+#define LSMSTATS_SYNOPSIS_SYNOPSIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/coding.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lsmstats {
+
+enum class SynopsisType : uint8_t {
+  kNone = 0,  // statistics collection disabled (the NoStats baseline)
+  kEquiWidthHistogram = 1,
+  kEquiHeightHistogram = 2,
+  kWavelet = 3,
+  // Greenwald-Khanna quantile sketch — the §5 future-work extension for
+  // attributes without an index-imposed sort order.
+  kGKQuantile = 4,
+  // MaxDiff(V,A) — the offline multi-pass reference histogram the paper
+  // excludes from the streaming framework (§2); built only by the offline
+  // ANALYZE job and used as an accuracy yardstick.
+  kMaxDiff = 5,
+  // 2-D equi-width grid over a composite key's two attributes — the §5
+  // multidimensional future work. Built by the composite-key collector,
+  // not the scalar builder factory.
+  kGrid2D = 6,
+  // V-Optimal — the offline DP reference the paper's latency budget rules
+  // out (§1); built only by ANALYZE, used by the build-cost ablation.
+  kVOptimal = 7,
+};
+
+const char* SynopsisTypeToString(SynopsisType type);
+
+// True when two synopses of this type can be combined into one synopsis
+// summarizing the union of their inputs (paper §3.5).
+bool SynopsisTypeIsMergeable(SynopsisType type);
+
+class Synopsis {
+ public:
+  virtual ~Synopsis() = default;
+
+  virtual SynopsisType type() const = 0;
+  virtual const ValueDomain& domain() const = 0;
+
+  // Estimated number of records with value in [lo, hi], both inclusive.
+  // Values outside the domain are clamped. May be slightly negative for
+  // wavelets (thresholding error); callers clamp as needed.
+  virtual double EstimateRange(int64_t lo, int64_t hi) const = 0;
+
+  double EstimatePoint(int64_t value) const {
+    return EstimateRange(value, value);
+  }
+
+  // Elements (buckets / coefficients) actually retained.
+  virtual size_t ElementCount() const = 0;
+
+  // Configured element budget.
+  virtual size_t Budget() const = 0;
+
+  // Total number of records this synopsis summarizes.
+  virtual uint64_t TotalRecords() const = 0;
+
+  virtual void EncodeTo(Encoder* enc) const = 0;
+
+  virtual std::unique_ptr<Synopsis> Clone() const = 0;
+
+  virtual std::string DebugString() const = 0;
+};
+
+// Deserializes any synopsis (inverse of EncodeTo; the type tag is part of
+// the encoding).
+StatusOr<std::unique_ptr<Synopsis>> DecodeSynopsis(Decoder* dec);
+
+// Combines two synopses of the same mergeable type and domain into one with
+// element budget `budget`. Fails with FailedPrecondition for non-mergeable
+// types and InvalidArgument for mismatched domains/types.
+StatusOr<std::unique_ptr<Synopsis>> MergeSynopses(const Synopsis& a,
+                                                  const Synopsis& b,
+                                                  size_t budget);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_SYNOPSIS_H_

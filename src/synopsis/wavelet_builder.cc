@@ -1,0 +1,145 @@
+#include "synopsis/wavelet_builder.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+StreamingWaveletBuilder::StreamingWaveletBuilder(const ValueDomain& domain,
+                                                 size_t budget)
+    : domain_(domain), budget_(budget) {
+  LSMSTATS_CHECK(budget >= 1);
+}
+
+void StreamingWaveletBuilder::Add(int64_t value) {
+  LSMSTATS_DCHECK(domain_.Contains(value));
+  LSMSTATS_CHECK(!finished_);
+  uint64_t position = domain_.Position(value);
+  if (has_pending_ && position == last_position_) {
+    ++pending_frequency_;
+    ++total_records_;
+    return;
+  }
+  LSMSTATS_CHECK(!has_pending_ || position > last_position_);
+  EmitPendingPosition();
+  has_pending_ = true;
+  last_position_ = position;
+  pending_frequency_ = 1;
+  ++total_records_;
+}
+
+void StreamingWaveletBuilder::EmitPendingPosition() {
+  if (!has_pending_) return;
+  EmitPosition(last_position_, pending_frequency_);
+  has_pending_ = false;
+}
+
+void StreamingWaveletBuilder::EmitPosition(uint64_t position,
+                                           uint64_t frequency) {
+  // Leaves in the gap (next_position_, ..., position - 1) all carry the
+  // prefix sum accumulated so far (the signal is a prefix sum, so it is
+  // constant between occupied positions).
+  if (position > next_position_) {
+    FillConstantRun(next_position_, position - 1, prefix_sum_);
+  }
+  prefix_sum_ += static_cast<double>(frequency);
+  Push(0, position, prefix_sum_);
+  next_position_ = position + 1;
+}
+
+void StreamingWaveletBuilder::FillConstantRun(uint64_t first, uint64_t last,
+                                              double value) {
+  LSMSTATS_DCHECK(first <= last);
+  uint64_t position = first;
+  for (;;) {
+    // Largest aligned dyadic interval starting at `position` that fits in
+    // [position, last]. Both the alignment and the span bound are capped at
+    // 63 so the interval length always fits in a uint64; a full 2^64 run
+    // simply becomes two half-domain pushes that cascade in Push().
+    int align = position == 0 ? 63 : std::countr_zero(position);
+    uint64_t span = last - position;  // inclusive span minus one
+    int fit = span == UINT64_MAX ? 63 : std::bit_width(span + 1) - 1;
+    int level = std::min(std::min(align, fit), 63);
+    Push(level, position, value);
+    uint64_t length = 1ULL << level;
+    if (span < length) break;  // covered through `last` (avoids overflow)
+    position += length;
+  }
+}
+
+void StreamingWaveletBuilder::Push(int level, uint64_t start, double value) {
+  const int log_domain = domain_.log_length();
+  while (!stack_.empty() && stack_.back().level == level) {
+    const AvgCoeff left = stack_.back();
+    stack_.pop_back();
+    LSMSTATS_DCHECK(start == left.start + (1ULL << level));
+    // Combine the sibling averages (paper `average`): the detail coefficient
+    // is (right - left) / 2 under the Appendix B sign convention.
+    double detail = (value - left.value) / 2.0;
+    double average = (left.value + value) / 2.0;
+    int parent_level = level + 1;
+    // Error-tree index of the parent node covering [left.start,
+    // left.start + 2^parent_level).
+    uint64_t index = (1ULL << (log_domain - parent_level)) +
+                     (parent_level == 64 ? 0 : left.start >> parent_level);
+    Offer(index, detail);
+    value = average;
+    level = parent_level;
+    start = left.start;
+  }
+  LSMSTATS_DCHECK(stack_.empty() || stack_.back().level > level);
+  stack_.push_back({level, start, value});
+}
+
+void StreamingWaveletBuilder::Offer(uint64_t index, double value) {
+  if (value == 0.0) return;  // Zero coefficients can never be significant.
+  double importance = WaveletImportance(index, value, domain_.log_length());
+  if (top_coefficients_.size() < budget_) {
+    top_coefficients_.push({importance, {index, value}});
+    return;
+  }
+  if (importance > top_coefficients_.top().importance) {
+    top_coefficients_.pop();
+    top_coefficients_.push({importance, {index, value}});
+  }
+}
+
+std::unique_ptr<Synopsis> StreamingWaveletBuilder::Finish() {
+  LSMSTATS_CHECK(!finished_);
+  finished_ = true;
+  EmitPendingPosition();
+  if (total_records_ == 0) {
+    // Empty input: the whole signal is zero; every coefficient is zero.
+    std::vector<WaveletCoefficient> none;
+    return std::make_unique<WaveletSynopsis>(domain_, budget_,
+                                             WaveletEncoding::kPrefixSum,
+                                             std::move(none), 0);
+  }
+  // Pad the tail of the domain: the prefix sum stays at its final value
+  // through the last position (paper Algorithm 1 line 8). next_position_
+  // wraps to 0 exactly when the last occupied position was the top of a
+  // 2^64 domain, in which case there is nothing to pad.
+  uint64_t max_position = domain_.MaxPosition();
+  if (next_position_ != 0 && next_position_ <= max_position) {
+    FillConstantRun(next_position_, max_position, prefix_sum_);
+  }
+  // The stack has collapsed to the single overall average (paper line 9: the
+  // main average is also a valid coefficient).
+  LSMSTATS_CHECK(stack_.size() == 1);
+  LSMSTATS_CHECK(stack_.back().level == domain_.log_length());
+  Offer(0, stack_.back().value);
+
+  std::vector<WaveletCoefficient> coefficients;
+  coefficients.reserve(top_coefficients_.size());
+  while (!top_coefficients_.empty()) {
+    coefficients.push_back(top_coefficients_.top().coefficient);
+    top_coefficients_.pop();
+  }
+  return std::make_unique<WaveletSynopsis>(domain_, budget_,
+                                           WaveletEncoding::kPrefixSum,
+                                           std::move(coefficients),
+                                           total_records_);
+}
+
+}  // namespace lsmstats

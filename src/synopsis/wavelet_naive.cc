@@ -1,0 +1,92 @@
+#include "synopsis/wavelet_naive.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+std::unique_ptr<WaveletSynopsis> BuildWaveletNaive(
+    const ValueDomain& domain, size_t budget, WaveletEncoding encoding,
+    const std::vector<std::pair<uint64_t, uint64_t>>& tuples) {
+  const int log_domain = domain.log_length();
+  LSMSTATS_CHECK(log_domain <= 28);
+  const uint64_t length = 1ULL << log_domain;
+
+  // Materialize the signal.
+  std::vector<double> signal(length, 0.0);
+  uint64_t total_records = 0;
+  for (const auto& [position, frequency] : tuples) {
+    LSMSTATS_CHECK(position < length);
+    signal[position] += static_cast<double>(frequency);
+    total_records += frequency;
+  }
+  if (encoding == WaveletEncoding::kPrefixSum) {
+    for (uint64_t i = 1; i < length; ++i) signal[i] += signal[i - 1];
+  }
+
+  // Textbook decomposition: repeatedly average pairs; the detail for the
+  // pair (left, right) is (right - left) / 2 and lands at the error-tree
+  // node covering both halves.
+  std::vector<WaveletCoefficient> coefficients;
+  std::vector<double> current = std::move(signal);
+  uint64_t level_length = length;
+  while (level_length > 1) {
+    std::vector<double> next(level_length / 2);
+    for (uint64_t i = 0; i < level_length / 2; ++i) {
+      double left = current[2 * i];
+      double right = current[2 * i + 1];
+      next[i] = (left + right) / 2.0;
+      double detail = (right - left) / 2.0;
+      if (detail != 0.0) {
+        // Parent node index: 2^(depth) + i where depth corresponds to the
+        // next (coarser) level.
+        uint64_t index = (level_length / 2) + i;
+        coefficients.push_back({index, detail});
+      }
+    }
+    current = std::move(next);
+    level_length /= 2;
+  }
+  if (current[0] != 0.0) {
+    coefficients.push_back({0, current[0]});  // Overall average.
+  }
+
+  // Top-B selection under the L2 normalization.
+  if (coefficients.size() > budget) {
+    std::nth_element(
+        coefficients.begin(),
+        coefficients.begin() + static_cast<ptrdiff_t>(budget) - 1,
+        coefficients.end(),
+        [log_domain](const WaveletCoefficient& a,
+                     const WaveletCoefficient& b) {
+          return WaveletImportance(a.index, a.value, log_domain) >
+                 WaveletImportance(b.index, b.value, log_domain);
+        });
+    coefficients.resize(budget);
+  }
+  return std::make_unique<WaveletSynopsis>(domain, budget, encoding,
+                                           std::move(coefficients),
+                                           total_records);
+}
+
+NaiveWaveletBuilder::NaiveWaveletBuilder(const ValueDomain& domain,
+                                         size_t budget,
+                                         WaveletEncoding encoding)
+    : domain_(domain), budget_(budget), encoding_(encoding) {}
+
+void NaiveWaveletBuilder::Add(int64_t value) {
+  uint64_t position = domain_.Position(value);
+  if (!tuples_.empty() && tuples_.back().first == position) {
+    ++tuples_.back().second;
+    return;
+  }
+  LSMSTATS_CHECK(tuples_.empty() || position > tuples_.back().first);
+  tuples_.push_back({position, 1});
+}
+
+std::unique_ptr<Synopsis> NaiveWaveletBuilder::Finish() {
+  return BuildWaveletNaive(domain_, budget_, encoding_, tuples_);
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,50 @@
+// Reference (non-streaming) Haar wavelet decomposition.
+//
+// Materializes the full frequency vector over the domain, optionally converts
+// it to a prefix sum, runs the textbook O(D) recursive averaging pass, and
+// keeps the top-B coefficients under the L2 normalization. Only usable for
+// small domains (log_length <= 24 by default); it exists as
+//
+//  * the ground truth the streaming Algorithm 1 implementation is verified
+//    against (they must select the identical coefficient set), and
+//  * the raw-frequency baseline for the prefix-sum ablation experiment
+//    (paper §3.2 motivates prefix sums by their accuracy on range queries).
+
+#ifndef LSMSTATS_SYNOPSIS_WAVELET_NAIVE_H_
+#define LSMSTATS_SYNOPSIS_WAVELET_NAIVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "synopsis/wavelet.h"
+
+namespace lsmstats {
+
+// `tuples` are (domain position, frequency) pairs, strictly increasing by
+// position. Requires domain.log_length() <= 28.
+std::unique_ptr<WaveletSynopsis> BuildWaveletNaive(
+    const ValueDomain& domain, size_t budget, WaveletEncoding encoding,
+    const std::vector<std::pair<uint64_t, uint64_t>>& tuples);
+
+// Streaming-builder-compatible wrapper around the naive raw-frequency
+// decomposition, used by the prefix-sum ablation bench.
+class NaiveWaveletBuilder : public SynopsisBuilder {
+ public:
+  NaiveWaveletBuilder(const ValueDomain& domain, size_t budget,
+                      WaveletEncoding encoding);
+
+  void Add(int64_t value) override;
+  std::unique_ptr<Synopsis> Finish() override;
+
+ private:
+  ValueDomain domain_;
+  size_t budget_;
+  WaveletEncoding encoding_;
+  std::vector<std::pair<uint64_t, uint64_t>> tuples_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_SYNOPSIS_WAVELET_NAIVE_H_

@@ -1,0 +1,257 @@
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace lsmstats {
+
+const char* SpreadDistributionToString(SpreadDistribution d) {
+  switch (d) {
+    case SpreadDistribution::kUniform:
+      return "Uniform";
+    case SpreadDistribution::kZipf:
+      return "Zipf";
+    case SpreadDistribution::kZipfIncreasing:
+      return "ZipfIncreasing";
+    case SpreadDistribution::kZipfRandom:
+      return "ZipfRandom";
+    case SpreadDistribution::kCuspMin:
+      return "CuspMin";
+    case SpreadDistribution::kCuspMax:
+      return "CuspMax";
+  }
+  return "unknown";
+}
+
+const char* FrequencyDistributionToString(FrequencyDistribution d) {
+  switch (d) {
+    case FrequencyDistribution::kUniform:
+      return "Uniform";
+    case FrequencyDistribution::kZipf:
+      return "Zipf";
+    case FrequencyDistribution::kZipfRandom:
+      return "ZipfRandom";
+  }
+  return "unknown";
+}
+
+StatusOr<SpreadDistribution> ParseSpreadDistribution(const std::string& name) {
+  for (SpreadDistribution d : AllSpreadDistributions()) {
+    if (name == SpreadDistributionToString(d)) return d;
+  }
+  return Status::InvalidArgument("unknown spread distribution: " + name);
+}
+
+StatusOr<FrequencyDistribution> ParseFrequencyDistribution(
+    const std::string& name) {
+  for (FrequencyDistribution d : AllFrequencyDistributions()) {
+    if (name == FrequencyDistributionToString(d)) return d;
+  }
+  return Status::InvalidArgument("unknown frequency distribution: " + name);
+}
+
+const std::vector<SpreadDistribution>& AllSpreadDistributions() {
+  static const auto* kAll = new std::vector<SpreadDistribution>{
+      SpreadDistribution::kUniform,       SpreadDistribution::kZipf,
+      SpreadDistribution::kZipfIncreasing, SpreadDistribution::kCuspMin,
+      SpreadDistribution::kCuspMax,       SpreadDistribution::kZipfRandom};
+  return *kAll;
+}
+
+const std::vector<FrequencyDistribution>& AllFrequencyDistributions() {
+  static const auto* kAll = new std::vector<FrequencyDistribution>{
+      FrequencyDistribution::kUniform, FrequencyDistribution::kZipf,
+      FrequencyDistribution::kZipfRandom};
+  return *kAll;
+}
+
+namespace {
+
+// Zipf weights 1/rank^alpha for ranks 1..n, in decreasing order.
+std::vector<double> ZipfWeights(size_t n, double alpha) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return weights;
+}
+
+std::vector<double> SpreadWeights(const DistributionSpec& spec, Random* rng) {
+  const size_t n = spec.num_values;
+  switch (spec.spread) {
+    case SpreadDistribution::kUniform:
+      return std::vector<double>(n, 1.0);
+    case SpreadDistribution::kZipf:
+      return ZipfWeights(n, spec.zipf_alpha);
+    case SpreadDistribution::kZipfIncreasing: {
+      auto weights = ZipfWeights(n, spec.zipf_alpha);
+      std::reverse(weights.begin(), weights.end());
+      return weights;
+    }
+    case SpreadDistribution::kZipfRandom: {
+      auto weights = ZipfWeights(n, spec.zipf_alpha);
+      rng->Shuffle(&weights);
+      return weights;
+    }
+    case SpreadDistribution::kCuspMin: {
+      // First half decreasing, second half increasing: spreads shrink toward
+      // the middle of the value set (a cusp of densely packed values).
+      auto first = ZipfWeights(n - n / 2, spec.zipf_alpha);
+      auto second = ZipfWeights(n / 2, spec.zipf_alpha);
+      std::reverse(second.begin(), second.end());
+      first.insert(first.end(), second.begin(), second.end());
+      return first;
+    }
+    case SpreadDistribution::kCuspMax: {
+      auto first = ZipfWeights(n - n / 2, spec.zipf_alpha);
+      std::reverse(first.begin(), first.end());
+      auto second = ZipfWeights(n / 2, spec.zipf_alpha);
+      first.insert(first.end(), second.begin(), second.end());
+      return first;
+    }
+  }
+  LSMSTATS_CHECK(false);
+  return {};
+}
+
+std::vector<uint64_t> Frequencies(const DistributionSpec& spec, Random* rng) {
+  const size_t n = spec.num_values;
+  const uint64_t total = spec.total_records;
+  LSMSTATS_CHECK(total >= n);
+  std::vector<uint64_t> freqs(n);
+  switch (spec.frequency) {
+    case FrequencyDistribution::kUniform: {
+      uint64_t base = total / n;
+      uint64_t remainder = total % n;
+      for (size_t i = 0; i < n; ++i) {
+        freqs[i] = base + (i < remainder ? 1 : 0);
+      }
+      return freqs;
+    }
+    case FrequencyDistribution::kZipf:
+    case FrequencyDistribution::kZipfRandom: {
+      auto weights = ZipfWeights(n, spec.zipf_alpha);
+      double weight_sum = 0;
+      for (double w : weights) weight_sum += w;
+      uint64_t assigned = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t f = std::max<uint64_t>(
+            1, static_cast<uint64_t>(std::floor(
+                   static_cast<double>(total) * weights[i] / weight_sum)));
+        freqs[i] = f;
+        assigned += f;
+      }
+      // Fix rounding drift on the heaviest rank (or shave off the lightest
+      // ranks if we overshot).
+      if (assigned < total) {
+        freqs[0] += total - assigned;
+      } else {
+        uint64_t excess = assigned - total;
+        for (size_t i = n; i-- > 0 && excess > 0;) {
+          uint64_t take = std::min(excess, freqs[i] - 1);
+          freqs[i] -= take;
+          excess -= take;
+        }
+        LSMSTATS_CHECK(excess == 0);
+      }
+      if (spec.frequency == FrequencyDistribution::kZipfRandom) {
+        rng->Shuffle(&freqs);
+      }
+      return freqs;
+    }
+  }
+  LSMSTATS_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+SyntheticDistribution SyntheticDistribution::Generate(
+    const DistributionSpec& spec) {
+  LSMSTATS_CHECK(spec.num_values >= 1);
+  SyntheticDistribution dist;
+  dist.spec_ = spec;
+  Random rng(spec.seed);
+
+  // Value set: walk cumulative spread weights across the domain.
+  const uint64_t max_position = spec.domain.MaxPosition();
+  LSMSTATS_CHECK(spec.num_values <= max_position);
+  std::vector<double> weights = SpreadWeights(spec, &rng);
+  double weight_sum = 0;
+  for (double w : weights) weight_sum += w;
+
+  dist.values_.reserve(spec.num_values);
+  double cumulative_weight = 0;
+  uint64_t previous_position = 0;
+  bool first = true;
+  for (size_t i = 0; i < spec.num_values; ++i) {
+    cumulative_weight += weights[i];
+    uint64_t position = static_cast<uint64_t>(
+        std::llround(cumulative_weight / weight_sum *
+                     static_cast<double>(max_position)));
+    if (!first && position <= previous_position) {
+      position = previous_position + 1;
+    }
+    if (position > max_position) position = max_position;
+    // If clamping collides with the previous value (only possible when the
+    // tail is overcrowded), walk earlier values back; num_values <<
+    // max_position makes this vanishingly rare.
+    if (!first && position <= previous_position) {
+      position = previous_position;  // placeholder, fixed below
+    }
+    dist.values_.push_back(spec.domain.ValueAt(position));
+    previous_position = position;
+    first = false;
+  }
+  // Repair any duplicate tail produced by clamping.
+  for (size_t i = dist.values_.size(); i-- > 1;) {
+    if (dist.values_[i] <= dist.values_[i - 1]) {
+      dist.values_[i - 1] = dist.values_[i] - 1;
+    }
+  }
+
+  dist.frequencies_ = Frequencies(spec, &rng);
+  dist.cumulative_.resize(spec.num_values);
+  uint64_t running = 0;
+  for (size_t i = 0; i < spec.num_values; ++i) {
+    running += dist.frequencies_[i];
+    dist.cumulative_[i] = running;
+  }
+  dist.total_records_ = running;
+  return dist;
+}
+
+uint64_t SyntheticDistribution::ExactRange(int64_t lo, int64_t hi) const {
+  if (hi < lo) return 0;
+  auto first = std::lower_bound(values_.begin(), values_.end(), lo);
+  auto last = std::upper_bound(values_.begin(), values_.end(), hi);
+  if (first == last) return 0;
+  size_t first_index = static_cast<size_t>(first - values_.begin());
+  size_t last_index = static_cast<size_t>(last - values_.begin()) - 1;
+  uint64_t upper = cumulative_[last_index];
+  uint64_t lower = first_index == 0 ? 0 : cumulative_[first_index - 1];
+  return upper - lower;
+}
+
+std::vector<int64_t> SyntheticDistribution::ExpandShuffled(
+    uint64_t seed) const {
+  std::vector<int64_t> records;
+  records.reserve(total_records_);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    records.insert(records.end(), frequencies_[i], values_[i]);
+  }
+  Random rng(seed);
+  rng.Shuffle(&records);
+  return records;
+}
+
+int64_t SyntheticDistribution::SampleValue(Random* rng) const {
+  uint64_t target = rng->Uniform(total_records_) + 1;
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  return values_[static_cast<size_t>(it - cumulative_.begin())];
+}
+
+}  // namespace lsmstats

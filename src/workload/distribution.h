@@ -1,0 +1,102 @@
+// Synthetic data distributions (paper §4.1.1, after Poosala et al. [41]).
+//
+// A distribution is the cross product of two independent parameters:
+//
+//  * a VALUE SET: the positions of the distinct secondary-key values in the
+//    key domain, described by the distribution of the *spreads* (distances
+//    between neighbouring values): Uniform, Zipf (decreasing), ZipfIncreasing,
+//    ZipfRandom, CuspMin (Zipf then ZipfIncreasing), CuspMax (the reverse);
+//  * a FREQUENCY SET: how many records carry each value: Uniform, Zipf,
+//    ZipfRandom.
+//
+// Frequencies are positively correlated with values (the i-th value gets the
+// i-th frequency), matching the paper's presented configuration. Generation
+// is deterministic given the seed, and the object doubles as the exact
+// cardinality oracle for the accuracy experiments.
+
+#ifndef LSMSTATS_WORKLOAD_DISTRIBUTION_H_
+#define LSMSTATS_WORKLOAD_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lsmstats {
+
+enum class SpreadDistribution {
+  kUniform = 0,
+  kZipf = 1,
+  kZipfIncreasing = 2,
+  kZipfRandom = 3,
+  kCuspMin = 4,
+  kCuspMax = 5,
+};
+
+enum class FrequencyDistribution {
+  kUniform = 0,
+  kZipf = 1,
+  kZipfRandom = 2,
+};
+
+const char* SpreadDistributionToString(SpreadDistribution d);
+const char* FrequencyDistributionToString(FrequencyDistribution d);
+StatusOr<SpreadDistribution> ParseSpreadDistribution(const std::string& name);
+StatusOr<FrequencyDistribution> ParseFrequencyDistribution(
+    const std::string& name);
+
+// All six spread distributions, in the order the paper's figures use.
+const std::vector<SpreadDistribution>& AllSpreadDistributions();
+const std::vector<FrequencyDistribution>& AllFrequencyDistributions();
+
+struct DistributionSpec {
+  SpreadDistribution spread = SpreadDistribution::kUniform;
+  FrequencyDistribution frequency = FrequencyDistribution::kUniform;
+  // Number of distinct secondary-key values.
+  size_t num_values = 10000;
+  // Total number of records (sum of all frequencies).
+  uint64_t total_records = 1000000;
+  // Key domain the values are spread over.
+  ValueDomain domain = ValueDomain(0, 32);
+  double zipf_alpha = 1.0;
+  uint64_t seed = 42;
+};
+
+class SyntheticDistribution {
+ public:
+  static SyntheticDistribution Generate(const DistributionSpec& spec);
+
+  const DistributionSpec& spec() const { return spec_; }
+
+  // Distinct values, ascending.
+  const std::vector<int64_t>& values() const { return values_; }
+  // frequencies()[i] records carry values()[i]; all >= 1.
+  const std::vector<uint64_t>& frequencies() const { return frequencies_; }
+  uint64_t total_records() const { return total_records_; }
+
+  // Exact number of records with value in [lo, hi] — the ground truth for
+  // the accuracy experiments.
+  uint64_t ExactRange(int64_t lo, int64_t hi) const;
+
+  // The full record-value multiset in a deterministic shuffled (ingestion)
+  // order.
+  std::vector<int64_t> ExpandShuffled(uint64_t seed) const;
+
+  // Draws one value with probability proportional to its frequency (used by
+  // changeable feeds to re-draw updated records from the same distribution).
+  int64_t SampleValue(Random* rng) const;
+
+ private:
+  DistributionSpec spec_;
+  std::vector<int64_t> values_;
+  std::vector<uint64_t> frequencies_;
+  std::vector<uint64_t> cumulative_;  // prefix sums of frequencies_
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_WORKLOAD_DISTRIBUTION_H_

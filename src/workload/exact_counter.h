@@ -1,0 +1,38 @@
+// Exact cardinality oracle over an arbitrary value multiset.
+//
+// Used as ground truth where the closed-form SyntheticDistribution oracle
+// does not apply: changeable workloads (after updates/deletes) and the
+// WorldCup-like dataset.
+
+#ifndef LSMSTATS_WORKLOAD_EXACT_COUNTER_H_
+#define LSMSTATS_WORKLOAD_EXACT_COUNTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace lsmstats {
+
+class ExactCounter {
+ public:
+  explicit ExactCounter(std::vector<int64_t> values)
+      : values_(std::move(values)) {
+    std::sort(values_.begin(), values_.end());
+  }
+
+  uint64_t ExactRange(int64_t lo, int64_t hi) const {
+    if (hi < lo) return 0;
+    auto first = std::lower_bound(values_.begin(), values_.end(), lo);
+    auto last = std::upper_bound(values_.begin(), values_.end(), hi);
+    return static_cast<uint64_t>(last - first);
+  }
+
+  uint64_t total() const { return values_.size(); }
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_WORKLOAD_EXACT_COUNTER_H_

@@ -1,0 +1,255 @@
+#include "workload/feed.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/coding.h"
+#include "common/file.h"
+
+namespace lsmstats {
+
+namespace {
+
+void EncodeFeedRecord(const Record& record, Encoder* enc) {
+  enc->PutI64(record.pk);
+  EncodeRecordValue(record, enc);
+}
+
+Status DecodeFeedRecord(Decoder* dec, size_t field_count, Record* record) {
+  LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&record->pk));
+  uint64_t count;
+  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&count));
+  if (count != field_count) {
+    return Status::Corruption("feed record field count mismatch");
+  }
+  record->fields.resize(count);
+  for (auto& value : record->fields) {
+    LSMSTATS_RETURN_IF_ERROR(dec->GetI64(&value));
+  }
+  return dec->GetString(&record->payload);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Vector
+
+bool VectorFeed::Next(FeedOp* op) {
+  if (next_ >= records_.size()) return false;
+  op->kind = FeedOp::Kind::kInsert;
+  op->record = std::move(records_[next_++]);
+  return true;
+}
+
+// ---------------------------------------------------------------- Socket
+
+SocketFeed::SocketFeed(int read_fd, int write_fd, std::vector<Record> records,
+                       size_t field_count)
+    : read_fd_(read_fd), write_fd_(write_fd), field_count_(field_count) {
+  producer_ = std::thread([this, records = std::move(records)]() {
+    for (const Record& record : records) {
+      Encoder frame;
+      EncodeFeedRecord(record, &frame);
+      Encoder head;
+      head.PutU32(static_cast<uint32_t>(frame.size()));
+      std::string wire = head.Release() + frame.buffer();
+      size_t written = 0;
+      while (written < wire.size()) {
+        // MSG_NOSIGNAL: a consumer that abandons the feed must surface as
+        // EPIPE here, not as a process-killing SIGPIPE.
+        ssize_t n = ::send(write_fd_, wire.data() + written,
+                           wire.size() - written, MSG_NOSIGNAL);
+        if (n < 0) return;  // consumer closed early
+        written += static_cast<size_t>(n);
+      }
+    }
+    ::shutdown(write_fd_, SHUT_WR);
+  });
+}
+
+StatusOr<std::unique_ptr<SocketFeed>> SocketFeed::Start(
+    std::vector<Record> records, size_t field_count) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IOError(std::string("socketpair: ") +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<SocketFeed>(
+      new SocketFeed(fds[0], fds[1], std::move(records), field_count));
+}
+
+SocketFeed::~SocketFeed() {
+  ::close(read_fd_);
+  if (producer_.joinable()) producer_.join();
+  ::close(write_fd_);
+}
+
+bool SocketFeed::ReadExact(char* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::read(read_fd_, buf + done, n - done);
+    if (r == 0) {
+      if (done != 0) status_ = Status::Corruption("socket feed truncated");
+      return false;
+    }
+    if (r < 0) {
+      status_ = Status::IOError(std::string("socket read: ") +
+                                std::strerror(errno));
+      return false;
+    }
+    done += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool SocketFeed::Next(FeedOp* op) {
+  char head[4];
+  if (!ReadExact(head, sizeof(head))) return false;
+  uint32_t length;
+  std::memcpy(&length, head, sizeof(length));
+  frame_.resize(length);
+  if (!ReadExact(frame_.data(), length)) return false;
+  Decoder dec(frame_);
+  op->kind = FeedOp::Kind::kInsert;
+  Status s = DecodeFeedRecord(&dec, field_count_, &op->record);
+  if (!s.ok()) {
+    status_ = s;
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ File
+
+FileFeed::FileFeed(std::string data, size_t field_count)
+    : data_(std::move(data)), field_count_(field_count) {}
+
+StatusOr<std::unique_ptr<FileFeed>> FileFeed::Create(
+    const std::string& path, const std::vector<Record>& records,
+    size_t field_count) {
+  {
+    auto file_or = WritableFile::Create(path);
+    LSMSTATS_RETURN_IF_ERROR(file_or.status());
+    std::unique_ptr<WritableFile> file = std::move(file_or).value();
+    for (const Record& record : records) {
+      Encoder frame;
+      EncodeFeedRecord(record, &frame);
+      Encoder head;
+      head.PutU32(static_cast<uint32_t>(frame.size()));
+      LSMSTATS_RETURN_IF_ERROR(file->Append(head.buffer()));
+      LSMSTATS_RETURN_IF_ERROR(file->Append(frame.buffer()));
+    }
+    LSMSTATS_RETURN_IF_ERROR(file->Close());
+  }
+  // Stream it back through the page cache, frame by frame.
+  auto raf_or = RandomAccessFile::Open(path);
+  LSMSTATS_RETURN_IF_ERROR(raf_or.status());
+  std::string data;
+  LSMSTATS_RETURN_IF_ERROR(
+      (*raf_or)->Read(0, (*raf_or)->size(), &data));
+  return std::unique_ptr<FileFeed>(
+      new FileFeed(std::move(data), field_count));
+}
+
+bool FileFeed::Next(FeedOp* op) {
+  if (offset_ + 4 > data_.size()) return false;
+  uint32_t length;
+  std::memcpy(&length, data_.data() + offset_, sizeof(length));
+  offset_ += 4;
+  if (offset_ + length > data_.size()) {
+    status_ = Status::Corruption("file feed truncated");
+    return false;
+  }
+  Decoder dec(std::string_view(data_.data() + offset_, length));
+  offset_ += length;
+  op->kind = FeedOp::Kind::kInsert;
+  Status s = DecodeFeedRecord(&dec, field_count_, &op->record);
+  if (!s.ok()) {
+    status_ = s;
+    return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ Changeable
+
+ChangeableFeed::ChangeableFeed(std::vector<Record> base_records,
+                               const SyntheticDistribution* distribution,
+                               size_t field_index,
+                               ChangeableFeedOptions options)
+    : base_records_(std::move(base_records)),
+      distribution_(distribution),
+      field_index_(field_index),
+      options_(options),
+      rng_(options.seed) {
+  LSMSTATS_CHECK(options_.update_ratio >= 0 && options_.update_ratio <= 0.34);
+  LSMSTATS_CHECK(options_.delete_ratio >= 0 && options_.delete_ratio <= 0.34);
+  size_t n = base_records_.size();
+  updated_.assign(n, false);
+  deleted_.assign(n, false);
+  current_value_.assign(n, 0);
+  live_pks_.reserve(n);
+}
+
+bool ChangeableFeed::Next(FeedOp* op) {
+  // Interleave: after each insert, possibly emit an update and/or a delete
+  // so the requested op-mix ratios hold in expectation. Updates/deletes only
+  // target live records (constraint enforcement) and each record is updated
+  // at most once (the paper's 1/3 cap assumption).
+  uint64_t ops_so_far = inserts_emitted_ + updates_emitted_ + deletes_emitted_;
+  double update_deficit =
+      options_.update_ratio * static_cast<double>(ops_so_far + 1) -
+      static_cast<double>(updates_emitted_);
+  double delete_deficit =
+      options_.delete_ratio * static_cast<double>(ops_so_far + 1) -
+      static_cast<double>(deletes_emitted_);
+
+  if (update_deficit >= 1.0 && !live_pks_.empty()) {
+    // Pick a live, not-yet-updated record.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      size_t slot = rng_.Uniform(live_pks_.size());
+      size_t index = static_cast<size_t>(live_pks_[slot]);
+      if (updated_[index]) continue;
+      updated_[index] = true;
+      ++updates_emitted_;
+      op->kind = FeedOp::Kind::kUpdate;
+      op->record = base_records_[index];
+      op->record.fields[field_index_] = distribution_->SampleValue(&rng_);
+      current_value_[index] = op->record.fields[field_index_];
+      return true;
+    }
+  }
+  if (delete_deficit >= 1.0 && !live_pks_.empty()) {
+    size_t slot = rng_.Uniform(live_pks_.size());
+    size_t index = static_cast<size_t>(live_pks_[slot]);
+    deleted_[index] = true;
+    live_pks_[slot] = live_pks_.back();
+    live_pks_.pop_back();
+    ++deletes_emitted_;
+    op->kind = FeedOp::Kind::kDelete;
+    op->record.pk = base_records_[index].pk;
+    return true;
+  }
+  if (next_insert_ < base_records_.size()) {
+    size_t index = next_insert_++;
+    ++inserts_emitted_;
+    current_value_[index] = base_records_[index].fields[field_index_];
+    live_pks_.push_back(static_cast<int64_t>(index));
+    op->kind = FeedOp::Kind::kInsert;
+    op->record = base_records_[index];
+    return true;
+  }
+  return false;
+}
+
+std::vector<int64_t> ChangeableFeed::FinalLiveValues() const {
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < next_insert_; ++i) {
+    if (!deleted_[i]) values.push_back(current_value_[i]);
+  }
+  return values;
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,153 @@
+// Data feed simulators (paper §4.1.1, §4.3.4; AsterixDB data feeds [32]).
+//
+// A feed is a channel through which records continuously arrive at the
+// dataset. Three variants mirror the paper's experiments:
+//
+//  * SocketFeed — push model: a producer thread serializes records into an
+//    AF_UNIX socket pair; the ingestion side deserializes frames as they
+//    arrive (the paper's TCP-socket Twitter-Firehose emulation).
+//  * FileFeed  — pull model: records are first persisted to a local file,
+//    then read back and parsed one at a time (the paper's file feed, which
+//    pays extra I/O and parse cost on the ingestion path).
+//  * ChangeableFeed — wraps a record stream and marks operations as
+//    insert / update / delete (§4.3.4). Updates and deletes only target
+//    records that already exist (AsterixDB enforces those constraints), each
+//    record is updated at most once, so each ratio is capped at 1/3.
+
+#ifndef LSMSTATS_WORKLOAD_FEED_H_
+#define LSMSTATS_WORKLOAD_FEED_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "db/record.h"
+#include "workload/distribution.h"
+
+namespace lsmstats {
+
+struct FeedOp {
+  enum class Kind { kInsert = 0, kUpdate = 1, kDelete = 2 };
+  Kind kind = Kind::kInsert;
+  // For kDelete only `record.pk` is meaningful.
+  Record record;
+};
+
+class RecordFeed {
+ public:
+  virtual ~RecordFeed() = default;
+
+  // Fetches the next operation; returns false at end of feed.
+  virtual bool Next(FeedOp* op) = 0;
+
+  virtual Status status() const { return Status::OK(); }
+};
+
+// In-memory push feed: no I/O, records handed over directly. Baseline for
+// feed plumbing and the default for accuracy experiments.
+class VectorFeed : public RecordFeed {
+ public:
+  explicit VectorFeed(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  bool Next(FeedOp* op) override;
+
+ private:
+  std::vector<Record> records_;
+  size_t next_ = 0;
+};
+
+// Push-based socket feed: a producer thread writes length-prefixed record
+// frames into an AF_UNIX socket pair; Next() reads and decodes them.
+class SocketFeed : public RecordFeed {
+ public:
+  static StatusOr<std::unique_ptr<SocketFeed>> Start(
+      std::vector<Record> records, size_t field_count);
+  ~SocketFeed() override;
+
+  bool Next(FeedOp* op) override;
+  Status status() const override { return status_; }
+
+ private:
+  SocketFeed(int read_fd, int write_fd, std::vector<Record> records,
+             size_t field_count);
+
+  // Reads exactly n bytes from the socket; false on clean EOF at a frame
+  // boundary.
+  bool ReadExact(char* buf, size_t n);
+
+  int read_fd_;
+  int write_fd_;
+  size_t field_count_;
+  std::thread producer_;
+  Status status_;
+  std::string frame_;
+};
+
+// Pull-based file feed: records are serialized to `path` up front; Next()
+// streams them back from disk.
+class FileFeed : public RecordFeed {
+ public:
+  static StatusOr<std::unique_ptr<FileFeed>> Create(
+      const std::string& path, const std::vector<Record>& records,
+      size_t field_count);
+
+  bool Next(FeedOp* op) override;
+  Status status() const override { return status_; }
+
+ private:
+  FileFeed(std::string data, size_t field_count);
+
+  std::string data_;
+  size_t offset_ = 0;
+  size_t field_count_;
+  Status status_;
+};
+
+// Insert/update/delete mixer (§4.3.4).
+struct ChangeableFeedOptions {
+  double update_ratio = 0.0;  // fraction of ops that are updates, <= 1/3
+  double delete_ratio = 0.0;  // fraction of ops that are deletes, <= 1/3
+  uint64_t seed = 7;
+};
+
+class ChangeableFeed : public RecordFeed {
+ public:
+  // `distribution` supplies re-drawn values for updates; `field_index` is
+  // the schema position of the distributed field in the base records.
+  ChangeableFeed(std::vector<Record> base_records,
+                 const SyntheticDistribution* distribution,
+                 size_t field_index, ChangeableFeedOptions options);
+
+  bool Next(FeedOp* op) override;
+
+  // Values of the distributed field over the records that remain live once
+  // the feed is exhausted (the accuracy oracle for §4.3.4). Only valid after
+  // the feed has been fully drained.
+  std::vector<int64_t> FinalLiveValues() const;
+
+ private:
+  std::vector<Record> base_records_;
+  const SyntheticDistribution* distribution_;
+  size_t field_index_;
+  ChangeableFeedOptions options_;
+  Random rng_;
+
+  size_t next_insert_ = 0;
+  // Live record bookkeeping: pk -> current field value; pks eligible for
+  // update (not yet updated) and for delete.
+  std::vector<int64_t> live_pks_;
+  std::vector<bool> updated_;
+  std::vector<bool> deleted_;
+  std::vector<int64_t> current_value_;
+  uint64_t updates_emitted_ = 0;
+  uint64_t deletes_emitted_ = 0;
+  uint64_t inserts_emitted_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_WORKLOAD_FEED_H_

@@ -1,0 +1,120 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lsmstats {
+
+const char* QueryTypeToString(QueryType type) {
+  switch (type) {
+    case QueryType::kPoint:
+      return "Point";
+    case QueryType::kFixedLength:
+      return "FixedLength";
+    case QueryType::kHalfOpen:
+      return "HalfOpen";
+    case QueryType::kRandom:
+      return "Random";
+  }
+  return "unknown";
+}
+
+StatusOr<QueryType> ParseQueryType(const std::string& name) {
+  for (QueryType type : AllQueryTypes()) {
+    if (name == QueryTypeToString(type)) return type;
+  }
+  return Status::InvalidArgument("unknown query type: " + name);
+}
+
+const std::vector<QueryType>& AllQueryTypes() {
+  static const auto* kAll = new std::vector<QueryType>{
+      QueryType::kPoint, QueryType::kFixedLength, QueryType::kHalfOpen,
+      QueryType::kRandom};
+  return *kAll;
+}
+
+QueryGenerator::QueryGenerator(QueryType type, const ValueDomain& domain,
+                               uint64_t fixed_length, uint64_t seed)
+    : type_(type), domain_(domain), fixed_length_(fixed_length), rng_(seed) {
+  LSMSTATS_CHECK(fixed_length >= 1);
+}
+
+RangeQuery QueryGenerator::Next() {
+  const uint64_t max_position = domain_.MaxPosition();
+  auto random_position = [&]() {
+    // Uniform over [0, max_position]; max_position + 1 can overflow for the
+    // full 2^64 domain, so draw the raw 64-bit value there.
+    if (max_position == UINT64_MAX) return rng_.NextU64();
+    return rng_.Uniform(max_position + 1);
+  };
+  RangeQuery query;
+  switch (type_) {
+    case QueryType::kPoint: {
+      uint64_t p = random_position();
+      query.lo = domain_.ValueAt(p);
+      query.hi = query.lo;
+      break;
+    }
+    case QueryType::kFixedLength: {
+      uint64_t span = std::min(fixed_length_ - 1, max_position);
+      uint64_t start = max_position == UINT64_MAX && span == 0
+                           ? random_position()
+                           : rng_.Uniform(max_position - span + 1);
+      query.lo = domain_.ValueAt(start);
+      query.hi = domain_.ValueAt(start + span);
+      break;
+    }
+    case QueryType::kHalfOpen: {
+      uint64_t p = random_position();
+      if (rng_.Bernoulli(0.5)) {
+        query.lo = domain_.ValueAt(p);
+        query.hi = domain_.max_value();
+      } else {
+        query.lo = domain_.min_value();
+        query.hi = domain_.ValueAt(p);
+      }
+      break;
+    }
+    case QueryType::kRandom: {
+      uint64_t a = random_position();
+      uint64_t b = random_position();
+      if (a > b) std::swap(a, b);
+      query.lo = domain_.ValueAt(a);
+      query.hi = domain_.ValueAt(b);
+      break;
+    }
+  }
+  return query;
+}
+
+std::vector<RangeQuery> QueryGenerator::Make(QueryType type,
+                                             const ValueDomain& domain,
+                                             uint64_t fixed_length,
+                                             uint64_t seed, size_t count) {
+  QueryGenerator generator(type, domain, fixed_length, seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) queries.push_back(generator.Next());
+  return queries;
+}
+
+double NormalizedL1Error(
+    const std::vector<RangeQuery>& queries,
+    const std::function<double(const RangeQuery&)>& estimate,
+    const std::function<uint64_t(const RangeQuery&)>& exact,
+    uint64_t total_records) {
+  LSMSTATS_CHECK(!queries.empty());
+  LSMSTATS_CHECK(total_records > 0);
+  double error_sum = 0.0;
+  for (const RangeQuery& query : queries) {
+    double estimated = estimate(query);
+    double truth = static_cast<double>(exact(query));
+    error_sum += std::abs(estimated - truth) /
+                 static_cast<double>(total_records);
+  }
+  return error_sum / static_cast<double>(queries.size());
+}
+
+}  // namespace lsmstats

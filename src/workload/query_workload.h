@@ -1,0 +1,73 @@
+// Range-query workloads (paper §4.1.2).
+//
+// Four query shapes over an attribute's value domain:
+//   Point       — lo == hi, drawn uniformly from the domain;
+//   FixedLength — a range of a preset length at a uniform starting point;
+//   HalfOpen    — one border uniform, the other pinned to a domain extreme;
+//   Random      — both borders uniform.
+//
+// The accuracy metric is the paper's normalized L1 absolute error:
+// mean over queries of |C - Ĉ| / N, where N is the dataset size.
+
+#ifndef LSMSTATS_WORKLOAD_QUERY_WORKLOAD_H_
+#define LSMSTATS_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lsmstats {
+
+enum class QueryType {
+  kPoint = 0,
+  kFixedLength = 1,
+  kHalfOpen = 2,
+  kRandom = 3,
+};
+
+const char* QueryTypeToString(QueryType type);
+StatusOr<QueryType> ParseQueryType(const std::string& name);
+const std::vector<QueryType>& AllQueryTypes();
+
+struct RangeQuery {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+class QueryGenerator {
+ public:
+  // `fixed_length` is only used by kFixedLength (paper default: 128).
+  QueryGenerator(QueryType type, const ValueDomain& domain,
+                 uint64_t fixed_length, uint64_t seed);
+
+  RangeQuery Next();
+
+  // `count` queries from a fresh generator.
+  static std::vector<RangeQuery> Make(QueryType type,
+                                      const ValueDomain& domain,
+                                      uint64_t fixed_length, uint64_t seed,
+                                      size_t count);
+
+ private:
+  QueryType type_;
+  ValueDomain domain_;
+  uint64_t fixed_length_;
+  Random rng_;
+};
+
+// Runs `queries` against an estimator and an exact oracle and returns the
+// normalized L1 absolute error: mean(|C - Ĉ|) / total_records (§4.1.2).
+double NormalizedL1Error(
+    const std::vector<RangeQuery>& queries,
+    const std::function<double(const RangeQuery&)>& estimate,
+    const std::function<uint64_t(const RangeQuery&)>& exact,
+    uint64_t total_records);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_WORKLOAD_QUERY_WORKLOAD_H_

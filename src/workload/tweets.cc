@@ -1,0 +1,55 @@
+#include "workload/tweets.h"
+
+namespace lsmstats {
+
+Schema TweetSchema(const ValueDomain& metric_domain) {
+  FieldDef metric;
+  metric.name = kTweetMetricField;
+  metric.type = FieldType::kInt64;
+  metric.indexed = true;
+  metric.domain = metric_domain;
+
+  FieldDef timestamp;
+  timestamp.name = "timestamp";
+  timestamp.type = FieldType::kInt64;
+  timestamp.indexed = false;
+
+  return Schema({metric, timestamp});
+}
+
+TweetGenerator::TweetGenerator(const SyntheticDistribution& distribution,
+                               size_t payload_bytes, uint64_t seed)
+    : metric_values_(distribution.ExpandShuffled(seed)),
+      payload_bytes_(payload_bytes),
+      rng_(seed ^ 0x7e77e7ULL) {}
+
+Record TweetGenerator::Next() {
+  Record record;
+  record.pk = static_cast<int64_t>(next_index_);
+  record.fields = {metric_values_[next_index_],
+                   static_cast<int64_t>(1528000000000ULL + next_index_)};
+  record.payload = SynthesizeTweetPayload(payload_bytes_, &rng_);
+  ++next_index_;
+  return record;
+}
+
+std::string SynthesizeTweetPayload(size_t bytes, Random* rng) {
+  static const char* kWords[] = {
+      "lsm",     "storage",  "stream",  "synopsis", "estimate", "flush",
+      "merge",   "wavelet",  "bucket",  "record",   "ingest",   "query",
+      "index",   "cluster",  "tweet",   "firehose", "analytics"};
+  constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+  std::string payload;
+  payload.reserve(bytes + 16);
+  payload += "{\"user\":\"u";
+  payload += std::to_string(rng->Uniform(1000000));
+  payload += "\",\"msg\":\"";
+  while (payload.size() < bytes) {
+    payload += kWords[rng->Uniform(kWordCount)];
+    payload += ' ';
+  }
+  payload += "\"}";
+  return payload;
+}
+
+}  // namespace lsmstats

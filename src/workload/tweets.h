@@ -1,0 +1,53 @@
+// Tweet-like record generator (paper §4.1.1).
+//
+// Emulates the Twitter-Firehose-style external data source of the ingestion
+// experiments: each record carries the regular tweet fields (username,
+// message, location) as a ~1 KB payload, plus a special indexed integer
+// field whose value is drawn from a configurable synthetic distribution.
+
+#ifndef LSMSTATS_WORKLOAD_TWEETS_H_
+#define LSMSTATS_WORKLOAD_TWEETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "db/record.h"
+#include "workload/distribution.h"
+
+namespace lsmstats {
+
+// Schema: { metric (indexed, the special field), timestamp }.
+Schema TweetSchema(const ValueDomain& metric_domain);
+
+// Name of the indexed special field in TweetSchema.
+inline const char* kTweetMetricField = "metric";
+
+class TweetGenerator {
+ public:
+  // Records take their metric values, in order, from
+  // `distribution.ExpandShuffled(seed)` — so the generator produces exactly
+  // `distribution.total_records()` records whose value histogram matches the
+  // distribution (and its exact-range oracle).
+  TweetGenerator(const SyntheticDistribution& distribution,
+                 size_t payload_bytes, uint64_t seed);
+
+  bool HasNext() const { return next_index_ < metric_values_.size(); }
+  Record Next();
+
+  uint64_t total_records() const { return metric_values_.size(); }
+
+ private:
+  std::vector<int64_t> metric_values_;
+  size_t payload_bytes_;
+  size_t next_index_ = 0;
+  Random rng_;
+};
+
+// Deterministic pseudo-text payload of roughly `bytes` characters.
+std::string SynthesizeTweetPayload(size_t bytes, Random* rng);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_WORKLOAD_TWEETS_H_

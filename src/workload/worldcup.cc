@@ -1,0 +1,129 @@
+#include "workload/worldcup.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsmstats {
+
+namespace {
+
+// Tournament window: 1998-04-30 .. 1998-07-26 in epoch seconds.
+constexpr int64_t kWindowStart = 893888000;
+constexpr int64_t kWindowEnd = 901497600;
+
+constexpr size_t kClients = 50000;
+constexpr size_t kObjects = 30000;
+constexpr size_t kServers = 32;
+
+// Status codes with their approximate shares in the trace.
+struct StatusShare {
+  int64_t code;
+  double share;
+};
+constexpr StatusShare kStatusShares[] = {
+    {200, 0.78}, {304, 0.14}, {206, 0.03}, {404, 0.03},
+    {302, 0.01}, {500, 0.005}, {403, 0.005},
+};
+
+}  // namespace
+
+const std::vector<std::string>& WorldCupIndexedFields() {
+  static const auto* kFields = new std::vector<std::string>{
+      "Timestamp", "ClientID", "ObjectID", "Size", "Status", "Server"};
+  return *kFields;
+}
+
+Schema WorldCupSchema() {
+  auto indexed32 = [](const std::string& name) {
+    FieldDef def;
+    def.name = name;
+    def.type = FieldType::kInt32;
+    def.indexed = true;
+    return def;
+  };
+  FieldDef method;
+  method.name = "method";
+  method.type = FieldType::kInt8;
+  FieldDef type;
+  type.name = "type";
+  type.type = FieldType::kInt8;
+  return Schema({indexed32("Timestamp"), indexed32("ClientID"),
+                 indexed32("ObjectID"), indexed32("Size"),
+                 indexed32("Status"), indexed32("Server"), method, type});
+}
+
+WorldCupGenerator::WorldCupGenerator(uint64_t total_records, uint64_t seed)
+    : total_records_(total_records),
+      rng_(seed),
+      client_sampler_(kClients, 1.1, seed ^ 0x11),
+      object_sampler_(kObjects, 1.0, seed ^ 0x22),
+      server_sampler_(kServers, 0.8, seed ^ 0x33) {
+  // Identifiers occupy compact ranges away from the int32 extremes, but
+  // popularity rank must not correlate with the id, so ranks are shuffled
+  // onto ids.
+  client_ids_.reserve(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    client_ids_.push_back(100000 + static_cast<int64_t>(i));
+  }
+  rng_.Shuffle(&client_ids_);
+  object_ids_.reserve(kObjects);
+  for (size_t i = 0; i < kObjects; ++i) {
+    object_ids_.push_back(1000 + static_cast<int64_t>(i));
+  }
+  rng_.Shuffle(&object_ids_);
+}
+
+Record WorldCupGenerator::Next() {
+  Record record;
+  record.pk = static_cast<int64_t>(next_pk_);
+
+  // Timestamp: progresses through the window with per-record jitter and a
+  // match-day burst pattern (denser during the 7 "match" slices).
+  double progress =
+      static_cast<double>(next_pk_) / static_cast<double>(total_records_);
+  double burst = 0.15 * std::sin(progress * 44.0);  // periodic load waves
+  double warped = std::clamp(progress + burst * 0.02, 0.0, 1.0);
+  int64_t timestamp =
+      kWindowStart +
+      static_cast<int64_t>(warped * static_cast<double>(kWindowEnd -
+                                                        kWindowStart)) +
+      static_cast<int64_t>(rng_.Uniform(600)) - 300;
+
+  int64_t client = client_ids_[client_sampler_.Next()];
+  int64_t object = object_ids_[object_sampler_.Next()];
+
+  // Size: log-normal-ish body with a Pareto tail.
+  double u = rng_.NextDouble();
+  int64_t size;
+  if (u < 0.97) {
+    double ln = std::exp(6.5 + 1.2 * (rng_.NextDouble() + rng_.NextDouble() +
+                                      rng_.NextDouble() - 1.5));
+    size = static_cast<int64_t>(ln);
+  } else {
+    // Tail: 30 KB .. ~2 MB, density ~ x^-2.
+    double tail = 30000.0 / std::max(1e-6, 1.0 - rng_.NextDouble() * 0.985);
+    size = static_cast<int64_t>(std::min(tail, 2.0e6));
+  }
+
+  // Status: categorical spikes.
+  double pick = rng_.NextDouble();
+  int64_t status = 200;
+  double acc = 0;
+  for (const StatusShare& share : kStatusShares) {
+    acc += share.share;
+    if (pick < acc) {
+      status = share.code;
+      break;
+    }
+  }
+
+  int64_t server = static_cast<int64_t>(server_sampler_.Next());
+
+  record.fields = {timestamp, client, object, size,
+                   status,    server, /*method=*/0, /*type=*/0};
+  record.payload = "GET /object/" + std::to_string(object);
+  ++next_pk_;
+  return record;
+}
+
+}  // namespace lsmstats

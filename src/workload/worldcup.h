@@ -1,0 +1,65 @@
+// Synthetic WorldCup'98-like web-server-log dataset (paper §4.4).
+//
+// The real 1.35B-record trace [15] is not redistributable, so this generator
+// reproduces the documented field characteristics that drive Figure 9's
+// findings (see DESIGN.md's substitution table):
+//
+//  * Timestamp — request epoch seconds confined to the ~50-day tournament
+//    window: a narrow sub-range of the int32 domain ("values are typically
+//    placed away from the domain extremes"), increasing with load bursts
+//    around match days.
+//  * ClientID — dense small identifiers with Zipfian popularity (proxies
+//    dominate), again a tiny fraction of the int32 domain.
+//  * ObjectID — ~90k distinct page ids, heavily skewed toward a few hot
+//    pages.
+//  * Size — response bytes: highly skewed with a long tail (most responses
+//    are small images; rare large downloads).
+//  * Status — categorical "spikes" at the handful of real HTTP codes
+//    (200 dominates, then 304, 206, 404, ...), zero everywhere between.
+//  * Server — ~32 server ids with very uneven load, also spiky categorical.
+//
+// Fields `method` and `type` are modeled but NOT indexed, mirroring the
+// paper's exclusion of near-constant fields.
+
+#ifndef LSMSTATS_WORKLOAD_WORLDCUP_H_
+#define LSMSTATS_WORKLOAD_WORLDCUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "db/record.h"
+
+namespace lsmstats {
+
+// The six indexed WorldCup fields, in the order Figure 9 reports them.
+const std::vector<std::string>& WorldCupIndexedFields();
+
+// Schema with the six indexed fields plus non-indexed method/type.
+Schema WorldCupSchema();
+
+class WorldCupGenerator {
+ public:
+  WorldCupGenerator(uint64_t total_records, uint64_t seed);
+
+  bool HasNext() const { return next_pk_ < total_records_; }
+  Record Next();
+
+  uint64_t total_records() const { return total_records_; }
+
+ private:
+  uint64_t total_records_;
+  uint64_t next_pk_ = 0;
+  Random rng_;
+  ZipfSampler client_sampler_;
+  ZipfSampler object_sampler_;
+  ZipfSampler server_sampler_;
+  // Shuffled client-rank -> id mapping so popularity is not monotone in id.
+  std::vector<int64_t> client_ids_;
+  std::vector<int64_t> object_ids_;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_WORKLOAD_WORLDCUP_H_

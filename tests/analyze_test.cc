@@ -1,0 +1,244 @@
+// Tests for the offline ANALYZE job, the MaxDiff reference histogram, and
+// the Prefix merge policy.
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "db/dataset.h"
+#include "stats/analyze_job.h"
+#include "stats/cardinality_estimator.h"
+#include "synopsis/maxdiff_histogram.h"
+#include "workload/exact_counter.h"
+
+namespace lsmstats {
+namespace {
+
+// ---------------------------------------------------------------- MaxDiff
+
+TEST(MaxDiff, BoundariesLandOnLargestAreaDiffs) {
+  ValueDomain domain(0, 12);
+  // Three clusters with a huge frequency jump between them.
+  std::vector<std::pair<uint64_t, uint64_t>> aggregate = {
+      {10, 5}, {11, 5}, {12, 5},       // flat
+      {100, 900},                      // spike
+      {200, 5}, {201, 5},              // flat again
+  };
+  auto histogram = MaxDiffHistogram::Build(domain, 4, aggregate);
+  EXPECT_EQ(histogram->TotalRecords(), 925u);
+  // The spike is isolated by boundaries, so its point estimate is exact.
+  EXPECT_NEAR(histogram->EstimatePoint(100), 900.0, 1e-6);
+  EXPECT_NEAR(histogram->EstimateRange(0, 4095), 925.0, 1e-6);
+}
+
+TEST(MaxDiff, BeatsEquiHistogramsOnSkewedData) {
+  // The Poosala result the paper cites: MaxDiff >= equi-width/height on
+  // skewed data (at equal budgets) — the accuracy the streaming restriction
+  // gives up.
+  ValueDomain domain(0, 14);
+  Random rng(3);
+  std::vector<std::pair<uint64_t, uint64_t>> aggregate;
+  std::vector<int64_t> all_values;
+  uint64_t pos = 5;
+  for (int i = 0; i < 500; ++i) {
+    uint64_t freq = rng.Bernoulli(0.05) ? 200 + rng.Uniform(800)
+                                        : 1 + rng.Uniform(5);
+    aggregate.push_back({pos, freq});
+    for (uint64_t f = 0; f < freq; ++f) {
+      all_values.push_back(domain.ValueAt(pos));
+    }
+    pos += 1 + rng.Uniform(60);
+  }
+  std::sort(all_values.begin(), all_values.end());
+  ExactCounter oracle(all_values);
+
+  auto maxdiff = MaxDiffHistogram::Build(domain, 64, aggregate);
+  SynopsisConfig config{SynopsisType::kEquiHeightHistogram, 64, domain};
+  auto equi_builder = CreateSynopsisBuilder(config, all_values.size());
+  for (int64_t v : all_values) equi_builder->Add(v);
+  auto equi = equi_builder->Finish();
+
+  Random qrng(9);
+  double maxdiff_error = 0, equi_error = 0;
+  for (int q = 0; q < 500; ++q) {
+    int64_t lo = qrng.UniformInRange(0, domain.max_value() - 128);
+    int64_t hi = lo + 127;
+    double exact = static_cast<double>(oracle.ExactRange(lo, hi));
+    maxdiff_error += std::abs(maxdiff->EstimateRange(lo, hi) - exact);
+    equi_error += std::abs(equi->EstimateRange(lo, hi) - exact);
+  }
+  EXPECT_LT(maxdiff_error, equi_error);
+}
+
+TEST(MaxDiff, SerializationRoundTrip) {
+  ValueDomain domain(0, 10);
+  auto histogram = MaxDiffHistogram::Build(
+      domain, 8, {{1, 10}, {5, 2}, {100, 77}, {1000, 1}});
+  Encoder enc;
+  histogram->EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = DecodeSynopsis(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)->type(), SynopsisType::kMaxDiff);
+  for (int64_t hi = 0; hi <= 1023; hi += 13) {
+    EXPECT_DOUBLE_EQ((*decoded)->EstimateRange(0, hi),
+                     histogram->EstimateRange(0, hi));
+  }
+}
+
+TEST(MaxDiff, NotMergeableAndNoStreamingBuilder) {
+  EXPECT_FALSE(SynopsisTypeIsMergeable(SynopsisType::kMaxDiff));
+  SynopsisConfig config{SynopsisType::kMaxDiff, 16, ValueDomain(0, 8)};
+  EXPECT_EQ(CreateSynopsisBuilder(config, 100), nullptr);
+}
+
+TEST(MaxDiff, EmptyInput) {
+  auto histogram = MaxDiffHistogram::Build(ValueDomain(0, 8), 8, {});
+  EXPECT_EQ(histogram->TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(histogram->EstimateRange(0, 255), 0.0);
+}
+
+// ----------------------------------------------------------------- Analyze
+
+class AnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lsmstats_analyze_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(AnalyzeTest, ScansLiveRecordsAndBuildsAccurateSynopsis) {
+  FieldDef value;
+  value.name = "value";
+  value.type = FieldType::kInt32;
+  value.indexed = true;
+  value.domain = ValueDomain(0, 12);
+  DatasetOptions options;
+  options.directory = dir_;
+  options.name = "t";
+  options.schema = Schema({value});
+  options.memtable_max_entries = 500;
+  auto dataset = Dataset::Open(std::move(options)).value();
+  for (int64_t pk = 0; pk < 2000; ++pk) {
+    Record r;
+    r.pk = pk;
+    r.fields = {pk % 64};
+    ASSERT_TRUE(dataset->Insert(r).ok());
+  }
+  for (int64_t pk = 0; pk < 500; ++pk) {
+    ASSERT_TRUE(dataset->Delete(pk * 4).ok());  // delete every 4th
+  }
+  ASSERT_TRUE(dataset->Flush().ok());
+
+  for (SynopsisType type :
+       {SynopsisType::kEquiWidthHistogram, SynopsisType::kWavelet,
+        SynopsisType::kMaxDiff}) {
+    auto result = RunAnalyze(dataset.get(), "value", type, 4096);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->records_scanned, 1500u) << SynopsisTypeToString(type);
+    EXPECT_GT(result->bytes_read, 0u);
+    // With an ample budget the ANALYZE synopsis is (near-)exact on the live
+    // data.
+    EXPECT_NEAR(result->synopsis->EstimateRange(0, 4095), 1500.0, 1.0);
+    EXPECT_NEAR(result->synopsis->EstimatePoint(1), 31.0, 1.5)
+        << SynopsisTypeToString(type);  // values 1 mod 64, minus deleted
+  }
+
+  // Unknown field fails cleanly.
+  EXPECT_EQ(RunAnalyze(dataset.get(), "nope",
+                       SynopsisType::kEquiWidthHistogram, 16)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzeTest, InstallReplacesPerComponentEntries) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"t", "value", 0};
+  // Fake two per-component entries.
+  for (uint64_t id : {1u, 2u}) {
+    SynopsisConfig config{SynopsisType::kEquiWidthHistogram, 16,
+                          ValueDomain(0, 8)};
+    auto builder = CreateSynopsisBuilder(config, 1);
+    builder->Add(5);
+    SynopsisEntry entry;
+    entry.component_id = id;
+    entry.timestamp = id;
+    entry.synopsis =
+        std::shared_ptr<const Synopsis>(builder->Finish().release());
+    catalog.Register(key, std::move(entry), {});
+  }
+  ASSERT_EQ(catalog.EntryCount(key), 2u);
+
+  AnalyzeResult result;
+  {
+    SynopsisConfig config{SynopsisType::kEquiWidthHistogram, 16,
+                          ValueDomain(0, 8)};
+    auto builder = CreateSynopsisBuilder(config, 3);
+    for (int i = 0; i < 3; ++i) builder->Add(7);
+    result.synopsis =
+        std::shared_ptr<const Synopsis>(builder->Finish().release());
+  }
+  InstallAnalyzeResult(&catalog, key, result);
+  EXPECT_EQ(catalog.EntryCount(key), 1u);
+  CardinalityEstimator estimator(&catalog, {});
+  // Budget 16 over a 2^8 domain gives 16-wide buckets; the whole first
+  // bucket holds the 3 records.
+  EXPECT_DOUBLE_EQ(estimator.EstimateRangePartition(key, 0, 15), 3.0);
+}
+
+// -------------------------------------------------------------- Prefix MP
+
+TEST(PrefixMergePolicy, MergesSmallPrefixLeavesBigComponentsAlone) {
+  PrefixMergePolicy policy(/*max_mergable_size=*/1000,
+                           /*max_tolerance_count=*/3);
+  auto component = [](uint64_t id, uint64_t size) {
+    ComponentMetadata md;
+    md.id = id;
+    md.file_size = size;
+    return md;
+  };
+  // Three small components: within tolerance, no merge.
+  std::vector<ComponentMetadata> stack = {component(3, 100), component(2, 100),
+                                          component(1, 100)};
+  EXPECT_FALSE(policy.PickMerge(stack).has_value());
+  // Fourth small component exceeds tolerance: merge the whole small prefix.
+  stack.insert(stack.begin(), component(4, 100));
+  auto decision = policy.PickMerge(stack);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->begin, 0u);
+  EXPECT_EQ(decision->end, 4u);
+  // A big old component below the prefix is never touched.
+  stack.push_back(component(0, 1 << 20));
+  decision = policy.PickMerge(stack);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->end, 4u);
+  // A big component at the TOP blocks prefix merging entirely.
+  stack.insert(stack.begin(), component(9, 1 << 20));
+  EXPECT_FALSE(policy.PickMerge(stack).has_value());
+}
+
+TEST(PrefixMergePolicy, EndToEndBoundsComponents) {
+  char tmpl[] = "/tmp/lsmstats_prefix_XXXXXX";
+  std::string dir = ::mkdtemp(tmpl);
+  LsmTreeOptions options;
+  options.directory = dir;
+  options.memtable_max_entries = 64;
+  options.merge_policy = std::make_shared<PrefixMergePolicy>(1ull << 20, 4);
+  auto tree = LsmTree::Open(options).value();
+  for (int64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_LE(tree->ComponentCount(), 6u);
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(4999)).value(), 5000u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lsmstats

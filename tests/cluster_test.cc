@@ -1,0 +1,160 @@
+// Tests for the shared-nothing cluster simulation: partition routing,
+// byte-level synopsis transport, and global estimation.
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "workload/distribution.h"
+#include "workload/tweets.h"
+
+namespace lsmstats {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lsmstats_cluster_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DatasetOptions BaseOptions(SynopsisType type, size_t budget = 1 << 14) {
+    DatasetOptions options;
+    options.name = "tweets";
+    options.schema = TweetSchema(ValueDomain(0, 14));
+    options.synopsis_type = type;
+    options.synopsis_budget = budget;
+    options.memtable_max_entries = 200;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ClusterTest, MessageRoundTrip) {
+  ComponentStatsMessage msg;
+  msg.key = {"ds", "f", 3};
+  msg.component_id = 17;
+  msg.timestamp = 99;
+  msg.record_count = 1000;
+  msg.replaced_component_ids = {4, 9};
+  msg.synopsis_bytes = "abc";
+  msg.anti_synopsis_bytes = "";
+  Encoder enc;
+  msg.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = ComponentStatsMessage::DecodeFrom(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(dec.Done());
+  EXPECT_EQ(decoded->key, msg.key);
+  EXPECT_EQ(decoded->component_id, 17u);
+  EXPECT_EQ(decoded->replaced_component_ids, msg.replaced_component_ids);
+  EXPECT_EQ(decoded->synopsis_bytes, "abc");
+}
+
+TEST_F(ClusterTest, StatisticsFlowOverTheWire) {
+  auto cluster = Cluster::Start(
+      4, dir_, BaseOptions(SynopsisType::kEquiWidthHistogram));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  DistributionSpec spec;
+  spec.num_values = 200;
+  spec.total_records = 3000;
+  spec.domain = ValueDomain(0, 14);
+  auto dist = SyntheticDistribution::Generate(spec);
+  TweetGenerator generator(dist, 32, 5);
+  while (generator.HasNext()) {
+    ASSERT_TRUE((*cluster)->Insert(generator.Next()).ok());
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+
+  // Statistics crossed the wire as bytes.
+  EXPECT_GT((*cluster)->controller().messages_received(), 0u);
+  EXPECT_GT((*cluster)->controller().bytes_received(), 0u);
+
+  // Every partition contributed a stream.
+  EXPECT_EQ(
+      (*cluster)->controller().catalog().Keys("tweets", kTweetMetricField)
+          .size(),
+      4u);
+
+  // With an ample budget the equi-width estimate is exact.
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 16383}, {0, 100}, {5000, 9000}}) {
+    double estimate =
+        (*cluster)->EstimateRange(kTweetMetricField, lo, hi);
+    uint64_t exact = dist.ExactRange(lo, hi);
+    EXPECT_NEAR(estimate, static_cast<double>(exact), 1e-6)
+        << "[" << lo << "," << hi << "]";
+    EXPECT_EQ((*cluster)->CountRange(kTweetMetricField, lo, hi).value(),
+              exact);
+  }
+}
+
+TEST_F(ClusterTest, MergeRefreshesClusterCatalog) {
+  auto cluster = Cluster::Start(
+      2, dir_, BaseOptions(SynopsisType::kEquiHeightHistogram, 64));
+  ASSERT_TRUE(cluster.ok());
+  DistributionSpec spec;
+  spec.num_values = 100;
+  spec.total_records = 2000;
+  spec.domain = ValueDomain(0, 14);
+  auto dist = SyntheticDistribution::Generate(spec);
+  TweetGenerator generator(dist, 16, 5);
+  while (generator.HasNext()) {
+    ASSERT_TRUE((*cluster)->Insert(generator.Next()).ok());
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+  size_t entries_before = 0;
+  for (const auto& key :
+       (*cluster)->controller().catalog().Keys("tweets", kTweetMetricField)) {
+    entries_before +=
+        (*cluster)->controller().catalog().EntryCount(key);
+  }
+  EXPECT_GT(entries_before, 2u);  // several flushed components per node
+
+  ASSERT_TRUE((*cluster)->ForceFullMergeAll().ok());
+  for (const auto& key :
+       (*cluster)->controller().catalog().Keys("tweets", kTweetMetricField)) {
+    EXPECT_EQ((*cluster)->controller().catalog().EntryCount(key), 1u);
+  }
+  // Estimates still track the data.
+  double estimate = (*cluster)->EstimateRange(kTweetMetricField, 0, 16383);
+  EXPECT_NEAR(estimate, 2000.0, 40.0);
+}
+
+TEST_F(ClusterTest, UpdatesAndDeletesPropagate) {
+  auto cluster = Cluster::Start(
+      2, dir_, BaseOptions(SynopsisType::kEquiWidthHistogram));
+  ASSERT_TRUE(cluster.ok());
+  for (int64_t pk = 0; pk < 500; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 100, 0};
+    ASSERT_TRUE((*cluster)->Insert(record).ok());
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+  for (int64_t pk = 0; pk < 100; ++pk) {
+    ASSERT_TRUE((*cluster)->Delete(pk).ok());
+  }
+  for (int64_t pk = 100; pk < 200; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {9999, 0};
+    ASSERT_TRUE((*cluster)->Update(record).ok());
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+
+  EXPECT_EQ((*cluster)->CountRange(kTweetMetricField, 9999, 9999).value(),
+            100u);
+  EXPECT_NEAR((*cluster)->EstimateRange(kTweetMetricField, 9999, 9999),
+              100.0, 1e-6);
+  EXPECT_NEAR((*cluster)->EstimateRange(kTweetMetricField, 0, 16383),
+              400.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lsmstats

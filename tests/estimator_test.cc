@@ -1,0 +1,224 @@
+// Tests for the cardinality estimator (paper Algorithm 2) and the statistics
+// catalog.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "stats/cardinality_estimator.h"
+#include "stats/statistics_collector.h"
+#include "synopsis/equi_height_histogram.h"
+#include "synopsis/equi_width_histogram.h"
+#include "synopsis/wavelet_builder.h"
+
+namespace lsmstats {
+namespace {
+
+const ValueDomain kDomain(0, 10);  // positions 0..1023
+
+std::shared_ptr<const Synopsis> MakeSynopsis(
+    SynopsisType type, const std::vector<int64_t>& sorted_values,
+    size_t budget = 1024) {
+  SynopsisConfig config{type, budget, kDomain};
+  auto builder = CreateSynopsisBuilder(config, sorted_values.size());
+  for (int64_t v : sorted_values) builder->Add(v);
+  return std::shared_ptr<const Synopsis>(builder->Finish().release());
+}
+
+SynopsisEntry MakeEntry(uint64_t id, std::shared_ptr<const Synopsis> synopsis,
+                        std::shared_ptr<const Synopsis> anti = nullptr) {
+  SynopsisEntry entry;
+  entry.component_id = id;
+  entry.timestamp = id;
+  entry.synopsis = std::move(synopsis);
+  entry.anti_synopsis = std::move(anti);
+  return entry;
+}
+
+TEST(Catalog, RegisterReplaceDrop) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  catalog.Register(key, MakeEntry(1, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {1, 2})), {});
+  catalog.Register(key, MakeEntry(2, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {3})), {});
+  EXPECT_EQ(catalog.EntryCount(key), 2u);
+  uint64_t v2 = catalog.Version(key);
+  // A merge of components 1 and 2 into 3.
+  catalog.Register(key, MakeEntry(3, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {1, 2, 3})),
+                   {1, 2});
+  EXPECT_EQ(catalog.EntryCount(key), 1u);
+  EXPECT_GT(catalog.Version(key), v2);
+  catalog.Drop(key, {3});
+  EXPECT_EQ(catalog.EntryCount(key), 0u);
+  EXPECT_EQ(catalog.TotalStorageBytes(), 0u);
+}
+
+TEST(Catalog, StorageBytesReflectEntries) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  EXPECT_EQ(catalog.TotalStorageBytes(), 0u);
+  catalog.Register(key, MakeEntry(1, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {1})), {});
+  uint64_t one = catalog.TotalStorageBytes();
+  EXPECT_GT(one, 0u);
+  catalog.Register(key, MakeEntry(2, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {2})), {});
+  EXPECT_GT(catalog.TotalStorageBytes(), one);
+}
+
+TEST(Estimator, SumsComponentsAndSubtractsAntiMatter) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  // Component 1: values {10 x5}; component 2 deletes two of them.
+  catalog.Register(
+      key,
+      MakeEntry(1, MakeSynopsis(SynopsisType::kEquiWidthHistogram,
+                                {10, 10, 10, 10, 10})),
+      {});
+  catalog.Register(
+      key,
+      MakeEntry(2,
+                MakeSynopsis(SynopsisType::kEquiWidthHistogram, {20}),
+                MakeSynopsis(SynopsisType::kEquiWidthHistogram, {10, 10})),
+      {});
+  CardinalityEstimator estimator(&catalog, {});
+  EXPECT_NEAR(estimator.EstimateRangePartition(key, 10, 10), 3.0, 1e-9);
+  EXPECT_NEAR(estimator.EstimateRangePartition(key, 0, 1023), 4.0, 1e-9);
+}
+
+TEST(Estimator, NeverNegative) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  // Pathological: anti-matter without matching records (can happen when the
+  // synopsis approximations disagree).
+  catalog.Register(
+      key,
+      MakeEntry(1, MakeSynopsis(SynopsisType::kEquiWidthHistogram, {}),
+                MakeSynopsis(SynopsisType::kEquiWidthHistogram, {5, 5})),
+      {});
+  CardinalityEstimator estimator(&catalog, {});
+  EXPECT_DOUBLE_EQ(estimator.EstimateRangePartition(key, 0, 1023), 0.0);
+}
+
+TEST(Estimator, CacheServesSecondQueryForMergeableTypes) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  for (uint64_t c = 1; c <= 8; ++c) {
+    catalog.Register(key,
+                     MakeEntry(c, MakeSynopsis(
+                                      SynopsisType::kEquiWidthHistogram,
+                                      {static_cast<int64_t>(c * 10)})),
+                     {});
+  }
+  CardinalityEstimator estimator(&catalog, {});
+  CardinalityEstimator::QueryStats first;
+  double e1 = estimator.EstimateRangePartition(key, 0, 1023, &first);
+  EXPECT_FALSE(first.served_from_cache);
+  EXPECT_EQ(first.synopses_probed, 8u);
+
+  CardinalityEstimator::QueryStats second;
+  double e2 = estimator.EstimateRangePartition(key, 0, 1023, &second);
+  EXPECT_TRUE(second.served_from_cache);
+  EXPECT_EQ(second.synopses_probed, 1u);
+  EXPECT_NEAR(e1, e2, 1e-9);  // equi-width merge is lossless
+}
+
+TEST(Estimator, CacheInvalidatedByCatalogChange) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  catalog.Register(key, MakeEntry(1, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {1})), {});
+  CardinalityEstimator estimator(&catalog, {});
+  estimator.EstimateRangePartition(key, 0, 1023);
+  // New flush arrives: the cached merged synopsis is stale.
+  catalog.Register(key, MakeEntry(2, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {2})), {});
+  CardinalityEstimator::QueryStats stats;
+  double estimate = estimator.EstimateRangePartition(key, 0, 1023, &stats);
+  EXPECT_FALSE(stats.served_from_cache);
+  EXPECT_NEAR(estimate, 2.0, 1e-9);
+  // And the refreshed cache works again.
+  CardinalityEstimator::QueryStats again;
+  estimator.EstimateRangePartition(key, 0, 1023, &again);
+  EXPECT_TRUE(again.served_from_cache);
+}
+
+TEST(Estimator, EquiHeightNeverCached) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  for (uint64_t c = 1; c <= 4; ++c) {
+    catalog.Register(key,
+                     MakeEntry(c, MakeSynopsis(
+                                      SynopsisType::kEquiHeightHistogram,
+                                      {1, 2, 3})),
+                     {});
+  }
+  CardinalityEstimator estimator(&catalog, {});
+  for (int round = 0; round < 2; ++round) {
+    CardinalityEstimator::QueryStats stats;
+    double estimate = estimator.EstimateRangePartition(key, 0, 1023, &stats);
+    EXPECT_FALSE(stats.served_from_cache);
+    EXPECT_EQ(stats.synopses_probed, 4u);
+    EXPECT_NEAR(estimate, 12.0, 1e-9);
+  }
+}
+
+TEST(Estimator, WaveletCachePreservesTotals) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  for (uint64_t c = 1; c <= 4; ++c) {
+    std::vector<int64_t> values;
+    for (int64_t v = 0; v < 100; ++v) {
+      values.push_back(static_cast<int64_t>(c) * 100 + v);
+    }
+    catalog.Register(
+        key, MakeEntry(c, MakeSynopsis(SynopsisType::kWavelet, values)), {});
+  }
+  CardinalityEstimator estimator(&catalog, {});
+  double uncached = estimator.EstimateRangePartition(key, 0, 1023);
+  CardinalityEstimator::QueryStats stats;
+  double cached = estimator.EstimateRangePartition(key, 0, 1023, &stats);
+  EXPECT_TRUE(stats.served_from_cache);
+  // Budgets are ample, so the merge is lossless here.
+  EXPECT_NEAR(uncached, cached, 1e-6);
+  EXPECT_NEAR(cached, 400.0, 1e-6);
+}
+
+TEST(Estimator, MultiplePartitionsSum) {
+  StatisticsCatalog catalog;
+  catalog.Register({"ds", "f", 0},
+                   MakeEntry(1, MakeSynopsis(
+                                    SynopsisType::kEquiWidthHistogram,
+                                    {1, 1})),
+                   {});
+  catalog.Register({"ds", "f", 1},
+                   MakeEntry(1, MakeSynopsis(
+                                    SynopsisType::kEquiWidthHistogram,
+                                    {1, 1, 1})),
+                   {});
+  CardinalityEstimator estimator(&catalog, {});
+  EXPECT_NEAR(estimator.EstimateRange("ds", "f", 1, 1), 5.0, 1e-9);
+}
+
+TEST(Estimator, DisabledCacheQueriesEverySynopsis) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  for (uint64_t c = 1; c <= 4; ++c) {
+    catalog.Register(key, MakeEntry(c, MakeSynopsis(
+                              SynopsisType::kEquiWidthHistogram, {7})), {});
+  }
+  CardinalityEstimator::Options options;
+  options.enable_merged_cache = false;
+  CardinalityEstimator estimator(&catalog, options);
+  for (int round = 0; round < 2; ++round) {
+    CardinalityEstimator::QueryStats stats;
+    estimator.EstimateRangePartition(key, 0, 1023, &stats);
+    EXPECT_FALSE(stats.served_from_cache);
+    EXPECT_EQ(stats.synopses_probed, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats

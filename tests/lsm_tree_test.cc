@@ -1,0 +1,448 @@
+// Tests for the LSM storage engine: memtable semantics, disk components,
+// merge reconciliation, merge policies, and lifecycle event hooks.
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/merge_cursor.h"
+
+namespace lsmstats {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/lsmstats_test_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::unique_ptr<LsmTree> OpenTree(const std::string& dir,
+                                  std::shared_ptr<MergePolicy> policy = {},
+                                  uint64_t memtable_entries = 1024) {
+  LsmTreeOptions options;
+  options.directory = dir;
+  options.memtable_max_entries = memtable_entries;
+  options.merge_policy = std::move(policy);
+  auto tree = LsmTree::Open(options);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(tree).value();
+}
+
+// ------------------------------------------------------------- MemTable
+
+TEST(MemTable, PutGetDelete) {
+  MemTable mem;
+  mem.Put(PrimaryKey(1), "a", true);
+  std::string value;
+  bool anti = false;
+  ASSERT_TRUE(mem.Get(PrimaryKey(1), &value, &anti).ok());
+  EXPECT_EQ(value, "a");
+  EXPECT_FALSE(anti);
+  mem.Delete(PrimaryKey(1));
+  // Fresh insert + delete annihilate silently.
+  EXPECT_EQ(mem.Get(PrimaryKey(1), &value, &anti).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(mem.EntryCount(), 0u);
+  EXPECT_EQ(mem.AntiMatterCount(), 0u);
+}
+
+TEST(MemTable, DeleteOfDiskRecordLeavesAntiMatter) {
+  MemTable mem;
+  mem.Put(PrimaryKey(2), "b", /*fresh_insert=*/false);  // update of disk row
+  mem.Delete(PrimaryKey(2));
+  std::string value;
+  bool anti = false;
+  ASSERT_TRUE(mem.Get(PrimaryKey(2), &value, &anti).ok());
+  EXPECT_TRUE(anti);
+  EXPECT_EQ(mem.AntiMatterCount(), 1u);
+}
+
+TEST(MemTable, ReinsertOverAntiMatterIsNotFresh) {
+  MemTable mem;
+  mem.Delete(PrimaryKey(3));  // key lives on disk; tombstone recorded
+  mem.Put(PrimaryKey(3), "c", /*fresh_insert=*/true);
+  mem.Delete(PrimaryKey(3));
+  // The delete must keep anti-matter: the disk copy still needs cancelling.
+  std::string value;
+  bool anti = false;
+  ASSERT_TRUE(mem.Get(PrimaryKey(3), &value, &anti).ok());
+  EXPECT_TRUE(anti);
+}
+
+TEST(MemTable, UpdatePreservesFreshness) {
+  MemTable mem;
+  mem.Put(PrimaryKey(4), "v1", true);
+  mem.Put(PrimaryKey(4), "v2", false);  // update of the fresh insert
+  mem.Delete(PrimaryKey(4));
+  EXPECT_EQ(mem.EntryCount(), 0u);  // still annihilates silently
+}
+
+// -------------------------------------------------------- DiskComponent
+
+TEST(DiskComponent, BuildGetScan) {
+  TempDir dir;
+  DiskComponentBuilder builder(dir.path() + "/c1.cmp", 100);
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(
+        builder.Add({PrimaryKey(k * 3), "v" + std::to_string(k), false}).ok());
+  }
+  auto component_or = builder.Finish(1, 1);
+  ASSERT_TRUE(component_or.ok()) << component_or.status().ToString();
+  auto component = component_or.value();
+  EXPECT_EQ(component->metadata().record_count, 100u);
+  EXPECT_EQ(component->metadata().min_key, PrimaryKey(0));
+  EXPECT_EQ(component->metadata().max_key, PrimaryKey(297));
+
+  Entry entry;
+  ASSERT_TRUE(component->Get(PrimaryKey(150), &entry).ok());
+  EXPECT_EQ(entry.value, "v50");
+  EXPECT_EQ(component->Get(PrimaryKey(151), &entry).code(),
+            StatusCode::kNotFound);
+
+  // Full cursor yields all entries in order.
+  auto cursor = component->NewCursor();
+  int64_t expected = 0;
+  while (cursor->Valid()) {
+    EXPECT_EQ(cursor->entry().key.k0, expected);
+    expected += 3;
+    cursor->Next();
+  }
+  EXPECT_EQ(expected, 300);
+  EXPECT_TRUE(cursor->status().ok());
+
+  // Seek cursor starts at the right key.
+  auto seek = component->NewCursorAt(PrimaryKey(149));
+  ASSERT_TRUE(seek->Valid());
+  EXPECT_EQ(seek->entry().key.k0, 150);
+}
+
+TEST(DiskComponent, RejectsOutOfOrderKeys) {
+  TempDir dir;
+  DiskComponentBuilder builder(dir.path() + "/c2.cmp", 10);
+  ASSERT_TRUE(builder.Add({PrimaryKey(5), "", false}).ok());
+  EXPECT_EQ(builder.Add({PrimaryKey(5), "", false}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.Add({PrimaryKey(4), "", false}).code(),
+            StatusCode::kInvalidArgument);
+  builder.Abandon();
+}
+
+TEST(DiskComponent, SecondaryKeyOrdering) {
+  TempDir dir;
+  DiskComponentBuilder builder(dir.path() + "/c3.cmp", 4);
+  ASSERT_TRUE(builder.Add({SecondaryKey(1, 5), "", false}).ok());
+  ASSERT_TRUE(builder.Add({SecondaryKey(1, 9), "", false}).ok());
+  ASSERT_TRUE(builder.Add({SecondaryKey(2, 1), "", false}).ok());
+  auto component = builder.Finish(1, 1).value();
+  Entry entry;
+  EXPECT_TRUE(component->Get(SecondaryKey(1, 9), &entry).ok());
+  EXPECT_EQ(component->Get(SecondaryKey(1, 6), &entry).code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ MergeCursor
+
+TEST(MergeCursor, NewestVersionWins) {
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{
+      {PrimaryKey(1), "new", false}, {PrimaryKey(3), "three", false}}));
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{
+      {PrimaryKey(1), "old", false}, {PrimaryKey(2), "two", false}}));
+  MergeCursor merged(std::move(inputs), true);
+  std::map<int64_t, std::string> seen;
+  while (merged.Valid()) {
+    seen[merged.entry().key.k0] = merged.entry().value;
+    merged.Next();
+  }
+  EXPECT_EQ(seen, (std::map<int64_t, std::string>{
+                      {1, "new"}, {2, "two"}, {3, "three"}}));
+}
+
+TEST(MergeCursor, AntiMatterReconciliation) {
+  std::vector<Entry> newer = {{PrimaryKey(1), "", true},
+                              {PrimaryKey(2), "keep", false}};
+  std::vector<Entry> older = {{PrimaryKey(1), "dead", false}};
+  {
+    // Covering the oldest component: anti-matter reconciles away.
+    std::vector<std::unique_ptr<EntryCursor>> inputs;
+    inputs.push_back(std::make_unique<VectorEntryCursor>(newer));
+    inputs.push_back(std::make_unique<VectorEntryCursor>(older));
+    MergeCursor merged(std::move(inputs), true);
+    ASSERT_TRUE(merged.Valid());
+    EXPECT_EQ(merged.entry().key.k0, 2);
+    merged.Next();
+    EXPECT_FALSE(merged.Valid());
+  }
+  {
+    // Partial merge: anti-matter must be carried forward.
+    std::vector<std::unique_ptr<EntryCursor>> inputs;
+    inputs.push_back(std::make_unique<VectorEntryCursor>(newer));
+    inputs.push_back(std::make_unique<VectorEntryCursor>(older));
+    MergeCursor merged(std::move(inputs), false);
+    ASSERT_TRUE(merged.Valid());
+    EXPECT_EQ(merged.entry().key.k0, 1);
+    EXPECT_TRUE(merged.entry().anti_matter);
+  }
+}
+
+// --------------------------------------------------------------- LsmTree
+
+TEST(LsmTree, PutFlushGet) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  for (int64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "v" + std::to_string(k), true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(321), &value).ok());
+  EXPECT_EQ(value, "v321");
+  EXPECT_EQ(tree->Get(PrimaryKey(500), &value).code(), StatusCode::kNotFound);
+}
+
+TEST(LsmTree, DeleteAcrossComponents) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  ASSERT_TRUE(tree->Put(PrimaryKey(7), "seven", true).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->Delete(PrimaryKey(7)).ok());
+  std::string value;
+  EXPECT_EQ(tree->Get(PrimaryKey(7), &value).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->ComponentCount(), 2u);
+  EXPECT_EQ(tree->Get(PrimaryKey(7), &value).code(), StatusCode::kNotFound);
+  // Full merge reconciles the pair away entirely.
+  ASSERT_TRUE(tree->ForceFullMerge().ok());
+  EXPECT_EQ(tree->ComponentCount(), 0u);
+  EXPECT_EQ(tree->Get(PrimaryKey(7), &value).code(), StatusCode::kNotFound);
+}
+
+TEST(LsmTree, UpdateShadowsOlderVersion) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  ASSERT_TRUE(tree->Put(PrimaryKey(1), "v1", true).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->Put(PrimaryKey(1), "v2", false).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(1), &value).ok());
+  EXPECT_EQ(value, "v2");
+  ASSERT_TRUE(tree->ForceFullMerge().ok());
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  EXPECT_EQ(tree->ComponentsMetadata()[0].record_count, 1u);
+  ASSERT_TRUE(tree->Get(PrimaryKey(1), &value).ok());
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(LsmTree, ScanReconcilesAcrossEverything) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  // Component 1: keys 0..9.
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "a", true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  // Component 2: delete evens.
+  for (int64_t k = 0; k < 10; k += 2) {
+    ASSERT_TRUE(tree->Delete(PrimaryKey(k)).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  // Memtable: re-add 4, add 10.
+  ASSERT_TRUE(tree->Put(PrimaryKey(4), "b", false).ok());
+  ASSERT_TRUE(tree->Put(PrimaryKey(10), "c", true).ok());
+
+  std::set<int64_t> live;
+  ASSERT_TRUE(tree->Scan(PrimaryKey(INT64_MIN), PrimaryKey(INT64_MAX),
+                         [&](const Entry& e) { live.insert(e.key.k0); })
+                  .ok());
+  EXPECT_EQ(live, (std::set<int64_t>{1, 3, 4, 5, 7, 9, 10}));
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(4), PrimaryKey(9)).value(), 4u);
+}
+
+TEST(LsmTree, ConstantMergePolicyBoundsComponents) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path(), std::make_shared<ConstantMergePolicy>(3),
+                       /*memtable_entries=*/50);
+  Random rng(5);
+  for (int64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(
+        tree->Put(PrimaryKey(static_cast<int64_t>(rng.NextU64() >> 1)), "x",
+                  true)
+            .ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_LE(tree->ComponentCount(), 3u);
+  EXPECT_GE(tree->ComponentCount(), 1u);
+}
+
+TEST(LsmTree, TieredMergePolicyKeepsComponentCountSublinear) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path(), std::make_shared<TieredMergePolicy>(1.5, 4),
+                       /*memtable_entries=*/64);
+  for (int64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "payload", true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  // 5000/64 = ~78 flushes; tiering must have merged most of them.
+  EXPECT_LT(tree->ComponentCount(), 20u);
+  // All data still readable.
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(4999)).value(), 5000u);
+}
+
+TEST(LsmTree, BulkloadSingleComponent) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  std::vector<Entry> entries;
+  for (int64_t k = 0; k < 1000; ++k) {
+    entries.push_back({PrimaryKey(k), "bulk", false});
+  }
+  VectorEntryCursor cursor(std::move(entries));
+  ASSERT_TRUE(tree->Bulkload(&cursor, 1000).ok());
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  std::string value;
+  EXPECT_TRUE(tree->Get(PrimaryKey(999), &value).ok());
+}
+
+TEST(LsmTree, BulkloadRequiresEmptyMemtable) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  ASSERT_TRUE(tree->Put(PrimaryKey(1), "x", true).ok());
+  VectorEntryCursor cursor({});
+  EXPECT_EQ(tree->Bulkload(&cursor, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Listener that records every observed entry and sealed component.
+class RecordingListener : public LsmEventListener {
+ public:
+  struct Sealed {
+    LsmOperation op;
+    uint64_t component_id;
+    uint64_t entries_seen;
+    uint64_t anti_seen;
+    std::vector<uint64_t> replaced;
+  };
+
+  std::unique_ptr<ComponentWriteObserver> OnOperationBegin(
+      const OperationContext& context) override {
+    return std::make_unique<Observer>(this, context.op);
+  }
+
+  std::vector<Sealed> sealed;
+
+ private:
+  class Observer : public ComponentWriteObserver {
+   public:
+    Observer(RecordingListener* parent, LsmOperation op)
+        : parent_(parent), op_(op) {}
+    void OnEntry(const Entry& entry) override {
+      ++entries_;
+      if (entry.anti_matter) ++anti_;
+    }
+    void OnComponentSealed(const ComponentMetadata& metadata,
+                           const std::vector<uint64_t>& replaced) override {
+      parent_->sealed.push_back(
+          {op_, metadata.id, entries_, anti_, replaced});
+    }
+
+   private:
+    RecordingListener* parent_;
+    LsmOperation op_;
+    uint64_t entries_ = 0;
+    uint64_t anti_ = 0;
+  };
+
+  friend class Observer;
+};
+
+TEST(LsmTree, ListenersObserveEveryRecordOfEveryEvent) {
+  TempDir dir;
+  RecordingListener listener;
+  auto tree = OpenTree(dir.path());
+  tree->AddListener(&listener);
+
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  for (int64_t k = 100; k < 150; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+  }
+  ASSERT_TRUE(tree->Delete(PrimaryKey(0)).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->ForceFullMerge().ok());
+
+  ASSERT_EQ(listener.sealed.size(), 3u);
+  EXPECT_EQ(listener.sealed[0].op, LsmOperation::kFlush);
+  EXPECT_EQ(listener.sealed[0].entries_seen, 100u);
+  EXPECT_EQ(listener.sealed[1].op, LsmOperation::kFlush);
+  EXPECT_EQ(listener.sealed[1].entries_seen, 51u);  // 50 puts + 1 anti-matter
+  EXPECT_EQ(listener.sealed[1].anti_seen, 1u);
+  EXPECT_EQ(listener.sealed[2].op, LsmOperation::kMerge);
+  // Merge output: 150 records - deleted key 0 and its reconciled anti-matter.
+  EXPECT_EQ(listener.sealed[2].entries_seen, 149u);
+  EXPECT_EQ(listener.sealed[2].anti_seen, 0u);
+  EXPECT_EQ(listener.sealed[2].replaced.size(), 2u);
+}
+
+TEST(LsmTree, RandomizedEquivalenceWithStdMap) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path(), std::make_shared<TieredMergePolicy>(),
+                       /*memtable_entries=*/128);
+  std::map<int64_t, std::string> model;
+  Random rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(800));
+    int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0 || op == 1) {
+      std::string value = "v" + std::to_string(i);
+      bool fresh = model.find(key) == model.end();
+      ASSERT_TRUE(tree->Put(PrimaryKey(key), value, fresh).ok());
+      model[key] = value;
+    } else {
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(tree->Delete(PrimaryKey(key)).ok());
+        model.erase(it);
+      }
+    }
+  }
+  // Point lookups agree.
+  for (int64_t key = 0; key < 800; ++key) {
+    std::string value;
+    Status s = tree->Get(PrimaryKey(key), &value);
+    auto it = model.find(key);
+    if (it == model.end()) {
+      EXPECT_EQ(s.code(), StatusCode::kNotFound) << "key " << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << "key " << key << ": " << s.ToString();
+      EXPECT_EQ(value, it->second) << "key " << key;
+    }
+  }
+  // Scans agree.
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(799)).value(),
+            model.size());
+  // And still agree after a full merge.
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->ForceFullMerge().ok());
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(799)).value(),
+            model.size());
+}
+
+}  // namespace
+}  // namespace lsmstats

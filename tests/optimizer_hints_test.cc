@@ -1,0 +1,77 @@
+// Tests for the §3.6 optimizer-decision module.
+
+#include <gtest/gtest.h>
+
+#include "stats/optimizer_hints.h"
+#include "synopsis/builder.h"
+
+namespace lsmstats {
+namespace {
+
+AccessCostModel Model(double records) {
+  AccessCostModel model;
+  model.total_records = records;
+  return model;
+}
+
+TEST(OptimizerHints, AccessPathCrossover) {
+  AccessCostModel model = Model(100000);  // scan = 1000 pages
+  // Probe cost = 10 + 1.5 * matches; crossover at matches = 660.
+  EXPECT_EQ(ChooseAccessPath(model, 100), AccessPath::kIndexProbe);
+  EXPECT_EQ(ChooseAccessPath(model, 600), AccessPath::kIndexProbe);
+  EXPECT_EQ(ChooseAccessPath(model, 700), AccessPath::kFullScan);
+  EXPECT_EQ(ChooseAccessPath(model, 100000), AccessPath::kFullScan);
+}
+
+TEST(OptimizerHints, JoinMethodCrossover) {
+  AccessCostModel model = Model(100000);
+  // Scan join: 1000 + outer * 0.02; INLJ: outer * (1 + mpp) * 0.2.
+  // outer=200: scan=1004; INLJ beats it while (1+mpp) < 25.1.
+  EXPECT_EQ(ChooseJoinMethod(model, 200, 0.1),
+            JoinMethod::kIndexedNestedLoop);
+  EXPECT_EQ(ChooseJoinMethod(model, 200, 30.0), JoinMethod::kScanJoin);
+  // Huge outer: scan join wins even at tiny match rates.
+  EXPECT_EQ(ChooseJoinMethod(model, 1000000, 0.1), JoinMethod::kScanJoin);
+}
+
+TEST(OptimizerHints, PlanRangePredicateUsesEstimates) {
+  // Statistics: 50k records at value 5, nothing elsewhere.
+  StatisticsCatalog catalog;
+  SynopsisConfig config{SynopsisType::kEquiWidthHistogram, 1 << 10,
+                        ValueDomain(0, 10)};
+  auto builder = CreateSynopsisBuilder(config, 50000);
+  for (int i = 0; i < 50000; ++i) builder->Add(5);
+  SynopsisEntry entry;
+  entry.component_id = 1;
+  entry.timestamp = 1;
+  entry.synopsis =
+      std::shared_ptr<const Synopsis>(builder->Finish().release());
+  catalog.Register({"ds", "f", 0}, std::move(entry), {});
+  CardinalityEstimator estimator(&catalog, {});
+  AccessCostModel model = Model(50000);
+
+  // Hot predicate: every record matches -> scan.
+  RangePredicatePlan hot =
+      PlanRangePredicate(&estimator, model, "ds", "f", 0, 10);
+  EXPECT_EQ(hot.path, AccessPath::kFullScan);
+  EXPECT_NEAR(hot.estimated_cardinality, 50000.0, 1e-6);
+  EXPECT_GT(hot.probe_cost, hot.scan_cost);
+
+  // Empty predicate: probe.
+  RangePredicatePlan cold =
+      PlanRangePredicate(&estimator, model, "ds", "f", 100, 900);
+  EXPECT_EQ(cold.path, AccessPath::kIndexProbe);
+  EXPECT_NEAR(cold.estimated_cardinality, 0.0, 1e-6);
+  EXPECT_LT(cold.probe_cost, cold.scan_cost);
+}
+
+TEST(OptimizerHints, Names) {
+  EXPECT_STREQ(AccessPathToString(AccessPath::kFullScan), "FULL-SCAN");
+  EXPECT_STREQ(AccessPathToString(AccessPath::kIndexProbe), "INDEX-PROBE");
+  EXPECT_STREQ(JoinMethodToString(JoinMethod::kScanJoin), "SCAN-JOIN");
+  EXPECT_STREQ(JoinMethodToString(JoinMethod::kIndexedNestedLoop),
+               "INDEXED-NESTED-LOOP");
+}
+
+}  // namespace
+}  // namespace lsmstats

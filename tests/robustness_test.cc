@@ -1,0 +1,155 @@
+// Robustness / failure-injection tests: corrupt inputs must surface as
+// Status errors, never as crashes or silent misbehaviour.
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_controller.h"
+#include "common/random.h"
+#include "lsm/disk_component.h"
+#include "synopsis/builder.h"
+
+namespace lsmstats {
+namespace {
+
+std::string EncodedSynopsis(SynopsisType type) {
+  SynopsisConfig config{type, 32, ValueDomain(0, 12)};
+  auto builder = CreateSynopsisBuilder(config, 100);
+  for (int64_t v = 0; v < 100; ++v) builder->Add(v * 17);
+  Encoder enc;
+  builder->Finish()->EncodeTo(&enc);
+  return enc.Release();
+}
+
+TEST(Robustness, SynopsisDecodeSurvivesTruncation) {
+  for (SynopsisType type :
+       {SynopsisType::kEquiWidthHistogram, SynopsisType::kEquiHeightHistogram,
+        SynopsisType::kWavelet, SynopsisType::kGKQuantile}) {
+    std::string bytes = EncodedSynopsis(type);
+    for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+      Decoder dec(std::string_view(bytes.data(), cut));
+      auto result = DecodeSynopsis(&dec);  // must not crash
+      if (result.ok()) {
+        // A truncated prefix that still decodes must at least be
+        // self-consistent.
+        EXPECT_LE((*result)->ElementCount(), (*result)->Budget());
+      }
+    }
+  }
+}
+
+TEST(Robustness, SynopsisDecodeSurvivesBitFlips) {
+  Random rng(21);
+  for (SynopsisType type :
+       {SynopsisType::kEquiWidthHistogram, SynopsisType::kEquiHeightHistogram,
+        SynopsisType::kWavelet, SynopsisType::kGKQuantile}) {
+    std::string original = EncodedSynopsis(type);
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string bytes = original;
+      int flips = 1 + static_cast<int>(rng.Uniform(8));
+      for (int f = 0; f < flips; ++f) {
+        size_t pos = rng.Uniform(bytes.size());
+        bytes[pos] ^= static_cast<char>(1 << rng.Uniform(8));
+      }
+      Decoder dec(bytes);
+      auto result = DecodeSynopsis(&dec);  // Status or value, never a crash
+      if (result.ok()) {
+        // Exercise the decoded object a little.
+        (void)(*result)->EstimateRange(0, 4095);
+        (void)(*result)->DebugString();
+      }
+    }
+  }
+}
+
+TEST(Robustness, ClusterControllerRejectsGarbageMessages) {
+  ClusterController controller;
+  Random rng(22);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(rng.Uniform(200), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.Uniform(256));
+    (void)controller.ReceiveStatistics(garbage);  // must not crash
+  }
+  // The controller still works afterwards.
+  EXPECT_DOUBLE_EQ(controller.EstimateRange("ds", "f", 0, 100), 0.0);
+}
+
+TEST(Robustness, ClusterControllerRejectsCorruptSynopsisBody) {
+  ClusterController controller;
+  ComponentStatsMessage msg;
+  msg.key = {"ds", "f", 0};
+  msg.component_id = 1;
+  msg.timestamp = 1;
+  msg.record_count = 10;
+  msg.synopsis_bytes = "definitely not a synopsis";
+  Encoder enc;
+  msg.EncodeTo(&enc);
+  Status s = controller.ReceiveStatistics(enc.buffer());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(controller.catalog().EntryCount({"ds", "f", 0}), 0u);
+}
+
+TEST(Robustness, ComponentOpenRejectsCorruptFiles) {
+  char tmpl[] = "/tmp/lsmstats_robust_XXXXXX";
+  std::string dir = ::mkdtemp(tmpl);
+
+  // Build a valid component, then corrupt it in assorted ways.
+  std::string path = dir + "/c.cmp";
+  {
+    DiskComponentBuilder builder(path, 100);
+    for (int64_t k = 0; k < 100; ++k) {
+      ASSERT_TRUE(builder.Add({PrimaryKey(k), "value", false}).ok());
+    }
+    ASSERT_TRUE(builder.Finish(1, 1).ok());
+  }
+  auto corrupt_and_open = [&](auto mutate) {
+    std::string copy_path = dir + "/corrupt.cmp";
+    std::filesystem::copy_file(
+        path, copy_path, std::filesystem::copy_options::overwrite_existing);
+    mutate(copy_path);
+    auto result = DiskComponent::Open(copy_path, 2, 2);
+    if (result.ok()) {
+      // If the corruption dodged the checks, reading must still be safe.
+      auto cursor = (*result)->NewCursor();
+      while (cursor->Valid()) cursor->Next();
+    }
+    return result.ok();
+  };
+  // Truncations of assorted severity must all fail Open or read safely.
+  EXPECT_FALSE(corrupt_and_open([](const std::string& p) {
+    std::filesystem::resize_file(p, 8);
+  }));
+  EXPECT_FALSE(corrupt_and_open([](const std::string& p) {
+    std::filesystem::resize_file(p, std::filesystem::file_size(p) - 1);
+  }));
+  // Flipping the magic number must fail.
+  EXPECT_FALSE(corrupt_and_open([](const std::string& p) {
+    auto size = std::filesystem::file_size(p);
+    FILE* f = std::fopen(p.c_str(), "r+b");
+    ASSERT_TRUE(f != nullptr);
+    std::fseek(f, static_cast<long>(size - 4), SEEK_SET);
+    std::fputc(0x5a, f);
+    std::fclose(f);
+  }));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Robustness, EstimatorHandlesEmptyAndMixedCatalogs) {
+  StatisticsCatalog catalog;
+  CardinalityEstimator estimator(&catalog, {});
+  // Unknown keys estimate to zero.
+  EXPECT_DOUBLE_EQ(estimator.EstimateRange("nope", "nothing", 0, 100), 0.0);
+  // A stream whose first entry has a null synopsis must not crash the
+  // mergeability probe.
+  SynopsisEntry entry;
+  entry.component_id = 1;
+  entry.timestamp = 1;
+  catalog.Register({"ds", "f", 0}, std::move(entry), {});
+  EXPECT_DOUBLE_EQ(estimator.EstimateRangePartition({"ds", "f", 0}, 0, 100),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace lsmstats

@@ -1,0 +1,45 @@
+// Build smoke test: exercises the lowest layers end to end so the scaffold
+// compiles and links before the higher modules land.
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace lsmstats {
+namespace {
+
+TEST(Smoke, StatusRoundTrip) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Status::NotFound("x");
+  EXPECT_EQ(bad.code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.ToString(), "NotFound: x");
+}
+
+TEST(Smoke, CodingRoundTrip) {
+  Encoder enc;
+  enc.PutVarint64(300);
+  enc.PutI64(-5);
+  enc.PutString("hello");
+  Decoder dec(enc.buffer());
+  uint64_t v;
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  EXPECT_EQ(v, 300u);
+  int64_t i;
+  ASSERT_TRUE(dec.GetI64(&i).ok());
+  EXPECT_EQ(i, -5);
+  std::string s;
+  ASSERT_TRUE(dec.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(Smoke, RandomDeterminism) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace lsmstats

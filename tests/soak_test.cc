@@ -1,0 +1,124 @@
+// End-to-end soak test: a cluster under a long randomized changeable
+// workload with flushes, merges, catalog persistence, and continuous
+// estimate-vs-exact cross-checking. The closest thing to a day in
+// production, compressed.
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "workload/distribution.h"
+#include "workload/tweets.h"
+
+namespace lsmstats {
+namespace {
+
+TEST(Soak, ClusterSurvivesChangeableWorkloadWithAccurateStats) {
+  char tmpl[] = "/tmp/lsmstats_soak_XXXXXX";
+  std::string dir = ::mkdtemp(tmpl);
+
+  const ValueDomain domain(0, 14);
+  DatasetOptions options;
+  options.name = "soak";
+  options.schema = TweetSchema(domain);
+  options.synopsis_type = SynopsisType::kEquiWidthHistogram;
+  options.synopsis_budget = 1 << 14;  // bucket per value: exactness expected
+  options.memtable_max_entries = 400;
+  options.merge_policy = std::make_shared<ConstantMergePolicy>(4);
+  auto cluster_or = Cluster::Start(3, dir, std::move(options));
+  ASSERT_TRUE(cluster_or.ok()) << cluster_or.status().ToString();
+  Cluster& cluster = *cluster_or.value();
+
+  DistributionSpec spec;
+  spec.spread = SpreadDistribution::kZipfRandom;
+  spec.frequency = FrequencyDistribution::kZipf;
+  spec.num_values = 500;
+  spec.total_records = 20000;
+  spec.domain = domain;
+  auto dist = SyntheticDistribution::Generate(spec);
+
+  Random rng(2026);
+  std::map<int64_t, int64_t> model;  // pk -> metric value
+  int64_t next_pk = 0;
+  auto exact_range = [&](int64_t lo, int64_t hi) {
+    uint64_t count = 0;
+    for (const auto& [pk, value] : model) {
+      if (value >= lo && value <= hi) ++count;
+    }
+    return count;
+  };
+
+  for (int op = 0; op < 12000; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.6 || model.empty()) {
+      Record record;
+      record.pk = next_pk++;
+      record.fields = {dist.SampleValue(&rng), op};
+      ASSERT_TRUE(cluster.Insert(record).ok());
+      model[record.pk] = record.fields[0];
+    } else if (dice < 0.8) {
+      auto victim = model.begin();
+      std::advance(victim, rng.Uniform(model.size()));
+      Record record;
+      record.pk = victim->first;
+      record.fields = {dist.SampleValue(&rng), op};
+      ASSERT_TRUE(cluster.Update(record).ok());
+      victim->second = record.fields[0];
+    } else {
+      auto victim = model.begin();
+      std::advance(victim, rng.Uniform(model.size()));
+      ASSERT_TRUE(cluster.Delete(victim->first).ok());
+      model.erase(victim);
+    }
+
+    if (op % 3000 == 2999) {
+      // Periodic checkpoint: flush everything and cross-check estimates.
+      // The Constant policy merges oldest-suffix ranges, so full-precision
+      // equi-width statistics must be exact (see DESIGN.md's accounting
+      // note).
+      ASSERT_TRUE(cluster.FlushAll().ok());
+      for (int probe = 0; probe < 10; ++probe) {
+        int64_t lo = rng.UniformInRange(0, domain.max_value() - 512);
+        int64_t hi = lo + 511;
+        double estimate = cluster.EstimateRange(kTweetMetricField, lo, hi);
+        uint64_t exact = exact_range(lo, hi);
+        EXPECT_NEAR(estimate, static_cast<double>(exact), 1e-6)
+            << "op " << op << " [" << lo << "," << hi << "]";
+        EXPECT_EQ(cluster.CountRange(kTweetMetricField, lo, hi).value(),
+                  exact);
+      }
+    }
+  }
+
+  // Persist the cluster catalog and verify a reloaded copy estimates
+  // identically.
+  std::string catalog_path = dir + "/catalog.bin";
+  ASSERT_TRUE(const_cast<StatisticsCatalog&>(
+                  cluster.controller().catalog())
+                  .SaveToFile(catalog_path)
+                  .ok());
+  StatisticsCatalog reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(catalog_path).ok());
+  CardinalityEstimator recovered(&reloaded, {});
+  for (int probe = 0; probe < 20; ++probe) {
+    int64_t lo = rng.UniformInRange(0, domain.max_value() - 128);
+    int64_t hi = lo + 127;
+    EXPECT_NEAR(recovered.EstimateRange("soak", kTweetMetricField, lo, hi),
+                cluster.EstimateRange(kTweetMetricField, lo, hi), 1e-6);
+  }
+
+  // Full merge everywhere: catalogs shrink to one entry per partition and
+  // stay exact.
+  ASSERT_TRUE(cluster.ForceFullMergeAll().ok());
+  double total =
+      cluster.EstimateRange(kTweetMetricField, 0, domain.max_value());
+  EXPECT_NEAR(total, static_cast<double>(model.size()), 1e-6);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace lsmstats

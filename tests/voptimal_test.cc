@@ -1,0 +1,122 @@
+// Tests for the V-Optimal reference histogram (offline DP).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "synopsis/builder.h"
+#include "synopsis/maxdiff_histogram.h"
+#include "workload/exact_counter.h"
+
+namespace lsmstats {
+namespace {
+
+std::vector<int64_t> Expand(
+    const std::vector<std::pair<uint64_t, uint64_t>>& aggregate) {
+  std::vector<int64_t> values;
+  for (const auto& [pos, freq] : aggregate) {
+    for (uint64_t f = 0; f < freq; ++f) {
+      values.push_back(static_cast<int64_t>(pos));
+    }
+  }
+  return values;
+}
+
+TEST(VOptimal, IsolatesVarianceOptimally) {
+  ValueDomain domain(0, 10);
+  // Two flat plateaus and a spike: with 3 buckets the optimal partition is
+  // exactly {plateau, spike, plateau} — total SSE 0.
+  std::vector<std::pair<uint64_t, uint64_t>> aggregate;
+  for (uint64_t p = 0; p < 20; ++p) aggregate.push_back({p, 4});
+  aggregate.push_back({100, 500});
+  for (uint64_t p = 200; p < 220; ++p) aggregate.push_back({p, 4});
+  auto histogram = VOptimalHistogram::Build(domain, 3, aggregate);
+  EXPECT_EQ(histogram->ElementCount(), 3u);
+  EXPECT_NEAR(histogram->EstimatePoint(100), 500.0, 1e-9);
+  EXPECT_NEAR(histogram->EstimateRange(0, 19), 80.0, 1e-9);
+  EXPECT_NEAR(histogram->EstimateRange(200, 219), 80.0, 1e-9);
+  EXPECT_NEAR(histogram->EstimateRange(0, 1023), 660.0, 1e-9);
+}
+
+TEST(VOptimal, CompetitiveWithEquiHeightOnRangeQueries) {
+  // Optimality is in frequency-SSE, which correlates with (but does not
+  // equal) range-estimate error; V-optimal should at minimum stay
+  // competitive with equi-height at the same budget.
+  Random rng(3);
+  std::vector<std::pair<uint64_t, uint64_t>> aggregate;
+  for (uint64_t p = 0; p < 300; ++p) {
+    aggregate.push_back({p * 3, 1 + rng.Uniform(100)});
+  }
+  const size_t b = 16;
+  const ValueDomain domain(0, 10);
+  auto voptimal = VOptimalHistogram::Build(domain, b, aggregate);
+
+  std::vector<int64_t> values = Expand(aggregate);
+  ExactCounter oracle(values);
+  SynopsisConfig config{SynopsisType::kEquiHeightHistogram, b, domain};
+  auto builder = CreateSynopsisBuilder(config, values.size());
+  std::sort(values.begin(), values.end());
+  for (int64_t v : values) builder->Add(v);
+  auto equi_height = builder->Finish();
+
+  double dp_error = 0, equi_error = 0;
+  Random qrng(7);
+  for (int q = 0; q < 300; ++q) {
+    int64_t lo = qrng.UniformInRange(0, 1023 - 64);
+    int64_t hi = lo + 63;
+    double exact = static_cast<double>(oracle.ExactRange(lo, hi));
+    dp_error += std::abs(voptimal->EstimateRange(lo, hi) - exact);
+    equi_error += std::abs(equi_height->EstimateRange(lo, hi) - exact);
+  }
+  EXPECT_LT(dp_error, equi_error * 1.25);
+}
+
+TEST(VOptimal, SerializationRoundTrip) {
+  std::vector<std::pair<uint64_t, uint64_t>> aggregate = {
+      {5, 10}, {6, 10}, {100, 90}, {101, 91}, {500, 3}};
+  auto histogram = VOptimalHistogram::Build(ValueDomain(0, 10), 3, aggregate);
+  Encoder enc;
+  histogram->EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = DecodeSynopsis(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)->type(), SynopsisType::kVOptimal);
+  EXPECT_FALSE(SynopsisTypeIsMergeable(SynopsisType::kVOptimal));
+  for (int64_t hi = 0; hi <= 1023; hi += 11) {
+    EXPECT_DOUBLE_EQ((*decoded)->EstimateRange(0, hi),
+                     histogram->EstimateRange(0, hi));
+  }
+}
+
+TEST(VOptimal, EmptyAndDegenerateInputs) {
+  auto empty = VOptimalHistogram::Build(ValueDomain(0, 8), 4, {});
+  EXPECT_EQ(empty->TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(empty->EstimateRange(0, 255), 0.0);
+  // Fewer distinct values than buckets: one bucket per value, exact.
+  auto tiny = VOptimalHistogram::Build(ValueDomain(0, 8), 16,
+                                       {{3, 7}, {9, 2}});
+  EXPECT_DOUBLE_EQ(tiny->EstimatePoint(3), 7.0);
+  EXPECT_DOUBLE_EQ(tiny->EstimatePoint(9), 2.0);
+  EXPECT_DOUBLE_EQ(tiny->EstimatePoint(5), 0.0);
+}
+
+TEST(VOptimal, BucketCountNeverExceedsBudgetOrDistincts) {
+  Random rng(9);
+  for (size_t budget : {1u, 2u, 8u, 64u}) {
+    std::vector<std::pair<uint64_t, uint64_t>> aggregate;
+    uint64_t pos = 0;
+    size_t distincts = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < distincts; ++i) {
+      pos += 1 + rng.Uniform(10);
+      aggregate.push_back({pos, 1 + rng.Uniform(20)});
+    }
+    auto histogram =
+        VOptimalHistogram::Build(ValueDomain(0, 10), budget, aggregate);
+    EXPECT_LE(histogram->ElementCount(), std::min(budget, distincts));
+    double total = 0;
+    for (const auto& [p, f] : aggregate) total += static_cast<double>(f);
+    EXPECT_NEAR(histogram->EstimateRange(0, 1023), total, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats

@@ -1,0 +1,374 @@
+// Tests for the wavelet synopsis and the streaming decomposition builder
+// (paper Algorithm 1, Appendix B).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "synopsis/wavelet.h"
+#include "synopsis/wavelet_builder.h"
+#include "synopsis/wavelet_naive.h"
+
+namespace lsmstats {
+namespace {
+
+// Builds a streaming wavelet over (position, frequency) tuples.
+std::unique_ptr<WaveletSynopsis> BuildStreaming(
+    const ValueDomain& domain, size_t budget,
+    const std::vector<std::pair<uint64_t, uint64_t>>& tuples) {
+  StreamingWaveletBuilder builder(domain, budget);
+  for (const auto& [pos, freq] : tuples) {
+    for (uint64_t i = 0; i < freq; ++i) {
+      builder.Add(domain.ValueAt(pos));
+    }
+  }
+  std::unique_ptr<Synopsis> synopsis = builder.Finish();
+  return std::unique_ptr<WaveletSynopsis>(
+      static_cast<WaveletSynopsis*>(synopsis.release()));
+}
+
+// Exact prefix sums of a tuple list over a domain.
+std::vector<double> PrefixSums(const ValueDomain& domain,
+                               const std::vector<std::pair<uint64_t, uint64_t>>&
+                                   tuples) {
+  uint64_t length = domain.MaxPosition() + 1;
+  std::vector<double> prefix(length, 0.0);
+  for (const auto& [pos, freq] : tuples) {
+    prefix[pos] += static_cast<double>(freq);
+  }
+  for (uint64_t i = 1; i < length; ++i) prefix[i] += prefix[i - 1];
+  return prefix;
+}
+
+// ------------------------------------------------------ paper worked example
+
+TEST(Wavelet, PaperAppendixBExample) {
+  // F = [1 0 1 0 0 2 1 4], F+ = [1 1 2 2 2 4 5 9].
+  ValueDomain domain(0, 3);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples = {
+      {0, 1}, {2, 1}, {5, 2}, {6, 1}, {7, 4}};
+  auto synopsis = BuildStreaming(domain, 64, tuples);
+
+  // The decomposition of the prefix sum is
+  // [3.25, 1.75, 0.5, 2, 0, 0, 1, 2] (main average + details, Appendix B).
+  std::map<uint64_t, double> expected = {
+      {0, 3.25}, {1, 1.75}, {2, 0.5}, {3, 2.0}, {6, 1.0}, {7, 2.0}};
+  std::map<uint64_t, double> actual;
+  for (const auto& c : synopsis->CoefficientsInPreOrder()) {
+    actual[c.index] = c.value;
+  }
+  EXPECT_EQ(actual, expected);
+
+  // Reconstruction recovers the prefix sum exactly.
+  std::vector<double> prefix = {1, 1, 2, 2, 2, 4, 5, 9};
+  for (uint64_t p = 0; p < 8; ++p) {
+    EXPECT_DOUBLE_EQ(synopsis->ReconstructPoint(p), prefix[p]) << "p=" << p;
+  }
+}
+
+TEST(Wavelet, PaperAlgorithmFigure1Example) {
+  // X = [0 0 2 0 0 0 1 0] from Figure 1; prefix sum [0 0 2 2 2 2 3 3].
+  ValueDomain domain(0, 3);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples = {{2, 2}, {6, 1}};
+  auto synopsis = BuildStreaming(domain, 64, tuples);
+  std::vector<double> prefix = {0, 0, 2, 2, 2, 2, 3, 3};
+  for (uint64_t p = 0; p < 8; ++p) {
+    EXPECT_DOUBLE_EQ(synopsis->ReconstructPoint(p), prefix[p]) << "p=" << p;
+  }
+  // Figure 1b: pushing x3 leaves average a2 = 1 on the stack, i.e. the
+  // average over [0, 3] of the prefix sum is 1. The corresponding detail at
+  // the root's left child (node 2) is (avg[2,3] - avg[0,1]) / 2 = 1.
+  for (const auto& c : synopsis->CoefficientsInPreOrder()) {
+    if (c.index == 2) {
+      EXPECT_DOUBLE_EQ(c.value, 1.0);
+    }
+  }
+}
+
+// --------------------------------------------- streaming == naive, exact
+
+TEST(Wavelet, StreamingMatchesNaiveExactlyUnlimitedBudget) {
+  Random rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    int log_domain = 1 + static_cast<int>(rng.Uniform(12));
+    ValueDomain domain(static_cast<int64_t>(rng.Uniform(1000)) - 500,
+                       log_domain);
+    uint64_t length = domain.MaxPosition() + 1;
+    std::vector<std::pair<uint64_t, uint64_t>> tuples;
+    for (uint64_t p = 0; p < length; ++p) {
+      if (rng.Bernoulli(0.3)) tuples.push_back({p, 1 + rng.Uniform(9)});
+    }
+    size_t budget = 4 * static_cast<size_t>(length) + 8;  // keep everything
+    auto streaming = BuildStreaming(domain, budget, tuples);
+    auto naive =
+        BuildWaveletNaive(domain, budget, WaveletEncoding::kPrefixSum, tuples);
+
+    auto a = streaming->CoefficientsInPreOrder();
+    auto b = naive->CoefficientsInPreOrder();
+    ASSERT_EQ(a.size(), b.size()) << "trial " << trial;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index) << "trial " << trial << " i=" << i;
+      EXPECT_NEAR(a[i].value, b[i].value, 1e-9)
+          << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(Wavelet, StreamingMatchesNaiveTopBImportances) {
+  // With a binding budget the retained sets can differ on importance ties,
+  // but the sorted importance values must agree.
+  Random rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    int log_domain = 4 + static_cast<int>(rng.Uniform(8));
+    ValueDomain domain(0, log_domain);
+    uint64_t length = domain.MaxPosition() + 1;
+    std::vector<std::pair<uint64_t, uint64_t>> tuples;
+    for (uint64_t p = 0; p < length; ++p) {
+      if (rng.Bernoulli(0.2)) tuples.push_back({p, 1 + rng.Uniform(50)});
+    }
+    size_t budget = 8 + rng.Uniform(24);
+    auto streaming = BuildStreaming(domain, budget, tuples);
+    auto naive =
+        BuildWaveletNaive(domain, budget, WaveletEncoding::kPrefixSum, tuples);
+
+    auto importances = [log_domain](const WaveletSynopsis& s) {
+      std::vector<double> v;
+      for (const auto& c : s.CoefficientsInPreOrder()) {
+        v.push_back(WaveletImportance(c.index, c.value, log_domain));
+      }
+      std::sort(v.begin(), v.end());
+      return v;
+    };
+    auto ia = importances(*streaming);
+    auto ib = importances(*naive);
+    ASSERT_EQ(ia.size(), ib.size()) << "trial " << trial;
+    for (size_t i = 0; i < ia.size(); ++i) {
+      EXPECT_NEAR(ia[i], ib[i], 1e-9) << "trial " << trial << " i=" << i;
+    }
+  }
+}
+
+// ----------------------------------------------------------- estimates
+
+TEST(Wavelet, ExactEstimatesWithFullBudget) {
+  Random rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    int log_domain = 2 + static_cast<int>(rng.Uniform(9));
+    ValueDomain domain(-100, log_domain);
+    uint64_t length = domain.MaxPosition() + 1;
+    std::vector<std::pair<uint64_t, uint64_t>> tuples;
+    for (uint64_t p = 0; p < length; ++p) {
+      if (rng.Bernoulli(0.4)) tuples.push_back({p, 1 + rng.Uniform(5)});
+    }
+    auto synopsis =
+        BuildStreaming(domain, 4 * static_cast<size_t>(length) + 8, tuples);
+    auto prefix = PrefixSums(domain, tuples);
+
+    for (int q = 0; q < 50; ++q) {
+      uint64_t a = rng.Uniform(length);
+      uint64_t b = rng.Uniform(length);
+      if (a > b) std::swap(a, b);
+      double exact = prefix[b] - (a == 0 ? 0.0 : prefix[a - 1]);
+      double est = synopsis->EstimateRange(domain.ValueAt(a),
+                                           domain.ValueAt(b));
+      EXPECT_NEAR(est, exact, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Wavelet, PointEstimatesWithFullBudget) {
+  ValueDomain domain(0, 6);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples = {
+      {3, 5}, {17, 2}, {40, 9}, {63, 1}};
+  auto synopsis = BuildStreaming(domain, 1024, tuples);
+  for (const auto& [pos, freq] : tuples) {
+    EXPECT_NEAR(synopsis->EstimatePoint(domain.ValueAt(pos)),
+                static_cast<double>(freq), 1e-9);
+  }
+  EXPECT_NEAR(synopsis->EstimatePoint(domain.ValueAt(10)), 0.0, 1e-9);
+}
+
+TEST(Wavelet, RawFrequencyRangeSumMatchesBruteForce) {
+  Random rng(31);
+  ValueDomain domain(0, 8);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples;
+  for (uint64_t p = 0; p < 256; ++p) {
+    if (rng.Bernoulli(0.3)) tuples.push_back({p, 1 + rng.Uniform(7)});
+  }
+  auto synopsis = BuildWaveletNaive(domain, 1 << 12,
+                                    WaveletEncoding::kRawFrequency, tuples);
+  std::vector<double> freq(256, 0.0);
+  for (const auto& [p, f] : tuples) freq[p] = static_cast<double>(f);
+  for (int q = 0; q < 100; ++q) {
+    uint64_t a = rng.Uniform(256), b = rng.Uniform(256);
+    if (a > b) std::swap(a, b);
+    double exact = 0;
+    for (uint64_t p = a; p <= b; ++p) exact += freq[p];
+    EXPECT_NEAR(synopsis->EstimateRange(static_cast<int64_t>(a),
+                                        static_cast<int64_t>(b)),
+                exact, 1e-6);
+  }
+}
+
+// -------------------------------------------------------------- merging
+
+TEST(Wavelet, MergeEqualsUnionWithFullBudget) {
+  Random rng(47);
+  ValueDomain domain(0, 10);
+  std::vector<std::pair<uint64_t, uint64_t>> ta, tb, tu;
+  std::map<uint64_t, uint64_t> unioned;
+  for (uint64_t p = 0; p < 1024; ++p) {
+    if (rng.Bernoulli(0.2)) {
+      uint64_t f = 1 + rng.Uniform(4);
+      ta.push_back({p, f});
+      unioned[p] += f;
+    }
+    if (rng.Bernoulli(0.2)) {
+      uint64_t f = 1 + rng.Uniform(4);
+      tb.push_back({p, f});
+      unioned[p] += f;
+    }
+  }
+  for (const auto& [p, f] : unioned) tu.push_back({p, f});
+
+  size_t budget = 1 << 14;  // effectively unlimited
+  auto sa = BuildStreaming(domain, budget, ta);
+  auto sb = BuildStreaming(domain, budget, tb);
+  auto su = BuildStreaming(domain, budget, tu);
+  ASSERT_TRUE(sa->MergeFrom(*sb).ok());
+
+  EXPECT_EQ(sa->TotalRecords(), su->TotalRecords());
+  for (uint64_t p = 0; p < 1024; p += 13) {
+    EXPECT_NEAR(sa->ReconstructPoint(p), su->ReconstructPoint(p), 1e-6);
+  }
+}
+
+TEST(Wavelet, MergeRejectsMismatchedDomains) {
+  auto a = BuildStreaming(ValueDomain(0, 8), 16, {{1, 1}});
+  auto b = BuildStreaming(ValueDomain(0, 9), 16, {{1, 1}});
+  EXPECT_EQ(a->MergeFrom(*b).code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ structure
+
+TEST(Wavelet, PreOrderComparatorProperties) {
+  // Root average first, then pre-order of the detail tree.
+  EXPECT_TRUE(WaveletPreOrderLess(0, 1));
+  EXPECT_TRUE(WaveletPreOrderLess(1, 2));   // node before left child
+  EXPECT_TRUE(WaveletPreOrderLess(2, 3));   // left subtree before right
+  EXPECT_TRUE(WaveletPreOrderLess(2, 5));   // 5 = right child of 2
+  EXPECT_TRUE(WaveletPreOrderLess(5, 3));   // whole left subtree before 3
+  EXPECT_TRUE(WaveletPreOrderLess(4, 5));
+  EXPECT_FALSE(WaveletPreOrderLess(3, 3));
+  EXPECT_TRUE(WaveletPreOrderLess(3, 6));   // parent before its left child
+  // Strict weak ordering spot check: antisymmetry on random pairs.
+  Random rng(3);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng.Uniform(1 << 12);
+    uint64_t b = rng.Uniform(1 << 12);
+    if (a == b) continue;
+    EXPECT_NE(WaveletPreOrderLess(a, b), WaveletPreOrderLess(b, a));
+  }
+}
+
+TEST(Wavelet, SerializationRoundTrip) {
+  ValueDomain domain(-500, 12);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples = {
+      {0, 3}, {100, 7}, {2000, 1}, {4095, 11}};
+  auto synopsis = BuildStreaming(domain, 32, tuples);
+  Encoder enc;
+  synopsis->EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = DecodeSynopsis(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(dec.Done());
+  EXPECT_EQ((*decoded)->type(), SynopsisType::kWavelet);
+  EXPECT_EQ((*decoded)->TotalRecords(), synopsis->TotalRecords());
+  EXPECT_EQ((*decoded)->ElementCount(), synopsis->ElementCount());
+  for (int64_t v : {-500, -400, 0, 3000, 3595}) {
+    EXPECT_DOUBLE_EQ((*decoded)->EstimateRange(-500, v),
+                     synopsis->EstimateRange(-500, v));
+  }
+}
+
+TEST(Wavelet, EmptyInputYieldsZeroEstimates) {
+  StreamingWaveletBuilder builder(ValueDomain(0, 16), 64);
+  auto synopsis = builder.Finish();
+  EXPECT_EQ(synopsis->TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(synopsis->EstimateRange(0, 65535), 0.0);
+}
+
+TEST(Wavelet, FullInt64DomainSmoke) {
+  // The full 2^64 domain exercises every overflow guard in the builder.
+  ValueDomain domain = ValueDomain::ForType(FieldType::kInt64);
+  StreamingWaveletBuilder builder(domain, 1 << 12);
+  std::vector<int64_t> values = {INT64_MIN, -5, 0, 1, 1, 1, 999999999999LL,
+                                 INT64_MAX};
+  for (int64_t v : values) builder.Add(v);
+  std::unique_ptr<Synopsis> synopsis = builder.Finish();
+  EXPECT_EQ(synopsis->TotalRecords(), values.size());
+  // With an ample budget every nonzero coefficient survives, so estimates
+  // are exact.
+  EXPECT_NEAR(synopsis->EstimateRange(INT64_MIN, INT64_MAX), 8.0, 1e-3);
+  EXPECT_NEAR(synopsis->EstimatePoint(1), 3.0, 1e-3);
+  EXPECT_NEAR(synopsis->EstimateRange(-5, 1), 5.0, 1e-3);
+}
+
+TEST(Wavelet, FullInt64DomainTailValueOnly) {
+  // A single record at the very top of the domain: next_position_ wraps.
+  ValueDomain domain = ValueDomain::ForType(FieldType::kInt64);
+  StreamingWaveletBuilder builder(domain, 256);
+  builder.Add(INT64_MAX);
+  std::unique_ptr<Synopsis> synopsis = builder.Finish();
+  EXPECT_NEAR(synopsis->EstimatePoint(INT64_MAX), 1.0, 1e-6);
+  EXPECT_NEAR(synopsis->EstimateRange(INT64_MIN, INT64_MAX - 1), 0.0, 1e-6);
+}
+
+TEST(Wavelet, ThresholdingKeepsBudget) {
+  Random rng(91);
+  ValueDomain domain(0, 14);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples;
+  for (uint64_t p = 0; p < (1 << 14); p += 1 + rng.Uniform(5)) {
+    tuples.push_back({p, 1 + rng.Uniform(100)});
+  }
+  for (size_t budget : {4u, 16u, 64u, 256u}) {
+    auto synopsis = BuildStreaming(domain, budget, tuples);
+    EXPECT_LE(synopsis->ElementCount(), budget);
+  }
+}
+
+TEST(Wavelet, BiggerBudgetNeverHurtsTotalRangeAccuracy) {
+  // The L2-optimal greedy selection should make broad range estimates
+  // monotonically better (or equal) as the budget grows, on average.
+  Random rng(131);
+  ValueDomain domain(0, 12);
+  std::vector<std::pair<uint64_t, uint64_t>> tuples;
+  for (uint64_t p = 0; p < (1 << 12); ++p) {
+    if (rng.Bernoulli(0.5)) tuples.push_back({p, 1 + rng.Uniform(20)});
+  }
+  auto prefix = PrefixSums(domain, tuples);
+  double prev_error = 1e300;
+  for (size_t budget : {8u, 32u, 128u, 512u, 4096u, 16384u}) {
+    auto synopsis = BuildStreaming(domain, budget, tuples);
+    double err = 0;
+    Random qrng(7);
+    for (int q = 0; q < 200; ++q) {
+      uint64_t a = qrng.Uniform(1 << 12), b = qrng.Uniform(1 << 12);
+      if (a > b) std::swap(a, b);
+      double exact = prefix[b] - (a == 0 ? 0.0 : prefix[a - 1]);
+      err += std::abs(synopsis->EstimateRange(static_cast<int64_t>(a),
+                                              static_cast<int64_t>(b)) -
+                      exact);
+    }
+    EXPECT_LE(err, prev_error * 1.10) << "budget " << budget;
+    prev_error = err;
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats
