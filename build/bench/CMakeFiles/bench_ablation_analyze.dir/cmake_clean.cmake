@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_analyze.dir/bench_ablation_analyze.cc.o"
+  "CMakeFiles/bench_ablation_analyze.dir/bench_ablation_analyze.cc.o.d"
+  "bench_ablation_analyze"
+  "bench_ablation_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_composite.dir/bench_ablation_composite.cc.o"
+  "CMakeFiles/bench_ablation_composite.dir/bench_ablation_composite.cc.o.d"
+  "bench_ablation_composite"
+  "bench_ablation_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefixsum.dir/bench_ablation_prefixsum.cc.o"
+  "CMakeFiles/bench_ablation_prefixsum.dir/bench_ablation_prefixsum.cc.o.d"
+  "bench_ablation_prefixsum"
+  "bench_ablation_prefixsum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefixsum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

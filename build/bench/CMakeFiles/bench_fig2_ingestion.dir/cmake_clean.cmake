@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ingestion.dir/bench_fig2_ingestion.cc.o"
+  "CMakeFiles/bench_fig2_ingestion.dir/bench_fig2_ingestion.cc.o.d"
+  "bench_fig2_ingestion"
+  "bench_fig2_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

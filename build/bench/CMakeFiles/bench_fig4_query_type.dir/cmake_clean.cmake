@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_query_type.dir/bench_fig4_query_type.cc.o"
+  "CMakeFiles/bench_fig4_query_type.dir/bench_fig4_query_type.cc.o.d"
+  "bench_fig4_query_type"
+  "bench_fig4_query_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_query_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_antimatter.dir/bench_fig7_antimatter.cc.o"
+  "CMakeFiles/bench_fig7_antimatter.dir/bench_fig7_antimatter.cc.o.d"
+  "bench_fig7_antimatter"
+  "bench_fig7_antimatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_antimatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mergeability.dir/bench_fig8_mergeability.cc.o"
+  "CMakeFiles/bench_fig8_mergeability.dir/bench_fig8_mergeability.cc.o.d"
+  "bench_fig8_mergeability"
+  "bench_fig8_mergeability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mergeability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

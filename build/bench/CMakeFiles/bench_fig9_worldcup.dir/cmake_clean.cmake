@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_worldcup.dir/bench_fig9_worldcup.cc.o"
+  "CMakeFiles/bench_fig9_worldcup.dir/bench_fig9_worldcup.cc.o.d"
+  "bench_fig9_worldcup"
+  "bench_fig9_worldcup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_worldcup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

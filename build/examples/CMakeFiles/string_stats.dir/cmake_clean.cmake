@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_stats.dir/string_stats.cpp.o"
+  "CMakeFiles/string_stats.dir/string_stats.cpp.o.d"
+  "string_stats"
+  "string_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weblog_explorer.dir/weblog_explorer.cpp.o"
+  "CMakeFiles/weblog_explorer.dir/weblog_explorer.cpp.o.d"
+  "weblog_explorer"
+  "weblog_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weblog_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/lsmstats.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/cluster_controller.cc" "src/CMakeFiles/lsmstats.dir/cluster/cluster_controller.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/cluster/cluster_controller.cc.o.d"
+  "/root/repo/src/cluster/node_controller.cc" "src/CMakeFiles/lsmstats.dir/cluster/node_controller.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/cluster/node_controller.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/lsmstats.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/dictionary.cc" "src/CMakeFiles/lsmstats.dir/common/dictionary.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/dictionary.cc.o.d"
+  "/root/repo/src/common/file.cc" "src/CMakeFiles/lsmstats.dir/common/file.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/file.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/lsmstats.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/lsmstats.dir/common/random.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lsmstats.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/status.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/lsmstats.dir/common/types.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/common/types.cc.o.d"
+  "/root/repo/src/db/dataset.cc" "src/CMakeFiles/lsmstats.dir/db/dataset.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/db/dataset.cc.o.d"
+  "/root/repo/src/db/record.cc" "src/CMakeFiles/lsmstats.dir/db/record.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/db/record.cc.o.d"
+  "/root/repo/src/lsm/bloom_filter.cc" "src/CMakeFiles/lsmstats.dir/lsm/bloom_filter.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/bloom_filter.cc.o.d"
+  "/root/repo/src/lsm/disk_component.cc" "src/CMakeFiles/lsmstats.dir/lsm/disk_component.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/disk_component.cc.o.d"
+  "/root/repo/src/lsm/event_listener.cc" "src/CMakeFiles/lsmstats.dir/lsm/event_listener.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/event_listener.cc.o.d"
+  "/root/repo/src/lsm/lsm_tree.cc" "src/CMakeFiles/lsmstats.dir/lsm/lsm_tree.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/memtable.cc" "src/CMakeFiles/lsmstats.dir/lsm/memtable.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/lsm/merge_cursor.cc" "src/CMakeFiles/lsmstats.dir/lsm/merge_cursor.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/merge_cursor.cc.o.d"
+  "/root/repo/src/lsm/merge_policy.cc" "src/CMakeFiles/lsmstats.dir/lsm/merge_policy.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/lsm/merge_policy.cc.o.d"
+  "/root/repo/src/stats/analyze_job.cc" "src/CMakeFiles/lsmstats.dir/stats/analyze_job.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/analyze_job.cc.o.d"
+  "/root/repo/src/stats/cardinality_estimator.cc" "src/CMakeFiles/lsmstats.dir/stats/cardinality_estimator.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/cardinality_estimator.cc.o.d"
+  "/root/repo/src/stats/composite_collector.cc" "src/CMakeFiles/lsmstats.dir/stats/composite_collector.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/composite_collector.cc.o.d"
+  "/root/repo/src/stats/optimizer_hints.cc" "src/CMakeFiles/lsmstats.dir/stats/optimizer_hints.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/optimizer_hints.cc.o.d"
+  "/root/repo/src/stats/statistics_catalog.cc" "src/CMakeFiles/lsmstats.dir/stats/statistics_catalog.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/statistics_catalog.cc.o.d"
+  "/root/repo/src/stats/statistics_collector.cc" "src/CMakeFiles/lsmstats.dir/stats/statistics_collector.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/statistics_collector.cc.o.d"
+  "/root/repo/src/stats/unsorted_field_collector.cc" "src/CMakeFiles/lsmstats.dir/stats/unsorted_field_collector.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/stats/unsorted_field_collector.cc.o.d"
+  "/root/repo/src/synopsis/builder.cc" "src/CMakeFiles/lsmstats.dir/synopsis/builder.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/builder.cc.o.d"
+  "/root/repo/src/synopsis/equi_height_histogram.cc" "src/CMakeFiles/lsmstats.dir/synopsis/equi_height_histogram.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/equi_height_histogram.cc.o.d"
+  "/root/repo/src/synopsis/equi_width_histogram.cc" "src/CMakeFiles/lsmstats.dir/synopsis/equi_width_histogram.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/equi_width_histogram.cc.o.d"
+  "/root/repo/src/synopsis/gk_sketch.cc" "src/CMakeFiles/lsmstats.dir/synopsis/gk_sketch.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/gk_sketch.cc.o.d"
+  "/root/repo/src/synopsis/grid_histogram.cc" "src/CMakeFiles/lsmstats.dir/synopsis/grid_histogram.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/grid_histogram.cc.o.d"
+  "/root/repo/src/synopsis/maxdiff_histogram.cc" "src/CMakeFiles/lsmstats.dir/synopsis/maxdiff_histogram.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/maxdiff_histogram.cc.o.d"
+  "/root/repo/src/synopsis/synopsis.cc" "src/CMakeFiles/lsmstats.dir/synopsis/synopsis.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/synopsis.cc.o.d"
+  "/root/repo/src/synopsis/wavelet.cc" "src/CMakeFiles/lsmstats.dir/synopsis/wavelet.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/wavelet.cc.o.d"
+  "/root/repo/src/synopsis/wavelet_builder.cc" "src/CMakeFiles/lsmstats.dir/synopsis/wavelet_builder.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/wavelet_builder.cc.o.d"
+  "/root/repo/src/synopsis/wavelet_naive.cc" "src/CMakeFiles/lsmstats.dir/synopsis/wavelet_naive.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/synopsis/wavelet_naive.cc.o.d"
+  "/root/repo/src/workload/distribution.cc" "src/CMakeFiles/lsmstats.dir/workload/distribution.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/workload/distribution.cc.o.d"
+  "/root/repo/src/workload/feed.cc" "src/CMakeFiles/lsmstats.dir/workload/feed.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/workload/feed.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/CMakeFiles/lsmstats.dir/workload/query_workload.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/workload/query_workload.cc.o.d"
+  "/root/repo/src/workload/tweets.cc" "src/CMakeFiles/lsmstats.dir/workload/tweets.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/workload/tweets.cc.o.d"
+  "/root/repo/src/workload/worldcup.cc" "src/CMakeFiles/lsmstats.dir/workload/worldcup.cc.o" "gcc" "src/CMakeFiles/lsmstats.dir/workload/worldcup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyze_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/analyze_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/analyze_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/composite_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/composite_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/composite_test.cc.o.d"
+  "/root/repo/tests/dataset_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/dataset_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/dataset_test.cc.o.d"
+  "/root/repo/tests/estimator_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/estimator_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/estimator_test.cc.o.d"
+  "/root/repo/tests/gk_sketch_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/gk_sketch_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/gk_sketch_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/lsm_policy_property_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/lsm_policy_property_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/lsm_policy_property_test.cc.o.d"
+  "/root/repo/tests/lsm_tree_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/lsm_tree_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/lsm_tree_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/optimizer_hints_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/optimizer_hints_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/optimizer_hints_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/soak_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/soak_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/soak_test.cc.o.d"
+  "/root/repo/tests/synopsis_property_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/synopsis_property_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/synopsis_property_test.cc.o.d"
+  "/root/repo/tests/voptimal_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/voptimal_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/voptimal_test.cc.o.d"
+  "/root/repo/tests/wavelet_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/wavelet_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/wavelet_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/lsmstats_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/lsmstats_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lsmstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
