@@ -22,6 +22,7 @@ using namespace lsmstats;
 int main() {
   std::string dir = "/tmp/lsmstats_cluster_demo";
   std::filesystem::remove_all(dir);
+  // Demo setup: the directory may already exist, which is fine.
   (void)CreateDirIfMissing(dir);
 
   DistributionSpec spec;

@@ -69,8 +69,10 @@ int main() {
   }
   // Some churn: the paper's anti-matter machinery handles it transparently.
   for (int64_t pk = 0; pk < 1000; ++pk) {
+    // Demo: churn best-effort; estimates are checked below, not each op.
     (void)dataset.Delete(pk * 7 % 10000);
   }
+  // Demo: flush errors would surface in the queries below.
   (void)dataset.Flush();
 
   std::printf("LSM components (primary index): %zu, synopses in catalog: "

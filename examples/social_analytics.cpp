@@ -85,6 +85,7 @@ int main() {
     }
     ++ops;
   }
+  // Demo: flush errors would surface in the queries below.
   (void)dataset.Flush();
   std::printf("  %" PRIu64 " operations, %zu LSM components, %" PRIu64
               " live tweets\n\n",

@@ -80,6 +80,7 @@ int main() {
       return 1;
     }
   }
+  // Demo: flush errors would surface in the queries below.
   (void)dataset.Flush();
 
   CardinalityEstimator estimator(&catalog, {});

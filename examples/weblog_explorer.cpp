@@ -75,6 +75,7 @@ int main() {
       return 1;
     }
   }
+  // Demo: flush errors would surface in the queries below.
   (void)dataset.Flush();
   std::printf("  components: %zu per index, catalog holds %" PRIu64
               " bytes of statistics\n\n",

@@ -23,19 +23,21 @@ class Cluster {
   // Starts `num_partitions` node controllers under `base_directory`, each
   // holding one partition of the dataset described by `options` (directory,
   // partition, and sink fields are overridden per node).
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<Cluster>> Start(
       size_t num_partitions, const std::string& base_directory,
       DatasetOptions options,
       CardinalityEstimator::Options estimator_options = {});
 
   // Routes by hash(pk).
-  Status Insert(const Record& record);
-  Status Update(const Record& record);
-  Status Delete(int64_t pk);
-  Status FlushAll();
-  Status ForceFullMergeAll();
+  [[nodiscard]] Status Insert(const Record& record);
+  [[nodiscard]] Status Update(const Record& record);
+  [[nodiscard]] Status Delete(int64_t pk);
+  [[nodiscard]] Status FlushAll();
+  [[nodiscard]] Status ForceFullMergeAll();
 
   // Global exact cardinality (scatter-gather over all partitions).
+  [[nodiscard]]
   StatusOr<uint64_t> CountRange(const std::string& field, int64_t lo,
                                 int64_t hi) const;
 

@@ -34,7 +34,7 @@ struct ComponentStatsMessage {
   std::string anti_synopsis_bytes;
 
   void EncodeTo(Encoder* enc) const;
-  static StatusOr<ComponentStatsMessage> DecodeFrom(Decoder* dec);
+  [[nodiscard]] static StatusOr<ComponentStatsMessage> DecodeFrom(Decoder* dec);
 };
 
 class ClusterController {
@@ -44,7 +44,7 @@ class ClusterController {
 
   // The "network" receive path: decodes the message and updates the global
   // statistics catalog.
-  Status ReceiveStatistics(std::string_view message_bytes);
+  [[nodiscard]] Status ReceiveStatistics(std::string_view message_bytes);
 
   // Cluster-wide cardinality estimate for a dataset field (sums the
   // per-partition estimates, Algorithm 2 over each partition's stream).

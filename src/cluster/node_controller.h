@@ -22,6 +22,7 @@ class NodeController {
   // `options` describes the dataset; the node overrides directory (a
   // per-node subdirectory), partition id, and sink. `controller` must
   // outlive the node.
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<NodeController>> Start(
       uint32_t node_id, const std::string& base_directory,
       DatasetOptions options, ClusterController* controller);

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 namespace lsmstats::internal {
 
@@ -18,6 +19,14 @@ namespace lsmstats::internal {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::fflush(stderr);
   std::abort();
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << expr << " (" << lhs << " vs " << rhs << ")";
+  CheckFailed(file, line, os.str().c_str());
 }
 
 }  // namespace lsmstats::internal
@@ -38,12 +47,42 @@ namespace lsmstats::internal {
     }                                                                   \
   } while (0)
 
+// Binary comparison variant that prints both operand values on failure.
+// Operands are evaluated exactly once.
+#define LSMSTATS_CHECK_OP(op, a, b)                                           \
+  do {                                                                        \
+    const auto& _lhs = (a);                                                   \
+    const auto& _rhs = (b);                                                   \
+    if (!(_lhs op _rhs)) {                                                    \
+      ::lsmstats::internal::CheckOpFailed(__FILE__, __LINE__,                 \
+                                          #a " " #op " " #b, _lhs, _rhs);     \
+    }                                                                         \
+  } while (0)
+
+#define LSMSTATS_CHECK_EQ(a, b) LSMSTATS_CHECK_OP(==, a, b)
+#define LSMSTATS_CHECK_NE(a, b) LSMSTATS_CHECK_OP(!=, a, b)
+#define LSMSTATS_CHECK_LE(a, b) LSMSTATS_CHECK_OP(<=, a, b)
+#define LSMSTATS_CHECK_LT(a, b) LSMSTATS_CHECK_OP(<, a, b)
+#define LSMSTATS_CHECK_GE(a, b) LSMSTATS_CHECK_OP(>=, a, b)
+#define LSMSTATS_CHECK_GT(a, b) LSMSTATS_CHECK_OP(>, a, b)
+
 #ifdef NDEBUG
 #define LSMSTATS_DCHECK(expr) \
   do {                        \
   } while (0)
+#define LSMSTATS_DCHECK_OP(op, a, b) \
+  do {                               \
+  } while (0)
 #else
 #define LSMSTATS_DCHECK(expr) LSMSTATS_CHECK(expr)
+#define LSMSTATS_DCHECK_OP(op, a, b) LSMSTATS_CHECK_OP(op, a, b)
 #endif
+
+#define LSMSTATS_DCHECK_EQ(a, b) LSMSTATS_DCHECK_OP(==, a, b)
+#define LSMSTATS_DCHECK_NE(a, b) LSMSTATS_DCHECK_OP(!=, a, b)
+#define LSMSTATS_DCHECK_LE(a, b) LSMSTATS_DCHECK_OP(<=, a, b)
+#define LSMSTATS_DCHECK_LT(a, b) LSMSTATS_DCHECK_OP(<, a, b)
+#define LSMSTATS_DCHECK_GE(a, b) LSMSTATS_DCHECK_OP(>=, a, b)
+#define LSMSTATS_DCHECK_GT(a, b) LSMSTATS_DCHECK_OP(>, a, b)
 
 #endif  // LSMSTATS_COMMON_CHECK_H_

@@ -20,6 +20,11 @@ Status Decoder::GetVarint64(uint64_t* v) {
   for (int shift = 0; shift <= 63; shift += 7) {
     uint8_t byte;
     LSMSTATS_RETURN_IF_ERROR(GetU8(&byte));
+    // The 10th byte can only contribute bit 63; anything above that would
+    // shift out of the result and decode to a silently wrong value.
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      return Status::Corruption("varint64 overflows 64 bits");
+    }
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *v = result;

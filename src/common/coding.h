@@ -49,23 +49,25 @@ class Decoder {
  public:
   explicit Decoder(std::string_view data) : data_(data), pos_(0) {}
 
-  Status GetU8(uint8_t* v) { return GetFixed(v, sizeof(*v)); }
-  Status GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
-  Status GetU64(uint64_t* v) { return GetFixed(v, sizeof(*v)); }
+  [[nodiscard]] Status GetU8(uint8_t* v) { return GetFixed(v, sizeof(*v)); }
+  [[nodiscard]] Status GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
+  [[nodiscard]] Status GetU64(uint64_t* v) { return GetFixed(v, sizeof(*v)); }
+  [[nodiscard]]
   Status GetI64(int64_t* v) {
     uint64_t u;
     LSMSTATS_RETURN_IF_ERROR(GetU64(&u));
     *v = static_cast<int64_t>(u);
     return Status::OK();
   }
-  Status GetDouble(double* v) { return GetFixed(v, sizeof(*v)); }
-  Status GetVarint64(uint64_t* v);
-  Status GetString(std::string* s);
+  [[nodiscard]] Status GetDouble(double* v) { return GetFixed(v, sizeof(*v)); }
+  [[nodiscard]] Status GetVarint64(uint64_t* v);
+  [[nodiscard]] Status GetString(std::string* s);
 
   size_t remaining() const { return data_.size() - pos_; }
   bool Done() const { return pos_ == data_.size(); }
 
  private:
+  [[nodiscard]]
   Status GetFixed(void* p, size_t n) {
     if (remaining() < n) {
       return Status::Corruption("decode past end of buffer");

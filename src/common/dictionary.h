@@ -38,7 +38,7 @@ class Dictionary {
   int64_t Intern(std::string_view value);
 
   // Returns the code for `value`, or NotFound.
-  StatusOr<int64_t> Lookup(std::string_view value) const;
+  [[nodiscard]] StatusOr<int64_t> Lookup(std::string_view value) const;
 
   // Inverse mapping. Requires a valid code.
   const std::string& Decode(int64_t code) const;

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace lsmstats {
 
 namespace {
@@ -29,7 +31,14 @@ WritableFile::WritableFile(int fd) : fd_(fd) {
 
 WritableFile::~WritableFile() {
   if (fd_ >= 0) {
-    (void)FlushBuffer();
+    // Best-effort: a destructor cannot propagate the error, but a failed
+    // final flush means lost bytes, so it must not pass silently. Callers
+    // that care about durability must Close() explicitly and check.
+    Status s = FlushBuffer();
+    if (!s.ok()) {
+      LSMSTATS_LOG(kError) << "flush in ~WritableFile failed: "
+                           << s.ToString();
+    }
     ::close(fd_);
   }
 }

@@ -20,6 +20,7 @@ namespace lsmstats {
 class WritableFile {
  public:
   // Creates (truncates) `path` for writing.
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<WritableFile>> Create(
       const std::string& path);
 
@@ -27,16 +28,16 @@ class WritableFile {
   WritableFile(const WritableFile&) = delete;
   WritableFile& operator=(const WritableFile&) = delete;
 
-  Status Append(std::string_view data);
+  [[nodiscard]] Status Append(std::string_view data);
   // Flushes buffered data and closes the descriptor.
-  Status Close();
+  [[nodiscard]] Status Close();
 
   // Bytes appended so far (buffered or not).
   uint64_t size() const { return size_; }
 
  private:
   explicit WritableFile(int fd);
-  Status FlushBuffer();
+  [[nodiscard]] Status FlushBuffer();
 
   int fd_;
   uint64_t size_ = 0;
@@ -45,6 +46,7 @@ class WritableFile {
 
 class RandomAccessFile {
  public:
+  [[nodiscard]]
   static StatusOr<std::shared_ptr<RandomAccessFile>> Open(
       const std::string& path);
 
@@ -53,7 +55,7 @@ class RandomAccessFile {
   RandomAccessFile& operator=(const RandomAccessFile&) = delete;
 
   // Reads exactly `n` bytes at `offset` into `*out` (resized to n).
-  Status Read(uint64_t offset, size_t n, std::string* out) const;
+  [[nodiscard]] Status Read(uint64_t offset, size_t n, std::string* out) const;
 
   uint64_t size() const { return size_; }
 
@@ -71,7 +73,7 @@ class SequentialFileReader {
                        uint64_t limit, size_t buffer_size = 1 << 16);
 
   // Reads exactly `n` bytes; fails with Corruption if the region ends first.
-  Status Read(size_t n, std::string* out);
+  [[nodiscard]] Status Read(size_t n, std::string* out);
 
   // True once every byte of the region has been consumed.
   bool AtEnd() const {
@@ -88,8 +90,8 @@ class SequentialFileReader {
 };
 
 // Filesystem helpers.
-Status CreateDirIfMissing(const std::string& path);
-Status RemoveFileIfExists(const std::string& path);
+[[nodiscard]] Status CreateDirIfMissing(const std::string& path);
+[[nodiscard]] Status RemoveFileIfExists(const std::string& path);
 bool FileExists(const std::string& path);
 
 }  // namespace lsmstats

@@ -32,7 +32,11 @@ enum class StatusCode {
 // Returns a short human-readable name for `code` ("OK", "NotFound", ...).
 const char* StatusCodeToString(StatusCode code);
 
-class Status {
+// The type itself is [[nodiscard]]: any expression that produces a Status —
+// including helpers that are not individually annotated — must be consumed.
+// With -Werror=unused-result (the default build), a dropped Status is a
+// compile error; an intentional drop is spelled `(void)expr;` with a comment.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -44,41 +48,50 @@ class Status {
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]]
   static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
+  [[nodiscard]]
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  [[nodiscard]]
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
+  [[nodiscard]]
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  [[nodiscard]]
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  [[nodiscard]]
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  [[nodiscard]]
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  [[nodiscard]]
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  [[nodiscard]]
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   // "<CodeName>: <message>", or "OK".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   StatusCode code_;
@@ -86,8 +99,9 @@ class Status {
 };
 
 // A Status or a value of type T. Mirrors absl::StatusOr in spirit.
+// [[nodiscard]] at the type level for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work
   // in functions returning StatusOr<T>.
@@ -96,8 +110,9 @@ class StatusOr {
   }
   StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
+  [[nodiscard]]
   Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);

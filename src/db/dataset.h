@@ -69,6 +69,7 @@ struct DatasetOptions {
 
 class Dataset {
  public:
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<Dataset>> Open(DatasetOptions options);
 
   Dataset(const Dataset&) = delete;
@@ -77,37 +78,38 @@ class Dataset {
   // --- Modifications -------------------------------------------------------
 
   // Fails with AlreadyExists if the primary key is present.
-  Status Insert(const Record& record);
+  [[nodiscard]] Status Insert(const Record& record);
 
   // Fails with NotFound if the primary key is absent.
-  Status Update(const Record& record);
-  Status Delete(int64_t pk);
+  [[nodiscard]] Status Update(const Record& record);
+  [[nodiscard]] Status Delete(int64_t pk);
 
   // Inserts or updates without a prior existence requirement.
-  Status Upsert(const Record& record);
+  [[nodiscard]] Status Upsert(const Record& record);
 
   // Bulkloads `records` (sorted by pk, duplicate-free) into empty indexes:
   // the bottom-up path that produces a single component per index (§4.2).
-  Status Load(std::vector<Record> records);
+  [[nodiscard]] Status Load(std::vector<Record> records);
 
   // --- Reads ---------------------------------------------------------------
 
-  StatusOr<Record> Get(int64_t pk) const;
+  [[nodiscard]] StatusOr<Record> Get(int64_t pk) const;
 
   // Exact number of live records with field value in [lo, hi]: the ground
   // truth oracle for the accuracy experiments, computed from the secondary
   // index's reconciled scan.
+  [[nodiscard]]
   StatusOr<uint64_t> CountRange(const std::string& field, int64_t lo,
                                 int64_t hi) const;
 
   // Exact live record count.
-  StatusOr<uint64_t> CountAll() const;
+  [[nodiscard]] StatusOr<uint64_t> CountAll() const;
 
   // --- Lifecycle -----------------------------------------------------------
 
   // Flushes every index (a staged-ingestion boundary, §4.3.4).
-  Status Flush();
-  Status ForceFullMerge();
+  [[nodiscard]] Status Flush();
+  [[nodiscard]] Status ForceFullMerge();
 
   // --- Introspection -------------------------------------------------------
 
@@ -127,6 +129,7 @@ class Dataset {
 
   // Exact number of live records with field_a in [lo0, hi0] AND field_b in
   // [lo1, hi1]: the 2-D ground-truth oracle, from the composite index scan.
+  [[nodiscard]]
   StatusOr<uint64_t> CountRange2D(const std::string& field_a,
                                   const std::string& field_b, int64_t lo0,
                                   int64_t hi0, int64_t lo1,
@@ -137,7 +140,7 @@ class Dataset {
  private:
   explicit Dataset(DatasetOptions options);
 
-  Status MaybeFlush();
+  [[nodiscard]] Status MaybeFlush();
 
   DatasetOptions options_;
   std::unique_ptr<LsmTree> primary_;

@@ -44,7 +44,7 @@ class Schema {
   size_t field_count() const { return fields_.size(); }
 
   // Index of a field by name, or NotFound.
-  StatusOr<size_t> FieldIndex(const std::string& name) const;
+  [[nodiscard]] StatusOr<size_t> FieldIndex(const std::string& name) const;
 
   const FieldDef& field(size_t index) const { return fields_[index]; }
 
@@ -65,6 +65,7 @@ struct Record {
 // Serializes the non-key portion of a record (fields + payload) as the
 // primary index's value bytes.
 void EncodeRecordValue(const Record& record, Encoder* enc);
+[[nodiscard]]
 Status DecodeRecordValue(std::string_view data, size_t field_count,
                          Record* record);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace lsmstats {
 
 namespace {
@@ -19,7 +21,11 @@ uint64_t Mix(uint64_t x) {
 }  // namespace
 
 BloomFilter::BloomFilter(uint64_t expected_keys, int bits_per_key) {
-  uint64_t bits = std::max<uint64_t>(64, expected_keys * bits_per_key);
+  // A negative bits_per_key would wrap to a huge unsigned bit count below,
+  // and a large one would overflow the double->int cast computing k.
+  LSMSTATS_CHECK(bits_per_key >= 1 && bits_per_key <= 128);
+  uint64_t bits = std::max<uint64_t>(
+      64, expected_keys * static_cast<uint64_t>(bits_per_key));
   bits_.assign((bits + 63) / 64, 0);
   // k = ln(2) * bits_per_key, clamped to a sane range.
   num_probes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 16);

@@ -31,7 +31,7 @@ class BloomFilter {
   bool MayContain(const LsmKey& key) const;
 
   void EncodeTo(Encoder* enc) const;
-  static StatusOr<BloomFilter> DecodeFrom(Decoder* dec);
+  [[nodiscard]] static StatusOr<BloomFilter> DecodeFrom(Decoder* dec);
 
   size_t SizeBytes() const { return bits_.size() * sizeof(uint64_t); }
 

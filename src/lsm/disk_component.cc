@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/logging.h"
 
 namespace lsmstats {
 
@@ -125,7 +126,13 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
 
 void DiskComponentBuilder::Abandon() {
   file_.reset();
-  (void)RemoveFileIfExists(path_);
+  // Best-effort cleanup of a half-written component; the abandon itself is
+  // already an error path, but leaking the file should still be visible.
+  Status s = RemoveFileIfExists(path_);
+  if (!s.ok()) {
+    LSMSTATS_LOG(kWarning) << "could not remove abandoned component "
+                           << path_ << ": " << s.ToString();
+  }
 }
 
 // ------------------------------------------------------------------- Cursor

@@ -55,10 +55,11 @@ class DiskComponentBuilder {
   DiskComponentBuilder(const DiskComponentBuilder&) = delete;
   DiskComponentBuilder& operator=(const DiskComponentBuilder&) = delete;
 
-  Status Add(const Entry& entry);
+  [[nodiscard]] Status Add(const Entry& entry);
 
   // Seals the file and opens it as a component. `id` and `timestamp` are
   // assigned by the owning tree.
+  [[nodiscard]]
   StatusOr<std::shared_ptr<DiskComponent>> Finish(uint64_t id,
                                                   uint64_t timestamp);
 
@@ -88,7 +89,7 @@ class ComponentCursor : public EntryCursor {
  public:
   bool Valid() const override { return valid_; }
   const Entry& entry() const override { return entry_; }
-  Status status() const override { return status_; }
+  [[nodiscard]] Status status() const override { return status_; }
 
   void Next() override;
 
@@ -105,6 +106,7 @@ class ComponentCursor : public EntryCursor {
 
 class DiskComponent {
  public:
+  [[nodiscard]]
   static StatusOr<std::shared_ptr<DiskComponent>> Open(
       const std::string& path, uint64_t id, uint64_t timestamp);
 
@@ -112,7 +114,7 @@ class DiskComponent {
   const std::string& path() const { return path_; }
 
   // Point lookup. Returns the entry (possibly anti-matter) or NotFound.
-  Status Get(const LsmKey& key, Entry* out) const;
+  [[nodiscard]] Status Get(const LsmKey& key, Entry* out) const;
 
   // Cursor over all entries.
   std::unique_ptr<ComponentCursor> NewCursor() const;
@@ -121,7 +123,7 @@ class DiskComponent {
   std::unique_ptr<ComponentCursor> NewCursorAt(const LsmKey& start) const;
 
   // Removes the backing file. The component must not be used afterwards.
-  Status DeleteFile();
+  [[nodiscard]] Status DeleteFile();
 
  private:
   DiskComponent() = default;
@@ -139,7 +141,7 @@ class DiskComponent {
 
 // Entry wire helpers shared by the builder and readers.
 void EncodeEntry(const Entry& entry, Encoder* enc);
-Status DecodeEntry(SequentialFileReader* reader, Entry* out);
+[[nodiscard]] Status DecodeEntry(SequentialFileReader* reader, Entry* out);
 
 }  // namespace lsmstats
 

@@ -23,7 +23,7 @@ class EntryCursor {
   virtual bool Valid() const = 0;
   virtual const Entry& entry() const = 0;
   virtual void Next() = 0;
-  virtual Status status() const = 0;
+  [[nodiscard]] virtual Status status() const = 0;
 };
 
 // Cursor over an in-memory, pre-sorted entry vector (memtable snapshots,
@@ -36,7 +36,7 @@ class VectorEntryCursor : public EntryCursor {
   bool Valid() const override { return pos_ < entries_.size(); }
   const Entry& entry() const override { return entries_[pos_]; }
   void Next() override { ++pos_; }
-  Status status() const override { return Status::OK(); }
+  [[nodiscard]] Status status() const override { return Status::OK(); }
 
  private:
   std::vector<Entry> entries_;

@@ -54,6 +54,7 @@ class LsmTree {
   // are monotone in creation order, so id order is recency order). The
   // memtable's contents at crash time are lost, as in any LSM without a
   // write-ahead log; see DESIGN.md.
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
 
   LsmTree(const LsmTree&) = delete;
@@ -66,40 +67,44 @@ class LsmTree {
 
   // Inserts or overwrites. `fresh_insert` marks keys the caller knows are
   // absent from all older components (see MemTable::Put).
+  [[nodiscard]]
   Status Put(const LsmKey& key, std::string value, bool fresh_insert = false);
-  Status Delete(const LsmKey& key);
-  Status PutAntiMatter(const LsmKey& key);
+  [[nodiscard]] Status Delete(const LsmKey& key);
+  [[nodiscard]] Status PutAntiMatter(const LsmKey& key);
 
   // --- Reads ---------------------------------------------------------------
 
   // Point lookup across the memtable and all disk components, newest first.
   // Returns NotFound for absent or deleted keys.
-  Status Get(const LsmKey& key, std::string* value) const;
+  [[nodiscard]] Status Get(const LsmKey& key, std::string* value) const;
 
   // Invokes `fn` for every live (reconciled, non-anti-matter) entry with
   // lo <= key <= hi, in key order.
+  [[nodiscard]]
   Status Scan(const LsmKey& lo, const LsmKey& hi,
               const std::function<void(const Entry&)>& fn) const;
 
   // Exact number of live entries in [lo, hi] — the ground-truth cardinality
   // oracle used by the accuracy experiments.
+  [[nodiscard]]
   StatusOr<uint64_t> ScanCount(const LsmKey& lo, const LsmKey& hi) const;
 
   // --- Lifecycle events ----------------------------------------------------
 
   // Persists the memtable as a new disk component (no-op when empty), then
   // lets the merge policy run.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   // Runs the merge policy until it makes no further decision.
-  Status MaybeMerge();
+  [[nodiscard]] Status MaybeMerge();
 
   // Merges all disk components into one.
-  Status ForceFullMerge();
+  [[nodiscard]] Status ForceFullMerge();
 
   // Builds one component bottom-up from a sorted, reconciled entry stream.
   // Requires an empty memtable. `expected_records` is the stream length
   // (known from the sorter, paper §3.2).
+  [[nodiscard]]
   Status Bulkload(EntryCursor* input, uint64_t expected_records,
                   uint64_t expected_anti_matter = 0);
 
@@ -123,13 +128,14 @@ class LsmTree {
   // Streams `input` into a new component, driving listeners. On success the
   // new component replaces `replaced` components at position `insert_pos` in
   // the stack.
+  [[nodiscard]]
   Status WriteComponent(const OperationContext& context, EntryCursor* input,
                         size_t insert_pos,
                         const std::vector<uint64_t>& replaced_ids,
                         std::shared_ptr<DiskComponent>* out);
 
   // Performs one merge over components_[decision.begin, decision.end).
-  Status MergeRange(const MergeDecision& decision);
+  [[nodiscard]] Status MergeRange(const MergeDecision& decision);
 
   LsmTreeOptions options_;
   MemTable memtable_;

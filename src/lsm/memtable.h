@@ -44,6 +44,7 @@ class MemTable {
   //   kOk        -> *value filled, *is_anti_matter=false
   //   kOk + anti -> key is deleted here (*is_anti_matter=true)
   //   kNotFound  -> memtable has no information about the key
+  [[nodiscard]]
   Status Get(const LsmKey& key, std::string* value,
              bool* is_anti_matter) const;
 

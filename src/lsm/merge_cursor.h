@@ -27,7 +27,7 @@ class MergeCursor : public EntryCursor {
   bool Valid() const override { return valid_; }
   const Entry& entry() const override { return entry_; }
   void Next() override;
-  Status status() const override { return status_; }
+  [[nodiscard]] Status status() const override { return status_; }
 
  private:
   // Advances to the next reconciled entry, if any.

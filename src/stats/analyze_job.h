@@ -37,6 +37,7 @@ struct AnalyzeResult {
 // Scans `field`'s secondary index of `dataset` and builds one synopsis of
 // `type` over the live (reconciled) records. Supports every synopsis type,
 // including the offline-only kMaxDiff.
+[[nodiscard]]
 StatusOr<AnalyzeResult> RunAnalyze(Dataset* dataset, const std::string& field,
                                    SynopsisType type, size_t budget);
 

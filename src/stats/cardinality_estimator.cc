@@ -1,6 +1,7 @@
 #include "stats/cardinality_estimator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "synopsis/grid_histogram.h"
@@ -33,7 +34,9 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
       double estimate = it->second.merged->EstimateRange(lo, hi);
       if (stats) ++stats->synopses_probed;
       if (it->second.merged_anti) {
-        estimate -= it->second.merged_anti->EstimateRange(lo, hi);
+        double anti = it->second.merged_anti->EstimateRange(lo, hi);
+        LSMSTATS_DCHECK(std::isfinite(anti));
+        estimate -= anti;
         if (stats) ++stats->synopses_probed;
       }
       if (stats) stats->served_from_cache = true;
@@ -62,7 +65,14 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
       if (mergeable) fold(&merged, *entry.synopsis);
     }
     if (entry.anti_synopsis && entry.anti_synopsis->TotalRecords() > 0) {
-      total -= entry.anti_synopsis->EstimateRange(lo, hi);
+      double anti = entry.anti_synopsis->EstimateRange(lo, hi);
+      // Anti-matter mass counts reconciled records, so it can never go
+      // negative except for bounded wavelet thresholding error (§3.6).
+      LSMSTATS_DCHECK(std::isfinite(anti));
+      if (entry.anti_synopsis->type() != SynopsisType::kWavelet) {
+        LSMSTATS_DCHECK_GE(anti, 0.0);
+      }
+      total -= anti;
       if (stats) ++stats->synopses_probed;
       if (mergeable) fold(&merged_anti, *entry.anti_synopsis);
     }
@@ -89,7 +99,10 @@ double CardinalityEstimator::EstimateRange2DPartition(
   for (const SynopsisEntry& entry : catalog_->GetSynopses(key)) {
     if (entry.synopsis) total += estimate_2d(*entry.synopsis);
     if (entry.anti_synopsis && entry.anti_synopsis->TotalRecords() > 0) {
-      total -= estimate_2d(*entry.anti_synopsis);
+      double anti = estimate_2d(*entry.anti_synopsis);
+      // Grid cells hold non-negative reconciled-record mass.
+      LSMSTATS_DCHECK_GE(anti, 0.0);
+      total -= anti;
     }
   }
   return std::max(0.0, total);

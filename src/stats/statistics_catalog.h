@@ -82,11 +82,11 @@ class StatisticsCatalog {
   // Persistence: the catalog is durable metadata in the paper's design
   // ("synopsis is persisted in the system catalog"). The whole catalog is
   // serialized with the same encoding the cluster transport uses.
-  Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status LoadFromFile(const std::string& path);
 
   void EncodeTo(Encoder* enc) const;
-  static StatusOr<StatisticsCatalog> DecodeFrom(Decoder* dec);
+  [[nodiscard]] static StatusOr<StatisticsCatalog> DecodeFrom(Decoder* dec);
 
  private:
   struct Stream {

@@ -17,6 +17,20 @@ EquiHeightHistogram::EquiHeightHistogram(const ValueDomain& domain,
       buckets_(std::move(buckets)),
       total_records_(total_records) {
   LSMSTATS_CHECK(budget >= 1);
+#ifndef NDEBUG
+  // Bucket borders must be strictly increasing and start at or after the
+  // histogram's start position, or EstimateRange's lower_bound walk and the
+  // per-bucket interpolation both silently misattribute mass.
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (i == 0) {
+      LSMSTATS_DCHECK_GE(buckets_[0].right_position, start_position_);
+    } else {
+      LSMSTATS_DCHECK_GT(buckets_[i].right_position,
+                         buckets_[i - 1].right_position);
+    }
+    LSMSTATS_DCHECK_GE(buckets_[i].count, 0.0);
+  }
+#endif
 }
 
 double EquiHeightHistogram::EstimateRange(int64_t lo, int64_t hi) const {
@@ -88,9 +102,21 @@ StatusOr<std::unique_ptr<EquiHeightHistogram>> EquiHeightHistogram::DecodeFrom(
     return Status::Corruption("histogram size exceeds buffer");
   }
   std::vector<Bucket> buckets(count);
-  for (auto& b : buckets) {
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    Bucket& b = buckets[i];
     LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&b.right_position));
     LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&b.count));
+    // Reject corrupt boundaries here so construction (which DCHECKs the
+    // same invariant) only ever sees well-formed buckets.
+    if (i > 0 && b.right_position <= buckets[i - 1].right_position) {
+      return Status::Corruption("histogram borders not increasing");
+    }
+    if (!(b.count >= 0.0)) {
+      return Status::Corruption("negative histogram bucket count");
+    }
+  }
+  if (!buckets.empty() && buckets.front().right_position < start) {
+    return Status::Corruption("histogram borders precede start position");
   }
   return std::make_unique<EquiHeightHistogram>(
       ValueDomain(min_value, log_length), static_cast<size_t>(budget), start,
@@ -122,7 +148,7 @@ void EquiHeightHistogramBuilder::Add(int64_t value) {
     start_position_ = pos;
     current_position_ = pos;
   }
-  LSMSTATS_DCHECK(pos >= current_position_);
+  LSMSTATS_DCHECK_GE(pos, current_position_);
   // Close at a value boundary once the bucket reaches the target height —
   // but never open more buckets than the budget allows (the stream can be
   // longer than expected_records when a merge reconciles less than assumed).

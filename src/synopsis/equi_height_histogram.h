@@ -46,6 +46,7 @@ class EquiHeightHistogram : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<EquiHeightHistogram>> DecodeFrom(
       Decoder* dec);
 

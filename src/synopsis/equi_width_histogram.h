@@ -34,6 +34,7 @@ class EquiWidthHistogram : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<EquiWidthHistogram>> DecodeFrom(
       Decoder* dec);
 
@@ -42,7 +43,7 @@ class EquiWidthHistogram : public Synopsis {
 
   // Adds `other`'s counts into this histogram. Requires identical domain and
   // bucket structure.
-  Status MergeFrom(const EquiWidthHistogram& other);
+  [[nodiscard]] Status MergeFrom(const EquiWidthHistogram& other);
 
   // Bucket index of a domain position.
   size_t BucketOf(uint64_t position) const;

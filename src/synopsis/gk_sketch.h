@@ -51,6 +51,7 @@ class GKSketch : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<GKSketch>> DecodeFrom(Decoder* dec);
 
   // Estimated number of records with value <= v.
@@ -58,7 +59,7 @@ class GKSketch : public Synopsis {
 
   // Folds `other` in: tuple lists are merged by value and re-compressed to
   // the budget.
-  Status MergeFrom(const GKSketch& other);
+  [[nodiscard]] Status MergeFrom(const GKSketch& other);
 
   const std::vector<Tuple>& tuples() const { return tuples_; }
 

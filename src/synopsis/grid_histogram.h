@@ -52,13 +52,14 @@ class GridHistogram : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<GridHistogram>> DecodeFrom(Decoder* dec);
 
   // Adds one record at (v0, v1); values may arrive in any order but the
   // composite collector always feeds them (SK1, SK2)-sorted.
   void AddValue(int64_t v0, int64_t v1, double count);
 
-  Status MergeFrom(const GridHistogram& other);
+  [[nodiscard]] Status MergeFrom(const GridHistogram& other);
 
   size_t cells_per_dim() const { return cells_per_dim_; }
 

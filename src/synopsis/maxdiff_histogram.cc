@@ -14,6 +14,14 @@ MaxDiffHistogram::MaxDiffHistogram(const ValueDomain& domain, size_t budget,
       buckets_(std::move(buckets)),
       total_records_(total_records) {
   LSMSTATS_CHECK(budget >= 1);
+#ifndef NDEBUG
+  // Same boundary invariant as EquiHeightHistogram: strictly increasing
+  // right borders, non-negative per-bucket mass.
+  for (size_t i = 1; i < buckets_.size(); ++i) {
+    LSMSTATS_DCHECK_GT(buckets_[i].right_position,
+                       buckets_[i - 1].right_position);
+  }
+#endif
 }
 
 std::unique_ptr<MaxDiffHistogram> MaxDiffHistogram::Build(
@@ -142,10 +150,19 @@ StatusOr<std::unique_ptr<MaxDiffHistogram>> MaxDiffHistogram::DecodeFrom(
     return Status::Corruption("histogram size exceeds buffer");
   }
   std::vector<Bucket> buckets(count);
-  for (auto& b : buckets) {
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    Bucket& b = buckets[i];
     LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&b.left_position));
     LSMSTATS_RETURN_IF_ERROR(dec->GetU64(&b.right_position));
     LSMSTATS_RETURN_IF_ERROR(dec->GetDouble(&b.count));
+    // Reject corrupt boundaries before construction, which DCHECKs the
+    // same invariant on internal paths.
+    if (b.right_position < b.left_position) {
+      return Status::Corruption("histogram bucket borders inverted");
+    }
+    if (i > 0 && b.right_position <= buckets[i - 1].right_position) {
+      return Status::Corruption("histogram borders not increasing");
+    }
   }
   return std::make_unique<MaxDiffHistogram>(
       ValueDomain(min_value, log_length), static_cast<size_t>(budget),

@@ -58,6 +58,7 @@ class MaxDiffHistogram : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<MaxDiffHistogram>> DecodeFrom(Decoder* dec);
 
  private:
@@ -102,6 +103,7 @@ class VOptimalHistogram : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<VOptimalHistogram>> DecodeFrom(
       Decoder* dec);
 

@@ -85,11 +85,12 @@ class Synopsis {
 
 // Deserializes any synopsis (inverse of EncodeTo; the type tag is part of
 // the encoding).
-StatusOr<std::unique_ptr<Synopsis>> DecodeSynopsis(Decoder* dec);
+[[nodiscard]] StatusOr<std::unique_ptr<Synopsis>> DecodeSynopsis(Decoder* dec);
 
 // Combines two synopses of the same mergeable type and domain into one with
 // element budget `budget`. Fails with FailedPrecondition for non-mergeable
 // types and InvalidArgument for mismatched domains/types.
+[[nodiscard]]
 StatusOr<std::unique_ptr<Synopsis>> MergeSynopses(const Synopsis& a,
                                                   const Synopsis& b,
                                                   size_t budget);

@@ -142,6 +142,7 @@ Status WaveletSynopsis::MergeFrom(const WaveletSynopsis& other) {
 }
 
 void WaveletSynopsis::Threshold(size_t budget) {
+  LSMSTATS_DCHECK_GE(budget, size_t{1});
   if (coefficients_.size() <= budget) return;
   std::vector<std::pair<double, uint64_t>> ranked;
   ranked.reserve(coefficients_.size());
@@ -155,6 +156,10 @@ void WaveletSynopsis::Threshold(size_t budget) {
   for (size_t i = budget; i < ranked.size(); ++i) {
     coefficients_.erase(ranked[i].second);
   }
+  // Post-condition: thresholding brought the synopsis within its element
+  // budget; every caller (constructor, MergeFrom) relies on this to keep the
+  // serialized size bounded.
+  LSMSTATS_DCHECK_LE(coefficients_.size(), budget);
 }
 
 std::vector<WaveletCoefficient> WaveletSynopsis::CoefficientsInPreOrder()

@@ -73,6 +73,7 @@ class WaveletSynopsis : public Synopsis {
   std::unique_ptr<Synopsis> Clone() const override;
   std::string DebugString() const override;
 
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<WaveletSynopsis>> DecodeFrom(Decoder* dec);
 
   WaveletEncoding encoding() const { return encoding_; }
@@ -83,7 +84,7 @@ class WaveletSynopsis : public Synopsis {
 
   // Adds `other`'s coefficients into this synopsis and re-thresholds to the
   // budget. Requires identical domain and encoding.
-  Status MergeFrom(const WaveletSynopsis& other);
+  [[nodiscard]] Status MergeFrom(const WaveletSynopsis& other);
 
   // Coefficients in error-tree pre-order.
   std::vector<WaveletCoefficient> CoefficientsInPreOrder() const;

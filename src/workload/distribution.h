@@ -44,7 +44,9 @@ enum class FrequencyDistribution {
 
 const char* SpreadDistributionToString(SpreadDistribution d);
 const char* FrequencyDistributionToString(FrequencyDistribution d);
+[[nodiscard]]
 StatusOr<SpreadDistribution> ParseSpreadDistribution(const std::string& name);
+[[nodiscard]]
 StatusOr<FrequencyDistribution> ParseFrequencyDistribution(
     const std::string& name);
 

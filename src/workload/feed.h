@@ -43,7 +43,7 @@ class RecordFeed {
   // Fetches the next operation; returns false at end of feed.
   virtual bool Next(FeedOp* op) = 0;
 
-  virtual Status status() const { return Status::OK(); }
+  [[nodiscard]] virtual Status status() const { return Status::OK(); }
 };
 
 // In-memory push feed: no I/O, records handed over directly. Baseline for
@@ -64,12 +64,13 @@ class VectorFeed : public RecordFeed {
 // frames into an AF_UNIX socket pair; Next() reads and decodes them.
 class SocketFeed : public RecordFeed {
  public:
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<SocketFeed>> Start(
       std::vector<Record> records, size_t field_count);
   ~SocketFeed() override;
 
   bool Next(FeedOp* op) override;
-  Status status() const override { return status_; }
+  [[nodiscard]] Status status() const override { return status_; }
 
  private:
   SocketFeed(int read_fd, int write_fd, std::vector<Record> records,
@@ -91,12 +92,13 @@ class SocketFeed : public RecordFeed {
 // streams them back from disk.
 class FileFeed : public RecordFeed {
  public:
+  [[nodiscard]]
   static StatusOr<std::unique_ptr<FileFeed>> Create(
       const std::string& path, const std::vector<Record>& records,
       size_t field_count);
 
   bool Next(FeedOp* op) override;
-  Status status() const override { return status_; }
+  [[nodiscard]] Status status() const override { return status_; }
 
  private:
   FileFeed(std::string data, size_t field_count);

@@ -31,7 +31,7 @@ enum class QueryType {
 };
 
 const char* QueryTypeToString(QueryType type);
-StatusOr<QueryType> ParseQueryType(const std::string& name);
+[[nodiscard]] StatusOr<QueryType> ParseQueryType(const std::string& name);
 const std::vector<QueryType>& AllQueryTypes();
 
 struct RangeQuery {

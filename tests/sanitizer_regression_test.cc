@@ -1,0 +1,286 @@
+// Edge cases the sanitizer pass (ASan+UBSan presets, see CMakePresets.json)
+// either flagged or sits closest to: cursor exhaustion, zero-bucket
+// histograms, merges that reconcile to nothing, decode-time overflow, and
+// dictionary boundary conditions. These run in every configuration but earn
+// their keep under `ctest --preset asan`.
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/dictionary.h"
+#include "common/types.h"
+#include "db/dataset.h"
+#include "lsm/bloom_filter.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/merge_cursor.h"
+#include "synopsis/equi_height_histogram.h"
+#include "synopsis/wavelet.h"
+
+namespace lsmstats {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/lsmstats_sanreg_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------------- merge cursor
+
+TEST(SanitizerRegression, MergeCursorExhaustionIsIdempotent) {
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{
+      {PrimaryKey(1), "a", false}, {PrimaryKey(3), "c", false}}));
+  inputs.push_back(std::make_unique<VectorEntryCursor>(
+      std::vector<Entry>{{PrimaryKey(2), "b", false}}));
+  MergeCursor cursor(std::move(inputs), /*drop_anti_matter=*/false);
+
+  int seen = 0;
+  while (cursor.Valid()) {
+    ++seen;
+    cursor.Next();
+  }
+  EXPECT_EQ(seen, 3);
+  // Next() past the end must stay invalid without touching freed state.
+  cursor.Next();
+  cursor.Next();
+  EXPECT_FALSE(cursor.Valid());
+  EXPECT_TRUE(cursor.status().ok());
+}
+
+TEST(SanitizerRegression, MergeCursorZeroInputs) {
+  MergeCursor cursor({}, /*drop_anti_matter=*/true);
+  EXPECT_FALSE(cursor.Valid());
+  EXPECT_TRUE(cursor.status().ok());
+}
+
+TEST(SanitizerRegression, MergeCursorAllInputsEmpty) {
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{}));
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{}));
+  MergeCursor cursor(std::move(inputs), /*drop_anti_matter=*/false);
+  EXPECT_FALSE(cursor.Valid());
+  cursor.Next();
+  EXPECT_FALSE(cursor.Valid());
+}
+
+TEST(SanitizerRegression, MergeCursorAnnihilatesEverything) {
+  // Newest stream holds only anti-matter for the keys in the older stream;
+  // with drop_anti_matter the merge output is empty.
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{
+      {PrimaryKey(1), "", true}, {PrimaryKey(2), "", true}}));
+  inputs.push_back(std::make_unique<VectorEntryCursor>(std::vector<Entry>{
+      {PrimaryKey(1), "a", false}, {PrimaryKey(2), "b", false}}));
+  MergeCursor cursor(std::move(inputs), /*drop_anti_matter=*/true);
+  EXPECT_FALSE(cursor.Valid());
+  EXPECT_TRUE(cursor.status().ok());
+}
+
+// --------------------------------------------------- empty-component merge
+
+TEST(SanitizerRegression, MergeReconcilingToEmptyComponent) {
+  TempDir dir;
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.memtable_max_entries = 4;
+  auto tree_or = LsmTree::Open(options);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+
+  for (int64_t pk = 0; pk < 4; ++pk) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(pk), "v", /*fresh_insert=*/true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  for (int64_t pk = 0; pk < 4; ++pk) {
+    ASSERT_TRUE(tree->Delete(PrimaryKey(pk)).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+
+  // Everything cancels; the merge must produce "no component", not an
+  // empty file, and reads must see an empty tree.
+  ASSERT_TRUE(tree->ForceFullMerge().ok());
+  EXPECT_EQ(tree->ComponentCount(), 0u);
+  std::string value;
+  EXPECT_EQ(tree->Get(PrimaryKey(1), &value).code(), StatusCode::kNotFound);
+  auto count = tree->ScanCount(PrimaryKey(0), PrimaryKey(100));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 0u);
+}
+
+// ------------------------------------------------------ zero-bucket paths
+
+TEST(SanitizerRegression, EmptyEquiHeightHistogramEstimates) {
+  ValueDomain domain(0, 16);
+  EquiHeightHistogramBuilder builder(domain, /*budget=*/8,
+                                     /*expected_records=*/0);
+  auto synopsis = builder.Finish();
+  ASSERT_NE(synopsis, nullptr);
+  EXPECT_EQ(synopsis->ElementCount(), 0u);
+  EXPECT_EQ(synopsis->TotalRecords(), 0u);
+  EXPECT_DOUBLE_EQ(synopsis->EstimateRange(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(synopsis->EstimateRange(5, 5), 0.0);
+  // Inverted and out-of-domain ranges on an empty histogram.
+  EXPECT_DOUBLE_EQ(synopsis->EstimateRange(10, 2), 0.0);
+}
+
+TEST(SanitizerRegression, EmptyHistogramRoundTripsThroughEncoding) {
+  ValueDomain domain(0, 16);
+  EquiHeightHistogramBuilder builder(domain, 8, 0);
+  auto synopsis = builder.Finish();
+  Encoder enc;
+  synopsis->EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  uint8_t type_tag;
+  ASSERT_TRUE(dec.GetU8(&type_tag).ok());
+  auto decoded = EquiHeightHistogram::DecodeFrom(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ((*decoded)->ElementCount(), 0u);
+  EXPECT_DOUBLE_EQ((*decoded)->EstimateRange(0, 10), 0.0);
+}
+
+TEST(SanitizerRegression, HistogramDecodeRejectsUnsortedBorders) {
+  ValueDomain domain(0, 16);
+  std::vector<EquiHeightHistogram::Bucket> buckets{{10, 5.0}, {20, 5.0}};
+  EquiHeightHistogram histogram(domain, 8, 0, buckets, 10);
+  Encoder enc;
+  histogram.EncodeTo(&enc);
+  // Corrupt the serialized borders so they are no longer increasing: the
+  // second bucket's right border (u64 after the first bucket's border+count)
+  // drops below the first one's.
+  std::string bytes = enc.Release();
+  // Layout: tag, i64 min, u8 log_length, varint budget, varint total,
+  // u64 start, varint count, then per bucket u64 border + double count.
+  size_t second_border = bytes.size() - 16;  // last bucket record's border
+  uint64_t bad = 3;
+  std::memcpy(bytes.data() + second_border, &bad, sizeof(bad));
+  Decoder dec(bytes);
+  uint8_t type_tag;
+  ASSERT_TRUE(dec.GetU8(&type_tag).ok());
+  auto decoded = EquiHeightHistogram::DecodeFrom(&dec);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SanitizerRegression, EmptyWaveletEstimates) {
+  ValueDomain domain(0, 8);
+  WaveletSynopsis wavelet(domain, /*budget=*/4, WaveletEncoding::kRawFrequency,
+                          {}, /*total_records=*/0);
+  EXPECT_EQ(wavelet.ElementCount(), 0u);
+  EXPECT_DOUBLE_EQ(wavelet.EstimateRange(0, 255), 0.0);
+  EXPECT_DOUBLE_EQ(wavelet.EstimatePoint(17), 0.0);
+}
+
+// ------------------------------------------------------- decoder overflow
+
+TEST(SanitizerRegression, VarintRoundTripsMaxValue) {
+  Encoder enc;
+  enc.PutVarint64(~0ULL);
+  Decoder dec(enc.buffer());
+  uint64_t v = 0;
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  EXPECT_EQ(v, ~0ULL);
+  EXPECT_TRUE(dec.Done());
+}
+
+TEST(SanitizerRegression, VarintRejectsOverflowingTenthByte) {
+  // Nine continuation bytes then a final byte carrying bits beyond 2^63:
+  // previously those bits were silently shifted out of the result.
+  std::string bytes(9, static_cast<char>(0xff));
+  bytes.push_back(static_cast<char>(0x7f));
+  Decoder dec(bytes);
+  uint64_t v = 0;
+  Status s = dec.GetVarint64(&v);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(SanitizerRegression, BloomFilterDecodeRejectsBadHeaders) {
+  {
+    Encoder enc;
+    enc.PutU32(0);  // zero probes
+    enc.PutVarint64(0);
+    Decoder dec(enc.buffer());
+    EXPECT_FALSE(BloomFilter::DecodeFrom(&dec).ok());
+  }
+  {
+    Encoder enc;
+    enc.PutU32(4);
+    enc.PutVarint64(1ULL << 40);  // words far beyond the buffer
+    Decoder dec(enc.buffer());
+    EXPECT_FALSE(BloomFilter::DecodeFrom(&dec).ok());
+  }
+}
+
+TEST(SanitizerRegression, BloomFilterRoundTripPreservesMembership) {
+  BloomFilter filter(/*expected_keys=*/100);
+  for (int64_t pk = 0; pk < 100; ++pk) filter.Add(PrimaryKey(pk));
+  Encoder enc;
+  filter.EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = BloomFilter::DecodeFrom(&dec);
+  ASSERT_TRUE(decoded.ok());
+  for (int64_t pk = 0; pk < 100; ++pk) {
+    EXPECT_TRUE(decoded->MayContain(PrimaryKey(pk)));
+  }
+}
+
+// --------------------------------------------------------- dictionary edges
+
+TEST(SanitizerRegression, EmptyDictionary) {
+  Dictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.ordered_size(), 0u);
+  auto missing = dict.Lookup("anything");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SanitizerRegression, DictionaryBuildSortedFromEmptyAndDuplicates) {
+  Dictionary empty = Dictionary::BuildSorted({});
+  EXPECT_EQ(empty.size(), 0u);
+
+  Dictionary dict = Dictionary::BuildSorted({"b", "a", "b", "a", "a"});
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.ordered_size(), 2u);
+  auto a = dict.Lookup("a");
+  auto b = dict.Lookup("b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a.value(), b.value());  // order-preserving codes
+  EXPECT_EQ(dict.Decode(a.value()), "a");
+  EXPECT_EQ(dict.Decode(b.value()), "b");
+}
+
+TEST(SanitizerRegression, DictionaryInternPastOrderedRegion) {
+  Dictionary dict = Dictionary::BuildSorted({"m"});
+  int64_t late = dict.Intern("z");
+  int64_t again = dict.Intern("z");
+  EXPECT_EQ(late, again);  // stable code for repeated interning
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.ordered_size(), 1u);  // late code is past the ordered prefix
+  EXPECT_EQ(dict.Decode(late), "z");
+
+  // The empty string is a legal value, not a sentinel.
+  int64_t empty_code = dict.Intern("");
+  auto found = dict.Lookup("");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), empty_code);
+}
+
+}  // namespace
+}  // namespace lsmstats

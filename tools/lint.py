@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Project-invariant lint for lsmstats.
+
+Enforces rules clang-tidy cannot express, or that must hold even when
+clang-tidy is unavailable:
+
+  raw-new        no raw `new` in src/ unless it is immediately owned by a
+                 unique_ptr/shared_ptr (factory over a private constructor)
+                 or is an intentionally leaked function-local static registry.
+  raw-delete     no `delete` expressions in src/ at all.
+  nodiscard      every Status/StatusOr-returning function declared in a src/
+                 header carries [[nodiscard]].
+  void-drop      a `(void)call(...)` discard must carry a justification
+                 comment on the same line or the line above.
+  include-cc     no `#include` of a `.cc` file.
+  banned-func    no `rand(`, `srand(`, `time(` in src/ — use common/random.h
+                 and injected clocks so runs stay reproducible.
+  header-guard   every header uses `#ifndef LSMSTATS_<PATH>_H_` guards that
+                 match its path (src/ prefix stripped), with a matching
+                 `#define` and a `#endif  // <GUARD>` trailer; no
+                 `#pragma once`.
+
+Suppressing a finding: append `// lint:allow(<rule>)` to the offending line
+together with a reason, e.g.
+    ptr = new Node;  // lint:allow(raw-new) arena block, freed in Reset()
+
+Exits non-zero and prints file:line findings when anything is violated.
+Wired as the ctest test `lint.project_invariants`; CI runs it on every PR.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
+ALLOW_RE = re.compile(r"//\s*lint:allow\((?P<rules>[a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+findings: list[str] = []
+
+
+def report(path: Path, lineno: int, rule: str, message: str) -> None:
+    findings.append(f"{path.relative_to(REPO)}:{lineno}: [{rule}] {message}")
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return False
+    return rule in [r.strip() for r in m.group("rules").split(",")]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_files(dirs: list[str], suffixes: tuple[str, ...]) -> list[Path]:
+    files: list[Path] = []
+    for d in dirs:
+        root = REPO / d
+        if root.is_dir():
+            files.extend(
+                p for p in sorted(root.rglob("*")) if p.suffix in suffixes
+            )
+    return files
+
+
+# --------------------------------------------------------------- raw new/delete
+
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` is still caught below
+DELETE_RE = re.compile(r"\bdelete\b")
+# `= delete` / `= delete("...")` is declaration syntax, not a delete expression.
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+OWNED_CONTEXT_RE = re.compile(r"unique_ptr|shared_ptr|static\s")
+
+
+def check_raw_new_delete(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+        if (DELETE_RE.search(code) and not DELETED_FN_RE.search(code)
+                and not allowed(raw_lines[idx], "raw-delete")):
+            report(path, lineno, "raw-delete",
+                   "raw `delete` — ownership belongs in smart pointers")
+        if NEW_RE.search(code) or re.search(r"\bnew\s*\(", code):
+            if allowed(raw_lines[idx], "raw-new"):
+                continue
+            # A `new` is fine when the same statement hands it to a smart
+            # pointer or it seeds an intentionally leaked static registry;
+            # check a small window because factories split across lines.
+            window = " ".join(code_lines[max(0, idx - 2): idx + 1])
+            if OWNED_CONTEXT_RE.search(window):
+                continue
+            report(path, lineno, "raw-new",
+                   "raw `new` outside smart-pointer/static-registry context")
+
+
+# ----------------------------------------------------------------- nodiscard
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+)?(?:static\s+)?(?:Status\s+[A-Za-z_]\w*\s*\(|StatusOr<.*>\s+[A-Za-z_]\w*\s*\()"
+)
+
+
+def check_nodiscard(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    for idx, code in enumerate(code_lines):
+        if not STATUS_DECL_RE.match(code):
+            continue
+        if "nodiscard" in raw_lines[idx] or (idx > 0 and "nodiscard" in raw_lines[idx - 1]):
+            continue
+        if allowed(raw_lines[idx], "nodiscard"):
+            continue
+        report(path, idx + 1, "nodiscard",
+               "Status/StatusOr-returning declaration missing [[nodiscard]]")
+
+
+# ----------------------------------------------------------------- void-drop
+
+VOID_DROP_RE = re.compile(r"\(void\)\s*[A-Za-z_][\w:.>-]*\s*\(")
+
+
+def check_void_drop(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    for idx, code in enumerate(code_lines):
+        if not VOID_DROP_RE.search(code):
+            continue
+        if allowed(raw_lines[idx], "void-drop"):
+            continue
+        has_comment = "//" in raw_lines[idx] or (
+            idx > 0 and raw_lines[idx - 1].strip().startswith("//")
+        )
+        if not has_comment:
+            report(path, idx + 1, "void-drop",
+                   "`(void)` discard of a call needs a justification comment")
+
+
+# ---------------------------------------------------------------- include-cc
+
+INCLUDE_CC_RE = re.compile(r'#\s*include\s*[<"][^">]+\.cc[">]')
+
+
+def check_include_cc(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    for idx, raw in enumerate(raw_lines):
+        if INCLUDE_CC_RE.search(raw) and not allowed(raw, "include-cc"):
+            report(path, idx + 1, "include-cc", "#include of a .cc file")
+
+
+# --------------------------------------------------------------- banned-func
+
+BANNED_RE = re.compile(r"(?<![\w.])(?:std::)?(rand|srand|time)\s*\(")
+
+
+def check_banned(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    for idx, code in enumerate(code_lines):
+        m = BANNED_RE.search(code)
+        if m and not allowed(raw_lines[idx], "banned-func"):
+            report(path, idx + 1, "banned-func",
+                   f"`{m.group(1)}()` is banned in src/ — use common/random.h "
+                   "or an injected clock (reproducibility)")
+
+
+# -------------------------------------------------------------- header-guard
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(REPO)
+    parts = rel.parts[1:] if rel.parts[0] == "src" else rel.parts
+    stem = "_".join(parts).replace(".", "_").replace("-", "_").upper()
+    return f"LSMSTATS_{stem}_"
+
+
+def check_header_guard(path: Path, raw_lines: list[str]) -> None:
+    text = "\n".join(raw_lines)
+    if "#pragma once" in text:
+        lineno = next(i + 1 for i, l in enumerate(raw_lines) if "#pragma once" in l)
+        report(path, lineno, "header-guard",
+               "`#pragma once` — use LSMSTATS_*_H_ include guards")
+        return
+    guard = expected_guard(path)
+    ifndef_idx = None
+    for idx, line in enumerate(raw_lines):
+        if line.startswith("#ifndef"):
+            ifndef_idx = idx
+            break
+    if ifndef_idx is None:
+        report(path, 1, "header-guard", f"missing `#ifndef {guard}` guard")
+        return
+    got = raw_lines[ifndef_idx].split()
+    if len(got) < 2 or got[1] != guard:
+        report(path, ifndef_idx + 1, "header-guard",
+               f"guard is `{got[1] if len(got) > 1 else ''}`, expected `{guard}`")
+        return
+    define = raw_lines[ifndef_idx + 1].strip() if ifndef_idx + 1 < len(raw_lines) else ""
+    if define != f"#define {guard}":
+        report(path, ifndef_idx + 2, "header-guard",
+               f"`#ifndef {guard}` not followed by `#define {guard}`")
+    tail = [l.strip() for l in raw_lines if l.strip()]
+    if not tail or not tail[-1].startswith("#endif") or guard not in tail[-1]:
+        report(path, len(raw_lines), "header-guard",
+               f"file must end with `#endif  // {guard}`")
+
+
+# --------------------------------------------------------------------- main
+
+def main() -> int:
+    cc_and_h = iter_files(SOURCE_DIRS, (".cc", ".cpp", ".h"))
+    src_only = [p for p in cc_and_h if SRC in p.parents]
+    headers = [p for p in cc_and_h if p.suffix == ".h"]
+    src_headers = [p for p in headers if SRC in p.parents]
+
+    cache: dict[Path, tuple[list[str], list[str]]] = {}
+
+    def lines_of(path: Path) -> tuple[list[str], list[str]]:
+        if path not in cache:
+            text = path.read_text(encoding="utf-8", errors="replace")
+            cache[path] = (text.split("\n"), strip_comments_and_strings(text).split("\n"))
+        return cache[path]
+
+    for path in cc_and_h:
+        raw, code = lines_of(path)
+        check_include_cc(path, raw, code)
+        check_void_drop(path, raw, code)
+    for path in src_only:
+        raw, code = lines_of(path)
+        check_raw_new_delete(path, raw, code)
+        check_banned(path, raw, code)
+    for path in src_headers:
+        raw, code = lines_of(path)
+        check_nodiscard(path, raw, code)
+    for path in headers:
+        raw, _ = lines_of(path)
+        check_header_guard(path, raw)
+
+    if findings:
+        print(f"tools/lint.py: {len(findings)} finding(s)\n")
+        for f in findings:
+            print("  " + f)
+        print("\nSuppress a single line with `// lint:allow(<rule>)` plus a reason;"
+              "\nsee tools/lint.py docstring for the rule list.")
+        return 1
+    checked = len(cc_and_h)
+    print(f"tools/lint.py: OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
