@@ -43,6 +43,7 @@ ClusterController::ClusterController(
     : estimator_(&catalog_, estimator_options) {}
 
 Status ClusterController::ReceiveStatistics(std::string_view message_bytes) {
+  std::lock_guard<std::mutex> lock(receive_mu_);
   ++messages_received_;
   bytes_received_ += message_bytes.size();
 

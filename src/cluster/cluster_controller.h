@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,7 +44,9 @@ class ClusterController {
                                  CardinalityEstimator::Options());
 
   // The "network" receive path: decodes the message and updates the global
-  // statistics catalog.
+  // statistics catalog. Internally synchronized: nodes whose indexes flush
+  // on background scheduler threads may deliver concurrently. Estimator
+  // queries remain externally synchronized with respect to ingestion.
   [[nodiscard]] Status ReceiveStatistics(std::string_view message_bytes);
 
   // Cluster-wide cardinality estimate for a dataset field (sums the
@@ -60,6 +63,8 @@ class ClusterController {
   uint64_t bytes_received() const { return bytes_received_; }
 
  private:
+  // Serializes the receive path (catalog mutation + transport accounting).
+  std::mutex receive_mu_;
   StatisticsCatalog catalog_;
   CardinalityEstimator estimator_;
   uint64_t messages_received_ = 0;

@@ -29,13 +29,22 @@ void NodeController::TransportSink::PublishComponentStatistics(
   }
   Encoder wire;
   msg.EncodeTo(&wire);
+  std::lock_guard<std::mutex> lock(mu_);
   ++messages_sent;
   bytes_sent += wire.size();
-  Status s = controller_->ReceiveStatistics(wire.buffer());
-  if (!s.ok()) {
-    LSMSTATS_LOG(kError) << "cluster controller rejected statistics: "
-                         << s.ToString();
+  Status s = Status::OK();
+  for (int attempt = 1; attempt <= kMaxDeliveryAttempts; ++attempt) {
+    s = controller_->ReceiveStatistics(wire.buffer());
+    if (s.ok()) return;
+    LSMSTATS_LOG(kWarning) << "cluster controller rejected statistics "
+                           << "(attempt " << attempt << "/"
+                           << kMaxDeliveryAttempts << "): " << s.ToString();
   }
+  ++dropped;
+  LSMSTATS_LOG(kError) << "dropping statistics for component "
+                       << msg.component_id << " of " << msg.key.dataset << "."
+                       << msg.key.field << " after " << kMaxDeliveryAttempts
+                       << " attempts: " << s.ToString();
 }
 
 NodeController::NodeController(uint32_t node_id, ClusterController* controller)

@@ -5,11 +5,19 @@
 // serializes every synopsis pair into a ComponentStatsMessage and ships the
 // bytes to the cluster controller — statistics leave the node only in wire
 // format.
+//
+// Delivery is at-most-N-attempts: a rejected message is retried a bounded
+// number of times, then counted as dropped and surfaced via
+// DroppedStatistics() so cluster traffic loss is observable rather than a
+// log line. The sink is internally synchronized — with a background
+// scheduler, a node's indexes flush (and therefore publish) concurrently.
 
 #ifndef LSMSTATS_CLUSTER_NODE_CONTROLLER_H_
 #define LSMSTATS_CLUSTER_NODE_CONTROLLER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cluster/cluster_controller.h"
@@ -31,11 +39,15 @@ class NodeController {
   Dataset* dataset() { return dataset_.get(); }
   const Dataset* dataset() const { return dataset_.get(); }
 
-  uint64_t messages_sent() const { return sink_->messages_sent; }
-  uint64_t bytes_sent() const { return sink_->bytes_sent; }
+  uint64_t messages_sent() const { return sink_->messages_sent.load(); }
+  uint64_t bytes_sent() const { return sink_->bytes_sent.load(); }
+  // Messages the controller rejected even after retries; each one is a
+  // component whose statistics never reached the catalog.
+  uint64_t DroppedStatistics() const { return sink_->dropped.load(); }
 
  private:
-  // Serializes synopses and delivers the bytes to the cluster controller.
+  // Serializes synopses and delivers the bytes to the cluster controller
+  // with bounded retry.
   class TransportSink : public SynopsisSink {
    public:
     explicit TransportSink(ClusterController* controller)
@@ -47,10 +59,15 @@ class NodeController {
         std::shared_ptr<const Synopsis> synopsis,
         std::shared_ptr<const Synopsis> anti_synopsis) override;
 
-    uint64_t messages_sent = 0;
-    uint64_t bytes_sent = 0;
+    std::atomic<uint64_t> messages_sent{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> dropped{0};
 
    private:
+    static constexpr int kMaxDeliveryAttempts = 3;
+
+    // One in-flight delivery per node, like a single TCP connection.
+    std::mutex mu_;
     ClusterController* controller_;
   };
 

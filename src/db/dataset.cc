@@ -34,6 +34,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
   tree_options.name = opts.name + "_pk";
   tree_options.auto_flush = false;
   tree_options.merge_policy = opts.merge_policy;
+  tree_options.scheduler = opts.scheduler;
   auto primary_or = LsmTree::Open(tree_options);
   LSMSTATS_RETURN_IF_ERROR(primary_or.status());
   dataset->primary_ = std::move(primary_or).value();
@@ -75,6 +76,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     sk_options.name = opts.name + "_sk_" + def.name;
     sk_options.auto_flush = false;
     sk_options.merge_policy = opts.merge_policy;
+    sk_options.scheduler = opts.scheduler;
     auto tree_or = LsmTree::Open(sk_options);
     LSMSTATS_RETURN_IF_ERROR(tree_or.status());
     dataset->secondaries_.push_back(std::move(tree_or).value());
@@ -92,6 +94,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     ck_options.name = opts.name + "_ck_" + field_a + "_" + field_b;
     ck_options.auto_flush = false;
     ck_options.merge_policy = opts.merge_policy;
+    ck_options.scheduler = opts.scheduler;
     auto tree = LsmTree::Open(ck_options);
     LSMSTATS_RETURN_IF_ERROR(tree.status());
     dataset->composite_fields_.push_back(
@@ -142,9 +145,19 @@ LsmTree* Dataset::composite(const std::string& field_a,
 }
 
 Status Dataset::MaybeFlush() {
-  if (options_.auto_flush &&
-      primary_->memtable().EntryCount() >= options_.memtable_max_entries) {
-    return Flush();
+  if (!options_.auto_flush ||
+      primary_->MemTableEntryCount() < options_.memtable_max_entries) {
+    return Status::OK();
+  }
+  if (options_.scheduler == nullptr) return Flush();
+  // Scheduler mode: rotate every index and return to the writer; the worker
+  // pool flushes all indexes in parallel off the write path.
+  LSMSTATS_RETURN_IF_ERROR(primary_->RequestFlush());
+  for (auto& secondary : secondaries_) {
+    LSMSTATS_RETURN_IF_ERROR(secondary->RequestFlush());
+  }
+  for (auto& composite : composite_trees_) {
+    LSMSTATS_RETURN_IF_ERROR(composite->RequestFlush());
   }
   return Status::OK();
 }
@@ -347,12 +360,34 @@ StatusOr<uint64_t> Dataset::CountAll() const {
 }
 
 Status Dataset::Flush() {
+  if (options_.scheduler != nullptr) {
+    // Kick every index's rotation first so the flushes overlap on the
+    // worker pool; the drains below then mostly wait instead of working.
+    LSMSTATS_RETURN_IF_ERROR(primary_->RequestFlush());
+    for (auto& secondary : secondaries_) {
+      LSMSTATS_RETURN_IF_ERROR(secondary->RequestFlush());
+    }
+    for (auto& composite : composite_trees_) {
+      LSMSTATS_RETURN_IF_ERROR(composite->RequestFlush());
+    }
+  }
   LSMSTATS_RETURN_IF_ERROR(primary_->Flush());
   for (auto& secondary : secondaries_) {
     LSMSTATS_RETURN_IF_ERROR(secondary->Flush());
   }
   for (auto& composite : composite_trees_) {
     LSMSTATS_RETURN_IF_ERROR(composite->Flush());
+  }
+  return Status::OK();
+}
+
+Status Dataset::WaitForBackgroundWork() {
+  LSMSTATS_RETURN_IF_ERROR(primary_->WaitForBackgroundWork());
+  for (auto& secondary : secondaries_) {
+    LSMSTATS_RETURN_IF_ERROR(secondary->WaitForBackgroundWork());
+  }
+  for (auto& composite : composite_trees_) {
+    LSMSTATS_RETURN_IF_ERROR(composite->WaitForBackgroundWork());
   }
   return Status::OK();
 }

@@ -27,6 +27,7 @@
 
 #include "db/record.h"
 #include "lsm/lsm_tree.h"
+#include "lsm/scheduler.h"
 #include "stats/statistics_collector.h"
 #include "stats/composite_collector.h"
 #include "stats/unsorted_field_collector.h"
@@ -60,6 +61,12 @@ struct DatasetOptions {
   bool auto_flush = true;
   // Shared by all indexes. Defaults to NoMerge.
   std::shared_ptr<MergePolicy> merge_policy;
+  // When set, every index's flush/merge work runs on this scheduler: a full
+  // memtable triggers a non-blocking rotation on all indexes, whose flushes
+  // then proceed in parallel on the worker pool. Must outlive the dataset.
+  // Modifications remain externally synchronized (one logical writer), as do
+  // catalog reads vs. ongoing ingestion; see DESIGN.md "Threading model".
+  BackgroundScheduler* scheduler = nullptr;
   // Where collectors publish synopses; required unless kNone. Must outlive
   // the dataset.
   SynopsisSink* sink = nullptr;
@@ -107,9 +114,15 @@ class Dataset {
 
   // --- Lifecycle -----------------------------------------------------------
 
-  // Flushes every index (a staged-ingestion boundary, §4.3.4).
+  // Flushes every index (a staged-ingestion boundary, §4.3.4). A
+  // synchronous barrier: in scheduler mode all indexes are rotated first so
+  // their flushes overlap on the worker pool, then each is drained.
   [[nodiscard]] Status Flush();
   [[nodiscard]] Status ForceFullMerge();
+
+  // Blocks until every index's scheduled flush/merge jobs completed;
+  // returns the first background failure, if any.
+  [[nodiscard]] Status WaitForBackgroundWork();
 
   // --- Introspection -------------------------------------------------------
 

@@ -272,7 +272,10 @@ std::unique_ptr<ComponentCursor> DiskComponent::NewCursorAt(
 }
 
 Status DiskComponent::DeleteFile() {
-  file_.reset();
+  // Keep file_ open: readers that snapshotted this component before it was
+  // replaced may still be scanning it. POSIX keeps the unlinked data
+  // readable through the open descriptor; it is reclaimed when the last
+  // reference to this component drops.
   return RemoveFileIfExists(path_);
 }
 

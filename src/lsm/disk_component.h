@@ -122,7 +122,10 @@ class DiskComponent {
   // Cursor positioned at the first entry with key >= `start`.
   std::unique_ptr<ComponentCursor> NewCursorAt(const LsmKey& start) const;
 
-  // Removes the backing file. The component must not be used afterwards.
+  // Unlinks the backing file from the directory. The component itself stays
+  // readable (the descriptor remains open) so in-flight readers holding a
+  // snapshot reference can finish; the space is reclaimed once the last
+  // reference drops.
   [[nodiscard]] Status DeleteFile();
 
  private:

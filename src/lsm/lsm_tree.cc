@@ -3,17 +3,25 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
 #include "lsm/merge_cursor.h"
+#include "lsm/scheduler.h"
 
 namespace lsmstats {
 
-LsmTree::LsmTree(LsmTreeOptions options) : options_(std::move(options)) {
+LsmTree::LsmTree(LsmTreeOptions options)
+    : options_(std::move(options)), memtable_(std::make_unique<MemTable>()) {
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
+}
+
+LsmTree::~LsmTree() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_jobs_ == 0; });
 }
 
 StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
@@ -25,7 +33,8 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
 
   // Recover components left by a previous incarnation of this tree: files
   // named <name>_<id>.cmp. Ids are assigned monotonically, so sorting by id
-  // descending restores the newest-first stack order.
+  // descending restores the newest-first stack order. Open() runs before the
+  // tree is shared, so no locking yet.
   std::vector<uint64_t> recovered_ids;
   const std::string prefix = tree->options_.name + "_";
   std::error_code ec;
@@ -73,38 +82,88 @@ std::string LsmTree::ComponentPath(uint64_t id) const {
          ".cmp";
 }
 
-bool LsmTree::MemTableFull() const {
-  return memtable_.EntryCount() >= options_.memtable_max_entries ||
-         memtable_.ApproximateBytes() >= options_.memtable_max_bytes;
+bool LsmTree::MemTableFullLocked() const {
+  return memtable_->EntryCount() >= options_.memtable_max_entries ||
+         memtable_->ApproximateBytes() >= options_.memtable_max_bytes;
+}
+
+bool LsmTree::RotateLocked() {
+  if (memtable_->Empty()) return false;
+  immutables_.push_back(std::shared_ptr<const MemTable>(std::move(memtable_)));
+  memtable_ = std::make_unique<MemTable>();
+  return true;
+}
+
+Status LsmTree::MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock) {
+  if (!options_.auto_flush || !MemTableFullLocked()) return Status::OK();
+  if (options_.scheduler == nullptr) {
+    // Synchronous mode: flush inline, exactly like the single-threaded
+    // engine. Flush() re-acquires the locks it needs.
+    lock.unlock();
+    return Flush();
+  }
+  RotateLocked();
+  ++pending_jobs_;
+  // Schedule without holding mu_: after a scheduler shutdown the job runs
+  // inline on this thread, and the job itself takes mu_.
+  lock.unlock();
+  options_.scheduler->Schedule([this] { BackgroundFlushJob(); });
+  lock.lock();
+  // Backpressure: stall the writer once too many rotated memtables are
+  // waiting for the workers, so memory stays bounded under write bursts.
+  cv_.wait(lock, [this] {
+    return immutables_.size() <= options_.max_immutable_memtables ||
+           !background_error_.ok();
+  });
+  return background_error_;
 }
 
 Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
-  memtable_.Put(key, std::move(value), fresh_insert);
-  if (options_.auto_flush && MemTableFull()) return Flush();
-  return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  LSMSTATS_RETURN_IF_ERROR(background_error_);
+  memtable_->Put(key, std::move(value), fresh_insert);
+  return MaybeFlushAfterWrite(lock);
 }
 
 Status LsmTree::Delete(const LsmKey& key) {
-  memtable_.Delete(key);
-  if (options_.auto_flush && MemTableFull()) return Flush();
-  return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  LSMSTATS_RETURN_IF_ERROR(background_error_);
+  memtable_->Delete(key);
+  return MaybeFlushAfterWrite(lock);
 }
 
 Status LsmTree::PutAntiMatter(const LsmKey& key) {
-  memtable_.PutAntiMatter(key);
-  if (options_.auto_flush && MemTableFull()) return Flush();
-  return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  LSMSTATS_RETURN_IF_ERROR(background_error_);
+  memtable_->PutAntiMatter(key);
+  return MaybeFlushAfterWrite(lock);
 }
 
 Status LsmTree::Get(const LsmKey& key, std::string* value) const {
-  bool anti = false;
-  Status s = memtable_.Get(key, value, &anti);
-  if (s.ok()) {
-    return anti ? Status::NotFound("deleted") : Status::OK();
+  // Snapshot under the lock; the frozen memtables and components are
+  // immutable, so the searches below run lock-free.
+  std::vector<std::shared_ptr<const MemTable>> frozen;  // newest first
+  std::vector<std::shared_ptr<DiskComponent>> components;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool anti = false;
+    Status s = memtable_->Get(key, value, &anti);
+    if (s.ok()) {
+      return anti ? Status::NotFound("deleted") : Status::OK();
+    }
+    frozen.assign(immutables_.rbegin(), immutables_.rend());
+    components = components_;
   }
-  for (const auto& component : components_) {
+  for (const auto& memtable : frozen) {
+    bool anti = false;
+    Status s = memtable->Get(key, value, &anti);
+    if (s.ok()) {
+      return anti ? Status::NotFound("deleted") : Status::OK();
+    }
+  }
+  for (const auto& component : components) {
     Entry entry;
-    s = component->Get(key, &entry);
+    Status s = component->Get(key, &entry);
     if (s.ok()) {
       if (entry.anti_matter) return Status::NotFound("deleted");
       *value = std::move(entry.value);
@@ -117,15 +176,30 @@ Status LsmTree::Get(const LsmKey& key, std::string* value) const {
 
 Status LsmTree::Scan(const LsmKey& lo, const LsmKey& hi,
                      const std::function<void(const Entry&)>& fn) const {
-  std::vector<std::unique_ptr<EntryCursor>> inputs;
-  inputs.reserve(components_.size() + 1);
-  // Memtable snapshot restricted to the range.
+  // Snapshot the mutable memtable's in-range entries plus shared handles on
+  // everything frozen; the merge itself runs without the lock.
   std::vector<Entry> mem_entries;
-  memtable_.ForEach([&](const Entry& e) {
-    if (!(e.key < lo) && !(hi < e.key)) mem_entries.push_back(e);
-  });
+  std::vector<std::shared_ptr<const MemTable>> frozen;  // newest first
+  std::vector<std::shared_ptr<DiskComponent>> components;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    memtable_->ForEach([&](const Entry& e) {
+      if (!(e.key < lo) && !(hi < e.key)) mem_entries.push_back(e);
+    });
+    frozen.assign(immutables_.rbegin(), immutables_.rend());
+    components = components_;
+  }
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.reserve(frozen.size() + components.size() + 1);
   inputs.push_back(std::make_unique<VectorEntryCursor>(std::move(mem_entries)));
-  for (const auto& component : components_) {
+  for (const auto& memtable : frozen) {
+    std::vector<Entry> entries;
+    memtable->ForEach([&](const Entry& e) {
+      if (!(e.key < lo) && !(hi < e.key)) entries.push_back(e);
+    });
+    inputs.push_back(std::make_unique<VectorEntryCursor>(std::move(entries)));
+  }
+  for (const auto& component : components) {
     inputs.push_back(component->NewCursorAt(lo));
   }
   // The scan sees the whole tree, so anti-matter fully reconciles.
@@ -146,17 +220,25 @@ StatusOr<uint64_t> LsmTree::ScanCount(const LsmKey& lo,
   return count;
 }
 
-Status LsmTree::WriteComponent(const OperationContext& context,
-                               EntryCursor* input, size_t insert_pos,
-                               const std::vector<uint64_t>& replaced_ids,
-                               std::shared_ptr<DiskComponent>* out) {
+Status LsmTree::WriteComponent(
+    const OperationContext& context, EntryCursor* input,
+    const std::vector<uint64_t>& replaced_ids,
+    const std::function<void(std::shared_ptr<DiskComponent>)>& install,
+    std::shared_ptr<DiskComponent>* out) {
+  // Caller holds work_mu_, so listeners see one operation at a time and the
+  // component stack cannot be restructured underneath us; mu_ is only taken
+  // for the reader-visible splice and the id/clock counters.
   std::vector<std::unique_ptr<ComponentWriteObserver>> observers;
   for (LsmEventListener* listener : listeners_) {
     auto observer = listener->OnOperationBegin(context);
     if (observer) observers.push_back(std::move(observer));
   }
 
-  uint64_t id = next_component_id_++;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_component_id_++;
+  }
   DiskComponentBuilder builder(ComponentPath(id), context.expected_records);
   while (input->Valid()) {
     const Entry& entry = input->entry();
@@ -179,18 +261,29 @@ Status LsmTree::WriteComponent(const OperationContext& context,
     *out = nullptr;
     ComponentMetadata empty;
     empty.id = id;
-    empty.timestamp = logical_clock_++;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      empty.timestamp = logical_clock_++;
+      install(nullptr);
+    }
     for (auto& observer : observers) {
       observer->OnComponentSealed(empty, replaced_ids);
     }
     return Status::OK();
   }
 
-  auto component_or = builder.Finish(id, logical_clock_++);
+  uint64_t timestamp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    timestamp = logical_clock_++;
+  }
+  auto component_or = builder.Finish(id, timestamp);
   LSMSTATS_RETURN_IF_ERROR(component_or.status());
   *out = std::move(component_or).value();
-  components_.insert(components_.begin() + static_cast<ptrdiff_t>(insert_pos),
-                     *out);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    install(*out);
+  }
   for (auto& observer : observers) {
     observer->OnComponentSealed((*out)->metadata(), replaced_ids);
   }
@@ -203,80 +296,198 @@ Status LsmTree::WriteComponent(const OperationContext& context,
   return Status::OK();
 }
 
-Status LsmTree::Flush() {
-  if (memtable_.Empty()) return Status::OK();
+Status LsmTree::FlushOneImmutable() {
+  std::lock_guard<std::mutex> work(work_mu_);
+  std::shared_ptr<const MemTable> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (immutables_.empty()) return Status::OK();
+    victim = immutables_.front();
+  }
 
   OperationContext context;
   context.op = LsmOperation::kFlush;
-  context.expected_records = memtable_.EntryCount();
-  context.expected_anti_matter = memtable_.AntiMatterCount();
+  context.expected_records = victim->EntryCount();
+  context.expected_anti_matter = victim->AntiMatterCount();
 
   std::vector<Entry> entries;
-  entries.reserve(memtable_.EntryCount());
-  memtable_.ForEach([&](const Entry& e) { entries.push_back(e); });
+  entries.reserve(victim->EntryCount());
+  victim->ForEach([&](const Entry& e) { entries.push_back(e); });
   VectorEntryCursor cursor(std::move(entries));
 
   std::shared_ptr<DiskComponent> component;
-  LSMSTATS_RETURN_IF_ERROR(
-      WriteComponent(context, &cursor, /*insert_pos=*/0, {}, &component));
-  memtable_.Clear();
-  return MaybeMerge();
+  return WriteComponent(
+      context, &cursor, {},
+      [this](std::shared_ptr<DiskComponent> sealed) {
+        // A rotated memtable is never empty, so a flush always seals a
+        // component; swap it in and retire the memtable in one step so
+        // readers never see the data twice or not at all.
+        components_.insert(components_.begin(), std::move(sealed));
+        immutables_.pop_front();
+        cv_.notify_all();
+      },
+      &component);
 }
 
-Status LsmTree::MaybeMerge() {
+Status LsmTree::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    RotateLocked();
+  }
   for (;;) {
-    auto decision = options_.merge_policy->PickMerge(ComponentsMetadata());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (immutables_.empty()) break;
+    }
+    LSMSTATS_RETURN_IF_ERROR(FlushOneImmutable());
+    LSMSTATS_RETURN_IF_ERROR(MaybeMerge());
+  }
+  return WaitForBackgroundWork();
+}
+
+Status LsmTree::RequestFlush() {
+  if (options_.scheduler == nullptr) return Flush();
+  bool rotated;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    rotated = RotateLocked();
+    if (rotated) ++pending_jobs_;
+  }
+  if (rotated) options_.scheduler->Schedule([this] { BackgroundFlushJob(); });
+  return Status::OK();
+}
+
+Status LsmTree::WaitForBackgroundWork() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_jobs_ == 0; });
+  return background_error_;
+}
+
+Status LsmTree::BackgroundError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return background_error_;
+}
+
+void LsmTree::FinishJob(Status s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (background_error_.ok() && !s.ok()) background_error_ = std::move(s);
+  --pending_jobs_;
+  cv_.notify_all();
+}
+
+void LsmTree::BackgroundFlushJob() {
+  Status s = FlushOneImmutable();
+  bool want_merge = false;
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ComponentMetadata> metadata;
+    metadata.reserve(components_.size());
+    for (const auto& component : components_) {
+      metadata.push_back(component->metadata());
+    }
+    want_merge = options_.merge_policy->PickMerge(metadata).has_value();
+    if (want_merge) ++pending_jobs_;
+  }
+  // Schedule outside mu_ (see MaybeFlushAfterWrite); post-shutdown this
+  // runs the whole merge inline before the flush job is accounted done.
+  if (want_merge) {
+    options_.scheduler->Schedule([this] { BackgroundMergeJob(); });
+  }
+  FinishJob(std::move(s));
+}
+
+void LsmTree::BackgroundMergeJob() { FinishJob(MaybeMerge()); }
+
+Status LsmTree::MaybeMerge() {
+  std::lock_guard<std::mutex> work(work_mu_);
+  for (;;) {
+    std::optional<MergeDecision> decision;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::vector<ComponentMetadata> metadata;
+      metadata.reserve(components_.size());
+      for (const auto& component : components_) {
+        metadata.push_back(component->metadata());
+      }
+      decision = options_.merge_policy->PickMerge(metadata);
+      if (decision.has_value()) {
+        LSMSTATS_CHECK(decision->begin < decision->end);
+        LSMSTATS_CHECK(decision->end <= components_.size());
+        LSMSTATS_CHECK(decision->end - decision->begin >= 2);
+      }
+    }
     if (!decision.has_value()) return Status::OK();
-    LSMSTATS_CHECK(decision->begin < decision->end);
-    LSMSTATS_CHECK(decision->end <= components_.size());
-    LSMSTATS_CHECK(decision->end - decision->begin >= 2);
     LSMSTATS_RETURN_IF_ERROR(MergeRange(*decision));
   }
 }
 
 Status LsmTree::ForceFullMerge() {
-  if (components_.size() < 2) return Status::OK();
-  return MergeRange(MergeDecision{0, components_.size()});
+  std::lock_guard<std::mutex> work(work_mu_);
+  size_t component_count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    component_count = components_.size();
+  }
+  if (component_count < 2) return Status::OK();
+  return MergeRange(MergeDecision{0, component_count});
 }
 
 Status LsmTree::MergeRange(const MergeDecision& decision) {
+  // Caller holds work_mu_: no other structural operation can move the range
+  // between the snapshot below and the install.
   OperationContext context;
   context.op = LsmOperation::kMerge;
-  context.includes_oldest_component = decision.end == components_.size();
 
-  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  std::vector<std::shared_ptr<DiskComponent>> replaced;
   std::vector<uint64_t> replaced_ids;
-  for (size_t i = decision.begin; i < decision.end; ++i) {
-    const ComponentMetadata& md = components_[i]->metadata();
-    context.expected_records += md.record_count;
-    context.expected_anti_matter += md.anti_matter_count;
-    inputs.push_back(components_[i]->NewCursor());
-    replaced_ids.push_back(md.id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LSMSTATS_CHECK(decision.end <= components_.size());
+    context.includes_oldest_component = decision.end == components_.size();
+    for (size_t i = decision.begin; i < decision.end; ++i) {
+      const ComponentMetadata& md = components_[i]->metadata();
+      context.expected_records += md.record_count;
+      context.expected_anti_matter += md.anti_matter_count;
+      replaced.push_back(components_[i]);
+      replaced_ids.push_back(md.id);
+    }
+  }
+  std::vector<std::unique_ptr<EntryCursor>> inputs;
+  inputs.reserve(replaced.size());
+  for (const auto& component : replaced) {
+    inputs.push_back(component->NewCursor());
   }
   MergeCursor merged(std::move(inputs),
                      /*drop_anti_matter=*/context.includes_oldest_component);
 
-  // Remove the inputs from the stack first so the new component lands in
-  // their place (recency order is preserved: everything in the range is
-  // newer than what follows and older than what precedes).
-  std::vector<std::shared_ptr<DiskComponent>> replaced(
-      components_.begin() + static_cast<ptrdiff_t>(decision.begin),
-      components_.begin() + static_cast<ptrdiff_t>(decision.end));
-  components_.erase(
-      components_.begin() + static_cast<ptrdiff_t>(decision.begin),
-      components_.begin() + static_cast<ptrdiff_t>(decision.end));
-
   std::shared_ptr<DiskComponent> component;
-  Status s = WriteComponent(context, &merged, decision.begin, replaced_ids,
-                            &component);
-  if (!s.ok()) {
-    // Restore the stack; the merge failed before replacing anything.
-    components_.insert(components_.begin() +
-                           static_cast<ptrdiff_t>(decision.begin),
-                       replaced.begin(), replaced.end());
-    return s;
-  }
+  Status s = WriteComponent(
+      context, &merged, replaced_ids,
+      [this, &decision](std::shared_ptr<DiskComponent> sealed) {
+        // Replace the merged range with its result in one step, so readers
+        // see either all inputs or the output (recency order is preserved:
+        // everything in the range is newer than what follows and older than
+        // what precedes).
+        auto first = components_.begin() +
+                     static_cast<ptrdiff_t>(decision.begin);
+        components_.erase(
+            first, first + static_cast<ptrdiff_t>(decision.end -
+                                                  decision.begin));
+        if (sealed) {
+          components_.insert(components_.begin() +
+                                 static_cast<ptrdiff_t>(decision.begin),
+                             std::move(sealed));
+        }
+      },
+      &component);
+  // On failure the install callback never ran, so the stack is untouched.
+  LSMSTATS_RETURN_IF_ERROR(s);
   for (auto& old_component : replaced) {
+    // In-flight readers may still hold cursors on these components; they
+    // keep reading through their open file handles (POSIX unlink keeps the
+    // data alive until the last handle closes).
     LSMSTATS_RETURN_IF_ERROR(old_component->DeleteFile());
   }
   return Status::OK();
@@ -284,22 +495,40 @@ Status LsmTree::MergeRange(const MergeDecision& decision) {
 
 Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
                          uint64_t expected_anti_matter) {
-  if (!memtable_.Empty()) {
-    return Status::FailedPrecondition(
-        "bulkload requires an empty memtable; flush first");
-  }
-  OperationContext context;
-  context.op = LsmOperation::kBulkload;
-  context.expected_records = expected_records;
-  context.expected_anti_matter = expected_anti_matter;
+  {
+    std::lock_guard<std::mutex> work(work_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      LSMSTATS_RETURN_IF_ERROR(background_error_);
+      if (!memtable_->Empty() || !immutables_.empty()) {
+        return Status::FailedPrecondition(
+            "bulkload requires an empty memtable; flush first");
+      }
+    }
+    OperationContext context;
+    context.op = LsmOperation::kBulkload;
+    context.expected_records = expected_records;
+    context.expected_anti_matter = expected_anti_matter;
 
-  std::shared_ptr<DiskComponent> component;
-  LSMSTATS_RETURN_IF_ERROR(
-      WriteComponent(context, input, /*insert_pos=*/0, {}, &component));
+    std::shared_ptr<DiskComponent> component;
+    LSMSTATS_RETURN_IF_ERROR(WriteComponent(
+        context, input, {},
+        [this](std::shared_ptr<DiskComponent> sealed) {
+          if (sealed) components_.insert(components_.begin(),
+                                         std::move(sealed));
+        },
+        &component));
+  }
   return MaybeMerge();
 }
 
+size_t LsmTree::ComponentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return components_.size();
+}
+
 std::vector<ComponentMetadata> LsmTree::ComponentsMetadata() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ComponentMetadata> result;
   result.reserve(components_.size());
   for (const auto& component : components_) {
@@ -308,7 +537,23 @@ std::vector<ComponentMetadata> LsmTree::ComponentsMetadata() const {
   return result;
 }
 
+uint64_t LsmTree::MemTableEntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memtable_->EntryCount();
+}
+
+uint64_t LsmTree::MemTableBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memtable_->ApproximateBytes();
+}
+
+size_t LsmTree::ImmutableMemTableCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return immutables_.size();
+}
+
 uint64_t LsmTree::TotalDiskRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& component : components_) {
     total += component->metadata().record_count;

@@ -1,24 +1,39 @@
 // LSM-tree: the write-optimized index structure everything else builds on.
 //
 // Modifications land in an in-memory component (MemTable); when it fills up
-// it is flushed to an immutable disk component with one sequential write.
-// A merge policy periodically consolidates disk components, reconciling
-// anti-matter with the records it cancels (Appendix A). Flush, merge, and
-// bulkload all funnel through one WriteComponent() routine that streams a
-// sorted entry cursor into a component builder — and announces the stream to
-// registered LsmEventListeners, which is where statistics collection hooks in
-// (paper §3.1: "disk operations in the LSM framework can be generalized by a
-// single bulkload() routine").
+// it is rotated into a queue of immutable memtables and flushed to an
+// immutable disk component with one sequential write. A merge policy
+// periodically consolidates disk components, reconciling anti-matter with the
+// records it cancels (Appendix A). Flush, merge, and bulkload all funnel
+// through one WriteComponent() routine that streams a sorted entry cursor
+// into a component builder — and announces the stream to registered
+// LsmEventListeners, which is where statistics collection hooks in (paper
+// §3.1: "disk operations in the LSM framework can be generalized by a single
+// bulkload() routine").
 //
-// The tree is externally synchronized: one logical writer at a time. This
-// mirrors the per-partition single-writer model of AsterixDB node
-// controllers.
+// Threading model (see DESIGN.md "Threading model"):
+//   * The tree is internally synchronized: Put/Delete/Get/Scan/Flush may be
+//     called from any number of threads concurrently.
+//   * With LsmTreeOptions::scheduler set, a full memtable is rotated into the
+//     immutable queue and flushed on a worker thread; merges run as
+//     background jobs too, so writers never wait on disk. Without a
+//     scheduler, flush and merge run inline on the calling thread, in
+//     exactly the seed's deterministic order (the paper-figure benches rely
+//     on this).
+//   * Structural operations (flush, merge, bulkload) are serialized per tree,
+//     so listeners observe one operation at a time — the single-stream
+//     contract StatisticsCollector depends on.
+//   * AddListener is not synchronized: register all listeners before sharing
+//     the tree across threads.
 
 #ifndef LSMSTATS_LSM_LSM_TREE_H_
 #define LSMSTATS_LSM_LSM_TREE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +46,8 @@
 #include "lsm/merge_policy.h"
 
 namespace lsmstats {
+
+class BackgroundScheduler;
 
 struct LsmTreeOptions {
   // Directory for component files; created if missing.
@@ -45,6 +62,14 @@ struct LsmTreeOptions {
   bool auto_flush = true;
   // Defaults to NoMergePolicy when null.
   std::shared_ptr<MergePolicy> merge_policy;
+  // When set, flush and merge jobs run on this scheduler's worker threads
+  // and a full memtable rotates instead of blocking the writer. Must outlive
+  // the tree. Null (the default) keeps all maintenance inline and
+  // deterministic.
+  BackgroundScheduler* scheduler = nullptr;
+  // Backpressure bound: writers stall once more than this many immutable
+  // memtables await flushing (scheduler mode only).
+  size_t max_immutable_memtables = 4;
 };
 
 class LsmTree {
@@ -60,13 +85,19 @@ class LsmTree {
   LsmTree(const LsmTree&) = delete;
   LsmTree& operator=(const LsmTree&) = delete;
 
-  // Listeners must outlive the tree.
+  // Blocks until all outstanding background jobs for this tree finished.
+  ~LsmTree();
+
+  // Listeners must outlive the tree. Not synchronized: register before the
+  // tree is shared across threads.
   void AddListener(LsmEventListener* listener);
 
   // --- Modifications (land in the memtable) -------------------------------
 
   // Inserts or overwrites. `fresh_insert` marks keys the caller knows are
-  // absent from all older components (see MemTable::Put).
+  // absent from all older components (see MemTable::Put). In scheduler mode
+  // a full memtable is rotated and flushed in the background; the call
+  // returns without touching disk (unless backpressure stalls it).
   [[nodiscard]]
   Status Put(const LsmKey& key, std::string value, bool fresh_insert = false);
   [[nodiscard]] Status Delete(const LsmKey& key);
@@ -74,8 +105,10 @@ class LsmTree {
 
   // --- Reads ---------------------------------------------------------------
 
-  // Point lookup across the memtable and all disk components, newest first.
-  // Returns NotFound for absent or deleted keys.
+  // Point lookup across the memtable, immutable memtables, and all disk
+  // components, newest first. Returns NotFound for absent or deleted keys.
+  // Reads take a snapshot of the component list, so they observe a merge
+  // either entirely before or entirely after it installs its result.
   [[nodiscard]] Status Get(const LsmKey& key, std::string* value) const;
 
   // Invokes `fn` for every live (reconciled, non-anti-matter) entry with
@@ -91,15 +124,29 @@ class LsmTree {
 
   // --- Lifecycle events ----------------------------------------------------
 
-  // Persists the memtable as a new disk component (no-op when empty), then
-  // lets the merge policy run.
+  // Synchronous barrier: persists the memtable and every pending immutable
+  // memtable as disk components (no-op when all are empty), lets the merge
+  // policy run, and waits for outstanding background jobs.
   [[nodiscard]] Status Flush();
+
+  // Non-blocking flush trigger: rotates a non-empty memtable and schedules
+  // its flush on the background scheduler. Without a scheduler this is
+  // Flush().
+  [[nodiscard]] Status RequestFlush();
 
   // Runs the merge policy until it makes no further decision.
   [[nodiscard]] Status MaybeMerge();
 
   // Merges all disk components into one.
   [[nodiscard]] Status ForceFullMerge();
+
+  // Blocks until all scheduled flush/merge jobs for this tree completed;
+  // returns the first background failure, if any (sticky — also surfaced by
+  // the next Put/Delete).
+  [[nodiscard]] Status WaitForBackgroundWork();
+
+  // First error a background job hit, or OK.
+  [[nodiscard]] Status BackgroundError() const;
 
   // Builds one component bottom-up from a sorted, reconciled entry stream.
   // Requires an empty memtable. `expected_records` is the stream length
@@ -110,9 +157,12 @@ class LsmTree {
 
   // --- Introspection -------------------------------------------------------
 
-  size_t ComponentCount() const { return components_.size(); }
+  size_t ComponentCount() const;
   std::vector<ComponentMetadata> ComponentsMetadata() const;
-  const MemTable& memtable() const { return memtable_; }
+  uint64_t MemTableEntryCount() const;
+  uint64_t MemTableBytes() const;
+  // Immutable memtables rotated out but not yet flushed.
+  size_t ImmutableMemTableCount() const;
   const LsmTreeOptions& options() const { return options_; }
 
   // Total live-record estimate ignoring reconciliation (records - 2*anti
@@ -122,28 +172,63 @@ class LsmTree {
  private:
   explicit LsmTree(LsmTreeOptions options);
 
-  bool MemTableFull() const;
+  bool MemTableFullLocked() const;
   std::string ComponentPath(uint64_t id) const;
 
-  // Streams `input` into a new component, driving listeners. On success the
-  // new component replaces `replaced` components at position `insert_pos` in
-  // the stack.
+  // Seals a non-empty memtable into the immutable queue. Returns whether a
+  // rotation happened. Caller holds mu_.
+  bool RotateLocked();
+
+  // Handles a full memtable after a write: inline flush without a scheduler,
+  // rotate + schedule + backpressure with one. Caller holds `lock` on mu_;
+  // the lock is released around the Schedule() call (a shut-down scheduler
+  // runs the job inline, and the job takes mu_ itself).
+  [[nodiscard]] Status MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock);
+
+  // Background job bodies; record failures in background_error_.
+  void BackgroundFlushJob();
+  void BackgroundMergeJob();
+  void FinishJob(Status s);
+
+  // Flushes the oldest pending immutable memtable (no-op when none).
+  // Serializes on work_mu_. Does not run the merge policy.
+  [[nodiscard]] Status FlushOneImmutable();
+
+  // Streams `input` into a new component, driving listeners. `install` is
+  // invoked under mu_ with the sealed component (null when the stream
+  // reconciled to nothing) and must splice it into the stack atomically for
+  // readers. Caller holds work_mu_.
   [[nodiscard]]
-  Status WriteComponent(const OperationContext& context, EntryCursor* input,
-                        size_t insert_pos,
-                        const std::vector<uint64_t>& replaced_ids,
-                        std::shared_ptr<DiskComponent>* out);
+  Status WriteComponent(
+      const OperationContext& context, EntryCursor* input,
+      const std::vector<uint64_t>& replaced_ids,
+      const std::function<void(std::shared_ptr<DiskComponent>)>& install,
+      std::shared_ptr<DiskComponent>* out);
 
   // Performs one merge over components_[decision.begin, decision.end).
+  // Caller holds work_mu_.
   [[nodiscard]] Status MergeRange(const MergeDecision& decision);
 
   LsmTreeOptions options_;
-  MemTable memtable_;
+
+  // Serializes structural operations (flush, merge, bulkload) and thereby
+  // all listener callbacks. Never acquired while holding mu_.
+  std::mutex work_mu_;
+
+  // Guards every member below. Held only for short, non-blocking sections.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // backpressure + job completion
+  std::unique_ptr<MemTable> memtable_;
+  // Rotated memtables awaiting flush, oldest first. Frozen: safe to read
+  // without mu_ once a shared_ptr has been taken under it.
+  std::deque<std::shared_ptr<const MemTable>> immutables_;
   // Newest first.
   std::vector<std::shared_ptr<DiskComponent>> components_;
   std::vector<LsmEventListener*> listeners_;
   uint64_t next_component_id_ = 1;
   uint64_t logical_clock_ = 1;
+  size_t pending_jobs_ = 0;
+  Status background_error_;
 };
 
 }  // namespace lsmstats

@@ -1,0 +1,80 @@
+#include "lsm/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lsmstats {
+
+BackgroundScheduler::BackgroundScheduler(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
+
+void BackgroundScheduler::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      ++tasks_scheduled_;
+      queue_.push_back(std::move(task));
+      work_cv_.notify_one();
+      return;
+    }
+    ++tasks_scheduled_;
+  }
+  // Post-shutdown: degrade to synchronous execution so no work is lost.
+  task();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tasks_completed_;
+  idle_cv_.notify_all();
+}
+
+void BackgroundScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with a drained queue
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    ++tasks_completed_;
+    idle_cv_.notify_all();
+  }
+}
+
+void BackgroundScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void BackgroundScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+uint64_t BackgroundScheduler::tasks_scheduled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_scheduled_;
+}
+
+uint64_t BackgroundScheduler::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_completed_;
+}
+
+}  // namespace lsmstats

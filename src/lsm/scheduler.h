@@ -1,0 +1,77 @@
+// Background work scheduler for LSM maintenance (flushes and merges).
+//
+// A fixed pool of worker threads drains a FIFO task queue. Trees enqueue
+// flush/merge jobs here so ingestion never waits on disk writes (Luo & Carey:
+// overlapping memory-component flushes with writes and taking merges off the
+// write path is the dominant ingestion-throughput lever in LSM systems).
+//
+// Semantics:
+//   * Schedule() never blocks; tasks run in FIFO order across the pool.
+//   * Drain() blocks until every task scheduled so far has finished.
+//   * Shutdown() stops the workers after finishing all queued tasks. After
+//     shutdown, Schedule() runs the task inline on the calling thread, so a
+//     tree outliving its scheduler's shutdown degrades to synchronous
+//     maintenance instead of losing work.
+//
+// The scheduler knows nothing about trees; per-tree ordering constraints
+// (e.g. one structural operation at a time) are the tree's job.
+
+#ifndef LSMSTATS_LSM_SCHEDULER_H_
+#define LSMSTATS_LSM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsmstats {
+
+class BackgroundScheduler {
+ public:
+  // Spawns `num_threads` workers (at least one).
+  explicit BackgroundScheduler(size_t num_threads = 2);
+
+  BackgroundScheduler(const BackgroundScheduler&) = delete;
+  BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
+
+  // Calls Shutdown().
+  ~BackgroundScheduler();
+
+  // Enqueues `task` for execution on a worker thread. After Shutdown() the
+  // task runs inline instead.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until the queue is empty and no worker is mid-task.
+  void Drain();
+
+  // Finishes all queued tasks, then joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t thread_count() const { return threads_.size(); }
+
+  // Tasks handed to Schedule() so far (including inline post-shutdown runs).
+  uint64_t tasks_scheduled() const;
+  // Tasks that have finished executing.
+  uint64_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / shutdown
+  std::condition_variable idle_cv_;   // Drain() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;  // workers currently running a task
+  bool shutdown_ = false;
+  uint64_t tasks_scheduled_ = 0;
+  uint64_t tasks_completed_ = 0;
+};
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_SCHEDULER_H_

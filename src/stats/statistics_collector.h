@@ -19,6 +19,7 @@
 #define LSMSTATS_STATS_STATISTICS_COLLECTOR_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,7 +44,10 @@ class SynopsisSink {
       std::shared_ptr<const Synopsis> anti_synopsis) = 0;
 };
 
-// Sink that registers synopses directly into an in-process catalog.
+// Sink that registers synopses directly into an in-process catalog. Publishes
+// from different trees (e.g. a dataset's indexes flushing in parallel on the
+// background scheduler) are serialized here — the catalog itself stays
+// externally synchronized.
 class LocalCatalogSink : public SynopsisSink {
  public:
   explicit LocalCatalogSink(StatisticsCatalog* catalog) : catalog_(catalog) {}
@@ -55,6 +59,7 @@ class LocalCatalogSink : public SynopsisSink {
       std::shared_ptr<const Synopsis> anti_synopsis) override;
 
  private:
+  std::mutex mu_;
   StatisticsCatalog* catalog_;
 };
 

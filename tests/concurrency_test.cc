@@ -1,0 +1,498 @@
+// Tests for concurrent ingestion: the background scheduler, memtable
+// rotation, snapshot reads under flush/merge, listener serialization, and
+// backpressure. These are the tests that give the tsan CI job teeth —
+// every scenario here runs real writer/reader/worker threads.
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "db/dataset.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/scheduler.h"
+#include "stats/statistics_collector.h"
+#include "workload/distribution.h"
+#include "workload/tweets.h"
+
+namespace lsmstats {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/lsmstats_conc_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------- BackgroundScheduler
+
+TEST(BackgroundScheduler, RunsScheduledTasks) {
+  BackgroundScheduler scheduler(3);
+  EXPECT_EQ(scheduler.thread_count(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    scheduler.Schedule([&counter] { ++counter; });
+  }
+  scheduler.Drain();
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(scheduler.tasks_scheduled(), 100u);
+  EXPECT_EQ(scheduler.tasks_completed(), 100u);
+}
+
+TEST(BackgroundScheduler, DrainWaitsForInFlightTasks) {
+  BackgroundScheduler scheduler(2);
+  std::atomic<bool> done{false};
+  scheduler.Schedule([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done = true;
+  });
+  scheduler.Drain();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(BackgroundScheduler, ShutdownFinishesQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    BackgroundScheduler scheduler(1);
+    for (int i = 0; i < 20; ++i) {
+      scheduler.Schedule([&counter] { ++counter; });
+    }
+    scheduler.Shutdown();
+    EXPECT_EQ(counter.load(), 20);
+    // Idempotent.
+    scheduler.Shutdown();
+    // Post-shutdown work runs inline on the caller, never lost.
+    scheduler.Schedule([&counter] { ++counter; });
+    EXPECT_EQ(counter.load(), 21);
+    EXPECT_EQ(scheduler.tasks_completed(), 21u);
+  }
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(BackgroundScheduler, ZeroThreadsClampedToOne) {
+  BackgroundScheduler scheduler(0);
+  EXPECT_EQ(scheduler.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  scheduler.Schedule([&ran] { ran = true; });
+  scheduler.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+// --------------------------------------------------- Rotation visibility
+
+// A scheduler whose single worker is wedged on a gate lets us observe the
+// rotated-but-not-yet-flushed state deterministically.
+TEST(LsmTreeConcurrency, RotatedMemTableStaysReadable) {
+  TempDir dir;
+  BackgroundScheduler scheduler(1);
+  std::atomic<bool> release{false};
+  scheduler.Schedule([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.memtable_max_entries = 1024;
+  options.scheduler = &scheduler;
+  auto tree_or = LsmTree::Open(options);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "v" + std::to_string(k), true).ok());
+  }
+  // Rotation returns immediately; the flush job queues behind the gate.
+  ASSERT_TRUE(tree->RequestFlush().ok());
+  EXPECT_EQ(tree->MemTableEntryCount(), 0u);
+  EXPECT_EQ(tree->ImmutableMemTableCount(), 1u);
+  EXPECT_EQ(tree->ComponentCount(), 0u);
+
+  // Reads see the frozen memtable, and new writes land in the fresh one.
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(42), &value).ok());
+  EXPECT_EQ(value, "v42");
+  ASSERT_TRUE(tree->Put(PrimaryKey(1000), "fresh", true).ok());
+  auto count = tree->ScanCount(PrimaryKey(0), PrimaryKey(2000));
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 101u);
+
+  release = true;
+  ASSERT_TRUE(tree->WaitForBackgroundWork().ok());
+  EXPECT_EQ(tree->ImmutableMemTableCount(), 0u);
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  ASSERT_TRUE(tree->Get(PrimaryKey(42), &value).ok());
+  EXPECT_EQ(value, "v42");
+}
+
+// ------------------------------------------- Concurrent writers + readers
+
+TEST(LsmTreeConcurrency, ConcurrentWritersAndReaders) {
+  TempDir dir;
+  BackgroundScheduler scheduler(3);
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.memtable_max_entries = 256;
+  options.merge_policy = std::make_shared<TieredMergePolicy>(1.5, 3, 8);
+  options.scheduler = &scheduler;
+  auto tree_or = LsmTree::Open(options);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+
+  constexpr int kWriters = 4;
+  constexpr int64_t kPerWriter = 3000;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<int> write_failures{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const int64_t base = static_cast<int64_t>(w) * kPerWriter;
+      for (int64_t i = 0; i < kPerWriter; ++i) {
+        Status s = tree->Put(PrimaryKey(base + i),
+                             "v" + std::to_string(base + i), true);
+        if (!s.ok()) ++write_failures;
+      }
+    });
+  }
+
+  // Readers race with rotation, flushes, and merges; every value they do
+  // find must be the one written for that key.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::string value;
+      int64_t probe = r;
+      while (!stop_readers.load()) {
+        Status s = tree->Get(PrimaryKey(probe), &value);
+        if (s.ok()) {
+          EXPECT_EQ(value, "v" + std::to_string(probe));
+        } else {
+          EXPECT_EQ(s.code(), StatusCode::kNotFound);
+        }
+        auto count =
+            tree->ScanCount(PrimaryKey(0), PrimaryKey(kWriters * kPerWriter));
+        EXPECT_TRUE(count.ok());
+        probe = (probe + 37) % (kWriters * kPerWriter);
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  stop_readers = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(write_failures.load(), 0);
+
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->BackgroundError().ok());
+  EXPECT_EQ(tree->ImmutableMemTableCount(), 0u);
+  auto total =
+      tree->ScanCount(PrimaryKey(0), PrimaryKey(kWriters * kPerWriter));
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, static_cast<uint64_t>(kWriters * kPerWriter));
+
+  std::string value;
+  for (int64_t k = 0; k < kWriters * kPerWriter; k += 997) {
+    ASSERT_TRUE(tree->Get(PrimaryKey(k), &value).ok()) << "key " << k;
+    EXPECT_EQ(value, "v" + std::to_string(k));
+  }
+}
+
+// --------------------------------------------------------- Backpressure
+
+TEST(LsmTreeConcurrency, BackpressureBoundsImmutableQueue) {
+  TempDir dir;
+  BackgroundScheduler scheduler(1);
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.memtable_max_entries = 64;
+  options.max_immutable_memtables = 2;
+  options.scheduler = &scheduler;
+  auto tree_or = LsmTree::Open(options);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int64_t k = 0; k < 4000; ++k) {
+      ASSERT_TRUE(tree->Put(PrimaryKey(k), "payload", true).ok());
+    }
+    done = true;
+  });
+  // The queue may transiently hold max+1 (the writer rotates, then waits),
+  // but never grows beyond that.
+  while (!done.load()) {
+    EXPECT_LE(tree->ImmutableMemTableCount(),
+              options.max_immutable_memtables + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  writer.join();
+  ASSERT_TRUE(tree->Flush().ok());
+  auto total = tree->ScanCount(PrimaryKey(0), PrimaryKey(4000));
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 4000u);
+}
+
+// --------------------------------------------- Shutdown mid-merge safety
+
+TEST(LsmTreeConcurrency, SchedulerShutdownMidIngestDegradesInline) {
+  TempDir dir;
+  BackgroundScheduler scheduler(2);
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.memtable_max_entries = 128;
+  options.merge_policy = std::make_shared<ConstantMergePolicy>(3);
+  options.scheduler = &scheduler;
+  auto tree_or = LsmTree::Open(options);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+
+  std::thread writer([&] {
+    for (int64_t k = 0; k < 5000; ++k) {
+      ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+    }
+  });
+  // Yank the workers while flushes and merges are in flight. Queued jobs
+  // still complete, and later rotations run inline on the writer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  scheduler.Shutdown();
+  writer.join();
+
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_TRUE(tree->BackgroundError().ok());
+  EXPECT_EQ(tree->ImmutableMemTableCount(), 0u);
+  auto total = tree->ScanCount(PrimaryKey(0), PrimaryKey(5000));
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 5000u);
+  // The Constant policy bound still holds after the dust settles.
+  EXPECT_LE(tree->ComponentCount(), 3u);
+
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(4999), &value).ok());
+  EXPECT_EQ(value, "x");
+}
+
+// ------------------------------------------------- Listener serialization
+
+// Records the listener-contract invariants under concurrency: operations
+// never overlap (per tree), and entries within one operation arrive in
+// strictly increasing key order.
+class ContractCheckListener : public LsmEventListener {
+ public:
+  class Observer : public ComponentWriteObserver {
+   public:
+    explicit Observer(ContractCheckListener* parent) : parent_(parent) {
+      if (parent_->active_ops_.fetch_add(1) != 0) parent_->overlap_ = true;
+    }
+
+    void OnEntry(const Entry& entry) override {
+      if (has_prev_ && !(prev_ < entry.key)) parent_->out_of_order_ = true;
+      prev_ = entry.key;
+      has_prev_ = true;
+      parent_->entries_seen_.fetch_add(1);
+    }
+
+    void OnComponentSealed(const ComponentMetadata& metadata,
+                           const std::vector<uint64_t>& replaced) override {
+      parent_->sealed_records_.fetch_add(metadata.record_count);
+      parent_->ops_sealed_.fetch_add(1);
+      (void)replaced;
+      parent_->active_ops_.fetch_sub(1);
+    }
+
+   private:
+    ContractCheckListener* parent_;
+    LsmKey prev_{};
+    bool has_prev_ = false;
+  };
+
+  std::unique_ptr<ComponentWriteObserver> OnOperationBegin(
+      const OperationContext& context) override {
+    (void)context;
+    return std::make_unique<Observer>(this);
+  }
+
+  std::atomic<int> active_ops_{0};
+  std::atomic<uint64_t> entries_seen_{0};
+  std::atomic<uint64_t> sealed_records_{0};
+  std::atomic<uint64_t> ops_sealed_{0};
+  std::atomic<bool> overlap_{false};
+  std::atomic<bool> out_of_order_{false};
+};
+
+TEST(LsmTreeConcurrency, ListenerCallbacksAreSerializedAndOrdered) {
+  TempDir dir;
+  BackgroundScheduler scheduler(4);
+  ContractCheckListener listener;
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.memtable_max_entries = 200;
+  options.merge_policy = std::make_shared<TieredMergePolicy>(1.5, 3, 8);
+  options.scheduler = &scheduler;
+  auto tree_or = LsmTree::Open(options);
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto tree = std::move(tree_or).value();
+  tree->AddListener(&listener);
+
+  constexpr int kWriters = 3;
+  constexpr int64_t kPerWriter = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const int64_t base = static_cast<int64_t>(w) * kPerWriter;
+      for (int64_t i = 0; i < kPerWriter; ++i) {
+        ASSERT_TRUE(tree->Put(PrimaryKey(base + i), "v", true).ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  ASSERT_TRUE(tree->Flush().ok());
+
+  EXPECT_FALSE(listener.overlap_.load())
+      << "observer callbacks for different operations overlapped";
+  EXPECT_FALSE(listener.out_of_order_.load())
+      << "entries within an operation were not sorted";
+  EXPECT_EQ(listener.active_ops_.load(), 0);
+  EXPECT_GT(listener.ops_sealed_.load(), 0u);
+  // Every sealed record was first observed via OnEntry (flushes are
+  // duplicate-free here, merges re-observe, so seen >= sealed of the
+  // largest op; the cheap global invariant is seen == sealed sums).
+  EXPECT_EQ(listener.entries_seen_.load(), listener.sealed_records_.load());
+}
+
+// ------------------------------------------------- Sync-mode determinism
+
+TEST(LsmTreeConcurrency, SynchronousModeIsDeterministic) {
+  auto run = [](const std::string& dir) {
+    LsmTreeOptions options;
+    options.directory = dir;
+    options.memtable_max_entries = 100;
+    options.merge_policy = std::make_shared<TieredMergePolicy>(1.5, 3, 8);
+    auto tree = LsmTree::Open(options);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    for (int64_t k = 0; k < 2500; ++k) {
+      EXPECT_TRUE((*tree)->Put(PrimaryKey(k), "v", true).ok());
+    }
+    EXPECT_TRUE((*tree)->Flush().ok());
+    return (*tree)->ComponentsMetadata();
+  };
+  TempDir a;
+  TempDir b;
+  auto meta_a = run(a.path());
+  auto meta_b = run(b.path());
+  ASSERT_EQ(meta_a.size(), meta_b.size());
+  for (size_t i = 0; i < meta_a.size(); ++i) {
+    EXPECT_EQ(meta_a[i].id, meta_b[i].id);
+    EXPECT_EQ(meta_a[i].timestamp, meta_b[i].timestamp);
+    EXPECT_EQ(meta_a[i].record_count, meta_b[i].record_count);
+  }
+}
+
+// ------------------------------------------------ Dataset under a scheduler
+
+TEST(DatasetConcurrency, ParallelIndexMaintenanceMatchesOracle) {
+  TempDir dir;
+  BackgroundScheduler scheduler(4);
+  StatisticsCatalog catalog;
+  LocalCatalogSink sink(&catalog);
+  DatasetOptions options;
+  options.sink = &sink;
+  options.name = "tweets";
+  options.directory = dir.path();
+  options.schema = TweetSchema(ValueDomain(0, 14));
+  options.synopsis_type = SynopsisType::kEquiWidthHistogram;
+  options.synopsis_budget = 1 << 12;
+  options.memtable_max_entries = 256;
+  options.scheduler = &scheduler;
+  auto dataset_or = Dataset::Open(options);
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status().ToString();
+  auto dataset = std::move(dataset_or).value();
+
+  DistributionSpec spec;
+  spec.num_values = 500;
+  spec.total_records = 6000;
+  spec.domain = ValueDomain(0, 14);
+  auto dist = SyntheticDistribution::Generate(spec);
+  TweetGenerator generator(dist, 32, 11);
+  uint64_t inserted = 0;
+  while (generator.HasNext()) {
+    ASSERT_TRUE(dataset->Insert(generator.Next()).ok());
+    ++inserted;
+  }
+  ASSERT_TRUE(dataset->Flush().ok());
+  ASSERT_TRUE(dataset->WaitForBackgroundWork().ok());
+
+  auto all = dataset->CountAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, inserted);
+  // The secondary index answers range counts consistently with the data.
+  auto in_range = dataset->CountRange(kTweetMetricField, 1000, 8000);
+  ASSERT_TRUE(in_range.ok());
+  auto full_range = dataset->CountRange(kTweetMetricField, 0, 16383);
+  ASSERT_TRUE(full_range.ok());
+  EXPECT_EQ(*full_range, inserted);
+  EXPECT_LE(*in_range, *full_range);
+}
+
+// ------------------------------------------------ Cluster under a scheduler
+
+TEST(ClusterConcurrency, ConcurrentNodesDropNoStatistics) {
+  TempDir dir;
+  BackgroundScheduler scheduler(4);
+  DatasetOptions options;
+  options.name = "tweets";
+  options.schema = TweetSchema(ValueDomain(0, 14));
+  options.synopsis_type = SynopsisType::kEquiWidthHistogram;
+  options.synopsis_budget = 1 << 12;
+  options.memtable_max_entries = 200;
+  options.scheduler = &scheduler;  // all nodes share one worker pool
+  auto cluster_or = Cluster::Start(3, dir.path(), options);
+  ASSERT_TRUE(cluster_or.ok()) << cluster_or.status().ToString();
+  auto& cluster = *cluster_or;
+
+  DistributionSpec spec;
+  spec.num_values = 300;
+  spec.total_records = 5000;
+  spec.domain = ValueDomain(0, 14);
+  auto dist = SyntheticDistribution::Generate(spec);
+  TweetGenerator generator(dist, 32, 23);
+  uint64_t inserted = 0;
+  while (generator.HasNext()) {
+    ASSERT_TRUE(cluster->Insert(generator.Next()).ok());
+    ++inserted;
+  }
+  ASSERT_TRUE(cluster->FlushAll().ok());
+
+  uint64_t sent = 0;
+  for (size_t n = 0; n < cluster->num_partitions(); ++n) {
+    EXPECT_EQ(cluster->node(n)->DroppedStatistics(), 0u);
+    sent += cluster->node(n)->messages_sent();
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(cluster->controller().messages_received(), sent);
+
+  auto exact = cluster->CountRange(kTweetMetricField, 0, 16383);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, inserted);
+  double estimate = cluster->EstimateRange(kTweetMetricField, 0, 16383);
+  EXPECT_GT(estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace lsmstats

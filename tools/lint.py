@@ -15,6 +15,10 @@ clang-tidy is unavailable:
   include-cc     no `#include` of a `.cc` file.
   banned-func    no `rand(`, `srand(`, `time(` in src/ — use common/random.h
                  and injected clocks so runs stay reproducible.
+  seeded-random  no <random> engines or entropy sources (mt19937,
+                 random_device, ...) in src/ or bench/ outside
+                 common/random.* — all randomness flows through the
+                 seedable common/random.h API so every figure reproduces.
   header-guard   every header uses `#ifndef LSMSTATS_<PATH>_H_` guards that
                  match its path (src/ prefix stripped), with a matching
                  `#define` and a `#endif  // <GUARD>` trailer; no
@@ -187,6 +191,29 @@ def check_banned(path: Path, raw_lines: list[str], code_lines: list[str]) -> Non
                    "or an injected clock (reproducibility)")
 
 
+# ------------------------------------------------------------- seeded-random
+
+# <random> engines and entropy sources. Distributions (uniform_int_distribution
+# etc.) are deliberately not listed: they are deterministic transforms and the
+# platform-independent ones are fine to use over a common/random.h engine.
+SEEDED_RANDOM_RE = re.compile(
+    r"\b(?:std::)?("
+    r"mt19937(?:_64)?|minstd_rand0?|default_random_engine|random_device|"
+    r"ranlux\d+(?:_base)?|knuth_b|subtract_with_carry_engine|"
+    r"linear_congruential_engine|mersenne_twister_engine"
+    r")\b"
+)
+
+
+def check_seeded_random(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    for idx, code in enumerate(code_lines):
+        m = SEEDED_RANDOM_RE.search(code)
+        if m and not allowed(raw_lines[idx], "seeded-random"):
+            report(path, idx + 1, "seeded-random",
+                   f"`{m.group(1)}` — randomness must flow through "
+                   "common/random.h so seeds are explicit and runs reproduce")
+
+
 # -------------------------------------------------------------- header-guard
 
 def expected_guard(path: Path) -> str:
@@ -251,6 +278,14 @@ def main() -> int:
         raw, code = lines_of(path)
         check_raw_new_delete(path, raw, code)
         check_banned(path, raw, code)
+    random_impl = REPO / "src" / "common"
+    for path in cc_and_h:
+        if SRC not in path.parents and (REPO / "bench") not in path.parents:
+            continue
+        if path.parent == random_impl and path.stem == "random":
+            continue
+        raw, code = lines_of(path)
+        check_seeded_random(path, raw, code)
     for path in src_headers:
         raw, code = lines_of(path)
         check_nodiscard(path, raw, code)
