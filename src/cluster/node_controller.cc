@@ -1,5 +1,7 @@
 #include "cluster/node_controller.h"
 
+#include <thread>
+
 #include "common/check.h"
 #include "common/logging.h"
 
@@ -34,6 +36,16 @@ void NodeController::TransportSink::PublishComponentStatistics(
   bytes_sent += wire.size();
   Status s = Status::OK();
   for (int attempt = 1; attempt <= kMaxDeliveryAttempts; ++attempt) {
+    if (attempt > 1) {
+      // Exponential backoff with deterministic jitter: delay before retry k
+      // is base * 2^(k-2) plus a uniform draw in [0, base * 2^(k-2)). The
+      // RNG advances only here — never on the success path — so runs with
+      // no rejections consume no randomness.
+      auto backoff = kBaseBackoff * (1 << (attempt - 2));
+      backoff += std::chrono::milliseconds(
+          jitter_rng_.Uniform(static_cast<uint64_t>(backoff.count())));
+      std::this_thread::sleep_for(backoff);
+    }
     s = controller_->ReceiveStatistics(wire.buffer());
     if (s.ok()) return;
     LSMSTATS_LOG(kWarning) << "cluster controller rejected statistics "
@@ -49,7 +61,7 @@ void NodeController::TransportSink::PublishComponentStatistics(
 
 NodeController::NodeController(uint32_t node_id, ClusterController* controller)
     : node_id_(node_id),
-      sink_(std::make_unique<TransportSink>(controller)) {}
+      sink_(std::make_unique<TransportSink>(node_id, controller)) {}
 
 StatusOr<std::unique_ptr<NodeController>> NodeController::Start(
     uint32_t node_id, const std::string& base_directory,
@@ -58,7 +70,8 @@ StatusOr<std::unique_ptr<NodeController>> NodeController::Start(
   auto node = std::unique_ptr<NodeController>(
       new NodeController(node_id, controller));
   options.directory = base_directory + "/node" + std::to_string(node_id);
-  LSMSTATS_RETURN_IF_ERROR(CreateDirIfMissing(base_directory));
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  LSMSTATS_RETURN_IF_ERROR(env->CreateDirIfMissing(base_directory));
   options.partition = node_id;
   options.sink = node->sink_.get();
   auto dataset = Dataset::Open(std::move(options));

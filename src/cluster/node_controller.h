@@ -7,20 +7,26 @@
 // format.
 //
 // Delivery is at-most-N-attempts: a rejected message is retried a bounded
-// number of times, then counted as dropped and surfaced via
+// number of times with exponential backoff plus deterministic seeded jitter
+// (seeded from the node id, so retry schedules are reproducible and nodes
+// don't thunder in lockstep), then counted as dropped and surfaced via
 // DroppedStatistics() so cluster traffic loss is observable rather than a
-// log line. The sink is internally synchronized — with a background
-// scheduler, a node's indexes flush (and therefore publish) concurrently.
+// log line. The jitter RNG is drawn only when an attempt fails, so
+// failure-free runs consume no randomness and stay bit-deterministic. The
+// sink is internally synchronized — with a background scheduler, a node's
+// indexes flush (and therefore publish) concurrently.
 
 #ifndef LSMSTATS_CLUSTER_NODE_CONTROLLER_H_
 #define LSMSTATS_CLUSTER_NODE_CONTROLLER_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "cluster/cluster_controller.h"
+#include "common/random.h"
 #include "db/dataset.h"
 
 namespace lsmstats {
@@ -47,11 +53,11 @@ class NodeController {
 
  private:
   // Serializes synopses and delivers the bytes to the cluster controller
-  // with bounded retry.
+  // with bounded retry (exponential backoff, jitter seeded from node_id).
   class TransportSink : public SynopsisSink {
    public:
-    explicit TransportSink(ClusterController* controller)
-        : controller_(controller) {}
+    TransportSink(uint32_t node_id, ClusterController* controller)
+        : controller_(controller), jitter_rng_(0x6e6f6465ull ^ node_id) {}
 
     void PublishComponentStatistics(
         const StatisticsKey& key, const ComponentMetadata& metadata,
@@ -65,10 +71,16 @@ class NodeController {
 
    private:
     static constexpr int kMaxDeliveryAttempts = 3;
+    // Backoff before retry k (1-based) is kBaseBackoff * 2^(k-1) plus a
+    // jitter uniform in [0, that backoff). Kept small: the "network" here is
+    // an in-process call, the schedule shape is what the tests pin down.
+    static constexpr std::chrono::milliseconds kBaseBackoff{2};
 
     // One in-flight delivery per node, like a single TCP connection.
     std::mutex mu_;
     ClusterController* controller_;
+    // Guarded by mu_; advanced only on failed attempts.
+    Random jitter_rng_;
   };
 
   NodeController(uint32_t node_id, ClusterController* controller);

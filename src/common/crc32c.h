@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// Used for the per-block checksums of disk components and the statistics
+// catalog trailer. Software table implementation — fast enough for the
+// sequential build/verify paths it sits on, with no ISA dependencies.
+
+#ifndef LSMSTATS_COMMON_CRC32C_H_
+#define LSMSTATS_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lsmstats {
+namespace crc32c {
+
+// Extends `crc` (the checksum of some byte prefix) with `data`, returning the
+// checksum of the concatenation. Start from 0 for a fresh stream.
+uint32_t Extend(uint32_t crc, const char* data, size_t n);
+
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+}  // namespace crc32c
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_CRC32C_H_

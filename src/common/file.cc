@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace lsmstats {
@@ -21,110 +23,138 @@ Status ErrnoStatus(const std::string& context) {
   return Status::IOError(context + ": " + std::strerror(errno));
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------- Writable
 
-WritableFile::WritableFile(int fd) : fd_(fd) {
-  buffer_.reserve(kWriteBufferSize);
-}
-
-WritableFile::~WritableFile() {
-  if (fd_ >= 0) {
-    // Best-effort: a destructor cannot propagate the error, but a failed
-    // final flush means lost bytes, so it must not pass silently. Callers
-    // that care about durability must Close() explicitly and check.
-    Status s = FlushBuffer();
-    if (!s.ok()) {
-      LSMSTATS_LOG(kError) << "flush in ~WritableFile failed: "
-                           << s.ToString();
-    }
-    ::close(fd_);
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {
+    buffer_.reserve(kWriteBufferSize);
   }
-}
 
-StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoStatus("open for write " + path);
-  return std::unique_ptr<WritableFile>(new WritableFile(fd));
-}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) {
+      // Best-effort: a destructor cannot propagate the error, but a failed
+      // final flush means lost bytes, so it must not pass silently. Callers
+      // that care about durability must Sync()/Close() explicitly and check.
+      Status s = FlushBuffer();
+      if (!s.ok()) {
+        LSMSTATS_LOG(kError) << "flush in ~WritableFile failed: "
+                             << s.ToString();
+      }
+      ::close(fd_);
+    }
+  }
 
-Status WritableFile::Append(std::string_view data) {
-  size_ += data.size();
-  if (buffer_.size() + data.size() <= kWriteBufferSize) {
+  Status Append(std::string_view data) override {
+    size_ += data.size();
+    if (buffer_.size() + data.size() <= kWriteBufferSize) {
+      buffer_.append(data.data(), data.size());
+      return Status::OK();
+    }
+    LSMSTATS_RETURN_IF_ERROR(FlushBuffer());
+    if (data.size() >= kWriteBufferSize) {
+      // Large payload: write through.
+      size_t written = 0;
+      while (written < data.size()) {
+        ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+        if (n < 0) return ErrnoStatus("write");
+        written += static_cast<size_t>(n);
+      }
+      return Status::OK();
+    }
     buffer_.append(data.data(), data.size());
     return Status::OK();
   }
-  LSMSTATS_RETURN_IF_ERROR(FlushBuffer());
-  if (data.size() >= kWriteBufferSize) {
-    // Large payload: write through.
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("Sync on closed file");
+    LSMSTATS_RETURN_IF_ERROR(FlushBuffer());
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync");
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    Status s = FlushBuffer();
+    if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close");
+    fd_ = -1;
+    return s;
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  [[nodiscard]] Status FlushBuffer() {
     size_t written = 0;
-    while (written < data.size()) {
-      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+    while (written < buffer_.size()) {
+      ssize_t n = ::write(fd_, buffer_.data() + written,
+                          buffer_.size() - written);
       if (n < 0) return ErrnoStatus("write");
       written += static_cast<size_t>(n);
     }
+    buffer_.clear();
     return Status::OK();
   }
-  buffer_.append(data.data(), data.size());
-  return Status::OK();
-}
 
-Status WritableFile::FlushBuffer() {
-  size_t written = 0;
-  while (written < buffer_.size()) {
-    ssize_t n = ::write(fd_, buffer_.data() + written,
-                        buffer_.size() - written);
-    if (n < 0) return ErrnoStatus("write");
-    written += static_cast<size_t>(n);
-  }
-  buffer_.clear();
-  return Status::OK();
-}
-
-Status WritableFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  Status s = FlushBuffer();
-  if (::close(fd_) != 0 && s.ok()) s = ErrnoStatus("close");
-  fd_ = -1;
-  return s;
-}
+  int fd_;
+  uint64_t size_ = 0;
+  std::string buffer_;
+};
 
 // ------------------------------------------------------------ RandomAccess
 
-RandomAccessFile::RandomAccessFile(int fd, uint64_t size)
-    : fd_(fd), size_(size) {}
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
 
-RandomAccessFile::~RandomAccessFile() {
-  if (fd_ >= 0) ::close(fd_);
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, out->data() + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) return ErrnoStatus("pread");
+      if (r == 0) return Status::Corruption("read past end of file");
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace
+
+// -------------------------------------------- default-env forwarding shims
+
+StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(
+    const std::string& path) {
+  return Env::Default()->NewWritableFile(path);
 }
 
 StatusOr<std::shared_ptr<RandomAccessFile>> RandomAccessFile::Open(
     const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return ErrnoStatus("open for read " + path);
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return ErrnoStatus("fstat " + path);
-  }
-  return std::shared_ptr<RandomAccessFile>(
-      new RandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+  return Env::Default()->NewRandomAccessFile(path);
 }
 
-Status RandomAccessFile::Read(uint64_t offset, size_t n,
-                              std::string* out) const {
-  out->resize(n);
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::pread(fd_, out->data() + done, n - done,
-                        static_cast<off_t>(offset + done));
-    if (r < 0) return ErrnoStatus("pread");
-    if (r == 0) return Status::Corruption("read past end of file");
-    done += static_cast<size_t>(r);
-  }
-  return Status::OK();
+Status CreateDirIfMissing(const std::string& path) {
+  return Env::Default()->CreateDirIfMissing(path);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  return Env::Default()->RemoveFileIfExists(path);
+}
+
+bool FileExists(const std::string& path) {
+  return Env::Default()->FileExists(path);
 }
 
 // ------------------------------------------------------------- Sequential
@@ -159,25 +189,86 @@ Status SequentialFileReader::Read(size_t n, std::string* out) {
   return Status::OK();
 }
 
-// -------------------------------------------------------------- Filesystem
+// ------------------------------------------------------ POSIX primitives
 
-Status CreateDirIfMissing(const std::string& path) {
+namespace internal {
+
+StatusOr<std::unique_ptr<WritableFile>> PosixNewWritableFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open for write " + path);
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd));
+}
+
+StatusOr<std::shared_ptr<RandomAccessFile>> PosixNewRandomAccessFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open for read " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat " + path);
+  }
+  return std::shared_ptr<RandomAccessFile>(
+      new PosixRandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+Status PosixCreateDirIfMissing(const std::string& path) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
     return Status::OK();
   }
   return ErrnoStatus("mkdir " + path);
 }
 
-Status RemoveFileIfExists(const std::string& path) {
+Status PosixRemoveFileIfExists(const std::string& path) {
   if (::unlink(path.c_str()) == 0 || errno == ENOENT) {
     return Status::OK();
   }
   return ErrnoStatus("unlink " + path);
 }
 
-bool FileExists(const std::string& path) {
+bool PosixFileExists(const std::string& path) {
   struct stat st;
   return ::stat(path.c_str(), &st) == 0;
 }
+
+Status PosixRenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Status PosixSyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir " + path);
+  Status s;
+  if (::fsync(fd) != 0) s = ErrnoStatus("fsync dir " + path);
+  ::close(fd);
+  return s;
+}
+
+Status PosixTruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate " + path);
+  }
+  return Status::OK();
+}
+
+Status PosixListDir(const std::string& path,
+                    std::vector<std::string>* names) {
+  names->clear();
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+    names->push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return Status::IOError("cannot list " + path + ": " + ec.message());
+  }
+  std::sort(names->begin(), names->end());
+  return Status::OK();
+}
+
+}  // namespace internal
 
 }  // namespace lsmstats

@@ -35,6 +35,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
   tree_options.auto_flush = false;
   tree_options.merge_policy = opts.merge_policy;
   tree_options.scheduler = opts.scheduler;
+  tree_options.env = opts.env;
   auto primary_or = LsmTree::Open(tree_options);
   LSMSTATS_RETURN_IF_ERROR(primary_or.status());
   dataset->primary_ = std::move(primary_or).value();
@@ -77,6 +78,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     sk_options.auto_flush = false;
     sk_options.merge_policy = opts.merge_policy;
     sk_options.scheduler = opts.scheduler;
+    sk_options.env = opts.env;
     auto tree_or = LsmTree::Open(sk_options);
     LSMSTATS_RETURN_IF_ERROR(tree_or.status());
     dataset->secondaries_.push_back(std::move(tree_or).value());
@@ -95,6 +97,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     ck_options.auto_flush = false;
     ck_options.merge_policy = opts.merge_policy;
     ck_options.scheduler = opts.scheduler;
+    ck_options.env = opts.env;
     auto tree = LsmTree::Open(ck_options);
     LSMSTATS_RETURN_IF_ERROR(tree.status());
     dataset->composite_fields_.push_back(

@@ -72,6 +72,9 @@ struct DatasetOptions {
   SynopsisSink* sink = nullptr;
   // Partition tag carried in every published StatisticsKey (§3.4).
   uint32_t partition = 0;
+  // Filesystem environment threaded into every index; Env::Default() when
+  // null. Must outlive the dataset.
+  Env* env = nullptr;
 };
 
 class Dataset {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/coding.h"
+#include "common/crc32c.h"
 #include "common/logging.h"
 
 namespace lsmstats {
@@ -10,7 +12,71 @@ namespace lsmstats {
 namespace {
 
 constexpr uint64_t kComponentMagic = 0x4c534d5354415453ULL;  // "LSMSTATS"
-constexpr size_t kFooterSize = 11 * 8;
+// data_end, bloom_offset, checksum_offset, record_count, anti_matter_count,
+// min/max key (6 x i64), footer CRC (u32), magic (u64).
+constexpr size_t kFooterSize = 11 * 8 + 4 + 8;
+// Granularity of the data-region checksums. Small components get a single
+// (partial) chunk; large ones verify only the chunks a read touches.
+constexpr uint64_t kChecksumChunkSize = 4096;
+
+uint64_t DataChunkCount(uint64_t data_end) {
+  return (data_end + kChecksumChunkSize - 1) / kChecksumChunkSize;
+}
+
+// Checksum-verifying read view over the entry region of a component file.
+// Reads are widened to whole checksum chunks, each chunk's CRC32C is checked
+// against the table loaded at Open, and only then is the requested span
+// returned — a flipped bit in any data chunk surfaces as Corruption at read
+// time, never as data.
+class ChecksummedDataFile : public RandomAccessFile {
+ public:
+  ChecksummedDataFile(std::shared_ptr<RandomAccessFile> base,
+                      uint64_t data_end, std::vector<uint32_t> chunk_crcs,
+                      std::string path)
+      : base_(std::move(base)),
+        data_end_(data_end),
+        chunk_crcs_(std::move(chunk_crcs)),
+        path_(std::move(path)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    if (offset > data_end_ || n > data_end_ - offset) {
+      return Status::Corruption("read past end of data region: " + path_);
+    }
+    uint64_t first_chunk = offset / kChecksumChunkSize;
+    uint64_t last_chunk = (offset + n + kChecksumChunkSize - 1)
+                          / kChecksumChunkSize;
+    uint64_t aligned_begin = first_chunk * kChecksumChunkSize;
+    uint64_t aligned_end =
+        std::min<uint64_t>(last_chunk * kChecksumChunkSize, data_end_);
+    std::string chunk_bytes;
+    LSMSTATS_RETURN_IF_ERROR(base_->Read(
+        aligned_begin, static_cast<size_t>(aligned_end - aligned_begin),
+        &chunk_bytes));
+    for (uint64_t chunk = first_chunk;
+         chunk * kChecksumChunkSize < aligned_end; ++chunk) {
+      uint64_t begin = chunk * kChecksumChunkSize - aligned_begin;
+      uint64_t end = std::min<uint64_t>(begin + kChecksumChunkSize,
+                                        chunk_bytes.size());
+      uint32_t crc = crc32c::Value(
+          std::string_view(chunk_bytes.data() + begin,
+                           static_cast<size_t>(end - begin)));
+      if (crc != chunk_crcs_[static_cast<size_t>(chunk)]) {
+        return Status::Corruption("data chunk " + std::to_string(chunk) +
+                                  " checksum mismatch: " + path_);
+      }
+    }
+    out->assign(chunk_bytes, static_cast<size_t>(offset - aligned_begin), n);
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return data_end_; }
+
+ private:
+  std::shared_ptr<RandomAccessFile> base_;
+  uint64_t data_end_;
+  std::vector<uint32_t> chunk_crcs_;
+  std::string path_;
+};
 
 }  // namespace
 
@@ -50,15 +116,34 @@ Status DecodeEntry(SequentialFileReader* reader, Entry* out) {
 
 // ------------------------------------------------------------------ Builder
 
-DiskComponentBuilder::DiskComponentBuilder(std::string path,
+DiskComponentBuilder::DiskComponentBuilder(Env* env, std::string path,
                                            uint64_t expected_entries)
-    : path_(std::move(path)), bloom_(expected_entries) {
-  auto file_or = WritableFile::Create(path_);
+    : env_(env != nullptr ? env : Env::Default()),
+      path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      bloom_(expected_entries) {
+  auto file_or = env_->NewWritableFile(tmp_path_);
   if (!file_or.ok()) {
     open_status_ = file_or.status();
     return;
   }
   file_ = std::move(file_or).value();
+}
+
+void DiskComponentBuilder::ExtendDataChecksums(std::string_view data) {
+  while (!data.empty()) {
+    uint64_t room = kChecksumChunkSize - chunk_bytes_;
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(room, data.size()));
+    chunk_crc_ = crc32c::Extend(chunk_crc_, data.data(), take);
+    chunk_bytes_ += take;
+    if (chunk_bytes_ == kChecksumChunkSize) {
+      data_crcs_.push_back(chunk_crc_);
+      chunk_crc_ = 0;
+      chunk_bytes_ = 0;
+    }
+    data.remove_prefix(take);
+  }
 }
 
 Status DiskComponentBuilder::Add(const Entry& entry) {
@@ -78,6 +163,7 @@ Status DiskComponentBuilder::Add(const Entry& entry) {
   bloom_.Add(entry.key);
   Encoder enc;
   EncodeEntry(entry, &enc);
+  ExtendDataChecksums(enc.buffer());
   LSMSTATS_RETURN_IF_ERROR(file_->Append(enc.buffer()));
   ++record_count_;
   if (entry.anti_matter) ++anti_matter_count_;
@@ -87,7 +173,23 @@ Status DiskComponentBuilder::Add(const Entry& entry) {
 StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
     uint64_t id, uint64_t timestamp) {
   LSMSTATS_RETURN_IF_ERROR(open_status_);
+  // Any failure below leaves a half-written .tmp; make the cleanup uniform.
+  auto fail = [this](Status s) -> Status {
+    file_.reset();
+    Status removed = env_->RemoveFileIfExists(tmp_path_);
+    if (!removed.ok()) {
+      LSMSTATS_LOG(kWarning) << "could not remove temporary component "
+                             << tmp_path_ << ": " << removed.ToString();
+    }
+    return s;
+  };
+
   uint64_t data_end = file_->size();
+  if (chunk_bytes_ > 0) {
+    data_crcs_.push_back(chunk_crc_);  // final partial chunk
+    chunk_crc_ = 0;
+    chunk_bytes_ = 0;
+  }
 
   Encoder index_enc;
   index_enc.PutVarint64(sparse_index_.size());
@@ -97,16 +199,29 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
     index_enc.PutI64(key.k2);
     index_enc.PutU64(offset);
   }
-  LSMSTATS_RETURN_IF_ERROR(file_->Append(index_enc.buffer()));
+  Status s = file_->Append(index_enc.buffer());
+  if (!s.ok()) return fail(std::move(s));
 
   uint64_t bloom_offset = file_->size();
   Encoder bloom_enc;
   bloom_.EncodeTo(&bloom_enc);
-  LSMSTATS_RETURN_IF_ERROR(file_->Append(bloom_enc.buffer()));
+  s = file_->Append(bloom_enc.buffer());
+  if (!s.ok()) return fail(std::move(s));
+
+  uint64_t checksum_offset = file_->size();
+  Encoder checksum_enc;
+  checksum_enc.PutU32(crc32c::Value(index_enc.buffer()));
+  checksum_enc.PutU32(crc32c::Value(bloom_enc.buffer()));
+  checksum_enc.PutVarint64(kChecksumChunkSize);
+  checksum_enc.PutVarint64(data_crcs_.size());
+  for (uint32_t crc : data_crcs_) checksum_enc.PutU32(crc);
+  s = file_->Append(checksum_enc.buffer());
+  if (!s.ok()) return fail(std::move(s));
 
   Encoder footer;
   footer.PutU64(data_end);
   footer.PutU64(bloom_offset);
+  footer.PutU64(checksum_offset);
   footer.PutU64(record_count_);
   footer.PutU64(anti_matter_count_);
   footer.PutI64(min_key_.k0);
@@ -115,23 +230,39 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
   footer.PutI64(max_key_.k0);
   footer.PutI64(max_key_.k1);
   footer.PutI64(max_key_.k2);
+  footer.PutU32(crc32c::Value(footer.buffer()));
   footer.PutU64(kComponentMagic);
   LSMSTATS_CHECK(footer.size() == kFooterSize);
-  LSMSTATS_RETURN_IF_ERROR(file_->Append(footer.buffer()));
-  LSMSTATS_RETURN_IF_ERROR(file_->Close());
-  file_.reset();
+  s = file_->Append(footer.buffer());
+  if (!s.ok()) return fail(std::move(s));
 
-  return DiskComponent::Open(path_, id, timestamp);
+  // Seal protocol: make the bytes durable, atomically rename into the final
+  // name, then fsync the directory so the rename itself survives a crash.
+  s = file_->Sync();
+  if (!s.ok()) return fail(std::move(s));
+  s = file_->Close();
+  if (!s.ok()) return fail(std::move(s));
+  file_.reset();
+  s = env_->RenameFile(tmp_path_, path_);
+  if (!s.ok()) return fail(std::move(s));
+  s = env_->SyncDir(DirectoryOf(path_));
+  if (!s.ok()) {
+    // The rename already happened; don't delete the sealed file, just
+    // surface the failed directory sync.
+    return s;
+  }
+
+  return DiskComponent::Open(env_, path_, id, timestamp);
 }
 
 void DiskComponentBuilder::Abandon() {
   file_.reset();
   // Best-effort cleanup of a half-written component; the abandon itself is
   // already an error path, but leaking the file should still be visible.
-  Status s = RemoveFileIfExists(path_);
+  Status s = env_->RemoveFileIfExists(tmp_path_);
   if (!s.ok()) {
     LSMSTATS_LOG(kWarning) << "could not remove abandoned component "
-                           << path_ << ": " << s.ToString();
+                           << tmp_path_ << ": " << s.ToString();
   }
 }
 
@@ -155,8 +286,9 @@ void ComponentCursor::Next() {
 // ---------------------------------------------------------------- Component
 
 StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
-    const std::string& path, uint64_t id, uint64_t timestamp) {
-  auto file_or = RandomAccessFile::Open(path);
+    Env* env, const std::string& path, uint64_t id, uint64_t timestamp) {
+  if (env == nullptr) env = Env::Default();
+  auto file_or = env->NewRandomAccessFile(path);
   LSMSTATS_RETURN_IF_ERROR(file_or.status());
   std::shared_ptr<RandomAccessFile> file = std::move(file_or).value();
 
@@ -169,11 +301,14 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
   Decoder footer(footer_bytes);
 
   auto component = std::shared_ptr<DiskComponent>(new DiskComponent());
+  component->env_ = env;
   component->path_ = path;
   component->file_ = file;
   uint64_t bloom_offset;
+  uint64_t checksum_offset;
   LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&component->data_end_));
   LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&bloom_offset));
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&checksum_offset));
   ComponentMetadata& md = component->metadata_;
   LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&md.record_count));
   LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&md.anti_matter_count));
@@ -183,18 +318,50 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
   LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.max_key.k0));
   LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.max_key.k1));
   LSMSTATS_RETURN_IF_ERROR(footer.GetI64(&md.max_key.k2));
+  uint32_t footer_crc;
+  LSMSTATS_RETURN_IF_ERROR(footer.GetU32(&footer_crc));
   uint64_t magic;
   LSMSTATS_RETURN_IF_ERROR(footer.GetU64(&magic));
   if (magic != kComponentMagic) {
     return Status::Corruption("bad component magic: " + path);
   }
+  uint32_t expected_footer_crc = crc32c::Value(
+      std::string_view(footer_bytes.data(), kFooterSize - 4 - 8));
+  if (footer_crc != expected_footer_crc) {
+    return Status::Corruption("component footer checksum mismatch: " + path);
+  }
   md.id = id;
   md.timestamp = timestamp;
   md.file_size = file->size();
 
-  if (component->data_end_ > bloom_offset ||
-      bloom_offset > file->size() - kFooterSize) {
+  if (component->data_end_ > bloom_offset || bloom_offset > checksum_offset ||
+      checksum_offset > file->size() - kFooterSize) {
     return Status::Corruption("component section offsets out of order");
+  }
+
+  // Checksum block first, so the index and bloom reads below verify.
+  std::string checksum_bytes;
+  LSMSTATS_RETURN_IF_ERROR(
+      file->Read(checksum_offset,
+                 static_cast<size_t>(file->size() - kFooterSize -
+                                     checksum_offset),
+                 &checksum_bytes));
+  Decoder checksum_dec(checksum_bytes);
+  uint32_t index_crc;
+  uint32_t bloom_crc;
+  uint64_t chunk_size;
+  uint64_t chunk_count;
+  LSMSTATS_RETURN_IF_ERROR(checksum_dec.GetU32(&index_crc));
+  LSMSTATS_RETURN_IF_ERROR(checksum_dec.GetU32(&bloom_crc));
+  LSMSTATS_RETURN_IF_ERROR(checksum_dec.GetVarint64(&chunk_size));
+  LSMSTATS_RETURN_IF_ERROR(checksum_dec.GetVarint64(&chunk_count));
+  if (chunk_size != kChecksumChunkSize ||
+      chunk_count != DataChunkCount(component->data_end_)) {
+    return Status::Corruption("component checksum block malformed: " + path);
+  }
+  std::vector<uint32_t> chunk_crcs(static_cast<size_t>(chunk_count));
+  for (uint32_t& crc : chunk_crcs) {
+    LSMSTATS_RETURN_IF_ERROR(checksum_dec.GetU32(&crc));
   }
 
   // Sparse index.
@@ -202,6 +369,9 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
   LSMSTATS_RETURN_IF_ERROR(file->Read(component->data_end_,
                                       bloom_offset - component->data_end_,
                                       &index_bytes));
+  if (crc32c::Value(index_bytes) != index_crc) {
+    return Status::Corruption("component index checksum mismatch: " + path);
+  }
   Decoder index_dec(index_bytes);
   uint64_t index_count;
   LSMSTATS_RETURN_IF_ERROR(index_dec.GetVarint64(&index_count));
@@ -218,14 +388,34 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
 
   // Bloom filter.
   std::string bloom_bytes;
-  LSMSTATS_RETURN_IF_ERROR(file->Read(
-      bloom_offset, file->size() - kFooterSize - bloom_offset, &bloom_bytes));
+  LSMSTATS_RETURN_IF_ERROR(
+      file->Read(bloom_offset, checksum_offset - bloom_offset, &bloom_bytes));
+  if (crc32c::Value(bloom_bytes) != bloom_crc) {
+    return Status::Corruption("component bloom checksum mismatch: " + path);
+  }
   Decoder bloom_dec(bloom_bytes);
   auto bloom_or = BloomFilter::DecodeFrom(&bloom_dec);
   LSMSTATS_RETURN_IF_ERROR(bloom_or.status());
   component->bloom_ = std::move(bloom_or).value();
 
+  component->data_file_ = std::make_shared<ChecksummedDataFile>(
+      file, component->data_end_, std::move(chunk_crcs), path);
+
   return component;
+}
+
+Status DiskComponent::VerifyBlockChecksums() const {
+  // Reading the whole data region through the checksummed view verifies
+  // every chunk CRC.
+  std::string scratch;
+  uint64_t offset = 0;
+  while (offset < data_end_) {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(kChecksumChunkSize, data_end_ - offset));
+    LSMSTATS_RETURN_IF_ERROR(data_file_->Read(offset, n, &scratch));
+    offset += n;
+  }
+  return Status::OK();
 }
 
 uint64_t DiskComponent::SeekOffset(const LsmKey& key) const {
@@ -243,7 +433,7 @@ Status DiskComponent::Get(const LsmKey& key, Entry* out) const {
       metadata_.max_key < key || !bloom_.MayContain(key)) {
     return Status::NotFound("key not in component");
   }
-  SequentialFileReader reader(file_, SeekOffset(key), data_end_);
+  SequentialFileReader reader(data_file_, SeekOffset(key), data_end_);
   while (!reader.AtEnd()) {
     Entry entry;
     LSMSTATS_RETURN_IF_ERROR(DecodeEntry(&reader, &entry));
@@ -258,13 +448,13 @@ Status DiskComponent::Get(const LsmKey& key, Entry* out) const {
 
 std::unique_ptr<ComponentCursor> DiskComponent::NewCursor() const {
   return std::unique_ptr<ComponentCursor>(
-      new ComponentCursor(file_, 0, data_end_));
+      new ComponentCursor(data_file_, 0, data_end_));
 }
 
 std::unique_ptr<ComponentCursor> DiskComponent::NewCursorAt(
     const LsmKey& start) const {
   auto cursor = std::unique_ptr<ComponentCursor>(
-      new ComponentCursor(file_, SeekOffset(start), data_end_));
+      new ComponentCursor(data_file_, SeekOffset(start), data_end_));
   while (cursor->Valid() && cursor->entry().key < start) {
     cursor->Next();
   }
@@ -276,7 +466,7 @@ Status DiskComponent::DeleteFile() {
   // replaced may still be scanning it. POSIX keeps the unlinked data
   // readable through the open descriptor; it is reclaimed when the last
   // reference to this component drops.
-  return RemoveFileIfExists(path_);
+  return env_->RemoveFileIfExists(path_);
 }
 
 }  // namespace lsmstats

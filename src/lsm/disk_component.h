@@ -3,13 +3,23 @@
 // A component is a sorted run produced by exactly one LSM lifecycle event
 // (flush, merge, or bulkload) and never modified afterwards. On disk it is
 //
-//   [entries, key-sorted]  [sparse index]  [bloom filter]  [fixed footer]
+//   [entries, key-sorted]  [sparse index]  [bloom filter]
+//   [checksum block]  [fixed footer]
 //
 // The sparse index keeps one (key, offset) pair every kIndexInterval entries,
 // which bounds a point lookup to one binary search plus a short sequential
 // scan; the Bloom filter lets lookups skip components that cannot contain the
-// key. The footer records the component metadata the statistics framework and
-// the merge policies consume: record/anti-matter counts and the key range.
+// key. The checksum block stores CRC32C sums for the index and bloom sections
+// plus one per fixed-size chunk of the entry region, so bit rot is caught at
+// read time (every data read verifies the chunks it touches) and at recovery
+// (VerifyBlockChecksums scans all of them). The footer records the component
+// metadata the statistics framework and the merge policies consume —
+// record/anti-matter counts and the key range — and carries its own CRC.
+//
+// Sealing is crash-consistent: the builder writes to `<path>.tmp`, Sync()s
+// (real fsync), renames into place, and fsyncs the directory. Recovery treats
+// a `.tmp` file as an orphan of a crashed build and deletes it; final files
+// are complete by construction or fail their checksums.
 
 #ifndef LSMSTATS_LSM_DISK_COMPONENT_H_
 #define LSMSTATS_LSM_DISK_COMPONENT_H_
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/file.h"
 #include "common/status.h"
 #include "lsm/bloom_filter.h"
@@ -49,16 +60,19 @@ class DiskComponent;
 // merge consumes a sorted merge cursor, bulkload requires pre-sorted input).
 class DiskComponentBuilder {
  public:
+  // Builds `path` through `env` (Env::Default() when null). The bytes go to
+  // `path + ".tmp"` until Finish() seals them into place.
   // `expected_entries` only sizes the Bloom filter; it may be an estimate.
-  DiskComponentBuilder(std::string path, uint64_t expected_entries);
+  DiskComponentBuilder(Env* env, std::string path, uint64_t expected_entries);
 
   DiskComponentBuilder(const DiskComponentBuilder&) = delete;
   DiskComponentBuilder& operator=(const DiskComponentBuilder&) = delete;
 
   [[nodiscard]] Status Add(const Entry& entry);
 
-  // Seals the file and opens it as a component. `id` and `timestamp` are
-  // assigned by the owning tree.
+  // Seals the file — sync, atomic rename into place, directory sync — and
+  // opens it as a component. `id` and `timestamp` are assigned by the owning
+  // tree. On failure the temporary file is removed (best effort).
   [[nodiscard]]
   StatusOr<std::shared_ptr<DiskComponent>> Finish(uint64_t id,
                                                   uint64_t timestamp);
@@ -71,11 +85,20 @@ class DiskComponentBuilder {
  private:
   static constexpr uint64_t kIndexInterval = 64;
 
+  // Feeds appended data bytes into the running per-chunk CRC accumulator.
+  void ExtendDataChecksums(std::string_view data);
+
+  Env* env_;
   std::string path_;
+  std::string tmp_path_;
   std::unique_ptr<WritableFile> file_;
   Status open_status_;
   BloomFilter bloom_;
   std::vector<std::pair<LsmKey, uint64_t>> sparse_index_;
+  // Completed data-chunk CRCs plus the accumulator for the open chunk.
+  std::vector<uint32_t> data_crcs_;
+  uint32_t chunk_crc_ = 0;
+  uint64_t chunk_bytes_ = 0;
   uint64_t record_count_ = 0;
   uint64_t anti_matter_count_ = 0;
   LsmKey min_key_;
@@ -106,12 +129,19 @@ class ComponentCursor : public EntryCursor {
 
 class DiskComponent {
  public:
+  // Opens a sealed component through `env` (Env::Default() when null),
+  // verifying the footer, index, and bloom checksums. Data-chunk checksums
+  // are verified lazily on every read; recovery calls VerifyBlockChecksums()
+  // to scan them eagerly.
   [[nodiscard]]
   static StatusOr<std::shared_ptr<DiskComponent>> Open(
-      const std::string& path, uint64_t id, uint64_t timestamp);
+      Env* env, const std::string& path, uint64_t id, uint64_t timestamp);
 
   const ComponentMetadata& metadata() const { return metadata_; }
   const std::string& path() const { return path_; }
+
+  // Reads every data chunk and checks its CRC32C; Corruption on mismatch.
+  [[nodiscard]] Status VerifyBlockChecksums() const;
 
   // Point lookup. Returns the entry (possibly anti-matter) or NotFound.
   [[nodiscard]] Status Get(const LsmKey& key, Entry* out) const;
@@ -134,8 +164,12 @@ class DiskComponent {
   // Offset of the sparse-index entry block that may contain `key`.
   uint64_t SeekOffset(const LsmKey& key) const;
 
+  Env* env_ = nullptr;
   std::string path_;
   std::shared_ptr<RandomAccessFile> file_;
+  // Checksum-verifying view over the entry region [0, data_end_); all entry
+  // reads (Get, cursors) go through it.
+  std::shared_ptr<RandomAccessFile> data_file_;
   ComponentMetadata metadata_;
   uint64_t data_end_ = 0;
   std::vector<std::pair<LsmKey, uint64_t>> sparse_index_;

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <filesystem>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,7 +13,9 @@
 namespace lsmstats {
 
 LsmTree::LsmTree(LsmTreeOptions options)
-    : options_(std::move(options)), memtable_(std::make_unique<MemTable>()) {
+    : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Default()),
+      memtable_(std::make_unique<MemTable>()) {
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
@@ -28,20 +30,29 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   if (options.directory.empty()) {
     return Status::InvalidArgument("LsmTreeOptions.directory is required");
   }
-  LSMSTATS_RETURN_IF_ERROR(CreateDirIfMissing(options.directory));
   auto tree = std::unique_ptr<LsmTree>(new LsmTree(std::move(options)));
+  Env* env = tree->env_;
+  LSMSTATS_RETURN_IF_ERROR(env->CreateDirIfMissing(tree->options_.directory));
 
   // Recover components left by a previous incarnation of this tree: files
-  // named <name>_<id>.cmp. Ids are assigned monotonically, so sorting by id
-  // descending restores the newest-first stack order. Open() runs before the
-  // tree is shared, so no locking yet.
+  // named <name>_<id>.cmp. Ids are assigned monotonically, so id order is
+  // recency order. Open() runs before the tree is shared, so no locking yet.
   std::vector<uint64_t> recovered_ids;
   const std::string prefix = tree->options_.name + "_";
-  std::error_code ec;
-  for (const auto& dir_entry :
-       std::filesystem::directory_iterator(tree->options_.directory, ec)) {
-    std::string filename = dir_entry.path().filename().string();
+  std::vector<std::string> names;
+  LSMSTATS_RETURN_IF_ERROR(env->ListDir(tree->options_.directory, &names));
+  for (const std::string& filename : names) {
     if (filename.rfind(prefix, 0) != 0) continue;
+    if (filename.size() > 4 &&
+        filename.substr(filename.size() - 4) == ".tmp") {
+      // Orphan of a build that crashed before sealing; the sealed rename
+      // never happened, so the bytes are garbage by construction.
+      std::string orphan = tree->options_.directory + "/" + filename;
+      LSMSTATS_LOG(kWarning) << tree->options_.name
+                             << ": removing orphaned temporary " << orphan;
+      LSMSTATS_RETURN_IF_ERROR(env->RemoveFileIfExists(orphan));
+      continue;
+    }
     if (filename.size() <= prefix.size() + 4 ||
         filename.substr(filename.size() - 4) != ".cmp") {
       continue;
@@ -53,23 +64,48 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
     if (end == nullptr || *end != '\0') continue;  // foreign file
     recovered_ids.push_back(id);
   }
-  if (ec) {
-    return Status::IOError("cannot list " + tree->options_.directory + ": " +
-                           ec.message());
+  std::sort(recovered_ids.begin(), recovered_ids.end());  // oldest first
+  if (!recovered_ids.empty()) {
+    // Past every id on disk, including ones we may quarantine below.
+    tree->next_component_id_ = recovered_ids.back() + 1;
   }
-  std::sort(recovered_ids.rbegin(), recovered_ids.rend());
-  // Newest-first in the stack; timestamps must grow with recency, so the
-  // component at stack position i gets stamp (count - i).
+
+  // Open oldest to newest so a corrupt component can take down itself and
+  // everything newer while the consistent older prefix survives. Timestamps
+  // must grow with recency: oldest component gets 1.
+  std::vector<std::shared_ptr<DiskComponent>> recovered;  // oldest first
   for (size_t i = 0; i < recovered_ids.size(); ++i) {
     uint64_t id = recovered_ids[i];
-    uint64_t timestamp = recovered_ids.size() - i;
-    auto component = DiskComponent::Open(tree->ComponentPath(id), id,
-                                         timestamp);
-    LSMSTATS_RETURN_IF_ERROR(component.status());
-    tree->components_.push_back(std::move(component).value());
-    tree->next_component_id_ = std::max(tree->next_component_id_, id + 1);
+    std::string path = tree->ComponentPath(id);
+    auto component = DiskComponent::Open(env, path, id, i + 1);
+    Status open_status = component.status();
+    if (open_status.ok() && tree->options_.paranoid_recovery_checks) {
+      open_status = (*component)->VerifyBlockChecksums();
+    }
+    if (open_status.ok()) {
+      recovered.push_back(std::move(component).value());
+      continue;
+    }
+    if (!tree->options_.quarantine_corrupt_components) return open_status;
+    // Quarantine this component and everything newer: keeping a newer
+    // component above a hole would un-cancel its anti-matter and resurrect
+    // deleted records. Renaming (not deleting) keeps the bytes for forensics.
+    LSMSTATS_LOG(kError) << tree->options_.name << ": component " << path
+                         << " failed recovery (" << open_status.ToString()
+                         << "); quarantining it and all newer components";
+    for (size_t j = i; j < recovered_ids.size(); ++j) {
+      std::string victim = tree->ComponentPath(recovered_ids[j]);
+      if (!env->FileExists(victim)) continue;
+      LSMSTATS_RETURN_IF_ERROR(
+          env->RenameFile(victim, victim + ".quarantine"));
+      tree->quarantined_files_.push_back(victim + ".quarantine");
+    }
+    LSMSTATS_RETURN_IF_ERROR(
+        env->SyncDir(tree->options_.directory));
+    break;
   }
-  tree->logical_clock_ = recovered_ids.size() + 1;
+  tree->components_.assign(recovered.rbegin(), recovered.rend());
+  tree->logical_clock_ = recovered.size() + 1;
   return tree;
 }
 
@@ -239,7 +275,8 @@ Status LsmTree::WriteComponent(
     std::lock_guard<std::mutex> lock(mu_);
     id = next_component_id_++;
   }
-  DiskComponentBuilder builder(ComponentPath(id), context.expected_records);
+  DiskComponentBuilder builder(env_, ComponentPath(id),
+                               context.expected_records);
   while (input->Valid()) {
     const Entry& entry = input->entry();
     Status s = builder.Add(entry);
@@ -340,7 +377,7 @@ Status LsmTree::Flush() {
       std::lock_guard<std::mutex> lock(mu_);
       if (immutables_.empty()) break;
     }
-    LSMSTATS_RETURN_IF_ERROR(FlushOneImmutable());
+    LSMSTATS_RETURN_IF_ERROR(FlushOneImmutableWithRetry());
     LSMSTATS_RETURN_IF_ERROR(MaybeMerge());
   }
   return WaitForBackgroundWork();
@@ -377,8 +414,22 @@ void LsmTree::FinishJob(Status s) {
   cv_.notify_all();
 }
 
-void LsmTree::BackgroundFlushJob() {
+Status LsmTree::FlushOneImmutableWithRetry() {
   Status s = FlushOneImmutable();
+  // Transient errors (disk pressure, injected faults) should not poison the
+  // tree permanently; re-run the whole flush after a short backoff.
+  for (int attempt = 0;
+       !s.ok() && attempt < options_.background_flush_retries; ++attempt) {
+    LSMSTATS_LOG(kWarning) << options_.name << ": flush failed ("
+                           << s.ToString() << "); retrying";
+    std::this_thread::sleep_for(options_.flush_retry_backoff * (1 << attempt));
+    s = FlushOneImmutable();
+  }
+  return s;
+}
+
+void LsmTree::BackgroundFlushJob() {
+  Status s = FlushOneImmutableWithRetry();
   bool want_merge = false;
   if (s.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -550,6 +601,11 @@ uint64_t LsmTree::MemTableBytes() const {
 size_t LsmTree::ImmutableMemTableCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return immutables_.size();
+}
+
+std::vector<std::string> LsmTree::QuarantinedFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_files_;
 }
 
 uint64_t LsmTree::TotalDiskRecords() const {

@@ -29,6 +29,7 @@
 #ifndef LSMSTATS_LSM_LSM_TREE_H_
 #define LSMSTATS_LSM_LSM_TREE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -37,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "lsm/disk_component.h"
 #include "lsm/entry.h"
@@ -70,15 +72,38 @@ struct LsmTreeOptions {
   // Backpressure bound: writers stall once more than this many immutable
   // memtables await flushing (scheduler mode only).
   size_t max_immutable_memtables = 4;
+  // Filesystem environment; Env::Default() when null. Must outlive the tree.
+  // Tests substitute a FaultInjectionEnv to exercise crash paths.
+  Env* env = nullptr;
+  // What Open() does with a component that fails to open or fails checksum
+  // verification: true renames it — and every newer component, since newer
+  // components above a missing older one would resurrect anti-matter-deleted
+  // records — to `<file>.quarantine` and opens the tree with the surviving
+  // older prefix; false refuses to open and returns the Corruption error.
+  bool quarantine_corrupt_components = true;
+  // Verify every data-chunk checksum of every recovered component during
+  // Open(), so torn tails and bit rot surface at recovery rather than at
+  // first read. Costs one sequential scan per recovered component.
+  bool paranoid_recovery_checks = true;
+  // A failed background flush is retried this many times (a failed flush
+  // leaves the immutable queue and component stack untouched, so the retry
+  // re-runs cleanly) with exponential backoff starting here. Inline flushes
+  // report the error to the caller instead.
+  int background_flush_retries = 1;
+  std::chrono::milliseconds flush_retry_backoff{10};
 };
 
 class LsmTree {
  public:
   // Opens a tree, recovering any components a previous incarnation left in
   // the directory (discovered by file name, ordered by component id — ids
-  // are monotone in creation order, so id order is recency order). The
-  // memtable's contents at crash time are lost, as in any LSM without a
-  // write-ahead log; see DESIGN.md.
+  // are monotone in creation order, so id order is recency order). Orphaned
+  // `<name>_*.tmp` files from builds that crashed before sealing are
+  // deleted; components that fail to open or fail checksum verification are
+  // quarantined along with everything newer (see
+  // LsmTreeOptions::quarantine_corrupt_components). The memtable's contents
+  // at crash time are lost, as in any LSM without a write-ahead log; see
+  // DESIGN.md "Failure model & durability".
   [[nodiscard]]
   static StatusOr<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
 
@@ -164,6 +189,8 @@ class LsmTree {
   // Immutable memtables rotated out but not yet flushed.
   size_t ImmutableMemTableCount() const;
   const LsmTreeOptions& options() const { return options_; }
+  // Files Open() renamed to `<file>.quarantine` during recovery.
+  std::vector<std::string> QuarantinedFiles() const;
 
   // Total live-record estimate ignoring reconciliation (records - 2*anti
   // would be exact only if every anti-matter cancels in-tree).
@@ -194,6 +221,13 @@ class LsmTree {
   // Serializes on work_mu_. Does not run the merge policy.
   [[nodiscard]] Status FlushOneImmutable();
 
+  // FlushOneImmutable plus up to background_flush_retries retries with
+  // exponential backoff. Retrying is safe from any thread: a failed flush
+  // leaves the immutable queue and component stack untouched and its
+  // half-written temporary removed, so the retry re-runs the whole flush
+  // under a fresh component id.
+  [[nodiscard]] Status FlushOneImmutableWithRetry();
+
   // Streams `input` into a new component, driving listeners. `install` is
   // invoked under mu_ with the sealed component (null when the stream
   // reconciled to nothing) and must splice it into the stack atomically for
@@ -210,6 +244,7 @@ class LsmTree {
   [[nodiscard]] Status MergeRange(const MergeDecision& decision);
 
   LsmTreeOptions options_;
+  Env* env_;  // options_.env or Env::Default(); never null
 
   // Serializes structural operations (flush, merge, bulkload) and thereby
   // all listener callbacks. Never acquired while holding mu_.
@@ -229,6 +264,8 @@ class LsmTree {
   uint64_t logical_clock_ = 1;
   size_t pending_jobs_ = 0;
   Status background_error_;
+  // Written only during Open(), before the tree is shared.
+  std::vector<std::string> quarantined_files_;
 };
 
 }  // namespace lsmstats

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "common/crc32c.h"
 #include "common/file.h"
+#include "common/logging.h"
 
 namespace lsmstats {
+
+namespace {
+
+constexpr uint64_t kCatalogMagic = 0x4c534d5354434154ULL;  // "LSMSTCAT"
+constexpr size_t kCatalogTrailerSize = 4 + 8;  // payload CRC32C + magic
+
+}  // namespace
 
 void StatisticsCatalog::Register(
     const StatisticsKey& key, SynopsisEntry entry,
@@ -152,21 +161,64 @@ StatusOr<StatisticsCatalog> StatisticsCatalog::DecodeFrom(Decoder* dec) {
   return catalog;
 }
 
-Status StatisticsCatalog::SaveToFile(const std::string& path) const {
+Status StatisticsCatalog::SaveToFile(const std::string& path,
+                                     Env* env) const {
+  if (env == nullptr) env = Env::Default();
   Encoder enc;
   EncodeTo(&enc);
-  auto file = WritableFile::Create(path);
+  enc.PutU32(crc32c::Value(enc.buffer()));
+  enc.PutU64(kCatalogMagic);
+
+  // Crash-consistent replace: a torn write can only ever hit the .tmp, so
+  // the previous catalog survives any crash before the rename lands.
+  const std::string tmp_path = path + ".tmp";
+  auto file = env->NewWritableFile(tmp_path);
   LSMSTATS_RETURN_IF_ERROR(file.status());
-  LSMSTATS_RETURN_IF_ERROR((*file)->Append(enc.buffer()));
-  return (*file)->Close();
+  auto fail = [&](Status s) {
+    file->reset();
+    Status removed = env->RemoveFileIfExists(tmp_path);
+    if (!removed.ok()) {
+      LSMSTATS_LOG(kWarning) << "could not remove temporary catalog "
+                             << tmp_path << ": " << removed.ToString();
+    }
+    return s;
+  };
+  Status s = (*file)->Append(enc.buffer());
+  if (!s.ok()) return fail(std::move(s));
+  s = (*file)->Sync();
+  if (!s.ok()) return fail(std::move(s));
+  s = (*file)->Close();
+  if (!s.ok()) return fail(std::move(s));
+  s = env->RenameFile(tmp_path, path);
+  if (!s.ok()) return fail(std::move(s));
+  return env->SyncDir(DirectoryOf(path));
 }
 
-Status StatisticsCatalog::LoadFromFile(const std::string& path) {
-  auto file = RandomAccessFile::Open(path);
+Status StatisticsCatalog::LoadFromFile(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  auto file = env->NewRandomAccessFile(path);
   LSMSTATS_RETURN_IF_ERROR(file.status());
+  if ((*file)->size() < kCatalogTrailerSize) {
+    return Status::Corruption("catalog file too small: " + path);
+  }
   std::string data;
   LSMSTATS_RETURN_IF_ERROR((*file)->Read(0, (*file)->size(), &data));
-  Decoder dec(data);
+
+  Decoder trailer(std::string_view(data).substr(data.size() -
+                                                kCatalogTrailerSize));
+  uint32_t stored_crc;
+  uint64_t magic;
+  LSMSTATS_RETURN_IF_ERROR(trailer.GetU32(&stored_crc));
+  LSMSTATS_RETURN_IF_ERROR(trailer.GetU64(&magic));
+  if (magic != kCatalogMagic) {
+    return Status::Corruption("bad catalog magic: " + path);
+  }
+  std::string_view payload(data.data(), data.size() - kCatalogTrailerSize);
+  if (crc32c::Value(payload) != stored_crc) {
+    return Status::Corruption("catalog checksum mismatch: " + path);
+  }
+
+  Decoder dec(payload);
   auto catalog = DecodeFrom(&dec);
   LSMSTATS_RETURN_IF_ERROR(catalog.status());
   if (!dec.Done()) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "synopsis/synopsis.h"
 
 namespace lsmstats {
@@ -81,9 +82,16 @@ class StatisticsCatalog {
 
   // Persistence: the catalog is durable metadata in the paper's design
   // ("synopsis is persisted in the system catalog"). The whole catalog is
-  // serialized with the same encoding the cluster transport uses.
-  [[nodiscard]] Status SaveToFile(const std::string& path) const;
-  [[nodiscard]] Status LoadFromFile(const std::string& path);
+  // serialized with the same encoding the cluster transport uses, followed
+  // by a CRC32C + magic trailer. Save is crash-consistent: write to
+  // `path + ".tmp"`, Sync, rename into place, sync the directory — a crash
+  // mid-save leaves the previous catalog intact. Load verifies the trailer
+  // and returns Corruption on any mismatch. `env` defaults to
+  // Env::Default() when null.
+  [[nodiscard]]
+  Status SaveToFile(const std::string& path, Env* env = nullptr) const;
+  [[nodiscard]]
+  Status LoadFromFile(const std::string& path, Env* env = nullptr);
 
   void EncodeTo(Encoder* enc) const;
   [[nodiscard]] static StatusOr<StatisticsCatalog> DecodeFrom(Decoder* dec);

@@ -1,0 +1,276 @@
+// Crash-consistency tests built on FaultInjectionEnv: CRC32C vectors, the
+// fault-injection machinery itself, background-flush retry, catalog
+// durability, and the crash-point sweep — crash at every mutating filesystem
+// operation of an ingest/flush/merge run, reopen, and assert the tree comes
+// back prefix-consistent with no leaked temporaries.
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/env.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/scheduler.h"
+#include "stats/statistics_catalog.h"
+
+namespace lsmstats {
+namespace {
+
+// ----------------------------------------------------------------- CRC32C
+
+TEST(Crc32c, KnownVectors) {
+  // The canonical CRC32C check value (RFC 3720 appendix).
+  EXPECT_EQ(crc32c::Value("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c::Value(""), 0u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ExtendComposes) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = crc32c::Extend(0, data.data(), split);
+    crc = crc32c::Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, crc32c::Value(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::string data(100, 'x');
+  uint32_t clean = crc32c::Value(data);
+  for (size_t byte = 0; byte < data.size(); byte += 7) {
+    std::string flipped = data;
+    flipped[byte] ^= 1;
+    EXPECT_NE(crc32c::Value(flipped), clean);
+  }
+}
+
+// ------------------------------------------------------- FaultInjectionEnv
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lsmstats_fault_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FaultInjectionTest, FailNthSyncIsOneShot) {
+  FaultInjectionEnv env;
+  env.FailNthSync(1);
+  auto file = env.NewWritableFile(dir_ + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("data").ok());
+  EXPECT_FALSE((*file)->Sync().ok());  // injected
+  EXPECT_TRUE((*file)->Sync().ok());   // one-shot: second sync succeeds
+  EXPECT_EQ(env.InjectedFailureCount(), 1u);
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(FaultInjectionTest, CrashFailsEveryLaterMutation) {
+  FaultInjectionEnv env;
+  auto file = env.NewWritableFile(dir_ + "/f");  // op 1
+  ASSERT_TRUE(file.ok());
+  env.CrashAtMutatingOp(2);
+  EXPECT_FALSE((*file)->Append("data").ok());  // op 2: crash
+  EXPECT_FALSE((*file)->Sync().ok());          // sticky: still dead
+  EXPECT_FALSE((*file)->Close().ok());
+  EXPECT_FALSE(env.RenameFile(dir_ + "/f", dir_ + "/g").ok());
+  env.ClearFaults();
+  EXPECT_TRUE(env.RemoveFileIfExists(dir_ + "/f").ok());
+}
+
+TEST_F(FaultInjectionTest, DropUnsyncedDataTruncatesToLastSync) {
+  FaultInjectionEnv env;
+  std::string path = dir_ + "/f";
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append(" volatile").ok());
+  ASSERT_TRUE((*file)->Close().ok());  // flushed to the OS, never fsynced
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto reader = env.NewRandomAccessFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->size(), 7u);  // "durable"
+}
+
+TEST_F(FaultInjectionTest, TruncateTailBytesTearsFile) {
+  FaultInjectionEnv env;
+  std::string path = dir_ + "/f";
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env.TruncateTailBytes(path, 4).ok());
+  auto reader = env.NewRandomAccessFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->size(), 6u);
+}
+
+// ------------------------------------------------- background flush retry
+
+TEST_F(FaultInjectionTest, BackgroundFlushRetriesAfterTransientFailure) {
+  FaultInjectionEnv env;
+  BackgroundScheduler scheduler(2);
+  LsmTreeOptions options;
+  options.directory = dir_;
+  options.name = "t";
+  options.memtable_max_entries = 10;
+  options.scheduler = &scheduler;
+  options.env = &env;
+  auto tree = LsmTree::Open(options).value();
+
+  // The first component seal's fsync fails once; the background retry must
+  // rebuild the component and succeed without surfacing an error.
+  env.FailNthSync(1);
+  for (int64_t k = 0; k < 25; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "v", true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_TRUE(tree->BackgroundError().ok());
+  EXPECT_GE(env.InjectedFailureCount(), 1u);
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(24)).value(), 25u);
+  scheduler.Shutdown();
+}
+
+// ------------------------------------------------------ catalog durability
+
+TEST_F(FaultInjectionTest, CatalogSaveSurvivesCrashMidSave) {
+  std::string path = dir_ + "/catalog.bin";
+  StatisticsCatalog catalog;
+  SynopsisEntry entry;
+  entry.component_id = 1;
+  entry.timestamp = 1;
+  catalog.Register({"ds", "f", 0}, std::move(entry), {});
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+
+  // A save that dies before its rename must leave the old catalog intact
+  // and no stray temporary behind after the next successful save.
+  FaultInjectionEnv env;
+  StatisticsCatalog bigger;
+  SynopsisEntry e2;
+  e2.component_id = 2;
+  e2.timestamp = 2;
+  bigger.Register({"ds", "f", 0}, std::move(e2), {});
+  env.FailNthRename(1);
+  EXPECT_FALSE(bigger.SaveToFile(path, &env).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // cleaned up on failure
+
+  StatisticsCatalog loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.GetSynopses({"ds", "f", 0}).front().component_id, 1u);
+
+  // Retry succeeds and the new catalog replaces the old atomically.
+  ASSERT_TRUE(bigger.SaveToFile(path, &env).ok());
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.GetSynopses({"ds", "f", 0}).front().component_id, 2u);
+}
+
+TEST_F(FaultInjectionTest, CatalogLoadRejectsTornTail) {
+  std::string path = dir_ + "/catalog.bin";
+  StatisticsCatalog catalog;
+  SynopsisEntry entry;
+  entry.component_id = 1;
+  entry.timestamp = 1;
+  catalog.Register({"ds", "f", 0}, std::move(entry), {});
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+  FaultInjectionEnv env;
+  ASSERT_TRUE(env.TruncateTailBytes(path, 2).ok());
+  StatisticsCatalog loaded;
+  Status s = loaded.LoadFromFile(path);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+// ------------------------------------------------------- crash-point sweep
+
+// Ingest keys 0..N-1 in order with periodic flushes, then merge everything.
+// Returns the first error (expected when a crash is scheduled).
+Status RunWorkload(Env* env, const std::string& dir) {
+  LsmTreeOptions options;
+  options.directory = dir;
+  options.name = "t";
+  options.memtable_max_entries = 20;
+  options.env = env;
+  auto tree_or = LsmTree::Open(options);
+  LSMSTATS_RETURN_IF_ERROR(tree_or.status());
+  auto& tree = *tree_or;
+  for (int64_t k = 0; k < 60; ++k) {
+    LSMSTATS_RETURN_IF_ERROR(
+        tree->Put(PrimaryKey(k), "v" + std::to_string(k), true));
+  }
+  LSMSTATS_RETURN_IF_ERROR(tree->Flush());
+  return tree->ForceFullMerge();
+}
+
+TEST_F(FaultInjectionTest, CrashPointSweep) {
+  // Clean run to size the sweep.
+  uint64_t total_ops;
+  {
+    std::string clean_dir = dir_ + "/clean";
+    FaultInjectionEnv env;
+    ASSERT_TRUE(RunWorkload(&env, clean_dir).ok());
+    total_ops = env.MutatingOpCount();
+    ASSERT_GT(total_ops, 20u);  // the workload is non-trivial
+  }
+
+  for (uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(crash_at));
+    std::string run_dir = dir_ + "/run" + std::to_string(crash_at);
+    FaultInjectionEnv env;
+    env.CrashAtMutatingOp(crash_at);
+    Status died = RunWorkload(&env, run_dir);
+    EXPECT_FALSE(died.ok());  // the crash point is within the workload
+    // Power loss: un-synced bytes vanish, then the "machine" reboots.
+    env.ClearFaults();
+    ASSERT_TRUE(env.DropUnsyncedData().ok());
+
+    // Invariant 1: reopen always succeeds.
+    LsmTreeOptions options;
+    options.directory = run_dir;
+    options.name = "t";
+    options.memtable_max_entries = 20;
+    options.env = &env;
+    auto tree_or = LsmTree::Open(options);
+    ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+    auto& tree = *tree_or;
+
+    // Invariant 2: no temporaries survive recovery.
+    std::vector<std::string> names;
+    ASSERT_TRUE(env.ListDir(run_dir, &names).ok());
+    for (const std::string& name : names) {
+      EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    }
+
+    // Invariant 3: the recovered live set is a prefix {0..m-1} of the
+    // insertion order — keys were ingested in order and flushed in order,
+    // so durability can only cut off a suffix, never punch holes.
+    std::vector<int64_t> keys;
+    ASSERT_TRUE(tree->Scan(PrimaryKey(std::numeric_limits<int64_t>::min()),
+                           PrimaryKey(std::numeric_limits<int64_t>::max()),
+                           [&](const Entry& e) { keys.push_back(e.key.k0); })
+                    .ok());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(keys[i], static_cast<int64_t>(i));
+    }
+
+    // Invariant 4: the recovered tree accepts new writes.
+    ASSERT_TRUE(tree->Put(PrimaryKey(1000), "post-crash", true).ok());
+    ASSERT_TRUE(tree->Flush().ok());
+    std::string value;
+    EXPECT_TRUE(tree->Get(PrimaryKey(1000), &value).ok());
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats

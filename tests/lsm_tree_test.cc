@@ -95,7 +95,7 @@ TEST(MemTable, UpdatePreservesFreshness) {
 
 TEST(DiskComponent, BuildGetScan) {
   TempDir dir;
-  DiskComponentBuilder builder(dir.path() + "/c1.cmp", 100);
+  DiskComponentBuilder builder(Env::Default(), dir.path() + "/c1.cmp", 100);
   for (int64_t k = 0; k < 100; ++k) {
     ASSERT_TRUE(
         builder.Add({PrimaryKey(k * 3), "v" + std::to_string(k), false}).ok());
@@ -132,7 +132,7 @@ TEST(DiskComponent, BuildGetScan) {
 
 TEST(DiskComponent, RejectsOutOfOrderKeys) {
   TempDir dir;
-  DiskComponentBuilder builder(dir.path() + "/c2.cmp", 10);
+  DiskComponentBuilder builder(Env::Default(), dir.path() + "/c2.cmp", 10);
   ASSERT_TRUE(builder.Add({PrimaryKey(5), "", false}).ok());
   EXPECT_EQ(builder.Add({PrimaryKey(5), "", false}).code(),
             StatusCode::kInvalidArgument);
@@ -143,7 +143,7 @@ TEST(DiskComponent, RejectsOutOfOrderKeys) {
 
 TEST(DiskComponent, SecondaryKeyOrdering) {
   TempDir dir;
-  DiskComponentBuilder builder(dir.path() + "/c3.cmp", 4);
+  DiskComponentBuilder builder(Env::Default(), dir.path() + "/c3.cmp", 4);
   ASSERT_TRUE(builder.Add({SecondaryKey(1, 5), "", false}).ok());
   ASSERT_TRUE(builder.Add({SecondaryKey(1, 9), "", false}).ok());
   ASSERT_TRUE(builder.Add({SecondaryKey(2, 1), "", false}).ok());

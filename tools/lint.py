@@ -23,6 +23,13 @@ clang-tidy is unavailable:
                  match its path (src/ prefix stripped), with a matching
                  `#define` and a `#endif  // <GUARD>` trailer; no
                  `#pragma once`.
+  env-bypass     no direct filesystem syscalls (`::open`, `::rename`,
+                 `::fsync`, `::unlink`, `::mkdir`, `::truncate`, ...) or
+                 `std::filesystem` in src/ outside common/env.cc and
+                 common/file.cc — storage I/O must flow through the Env
+                 abstraction so fault injection and crash tests see every
+                 mutation. Socket-style `::read`/`::write`/`::close` are
+                 not banned (the workload feed uses them on sockets).
 
 Suppressing a finding: append `// lint:allow(<rule>)` to the offending line
 together with a reason, e.g.
@@ -214,6 +221,36 @@ def check_seeded_random(path: Path, raw_lines: list[str], code_lines: list[str])
                    "common/random.h so seeds are explicit and runs reproduce")
 
 
+# ---------------------------------------------------------------- env-bypass
+
+# Filesystem mutation and file-I/O syscalls that must flow through Env so
+# FaultInjectionEnv observes every mutating operation. `::read`/`::write`/
+# `::close` are deliberately absent: src/workload uses them on sockets.
+ENV_BYPASS_RE = re.compile(
+    r"(?<![\w])::("
+    r"open|openat|creat|rename|renameat|fsync|fdatasync|sync_file_range|"
+    r"unlink|unlinkat|remove|mkdir|mkdirat|rmdir|truncate|ftruncate|"
+    r"pread|pwrite|link|symlink"
+    r")\s*\(|std\s*::\s*filesystem\b"
+)
+
+# The only files allowed to touch the filesystem directly: the Env interface
+# and its Posix primitives.
+ENV_IMPL_FILES = {"env.cc", "file.cc"}
+
+
+def check_env_bypass(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    if path.parent == SRC / "common" and path.name in ENV_IMPL_FILES:
+        return
+    for idx, code in enumerate(code_lines):
+        m = ENV_BYPASS_RE.search(code)
+        if m and not allowed(raw_lines[idx], "env-bypass"):
+            what = m.group(1) or "std::filesystem"
+            report(path, idx + 1, "env-bypass",
+                   f"direct filesystem access (`{what}`) — route storage I/O "
+                   "through common/env.h so fault injection sees it")
+
+
 # -------------------------------------------------------------- header-guard
 
 def expected_guard(path: Path) -> str:
@@ -278,6 +315,7 @@ def main() -> int:
         raw, code = lines_of(path)
         check_raw_new_delete(path, raw, code)
         check_banned(path, raw, code)
+        check_env_bypass(path, raw, code)
     random_impl = REPO / "src" / "common"
     for path in cc_and_h:
         if SRC not in path.parents and (REPO / "bench") not in path.parents:
