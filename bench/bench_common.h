@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "lsm/format/block.h"
+#include "lsm/format/block_cache.h"
 #include "lsm/lsm_tree.h"
 #include "stats/cardinality_estimator.h"
 #include "stats/statistics_collector.h"
@@ -132,15 +134,29 @@ class StatsRig {
     size_t budget;
   };
 
+  // `compression` other than "" overrides the component codec ("none",
+  // "delta", ...); `block_cache_mb` > 0 gives the rig's tree a private block
+  // cache. The defaults leave the paper-figure runs bit-identical.
   StatsRig(const std::string& directory, const ValueDomain& domain,
            const std::vector<SynopsisSlot>& slots,
-           std::shared_ptr<MergePolicy> policy, uint64_t memtable_entries)
+           std::shared_ptr<MergePolicy> policy, uint64_t memtable_entries,
+           const std::string& compression = "",
+           uint64_t block_cache_mb = 0)
       : sink_(&catalog_), estimator_(&catalog_, {}) {
     LsmTreeOptions options;
     options.directory = directory;
     options.name = "rig";
     options.memtable_max_entries = memtable_entries;
     options.merge_policy = std::move(policy);
+    if (!compression.empty()) {
+      ComponentWriteOptions write_options = EnvironmentWriteOptions();
+      write_options.compression = compression;
+      options.write_options = write_options;
+    }
+    if (block_cache_mb > 0) {
+      cache_ = std::make_unique<BlockCache>(block_cache_mb << 20);
+      options.block_cache = cache_.get();
+    }
     auto tree = LsmTree::Open(options);
     LSMSTATS_CHECK_OK(tree.status());
     tree_ = std::move(tree).value();
@@ -174,11 +190,14 @@ class StatsRig {
   LsmTree* tree() { return tree_.get(); }
   StatisticsCatalog* catalog() { return &catalog_; }
   CardinalityEstimator* estimator() { return &estimator_; }
+  BlockCache* block_cache() { return cache_.get(); }
 
  private:
   StatisticsCatalog catalog_;
   LocalCatalogSink sink_;
   CardinalityEstimator estimator_;
+  // Declared before the tree so it outlives the tree's readers.
+  std::unique_ptr<BlockCache> cache_;
   std::unique_ptr<LsmTree> tree_;
   std::vector<std::unique_ptr<StatisticsCollector>> collectors_;
   int64_t next_pk_ = 0;

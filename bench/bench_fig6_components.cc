@@ -28,6 +28,9 @@ void Run(const Flags& flags) {
   const auto frequency = ParseFrequencyDistribution(
       flags.GetString("frequencies", "Uniform"));
   LSMSTATS_CHECK_OK(frequency.status());
+  // Storage knobs; the defaults reproduce the paper figure bit-for-bit.
+  const std::string compression = flags.GetString("compression", "");
+  const uint64_t block_cache_mb = flags.GetU64("block_cache_mb", 0);
   const std::vector<size_t> component_counts = {8, 16, 32, 64, 128};
 
   std::printf("Figure 6: accuracy and query overhead vs #components "
@@ -64,7 +67,7 @@ void Run(const Flags& flags) {
       // exactly k disk components.
       StatsRig rig(dir.path(), spec.domain, slots,
                    std::make_shared<ConstantMergePolicy>(k),
-                   records / (2 * k) + 1);
+                   records / (2 * k) + 1, compression, block_cache_mb);
       rig.IngestAll(record_values);
       rig.Flush();
 

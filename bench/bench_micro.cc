@@ -11,7 +11,12 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "common/coding.h"
 #include "common/random.h"
+#include "lsm/disk_component.h"
+#include "lsm/format/block.h"
+#include "lsm/format/block_cache.h"
+#include "lsm/format/compression.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/memtable.h"
 #include "stats/cardinality_estimator.h"
@@ -154,6 +159,83 @@ BENCHMARK_CAPTURE(BM_Estimate, EquiHeight_separate,
 BENCHMARK_CAPTURE(BM_Estimate, Wavelet_separate, SynopsisType::kWavelet,
                   false);
 BENCHMARK_CAPTURE(BM_Estimate, Wavelet_cached, SynopsisType::kWavelet, true);
+
+// ----------------------------------------------------------- block layer
+
+// One block's worth of sorted secondary-index entry bytes.
+std::string BlockPayload(size_t target_bytes) {
+  Encoder enc;
+  int64_t pk = 0;
+  while (enc.size() < target_bytes) {
+    Entry entry;
+    entry.key = SecondaryKey(pk / 3, pk);
+    ++pk;
+    EncodeEntry(entry, &enc);
+  }
+  return std::string(enc.buffer());
+}
+
+void BM_BlockEncode(benchmark::State& state, const char* codec_name) {
+  const CompressionCodec* codec = CodecByName(codec_name);
+  std::string payload = BlockPayload(4096);
+  for (auto _ : state) {
+    BlockBuilder builder(codec, 4096);
+    builder.Add(payload);
+    benchmark::DoNotOptimize(builder.Seal());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK_CAPTURE(BM_BlockEncode, None, "none");
+BENCHMARK_CAPTURE(BM_BlockEncode, Delta, "delta");
+
+void BM_BlockDecode(benchmark::State& state, const char* codec_name) {
+  std::string payload = BlockPayload(4096);
+  BlockBuilder builder(CodecByName(codec_name), 4096);
+  builder.Add(payload);
+  std::string stored = builder.Seal();
+  std::string raw;
+  for (auto _ : state) {
+    raw.clear();
+    auto status = DecodeBlock(stored, "bench", &raw);
+    benchmark::DoNotOptimize(status.ok());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK_CAPTURE(BM_BlockDecode, None, "none");
+BENCHMARK_CAPTURE(BM_BlockDecode, Delta, "delta");
+
+// Point lookups against one on-disk component: cold (no cache — every Get
+// reads and decodes its block from disk) vs. cached (the working set stays
+// in a shared BlockCache).
+void BM_ComponentGet(benchmark::State& state, bool cached) {
+  char tmpl[] = "/tmp/lsmstats_micro_XXXXXX";
+  std::string dir = ::mkdtemp(tmpl);
+  const int64_t kEntries = 64 * 1024;
+  BlockCache cache(64 << 20);
+  DiskComponentReadOptions read_options;
+  if (cached) read_options.block_cache = &cache;
+  DiskComponentBuilder builder(nullptr, dir + "/c.cmp", kEntries,
+                               EnvironmentWriteOptions(), read_options);
+  for (int64_t k = 0; k < kEntries; ++k) {
+    benchmark::DoNotOptimize(
+        builder.Add(Entry{SecondaryKey(k, k), "", false}));
+  }
+  auto component_or = builder.Finish(1, 1);
+  auto component = std::move(component_or).value();
+  Random rng(13);
+  Entry found;
+  for (auto _ : state) {
+    int64_t k = static_cast<int64_t>(rng.Uniform(kEntries));
+    benchmark::DoNotOptimize(component->Get(SecondaryKey(k, k), &found));
+  }
+  state.SetItemsProcessed(state.iterations());
+  component.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK_CAPTURE(BM_ComponentGet, Cold, false);
+BENCHMARK_CAPTURE(BM_ComponentGet, Cached, true);
 
 // --------------------------------------------------- wavelet reconstruct
 

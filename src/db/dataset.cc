@@ -27,6 +27,29 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
   auto dataset = std::unique_ptr<Dataset>(new Dataset(std::move(options)));
   const DatasetOptions& opts = dataset->options_;
 
+  // One storage configuration shared by every index of the dataset: the same
+  // write options, and (when requested) a single block cache so primary,
+  // secondary, and composite trees draw on one read-memory budget.
+  if (dataset->options_.block_cache == nullptr &&
+      dataset->options_.block_cache_mb > 0) {
+    dataset->options_.block_cache =
+        std::make_shared<BlockCache>(dataset->options_.block_cache_mb << 20);
+  }
+  std::optional<ComponentWriteOptions> write_options;
+  if (!opts.compression.empty()) {
+    ComponentWriteOptions resolved = EnvironmentWriteOptions();
+    resolved.compression = opts.compression;
+    if (CodecByName(resolved.compression) == nullptr) {
+      return Status::InvalidArgument("unknown compression codec: " +
+                                     resolved.compression);
+    }
+    write_options = resolved;
+  }
+  auto apply_storage_options = [&](LsmTreeOptions& tree_opts) {
+    tree_opts.write_options = write_options;
+    tree_opts.block_cache = opts.block_cache.get();
+  };
+
   // Primary index. The dataset coordinates flushes itself so the trees run
   // with auto_flush off.
   LsmTreeOptions tree_options;
@@ -36,6 +59,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
   tree_options.merge_policy = opts.merge_policy;
   tree_options.scheduler = opts.scheduler;
   tree_options.env = opts.env;
+  apply_storage_options(tree_options);
   auto primary_or = LsmTree::Open(tree_options);
   LSMSTATS_RETURN_IF_ERROR(primary_or.status());
   dataset->primary_ = std::move(primary_or).value();
@@ -79,6 +103,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     sk_options.merge_policy = opts.merge_policy;
     sk_options.scheduler = opts.scheduler;
     sk_options.env = opts.env;
+    apply_storage_options(sk_options);
     auto tree_or = LsmTree::Open(sk_options);
     LSMSTATS_RETURN_IF_ERROR(tree_or.status());
     dataset->secondaries_.push_back(std::move(tree_or).value());
@@ -98,6 +123,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     ck_options.merge_policy = opts.merge_policy;
     ck_options.scheduler = opts.scheduler;
     ck_options.env = opts.env;
+    apply_storage_options(ck_options);
     auto tree = LsmTree::Open(ck_options);
     LSMSTATS_RETURN_IF_ERROR(tree.status());
     dataset->composite_fields_.push_back(

@@ -64,8 +64,9 @@ struct DatasetOptions {
   // When set, every index's flush/merge work runs on this scheduler: a full
   // memtable triggers a non-blocking rotation on all indexes, whose flushes
   // then proceed in parallel on the worker pool. Must outlive the dataset.
-  // Modifications remain externally synchronized (one logical writer), as do
-  // catalog reads vs. ongoing ingestion; see DESIGN.md "Threading model".
+  // Modifications remain externally synchronized (one logical writer);
+  // catalog reads and cardinality estimation are safe concurrently with
+  // ongoing ingestion; see DESIGN.md "Threading model".
   BackgroundScheduler* scheduler = nullptr;
   // Where collectors publish synopses; required unless kNone. Must outlive
   // the dataset.
@@ -75,6 +76,17 @@ struct DatasetOptions {
   // Filesystem environment threaded into every index; Env::Default() when
   // null. Must outlive the dataset.
   Env* env = nullptr;
+  // Compression codec name ("none", "delta", or a registered external codec)
+  // for every component this dataset writes. Empty keeps the format-layer
+  // default (LSMSTATS_COMPRESSION, else "none").
+  std::string compression;
+  // When > 0 and `block_cache` is null, Open creates one sharded BlockCache
+  // of this many MiB shared by the primary, secondary, and composite trees —
+  // a single read-memory budget for the whole dataset.
+  uint64_t block_cache_mb = 0;
+  // Externally owned cache (e.g. shared across datasets); takes precedence
+  // over block_cache_mb.
+  std::shared_ptr<BlockCache> block_cache;
 };
 
 class Dataset {
@@ -135,6 +147,9 @@ class Dataset {
   const LsmTree* primary() const { return primary_.get(); }
   LsmTree* secondary(const std::string& field);
   LsmTree* composite(const std::string& field_a, const std::string& field_b);
+  // The shared block cache (null when none configured); stats expose the
+  // dataset-wide hit/miss/eviction counters.
+  BlockCache* block_cache() const { return options_.block_cache.get(); }
 
   // Statistics key under which a field's synopses are published.
   StatisticsKey StatsKey(const std::string& field) const;

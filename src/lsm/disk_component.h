@@ -1,20 +1,32 @@
 // Immutable, file-backed LSM disk component.
 //
 // A component is a sorted run produced by exactly one LSM lifecycle event
-// (flush, merge, or bulkload) and never modified afterwards. On disk it is
+// (flush, merge, or bulkload) and never modified afterwards. The current
+// format (v3) is block-based:
 //
-//   [entries, key-sorted]  [sparse index]  [bloom filter]
-//   [checksum block]  [fixed footer]
+//   [data blocks]  [sparse index]  [bloom filter]  [checksum block]  [footer]
 //
-// The sparse index keeps one (key, offset) pair every kIndexInterval entries,
-// which bounds a point lookup to one binary search plus a short sequential
-// scan; the Bloom filter lets lookups skip components that cannot contain the
-// key. The checksum block stores CRC32C sums for the index and bloom sections
-// plus one per fixed-size chunk of the entry region, so bit rot is caught at
-// read time (every data read verifies the chunks it touches) and at recovery
-// (VerifyBlockChecksums scans all of them). The footer records the component
-// metadata the statistics framework and the merge policies consume —
-// record/anti-matter counts and the key range — and carries its own CRC.
+// The data region is a sequence of self-describing blocks (codec tag, raw
+// size, possibly-compressed payload, CRC32C over the stored bytes — see
+// lsm/format/block.h). The sparse index keeps one (first key, file offset)
+// pair per block, so a point lookup is one binary search plus one block
+// decode, and block boundaries need no separate table: block i spans
+// [offset_i, offset_{i+1}) and the last block ends at data_end. Decoded
+// blocks are served through an optional shared BlockCache
+// (lsm/format/block_cache.h) keyed by a process-unique per-component id.
+//
+// v2 files — flat entry region, one index entry every kIndexInterval
+// entries, per-4KiB-chunk CRCs verified by a checksumming read wrapper —
+// remain fully readable and (via ComponentWriteOptions::format_version)
+// writable; the footer magic selects the format at Open.
+//
+// The Bloom filter lets lookups skip components that cannot contain the key.
+// The checksum block stores CRC32C sums for the index and bloom sections
+// plus the per-block/per-chunk data sums, so bit rot is caught at read time
+// and at recovery (VerifyBlockChecksums scans everything). The footer
+// records the component metadata the statistics framework and the merge
+// policies consume — record/anti-matter counts and the key range — and
+// carries its own CRC.
 //
 // Sealing is crash-consistent: the builder writes to `<path>.tmp`, Sync()s
 // (real fsync), renames into place, and fsyncs the directory. Recovery treats
@@ -36,6 +48,8 @@
 #include "lsm/bloom_filter.h"
 #include "lsm/entry.h"
 #include "lsm/entry_cursor.h"
+#include "lsm/format/block.h"
+#include "lsm/format/block_cache.h"
 
 namespace lsmstats {
 
@@ -53,6 +67,13 @@ struct ComponentMetadata {
   uint64_t timestamp = 0;
 };
 
+// Reader-side knobs, threaded from the owning tree into Open.
+struct DiskComponentReadOptions {
+  // Shared cache for decoded data blocks (v3 components only). Not owned;
+  // null reads straight from the file on every access.
+  BlockCache* block_cache = nullptr;
+};
+
 class DiskComponent;
 
 // Writes one component file. Entries must arrive in strictly increasing key
@@ -62,8 +83,14 @@ class DiskComponentBuilder {
  public:
   // Builds `path` through `env` (Env::Default() when null). The bytes go to
   // `path + ".tmp"` until Finish() seals them into place.
-  // `expected_entries` only sizes the Bloom filter; it may be an estimate.
-  DiskComponentBuilder(Env* env, std::string path, uint64_t expected_entries);
+  // `expected_entries` only sizes the Bloom filter; it may be an estimate
+  // (zero falls back to a minimum-size filter rather than a degenerate one).
+  // `write_options` picks the format version, codec, and block size;
+  // `read_options` is forwarded to the Open that Finish() returns.
+  DiskComponentBuilder(
+      Env* env, std::string path, uint64_t expected_entries,
+      ComponentWriteOptions write_options = EnvironmentWriteOptions(),
+      DiskComponentReadOptions read_options = DiskComponentReadOptions());
 
   DiskComponentBuilder(const DiskComponentBuilder&) = delete;
   DiskComponentBuilder& operator=(const DiskComponentBuilder&) = delete;
@@ -83,19 +110,32 @@ class DiskComponentBuilder {
   uint64_t entries_added() const { return record_count_; }
 
  private:
+  // v2: one sparse-index entry every this many entries.
   static constexpr uint64_t kIndexInterval = 64;
+  // Floor for bloom sizing, so expected_entries = 0 (unknown) still yields a
+  // filter with a usable false-positive rate for small components.
+  static constexpr uint64_t kMinBloomEntries = 1024;
 
-  // Feeds appended data bytes into the running per-chunk CRC accumulator.
+  // Feeds appended data bytes into the running per-chunk CRC accumulator
+  // (v2 format only).
   void ExtendDataChecksums(std::string_view data);
+
+  // Writes the pending v3 block (if any) and records its index entry.
+  [[nodiscard]] Status SealBlock();
 
   Env* env_;
   std::string path_;
   std::string tmp_path_;
+  ComponentWriteOptions write_options_;
+  DiskComponentReadOptions read_options_;
   std::unique_ptr<WritableFile> file_;
   Status open_status_;
   BloomFilter bloom_;
   std::vector<std::pair<LsmKey, uint64_t>> sparse_index_;
-  // Completed data-chunk CRCs plus the accumulator for the open chunk.
+  // v3: accumulates raw entry bytes for the open block.
+  std::optional<BlockBuilder> block_;
+  LsmKey pending_first_key_;
+  // v2: completed data-chunk CRCs plus the accumulator for the open chunk.
   std::vector<uint32_t> data_crcs_;
   uint32_t chunk_crc_ = 0;
   uint64_t chunk_bytes_ = 0;
@@ -106,51 +146,48 @@ class DiskComponentBuilder {
   bool has_entries_ = false;
 };
 
-// Forward scan over a component's entries, optionally starting at the first
-// key >= a seek target.
-class ComponentCursor : public EntryCursor {
- public:
-  bool Valid() const override { return valid_; }
-  const Entry& entry() const override { return entry_; }
-  [[nodiscard]] Status status() const override { return status_; }
-
-  void Next() override;
-
- private:
-  friend class DiskComponent;
-  ComponentCursor(std::shared_ptr<RandomAccessFile> file, uint64_t offset,
-                  uint64_t data_end);
-
-  SequentialFileReader reader_;
-  Entry entry_;
-  bool valid_ = false;
-  Status status_;
-};
-
-class DiskComponent {
+class DiskComponent : public std::enable_shared_from_this<DiskComponent> {
  public:
   // Opens a sealed component through `env` (Env::Default() when null),
-  // verifying the footer, index, and bloom checksums. Data-chunk checksums
-  // are verified lazily on every read; recovery calls VerifyBlockChecksums()
-  // to scan them eagerly.
+  // verifying the footer, index, and bloom checksums. Data checksums are
+  // verified lazily on every block/chunk read; recovery calls
+  // VerifyBlockChecksums() to scan them eagerly.
   [[nodiscard]]
   static StatusOr<std::shared_ptr<DiskComponent>> Open(
-      Env* env, const std::string& path, uint64_t id, uint64_t timestamp);
+      Env* env, const std::string& path, uint64_t id, uint64_t timestamp,
+      DiskComponentReadOptions read_options = DiskComponentReadOptions());
 
   const ComponentMetadata& metadata() const { return metadata_; }
   const std::string& path() const { return path_; }
 
-  // Reads every data chunk and checks its CRC32C; Corruption on mismatch.
+  // On-disk format version (2 or 3) read from the footer magic.
+  uint32_t format_version() const { return format_version_; }
+  // Number of data blocks (v3) — zero for v2 components.
+  size_t block_count() const {
+    return format_version_ == 3 ? sparse_index_.size() : 0;
+  }
+  size_t bloom_size_bytes() const { return bloom_.SizeBytes(); }
+
+  // Reads, verifies, and decodes data block `block_index` (v3 only). Served
+  // from the block cache when one is configured; `fill_cache` = false
+  // bypasses the cache entirely (verification scans must hit the disk and
+  // must not evict the working set).
+  [[nodiscard]]
+  StatusOr<BlockCache::BlockHandle> ReadBlock(size_t block_index,
+                                              bool fill_cache = true) const;
+
+  // Reads every data block/chunk and checks its CRC32C; Corruption on
+  // mismatch.
   [[nodiscard]] Status VerifyBlockChecksums() const;
 
   // Point lookup. Returns the entry (possibly anti-matter) or NotFound.
   [[nodiscard]] Status Get(const LsmKey& key, Entry* out) const;
 
   // Cursor over all entries.
-  std::unique_ptr<ComponentCursor> NewCursor() const;
+  std::unique_ptr<EntryCursor> NewCursor() const;
 
   // Cursor positioned at the first entry with key >= `start`.
-  std::unique_ptr<ComponentCursor> NewCursorAt(const LsmKey& start) const;
+  std::unique_ptr<EntryCursor> NewCursorAt(const LsmKey& start) const;
 
   // Unlinks the backing file from the directory. The component itself stays
   // readable (the descriptor remains open) so in-flight readers holding a
@@ -161,24 +198,35 @@ class DiskComponent {
  private:
   DiskComponent() = default;
 
-  // Offset of the sparse-index entry block that may contain `key`.
+  // v2: offset of the entry run that may contain `key`.
   uint64_t SeekOffset(const LsmKey& key) const;
+  // v3: index of the single block that may contain `key`.
+  size_t SeekBlockIndex(const LsmKey& key) const;
 
   Env* env_ = nullptr;
   std::string path_;
+  uint32_t format_version_ = 3;
   std::shared_ptr<RandomAccessFile> file_;
-  // Checksum-verifying view over the entry region [0, data_end_); all entry
-  // reads (Get, cursors) go through it.
+  // v2: checksum-verifying view over the entry region [0, data_end_); all v2
+  // entry reads (Get, cursors) go through it.
   std::shared_ptr<RandomAccessFile> data_file_;
   ComponentMetadata metadata_;
   uint64_t data_end_ = 0;
+  // v2: (key, offset) every kIndexInterval entries. v3: (first key, offset)
+  // per block.
   std::vector<std::pair<LsmKey, uint64_t>> sparse_index_;
   BloomFilter bloom_;
+  // v3 read path: optional shared cache plus the process-unique id this
+  // component's blocks are keyed under.
+  BlockCache* block_cache_ = nullptr;
+  uint64_t cache_file_id_ = 0;
 };
 
 // Entry wire helpers shared by the builder and readers.
 void EncodeEntry(const Entry& entry, Encoder* enc);
 [[nodiscard]] Status DecodeEntry(SequentialFileReader* reader, Entry* out);
+// Same wire format, decoding from an in-memory (decoded block) buffer.
+[[nodiscard]] Status DecodeEntry(Decoder* dec, Entry* out);
 
 }  // namespace lsmstats
 

@@ -1,0 +1,113 @@
+#include "lsm/format/block_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace lsmstats {
+
+namespace {
+
+// Accounts for the list node, map slot, and string header alongside the
+// block payload so many tiny blocks cannot blow past the byte budget.
+constexpr uint64_t kEntryOverhead = 96;
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+size_t BlockCache::KeyHash::operator()(const Key& key) const {
+  return static_cast<size_t>(
+      Mix64(key.file_id * 0x9e3779b97f4a7c15ULL ^ Mix64(key.offset)));
+}
+
+BlockCache::BlockCache(uint64_t capacity_bytes, size_t shard_count)
+    : capacity_(capacity_bytes) {
+  shard_count = std::max<size_t>(shard_count, 1);
+  per_shard_capacity_ = std::max<uint64_t>(capacity_ / shard_count, 1);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BlockCache::Shard& BlockCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
+  Key key{file_id, offset};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
+  if (block == nullptr) return;
+  Key key{file_id, offset};
+  uint64_t charge = block->size() + kEntryOverhead;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.charge -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(block), charge});
+  shard.map[key] = shard.lru.begin();
+  shard.charge += charge;
+  while (shard.charge > per_shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.charge -= victim.charge;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+BlockCache::Stats BlockCache::GetStats() const {
+  Stats stats;
+  stats.capacity = capacity_;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.charge += shard->charge;
+  }
+  return stats;
+}
+
+uint64_t NewBlockCacheFileId() {
+  static std::atomic<uint64_t> next_id{1};
+  return next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+BlockCache* EnvironmentBlockCache() {
+  static BlockCache* const cache = []() -> BlockCache* {
+    const char* mb_text = std::getenv("LSMSTATS_BLOCK_CACHE_MB");
+    if (mb_text == nullptr || mb_text[0] == '\0') return nullptr;
+    uint64_t mb = std::strtoull(mb_text, nullptr, 10);
+    if (mb == 0) return nullptr;
+    // lint:allow(raw-new) intentionally leaked process-wide forced cache
+    return new BlockCache(mb << 20);  // lint:allow(raw-new) leaked registry
+  }();
+  return cache;
+}
+
+}  // namespace lsmstats

@@ -1,0 +1,106 @@
+// Sharded LRU cache for decoded (raw) data blocks.
+//
+// One cache is owned at the Dataset level and shared by the primary,
+// secondary, and composite trees, so a dataset has a single read-memory
+// budget instead of per-tree buffers ("Breaking Down Memory Walls", Luo &
+// Carey). Entries are keyed by (file id, block offset): the file id is a
+// process-unique number minted per opened component (NewBlockCacheFileId),
+// never the per-tree component id, so components from different trees — or
+// the same file reopened after recovery — can never alias each other's
+// blocks.
+//
+// Eviction is charge-based: each entry is charged its raw byte size plus a
+// fixed bookkeeping overhead, and each shard evicts from its own LRU tail
+// once its share of the capacity is exceeded. Cached blocks are handed out
+// as shared_ptr<const std::string>, so eviction never invalidates a block a
+// reader is still decoding. All operations are safe under the concurrent
+// flush/merge scheduler: each shard has its own mutex, and the per-shard
+// hit/miss/eviction counters are aggregated by GetStats().
+
+#ifndef LSMSTATS_LSM_FORMAT_BLOCK_CACHE_H_
+#define LSMSTATS_LSM_FORMAT_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lsmstats {
+
+class BlockCache {
+ public:
+  using BlockHandle = std::shared_ptr<const std::string>;
+
+  // Total capacity in bytes, split evenly across `shard_count` shards
+  // (clamped to at least 1; per-shard capacity is at least 1 byte).
+  explicit BlockCache(uint64_t capacity_bytes, size_t shard_count = 8);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Returns the cached block and marks it most-recently-used, or null.
+  BlockHandle Lookup(uint64_t file_id, uint64_t offset);
+
+  // Inserts (replacing any entry under the same key) and evicts from the
+  // shard's LRU tail until the shard is within budget again. A block larger
+  // than a whole shard is evicted immediately — callers keep their handle.
+  void Insert(uint64_t file_id, uint64_t offset, BlockHandle block);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t charge = 0;    // bytes currently held
+    uint64_t capacity = 0;  // configured budget
+  };
+  Stats GetStats() const;
+
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    uint64_t file_id;
+    uint64_t offset;
+    bool operator==(const Key& other) const {
+      return file_id == other.file_id && offset == other.offset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    BlockHandle block;
+    uint64_t charge;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+    uint64_t charge = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
+
+  uint64_t capacity_;
+  uint64_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Mints a process-unique cache file id for a newly opened component.
+uint64_t NewBlockCacheFileId();
+
+// The cache forced by LSMSTATS_BLOCK_CACHE_MB for trees configured without
+// one, or null when the variable is unset/zero. Lets CI push every tier-1
+// test through the cache without touching call sites.
+BlockCache* EnvironmentBlockCache();
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_FORMAT_BLOCK_CACHE_H_

@@ -1,0 +1,67 @@
+// Pluggable compression codecs for the block-based component format (v3).
+//
+// Every data block in a v3 component file carries a one-byte codec tag; the
+// tag names the codec that must expand the stored payload back into the raw
+// entry bytes. Codecs are looked up through a process-wide registry keyed by
+// tag (on-disk) and by name (configuration), so external codecs can be added
+// without touching the storage layer: register them at startup and reference
+// them by name in ComponentWriteOptions.
+//
+// Built-ins:
+//   * "none"  (tag 0) — identity; blocks are stored raw.
+//   * "delta" (tag 1) — dependency-free delta-varint codec specialized for
+//     the entry wire format: sorted three-slot integer keys are stored as
+//     zigzag varint deltas against the previous entry, values verbatim.
+//     Secondary-index components (small key deltas, empty values) shrink by
+//     roughly 4x; see DESIGN.md "Storage format & block cache".
+//
+// Tag stability: tags are on-disk values — append new codecs, never renumber.
+// Tags 0-63 are reserved for built-ins, 64-255 for external registrations.
+
+#ifndef LSMSTATS_LSM_FORMAT_COMPRESSION_H_
+#define LSMSTATS_LSM_FORMAT_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lsmstats {
+
+class CompressionCodec {
+ public:
+  virtual ~CompressionCodec() = default;
+
+  // On-disk block tag; unique across the registry.
+  virtual uint8_t tag() const = 0;
+  // Registry/configuration name; unique across the registry.
+  virtual const char* name() const = 0;
+
+  // Compresses `raw` into `*out`. Returning false declines the block (the
+  // output would not shrink, or the input shape is unsupported); the builder
+  // then stores the block raw under tag 0, so a codec never has to produce
+  // output larger than its input.
+  virtual bool Compress(std::string_view raw, std::string* out) const = 0;
+
+  // Expands `payload` into exactly `raw_size` bytes. Corruption if the
+  // payload is malformed or does not expand to `raw_size`.
+  [[nodiscard]]
+  virtual Status Decompress(std::string_view payload, uint64_t raw_size,
+                            std::string* out) const = 0;
+};
+
+// Registry lookups. Null when the tag/name is unknown — readers turn an
+// unknown tag into Corruption ("written by a newer build"), configuration
+// turns an unknown name into InvalidArgument.
+const CompressionCodec* CodecByTag(uint8_t tag);
+const CompressionCodec* CodecByName(std::string_view name);
+
+// Registers an external codec (not owned; must outlive the process).
+// AlreadyExists if the tag or name is taken; InvalidArgument for tags < 64
+// (reserved for built-ins).
+[[nodiscard]] Status RegisterCodec(const CompressionCodec* codec);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_FORMAT_COMPRESSION_H_

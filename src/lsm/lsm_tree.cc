@@ -15,6 +15,11 @@ namespace lsmstats {
 LsmTree::LsmTree(LsmTreeOptions options)
     : options_(std::move(options)),
       env_(options_.env != nullptr ? options_.env : Env::Default()),
+      write_options_(options_.write_options.has_value()
+                         ? *options_.write_options
+                         : EnvironmentWriteOptions()),
+      block_cache_(options_.block_cache != nullptr ? options_.block_cache
+                                                   : EnvironmentBlockCache()),
       memtable_(std::make_unique<MemTable>()) {
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
@@ -31,6 +36,16 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
     return Status::InvalidArgument("LsmTreeOptions.directory is required");
   }
   auto tree = std::unique_ptr<LsmTree>(new LsmTree(std::move(options)));
+  if (tree->write_options_.format_version != 2 &&
+      tree->write_options_.format_version != 3) {
+    return Status::InvalidArgument(
+        "unsupported component format version " +
+        std::to_string(tree->write_options_.format_version));
+  }
+  if (CodecByName(tree->write_options_.compression) == nullptr) {
+    return Status::InvalidArgument("unknown compression codec: " +
+                                   tree->write_options_.compression);
+  }
   Env* env = tree->env_;
   LSMSTATS_RETURN_IF_ERROR(env->CreateDirIfMissing(tree->options_.directory));
 
@@ -77,7 +92,9 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   for (size_t i = 0; i < recovered_ids.size(); ++i) {
     uint64_t id = recovered_ids[i];
     std::string path = tree->ComponentPath(id);
-    auto component = DiskComponent::Open(env, path, id, i + 1);
+    auto component = DiskComponent::Open(
+        env, path, id, i + 1,
+        DiskComponentReadOptions{tree->block_cache_});
     Status open_status = component.status();
     if (open_status.ok() && tree->options_.paranoid_recovery_checks) {
       open_status = (*component)->VerifyBlockChecksums();
@@ -276,7 +293,8 @@ Status LsmTree::WriteComponent(
     id = next_component_id_++;
   }
   DiskComponentBuilder builder(env_, ComponentPath(id),
-                               context.expected_records);
+                               context.expected_records, write_options_,
+                               DiskComponentReadOptions{block_cache_});
   while (input->Valid()) {
     const Entry& entry = input->entry();
     Status s = builder.Add(entry);

@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,15 @@ struct LsmTreeOptions {
   // report the error to the caller instead.
   int background_flush_retries = 1;
   std::chrono::milliseconds flush_retry_backoff{10};
+  // Format/codec/block-size for components this tree writes. Unset resolves
+  // to EnvironmentWriteOptions() (format v3, codec from LSMSTATS_COMPRESSION
+  // or "none") at Open.
+  std::optional<ComponentWriteOptions> write_options;
+  // Shared cache for decoded data blocks, typically owned by the Dataset so
+  // all of its trees share one budget. Not owned; must outlive the tree.
+  // Null falls back to EnvironmentBlockCache() (usually also null =>
+  // uncached reads).
+  BlockCache* block_cache = nullptr;
 };
 
 class LsmTree {
@@ -245,6 +255,10 @@ class LsmTree {
 
   LsmTreeOptions options_;
   Env* env_;  // options_.env or Env::Default(); never null
+  // Resolved from options_.write_options / options_.block_cache (environment
+  // defaults applied) at construction; immutable afterwards.
+  ComponentWriteOptions write_options_;
+  BlockCache* block_cache_ = nullptr;
 
   // Serializes structural operations (flush, merge, bulkload) and thereby
   // all listener callbacks. Never acquired while holding mu_.

@@ -26,15 +26,26 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
   const uint64_t version = catalog_->Version(key);
 
   if (mergeable) {
-    auto it = cache_.find(key);
-    // Algorithm 2 lines 4-10: serve from the cached merged synopsis unless
-    // the catalog changed underneath it (isStale).
-    if (it != cache_.end() && it->second.catalog_version == version &&
-        it->second.merged != nullptr) {
-      double estimate = it->second.merged->EstimateRange(lo, hi);
+    // Copy the shared snapshot out under the lock, probe it outside: a
+    // concurrent InvalidateCache or recompute only drops the map entry, not
+    // the synopses this query is reading.
+    std::shared_ptr<const Synopsis> cached_merged;
+    std::shared_ptr<const Synopsis> cached_anti;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      auto it = cache_.find(key);
+      // Algorithm 2 lines 4-10: serve from the cached merged synopsis unless
+      // the catalog changed underneath it (isStale).
+      if (it != cache_.end() && it->second.catalog_version == version) {
+        cached_merged = it->second.merged;
+        cached_anti = it->second.merged_anti;
+      }
+    }
+    if (cached_merged != nullptr) {
+      double estimate = cached_merged->EstimateRange(lo, hi);
       if (stats) ++stats->synopses_probed;
-      if (it->second.merged_anti) {
-        double anti = it->second.merged_anti->EstimateRange(lo, hi);
+      if (cached_anti) {
+        double anti = cached_anti->EstimateRange(lo, hi);
         LSMSTATS_DCHECK(std::isfinite(anti));
         estimate -= anti;
         if (stats) ++stats->synopses_probed;
@@ -78,6 +89,9 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
     }
   }
   if (mergeable) {
+    // Two threads recomputing concurrently both store equivalent results for
+    // the same version; last writer wins and nothing is torn.
+    std::lock_guard<std::mutex> lock(cache_mu_);
     CachedMerged& cached = cache_[key];
     cached.catalog_version = version;
     cached.merged = std::move(merged);

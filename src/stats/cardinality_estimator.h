@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "stats/statistics_catalog.h"
@@ -68,18 +69,30 @@ class CardinalityEstimator {
     return EstimateRange(dataset, field, value, value);
   }
 
-  // Drops all cached merged synopses.
-  void InvalidateCache() { cache_.clear(); }
+  // Drops all cached merged synopses. Safe to call concurrently with
+  // estimation: in-flight queries keep shared references to the synopses
+  // they are probing.
+  void InvalidateCache() {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.clear();
+  }
 
  private:
+  // Merged synopses are shared (immutable once cached) so a query can probe
+  // them outside the cache lock while another thread replaces or drops the
+  // cache slot.
   struct CachedMerged {
     uint64_t catalog_version = 0;
-    std::unique_ptr<Synopsis> merged;
-    std::unique_ptr<Synopsis> merged_anti;
+    std::shared_ptr<const Synopsis> merged;
+    std::shared_ptr<const Synopsis> merged_anti;
   };
 
   const StatisticsCatalog* catalog_;
   Options options_;
+  // Guards cache_ only; estimation itself runs lock-free on shared
+  // snapshots, so serving estimates concurrently with statistics delivery
+  // (which invalidates) is race-free.
+  mutable std::mutex cache_mu_;
   std::map<StatisticsKey, CachedMerged> cache_;
 };
 

@@ -15,9 +15,23 @@ constexpr size_t kCatalogTrailerSize = 4 + 8;  // payload CRC32C + magic
 
 }  // namespace
 
+StatisticsCatalog::StatisticsCatalog(StatisticsCatalog&& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  streams_ = std::move(other.streams_);
+}
+
+StatisticsCatalog& StatisticsCatalog::operator=(StatisticsCatalog&& other) {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    streams_ = std::move(other.streams_);
+  }
+  return *this;
+}
+
 void StatisticsCatalog::Register(
     const StatisticsKey& key, SynopsisEntry entry,
     const std::vector<uint64_t>& replaced_component_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
   Stream& stream = streams_[key];
   if (!replaced_component_ids.empty()) {
     auto replaced = [&](const SynopsisEntry& e) {
@@ -35,6 +49,7 @@ void StatisticsCatalog::Register(
 
 void StatisticsCatalog::Drop(const StatisticsKey& key,
                              const std::vector<uint64_t>& component_ids) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(key);
   if (it == streams_.end()) return;
   auto dropped = [&](const SynopsisEntry& e) {
@@ -49,6 +64,7 @@ void StatisticsCatalog::Drop(const StatisticsKey& key,
 
 std::vector<SynopsisEntry> StatisticsCatalog::GetSynopses(
     const StatisticsKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(key);
   if (it == streams_.end()) return {};
   return it->second.entries;
@@ -56,6 +72,7 @@ std::vector<SynopsisEntry> StatisticsCatalog::GetSynopses(
 
 std::vector<SynopsisEntry> StatisticsCatalog::GetSynopsesAllPartitions(
     const std::string& dataset, const std::string& field) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SynopsisEntry> result;
   for (const auto& [key, stream] : streams_) {
     if (key.dataset == dataset && key.field == field) {
@@ -68,6 +85,7 @@ std::vector<SynopsisEntry> StatisticsCatalog::GetSynopsesAllPartitions(
 
 std::vector<StatisticsKey> StatisticsCatalog::Keys(
     const std::string& dataset, const std::string& field) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<StatisticsKey> result;
   for (const auto& [key, stream] : streams_) {
     if (key.dataset == dataset && key.field == field) {
@@ -78,11 +96,13 @@ std::vector<StatisticsKey> StatisticsCatalog::Keys(
 }
 
 uint64_t StatisticsCatalog::Version(const StatisticsKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(key);
   return it == streams_.end() ? 0 : it->second.version;
 }
 
 uint64_t StatisticsCatalog::TotalStorageBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [key, stream] : streams_) {
     for (const SynopsisEntry& entry : stream.entries) {
@@ -98,11 +118,13 @@ uint64_t StatisticsCatalog::TotalStorageBytes() const {
 }
 
 size_t StatisticsCatalog::EntryCount(const StatisticsKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = streams_.find(key);
   return it == streams_.end() ? 0 : it->second.entries.size();
 }
 
 void StatisticsCatalog::EncodeTo(Encoder* enc) const {
+  std::lock_guard<std::mutex> lock(mu_);
   enc->PutVarint64(streams_.size());
   for (const auto& [key, stream] : streams_) {
     enc->PutString(key.dataset);

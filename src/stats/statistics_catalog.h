@@ -8,6 +8,12 @@
 // dropped and the merged component's freshly rebuilt synopses take their
 // place (§3.5). A monotonically increasing version per (dataset, field)
 // supports the merged-synopsis cache staleness check of Algorithm 2.
+//
+// The catalog is internally synchronized: statistics delivery runs on the
+// background scheduler's workers while queries estimate from the same
+// streams, so every accessor takes the catalog mutex and the read methods
+// return copies (entries hold shared_ptr<const Synopsis>, so copies are
+// cheap and the synopses themselves are immutable).
 
 #ifndef LSMSTATS_STATS_STATISTICS_CATALOG_H_
 #define LSMSTATS_STATS_STATISTICS_CATALOG_H_
@@ -15,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +55,13 @@ struct StatisticsKey {
 class StatisticsCatalog {
  public:
   StatisticsCatalog() = default;
+
+  // Movable (DecodeFrom returns by value); moves lock the source so a
+  // catalog being replaced via LoadFromFile stays consistent for readers.
+  StatisticsCatalog(StatisticsCatalog&& other);
+  StatisticsCatalog& operator=(StatisticsCatalog&& other);
+  StatisticsCatalog(const StatisticsCatalog&) = delete;
+  StatisticsCatalog& operator=(const StatisticsCatalog&) = delete;
 
   // Registers statistics for a newly sealed component and drops entries for
   // the components it replaced (empty for flush/bulkload).
@@ -102,6 +116,9 @@ class StatisticsCatalog {
     uint64_t version = 0;
   };
 
+  // Guards streams_. EncodeTo locks it, so Save/DecodeFrom callers must not
+  // hold it (they don't: SaveToFile only touches the encoder and the file).
+  mutable std::mutex mu_;
   std::map<StatisticsKey, Stream> streams_;
 };
 

@@ -9,7 +9,6 @@ void LocalCatalogSink::PublishComponentStatistics(
     const std::vector<uint64_t>& replaced_component_ids,
     std::shared_ptr<const Synopsis> synopsis,
     std::shared_ptr<const Synopsis> anti_synopsis) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (metadata.record_count == 0) {
     catalog_->Drop(key, replaced_component_ids);
     return;

@@ -19,7 +19,6 @@
 #define LSMSTATS_STATS_STATISTICS_COLLECTOR_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,10 +43,10 @@ class SynopsisSink {
       std::shared_ptr<const Synopsis> anti_synopsis) = 0;
 };
 
-// Sink that registers synopses directly into an in-process catalog. Publishes
-// from different trees (e.g. a dataset's indexes flushing in parallel on the
-// background scheduler) are serialized here — the catalog itself stays
-// externally synchronized.
+// Sink that registers synopses directly into an in-process catalog. The
+// catalog is internally synchronized, so publishes from different trees
+// (e.g. a dataset's indexes flushing in parallel on the background
+// scheduler) land safely without extra locking here.
 class LocalCatalogSink : public SynopsisSink {
  public:
   explicit LocalCatalogSink(StatisticsCatalog* catalog) : catalog_(catalog) {}
@@ -59,7 +58,6 @@ class LocalCatalogSink : public SynopsisSink {
       std::shared_ptr<const Synopsis> anti_synopsis) override;
 
  private:
-  std::mutex mu_;
   StatisticsCatalog* catalog_;
 };
 

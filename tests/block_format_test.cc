@@ -1,0 +1,299 @@
+// Unit tests for the v3 block layer: codec registry, the delta-varint codec,
+// block framing (CRC, codec tags, corruption handling), and the sharded LRU
+// block cache.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "lsm/disk_component.h"
+#include "lsm/format/block.h"
+#include "lsm/format/block_cache.h"
+#include "lsm/format/compression.h"
+
+namespace lsmstats {
+namespace {
+
+// Raw wire bytes of a run of sorted secondary-index-style entries: dense SK
+// deltas, PK tie-breakers, empty values — the shape the delta codec targets.
+std::string SecondaryRunBytes(int64_t base, int count) {
+  Encoder enc;
+  for (int i = 0; i < count; ++i) {
+    Entry entry;
+    entry.key = SecondaryKey(base + i / 3, 1000 + i);
+    entry.anti_matter = (i % 7 == 0);
+    EncodeEntry(entry, &enc);
+  }
+  return std::string(enc.buffer());
+}
+
+// ------------------------------------------------------------ codec registry
+
+TEST(CompressionRegistry, BuiltinsResolveByTagAndName) {
+  const CompressionCodec* none = CodecByName("none");
+  ASSERT_NE(none, nullptr);
+  EXPECT_EQ(none->tag(), 0);
+  EXPECT_EQ(CodecByTag(0), none);
+
+  const CompressionCodec* delta = CodecByName("delta");
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->tag(), 1);
+  EXPECT_EQ(CodecByTag(1), delta);
+}
+
+TEST(CompressionRegistry, UnknownLookupsReturnNull) {
+  EXPECT_EQ(CodecByTag(250), nullptr);
+  EXPECT_EQ(CodecByName("zstd"), nullptr);
+  EXPECT_EQ(CodecByName(""), nullptr);
+}
+
+class FakeCodec : public CompressionCodec {
+ public:
+  FakeCodec(uint8_t tag, const char* name) : tag_(tag), name_(name) {}
+  uint8_t tag() const override { return tag_; }
+  const char* name() const override { return name_; }
+  bool Compress(std::string_view, std::string*) const override {
+    return false;
+  }
+  Status Decompress(std::string_view, uint64_t,
+                    std::string* out) const override {
+    out->clear();
+    return Status::OK();
+  }
+
+ private:
+  uint8_t tag_;
+  const char* name_;
+};
+
+TEST(CompressionRegistry, ExternalRegistration) {
+  // Registered once per process; the registry is global, so this test owns
+  // tag 200 / name "test-null" outright.
+  static FakeCodec external(200, "test-null");
+  ASSERT_TRUE(RegisterCodec(&external).ok());
+  EXPECT_EQ(CodecByTag(200), &external);
+  EXPECT_EQ(CodecByName("test-null"), &external);
+
+  // Duplicate tag and duplicate name are both rejected.
+  static FakeCodec dup_tag(200, "test-other");
+  EXPECT_TRUE(RegisterCodec(&dup_tag).code() == StatusCode::kAlreadyExists);
+  static FakeCodec dup_name(201, "test-null");
+  EXPECT_TRUE(RegisterCodec(&dup_name).code() == StatusCode::kAlreadyExists);
+
+  // Tags below 64 are reserved for built-ins.
+  static FakeCodec reserved(63, "test-reserved");
+  EXPECT_TRUE(RegisterCodec(&reserved).code() == StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------- delta codec
+
+TEST(DeltaCodec, RoundTripsSortedEntries) {
+  const CompressionCodec* delta = CodecByName("delta");
+  ASSERT_NE(delta, nullptr);
+  std::string raw = SecondaryRunBytes(5000, 200);
+
+  std::string compressed;
+  ASSERT_TRUE(delta->Compress(raw, &compressed));
+  EXPECT_LT(compressed.size(), raw.size());
+
+  std::string expanded;
+  ASSERT_TRUE(delta->Decompress(compressed, raw.size(), &expanded).ok());
+  EXPECT_EQ(expanded, raw);
+}
+
+TEST(DeltaCodec, ShrinksDenseKeysSubstantially) {
+  const CompressionCodec* delta = CodecByName("delta");
+  std::string raw = SecondaryRunBytes(0, 1000);
+  std::string compressed;
+  ASSERT_TRUE(delta->Compress(raw, &compressed));
+  // Three 8-byte key slots become a handful of varint delta bytes; anything
+  // short of 2x means the codec regressed.
+  EXPECT_LT(compressed.size() * 2, raw.size());
+}
+
+TEST(DeltaCodec, DeclinesNonEntryPayloads) {
+  const CompressionCodec* delta = CodecByName("delta");
+  std::string compressed;
+  // Not parseable as the entry wire format: must decline, not corrupt.
+  EXPECT_FALSE(delta->Compress("definitely not entries", &compressed));
+}
+
+TEST(DeltaCodec, DecompressRejectsWrongRawSize) {
+  const CompressionCodec* delta = CodecByName("delta");
+  std::string raw = SecondaryRunBytes(100, 50);
+  std::string compressed;
+  ASSERT_TRUE(delta->Compress(raw, &compressed));
+  std::string expanded;
+  EXPECT_EQ(delta->Decompress(compressed, raw.size() + 1, &expanded).code(), StatusCode::kCorruption);
+  EXPECT_EQ(delta->Decompress(compressed, raw.size() - 1, &expanded).code(), StatusCode::kCorruption);
+}
+
+// ------------------------------------------------------------ block framing
+
+TEST(BlockFormat, RawBlockRoundTrip) {
+  BlockBuilder builder(CodecByName("none"), 64);
+  EXPECT_TRUE(builder.empty());
+  builder.Add("hello ");
+  builder.Add("world");
+  EXPECT_FALSE(builder.Full());
+  std::string stored = builder.Seal();
+  EXPECT_TRUE(builder.empty());
+
+  // tag + varint size + payload + crc
+  EXPECT_EQ(stored.size(), 1 + 1 + 11 + 4);
+  EXPECT_EQ(stored[0], '\0');  // codec tag 0 = raw
+
+  std::string raw;
+  ASSERT_TRUE(DecodeBlock(stored, "test", &raw).ok());
+  EXPECT_EQ(raw, "hello world");
+}
+
+TEST(BlockFormat, CompressedBlockRoundTrip) {
+  BlockBuilder builder(CodecByName("delta"), 1024);
+  std::string entries = SecondaryRunBytes(42, 100);
+  builder.Add(entries);
+  EXPECT_TRUE(builder.Full());
+  std::string stored = builder.Seal();
+  EXPECT_EQ(stored[0], '\x01');  // delta tag
+  EXPECT_LT(stored.size(), entries.size());
+
+  std::string raw;
+  ASSERT_TRUE(DecodeBlock(stored, "test", &raw).ok());
+  EXPECT_EQ(raw, entries);
+}
+
+TEST(BlockFormat, IncompressibleBlockStoredRaw) {
+  // The delta codec declines non-entry bytes, so the block falls back to
+  // tag 0 instead of growing.
+  BlockBuilder builder(CodecByName("delta"), 64);
+  builder.Add("incompressible free-form text payload");
+  std::string stored = builder.Seal();
+  EXPECT_EQ(stored[0], '\0');
+  std::string raw;
+  ASSERT_TRUE(DecodeBlock(stored, "test", &raw).ok());
+  EXPECT_EQ(raw, "incompressible free-form text payload");
+}
+
+TEST(BlockFormat, CorruptionIsDetected) {
+  BlockBuilder builder(CodecByName("none"), 64);
+  builder.Add("some block payload");
+  std::string stored = builder.Seal();
+
+  std::string raw;
+  for (size_t i = 0; i < stored.size(); ++i) {
+    std::string flipped = stored;
+    flipped[i] ^= 0x40;
+    Status s = DecodeBlock(flipped, "test", &raw);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "byte " << i << " undetected";
+  }
+  // Truncation at every length is also caught.
+  for (size_t len = 0; len < stored.size(); ++len) {
+    Status s = DecodeBlock(std::string_view(stored).substr(0, len), "test",
+                           &raw);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "length " << len << " undetected";
+  }
+}
+
+TEST(BlockFormat, UnknownCodecTagIsCorruption) {
+  // Hand-frame a block whose CRC is valid but whose tag names no registered
+  // codec — the "written by a newer build" case.
+  Encoder enc;
+  enc.PutU8(77);
+  enc.PutVarint64(4);
+  enc.PutU32(0xdeadbeef);  // 4 payload bytes
+  std::string stored(enc.buffer());
+  Encoder crc;
+  crc.PutU32(crc32c::Value(stored));
+  stored.append(crc.buffer());
+
+  std::string raw;
+  Status s = DecodeBlock(stored, "test", &raw);
+  ASSERT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_NE(s.ToString().find("codec"), std::string::npos);
+}
+
+// -------------------------------------------------------------- block cache
+
+BlockCache::BlockHandle MakeBlock(size_t size, char fill) {
+  return std::make_shared<const std::string>(std::string(size, fill));
+}
+
+TEST(BlockCacheTest, HitsAndMisses) {
+  BlockCache cache(1 << 20, /*shard_count=*/1);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 0, MakeBlock(100, 'a'));
+  BlockCache::BlockHandle hit = cache.Lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 100u);
+  // Same offset under another file id is a distinct key.
+  EXPECT_EQ(cache.Lookup(2, 0), nullptr);
+
+  BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GE(stats.charge, 100u);
+  EXPECT_EQ(stats.capacity, 1u << 20);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  // Room for roughly two 400-byte blocks (each charged size + overhead).
+  BlockCache cache(1000, /*shard_count=*/1);
+  cache.Insert(1, 0, MakeBlock(400, 'a'));
+  cache.Insert(1, 1, MakeBlock(400, 'b'));
+  // Touch block 0 so block 1 becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 2, MakeBlock(400, 'c'));
+
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+  EXPECT_GE(cache.GetStats().evictions, 1u);
+}
+
+TEST(BlockCacheTest, ReplacingAKeyKeepsChargeConsistent) {
+  BlockCache cache(1 << 20, /*shard_count=*/1);
+  cache.Insert(1, 0, MakeBlock(100, 'a'));
+  uint64_t charge_small = cache.GetStats().charge;
+  cache.Insert(1, 0, MakeBlock(300, 'b'));
+  uint64_t charge_big = cache.GetStats().charge;
+  EXPECT_EQ(charge_big - charge_small, 200u);
+  BlockCache::BlockHandle h = cache.Lookup(1, 0);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->front(), 'b');
+}
+
+TEST(BlockCacheTest, OversizedBlockDoesNotStick) {
+  BlockCache cache(256, /*shard_count=*/1);
+  BlockCache::BlockHandle big = MakeBlock(10000, 'x');
+  cache.Insert(1, 0, big);
+  // The block was evicted immediately, but the caller's handle stays valid.
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(big->size(), 10000u);
+  EXPECT_EQ(cache.GetStats().charge, 0u);
+}
+
+TEST(BlockCacheTest, EvictedBlocksSurviveForHolders) {
+  BlockCache cache(600, /*shard_count=*/1);
+  cache.Insert(1, 0, MakeBlock(400, 'a'));
+  BlockCache::BlockHandle held = cache.Lookup(1, 0);
+  ASSERT_NE(held, nullptr);
+  // Force eviction of (1, 0).
+  cache.Insert(1, 1, MakeBlock(400, 'b'));
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  // The held handle still reads fine — eviction only drops the cache's ref.
+  EXPECT_EQ((*held)[0], 'a');
+}
+
+TEST(BlockCacheTest, FileIdsAreProcessUnique) {
+  uint64_t a = NewBlockCacheFileId();
+  uint64_t b = NewBlockCacheFileId();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lsmstats

@@ -15,8 +15,10 @@
 
 #include "cluster/cluster.h"
 #include "db/dataset.h"
+#include "lsm/format/block_cache.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/scheduler.h"
+#include "stats/cardinality_estimator.h"
 #include "stats/statistics_collector.h"
 #include "workload/distribution.h"
 #include "workload/tweets.h"
@@ -448,6 +450,82 @@ TEST(DatasetConcurrency, ParallelIndexMaintenanceMatchesOracle) {
   ASSERT_TRUE(full_range.ok());
   EXPECT_EQ(*full_range, inserted);
   EXPECT_LE(*in_range, *full_range);
+}
+
+// Queries estimate from the catalog while a feed ingests: flushes running on
+// the worker pool publish synopses (bumping catalog versions) while a reader
+// thread hammers EstimateRange and periodically drops the merged-synopsis
+// cache. Exercises the estimator's cache mutex and the catalog's internal
+// synchronization; the tsan preset is the real assertion here.
+TEST(DatasetConcurrency, EstimatorServesQueriesDuringIngestion) {
+  TempDir dir;
+  BackgroundScheduler scheduler(4);
+  StatisticsCatalog catalog;
+  LocalCatalogSink sink(&catalog);
+  DatasetOptions options;
+  options.sink = &sink;
+  options.name = "tweets";
+  options.directory = dir.path();
+  options.schema = TweetSchema(ValueDomain(0, 14));
+  // Equi-width histograms are mergeable, so the merged-cache fill /
+  // invalidate / serve paths all run concurrently with delivery.
+  options.synopsis_type = SynopsisType::kEquiWidthHistogram;
+  options.synopsis_budget = 1 << 10;
+  options.memtable_max_entries = 128;
+  options.scheduler = &scheduler;
+  // Route reads through one shared block cache so concurrent lookups and
+  // flush-driven component opens also contend on the cache shards.
+  options.block_cache_mb = 4;
+  auto dataset_or = Dataset::Open(options);
+  ASSERT_TRUE(dataset_or.ok()) << dataset_or.status().ToString();
+  auto dataset = std::move(dataset_or).value();
+
+  CardinalityEstimator estimator(&catalog, CardinalityEstimator::Options{});
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+  std::thread querier([&] {
+    uint64_t iterations = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      CardinalityEstimator::QueryStats stats;
+      double estimate =
+          estimator.EstimateRange("tweets", kTweetMetricField, 0, 16383,
+                                  &stats);
+      EXPECT_GE(estimate, 0.0);
+      if (++iterations % 64 == 0) estimator.InvalidateCache();
+    }
+    queries.store(iterations, std::memory_order_release);
+  });
+
+  DistributionSpec spec;
+  spec.num_values = 400;
+  spec.total_records = 5000;
+  spec.domain = ValueDomain(0, 14);
+  auto dist = SyntheticDistribution::Generate(spec);
+  TweetGenerator generator(dist, 32, 17);
+  uint64_t inserted = 0;
+  while (generator.HasNext()) {
+    ASSERT_TRUE(dataset->Insert(generator.Next()).ok());
+    ++inserted;
+  }
+  ASSERT_TRUE(dataset->Flush().ok());
+  ASSERT_TRUE(dataset->WaitForBackgroundWork().ok());
+  done.store(true, std::memory_order_release);
+  querier.join();
+  EXPECT_GT(queries.load(), 0u);
+
+  // Once ingestion quiesced the estimate must cover every record: with no
+  // anti-matter the histogram total is exact over the full domain.
+  double final_estimate =
+      estimator.EstimateRange("tweets", kTweetMetricField, 0, 16383);
+  EXPECT_NEAR(final_estimate, static_cast<double>(inserted),
+              inserted * 0.05);
+  // The oracle scan reads every flushed component through the shared cache.
+  auto exact = dataset->CountRange(kTweetMetricField, 0, 16383);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(*exact, inserted);
+  ASSERT_NE(dataset->block_cache(), nullptr);
+  BlockCache::Stats cache_stats = dataset->block_cache()->GetStats();
+  EXPECT_GT(cache_stats.hits + cache_stats.misses, 0u);
 }
 
 // ------------------------------------------------ Cluster under a scheduler

@@ -15,6 +15,7 @@
 
 #include "common/crc32c.h"
 #include "common/env.h"
+#include "lsm/format/block.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/scheduler.h"
 #include "stats/statistics_catalog.h"
@@ -194,6 +195,16 @@ TEST_F(FaultInjectionTest, CatalogLoadRejectsTornTail) {
 
 // ------------------------------------------------------- crash-point sweep
 
+// Write options that make the sweep bite hardest on the v3 block layer: a
+// tiny block size so every component spans several blocks, and the delta
+// codec so compressed frames and their CRCs sit in the crash window too.
+ComponentWriteOptions SweepWriteOptions() {
+  ComponentWriteOptions write_options;
+  write_options.compression = "delta";
+  write_options.block_size = 128;
+  return write_options;
+}
+
 // Ingest keys 0..N-1 in order with periodic flushes, then merge everything.
 // Returns the first error (expected when a crash is scheduled).
 Status RunWorkload(Env* env, const std::string& dir) {
@@ -202,6 +213,7 @@ Status RunWorkload(Env* env, const std::string& dir) {
   options.name = "t";
   options.memtable_max_entries = 20;
   options.env = env;
+  options.write_options = SweepWriteOptions();
   auto tree_or = LsmTree::Open(options);
   LSMSTATS_RETURN_IF_ERROR(tree_or.status());
   auto& tree = *tree_or;
@@ -241,6 +253,7 @@ TEST_F(FaultInjectionTest, CrashPointSweep) {
     options.name = "t";
     options.memtable_max_entries = 20;
     options.env = &env;
+    options.write_options = SweepWriteOptions();
     auto tree_or = LsmTree::Open(options);
     ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
     auto& tree = *tree_or;
