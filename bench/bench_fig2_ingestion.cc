@@ -28,12 +28,16 @@ std::vector<SynopsisType> AllModes() {
 }
 
 // Storage knobs shared by every dataset this binary opens. The defaults
-// ("none", no cache) reproduce the paper figures bit-for-bit; --compression=
-// and --block_cache_mb= measure the ingestion cost of the block codec and
-// the shared read cache on top.
+// ("none", no cache, no WAL) reproduce the paper figures bit-for-bit;
+// --compression= and --block_cache_mb= measure the ingestion cost of the
+// block codec and the shared read cache, and --wal=1 (with
+// --wal_sync=none|flush-only|every-record) the durability cost of the
+// write-ahead log, on top.
 struct StorageConfig {
   std::string compression;
   uint64_t block_cache_mb = 0;
+  int wal = -1;  // -1 = unset (environment default), 0 = off, 1 = on
+  std::string wal_sync;
 };
 
 std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
@@ -55,6 +59,12 @@ std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
   options.scheduler = scheduler;
   options.compression = storage.compression;
   options.block_cache_mb = storage.block_cache_mb;
+  if (storage.wal >= 0) options.wal = storage.wal != 0;
+  if (!storage.wal_sync.empty()) {
+    auto sync_mode = WalSyncModeFromString(storage.wal_sync);
+    LSMSTATS_CHECK_OK(sync_mode.status());
+    options.wal_sync_mode = *sync_mode;
+  }
   auto dataset = Dataset::Open(std::move(options));
   LSMSTATS_CHECK_OK(dataset.status());
   return std::move(dataset).value();
@@ -69,6 +79,9 @@ void Run(const Flags& flags) {
   StorageConfig storage;
   storage.compression = flags.GetString("compression", "");
   storage.block_cache_mb = flags.GetU64("block_cache_mb", 0);
+  storage.wal = static_cast<int>(
+      flags.GetU64("wal", static_cast<uint64_t>(-1)));
+  storage.wal_sync = flags.GetString("wal_sync", "");
   const ValueDomain domain(0, 16);
 
   DistributionSpec spec;
@@ -82,11 +95,16 @@ void Run(const Flags& flags) {
   std::printf("Figure 2: ingestion time (records=%" PRIu64
               ", ~%zu B payloads, %zu-element synopses)\n",
               records, payload, budget);
-  if (!storage.compression.empty() || storage.block_cache_mb > 0) {
-    std::printf("storage: compression=%s block_cache=%" PRIu64 "MiB\n",
+  if (!storage.compression.empty() || storage.block_cache_mb > 0 ||
+      storage.wal >= 0) {
+    std::printf("storage: compression=%s block_cache=%" PRIu64
+                "MiB wal=%s sync=%s\n",
                 storage.compression.empty() ? "none"
                                             : storage.compression.c_str(),
-                storage.block_cache_mb);
+                storage.block_cache_mb,
+                storage.wal > 0 ? "on" : "off",
+                storage.wal_sync.empty() ? "flush-only"
+                                         : storage.wal_sync.c_str());
   }
 
   auto make_records = [&]() {

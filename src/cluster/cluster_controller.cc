@@ -42,8 +42,19 @@ ClusterController::ClusterController(
     CardinalityEstimator::Options estimator_options)
     : estimator_(&catalog_, estimator_options) {}
 
+void ClusterController::FailNextReceivesForTest(uint64_t n) {
+  std::lock_guard<std::mutex> lock(receive_mu_);
+  fail_receives_ = n;
+}
+
 Status ClusterController::ReceiveStatistics(std::string_view message_bytes) {
   std::lock_guard<std::mutex> lock(receive_mu_);
+  if (fail_receives_ > 0) {
+    --fail_receives_;
+    // A dropped message never reaches the controller, so it must not count
+    // toward messages_received_/bytes_received_.
+    return Status::IOError("injected transport failure");
+  }
   ++messages_received_;
   bytes_received_ += message_bytes.size();
 

@@ -62,6 +62,13 @@ class ClusterController {
   uint64_t messages_received() const { return messages_received_; }
   uint64_t bytes_received() const { return bytes_received_; }
 
+  // Fault injection for transport tests: the next `n` ReceiveStatistics
+  // calls fail with IOError before any accounting or catalog mutation, as a
+  // dropped datagram would. Lets tests pin the node-side retry/drop
+  // bookkeeping (DroppedStatistics counts once per synopsis, not per
+  // attempt).
+  void FailNextReceivesForTest(uint64_t n);
+
  private:
   // Serializes the receive path (catalog mutation + transport accounting).
   std::mutex receive_mu_;
@@ -69,6 +76,7 @@ class ClusterController {
   CardinalityEstimator estimator_;
   uint64_t messages_received_ = 0;
   uint64_t bytes_received_ = 0;
+  uint64_t fail_receives_ = 0;  // guarded by receive_mu_
 };
 
 }  // namespace lsmstats

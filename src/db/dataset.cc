@@ -48,6 +48,8 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
   auto apply_storage_options = [&](LsmTreeOptions& tree_opts) {
     tree_opts.write_options = write_options;
     tree_opts.block_cache = opts.block_cache.get();
+    tree_opts.wal = opts.wal;
+    tree_opts.wal_sync_mode = opts.wal_sync_mode;
   };
 
   // Primary index. The dataset coordinates flushes itself so the trees run

@@ -22,6 +22,7 @@
 #define LSMSTATS_DB_DATASET_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,12 @@ struct DatasetOptions {
   // Externally owned cache (e.g. shared across datasets); takes precedence
   // over block_cache_mb.
   std::shared_ptr<BlockCache> block_cache;
+  // Write-ahead-log policy shared by the primary, secondary, and composite
+  // trees (an index tree that lost its memtable while the primary kept its
+  // records would desynchronize the dataset, so the policy is per-dataset).
+  // Unset defers to LSMSTATS_WAL / LSMSTATS_WAL_SYNC; see LsmTreeOptions.
+  std::optional<bool> wal;
+  std::optional<WalSyncMode> wal_sync_mode;
 };
 
 class Dataset {

@@ -688,7 +688,17 @@ std::unique_ptr<EntryCursor> DiskComponent::NewCursorAt(
   return cursor;
 }
 
+uint64_t DiskComponent::EvictCachedBlocks() {
+  if (block_cache_ == nullptr) return 0;
+  return block_cache_->Erase(cache_file_id_);
+}
+
 Status DiskComponent::DeleteFile() {
+  // Drop the cached blocks first: a dead component's blocks would otherwise
+  // squat on the shared budget until chance eviction. In-flight readers are
+  // unaffected — handles they already hold stay alive, and re-reads go back
+  // to the still-open descriptor.
+  EvictCachedBlocks();
   // Keep file_ open: readers that snapshotted this component before it was
   // replaced may still be scanning it. POSIX keeps the unlinked data
   // readable through the open descriptor; it is reclaimed when the last

@@ -195,6 +195,12 @@ class DiskComponent : public std::enable_shared_from_this<DiskComponent> {
   // reference drops.
   [[nodiscard]] Status DeleteFile();
 
+  // Drops this component's blocks from the shared block cache (no-op without
+  // one); returns how many were removed. DeleteFile() does this implicitly;
+  // recovery calls it directly when quarantining a component it opened but
+  // will not keep.
+  uint64_t EvictCachedBlocks();
+
  private:
   DiskComponent() = default;
 

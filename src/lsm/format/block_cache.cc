@@ -80,6 +80,26 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
   }
 }
 
+uint64_t BlockCache::Erase(uint64_t file_id) {
+  uint64_t removed = 0;
+  // A file's blocks hash across every shard, so all shards are visited; each
+  // is locked on its own, never two at once.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.file_id != file_id) {
+        ++it;
+        continue;
+      }
+      shard->charge -= it->charge;
+      shard->map.erase(it->key);
+      it = shard->lru.erase(it);
+      ++removed;
+    }
+  }
+  return removed;
+}
+
 BlockCache::Stats BlockCache::GetStats() const {
   Stats stats;
   stats.capacity = capacity_;

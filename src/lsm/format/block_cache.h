@@ -49,6 +49,13 @@ class BlockCache {
   // than a whole shard is evicted immediately — callers keep their handle.
   void Insert(uint64_t file_id, uint64_t offset, BlockHandle block);
 
+  // Drops every cached block of `file_id`, returning how many were removed.
+  // Called when a component is deleted after a merge or quarantined during
+  // recovery: its blocks would otherwise squat on the budget until chance
+  // eviction (and linger as stale reads if a file id were ever reused).
+  // Dropped entries do not count as evictions in GetStats().
+  uint64_t Erase(uint64_t file_id);
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;

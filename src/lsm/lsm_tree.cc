@@ -20,15 +20,31 @@ LsmTree::LsmTree(LsmTreeOptions options)
                          : EnvironmentWriteOptions()),
       block_cache_(options_.block_cache != nullptr ? options_.block_cache
                                                    : EnvironmentBlockCache()),
-      memtable_(std::make_unique<MemTable>()) {
+      memtable_(std::make_unique<MemTable>()),
+      wal_enabled_(options_.wal.has_value() ? *options_.wal
+                                            : EnvironmentWalEnabled()),
+      wal_sync_mode_(options_.wal_sync_mode.has_value()
+                         ? *options_.wal_sync_mode
+                         : EnvironmentWalSyncMode()) {
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
 }
 
 LsmTree::~LsmTree() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_jobs_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_jobs_ == 0; });
+  }
+  if (wal_ != nullptr) {
+    // Best effort: the segment stays on disk either way and recovery replays
+    // it, so a failed close only costs the sync-mode durability upgrade.
+    Status s = wal_->Close();
+    if (!s.ok()) {
+      LSMSTATS_LOG(kWarning) << options_.name << ": closing wal segment "
+                             << wal_->path() << " failed: " << s.ToString();
+    }
+  }
 }
 
 StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
@@ -104,6 +120,12 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
       continue;
     }
     if (!tree->options_.quarantine_corrupt_components) return open_status;
+    if (component.ok()) {
+      // The component opened but failed verification; drop anything its
+      // open may have cached so no quarantined bytes linger in the shared
+      // cache.
+      (*component)->EvictCachedBlocks();
+    }
     // Quarantine this component and everything newer: keeping a newer
     // component above a hole would un-cancel its anti-matter and resurrect
     // deleted records. Renaming (not deleting) keeps the bytes for forensics.
@@ -123,6 +145,46 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   }
   tree->components_.assign(recovered.rbegin(), recovered.rend());
   tree->logical_clock_ = recovered.size() + 1;
+
+  // Replay write-ahead-log segments a previous incarnation left behind into
+  // the fresh memtable. This runs even when the WAL is currently disabled so
+  // that turning the option off never silently drops records an earlier
+  // WAL-enabled run logged. Replay is newer than every recovered component,
+  // which matches write order: logged records were accepted after everything
+  // that reached a component was flushed.
+  LsmTree* raw = tree.get();
+  auto wal_recovery = RecoverWalSegments(
+      env, tree->options_.directory, tree->options_.name,
+      tree->options_.quarantine_corrupt_components,
+      [raw](WalOp op, const LsmKey& key, std::string_view value) {
+        switch (op) {
+          case WalOp::kPut:
+            // fresh_insert is not logged; replaying without it is always
+            // correct, merely pessimistic about anti-matter placement.
+            raw->memtable_->Put(key, std::string(value),
+                                /*fresh_insert=*/false);
+            break;
+          case WalOp::kDelete:
+            raw->memtable_->Delete(key);
+            break;
+          case WalOp::kAntiMatter:
+            raw->memtable_->PutAntiMatter(key);
+            break;
+        }
+      });
+  LSMSTATS_RETURN_IF_ERROR(wal_recovery.status());
+  tree->next_wal_sequence_ = wal_recovery->next_sequence;
+  tree->wal_legacy_segments_ = std::move(wal_recovery->live_segments);
+  for (const std::string& quarantined : wal_recovery->quarantined_files) {
+    tree->quarantined_files_.push_back(quarantined);
+  }
+  if (wal_recovery->records_applied > 0) {
+    LSMSTATS_LOG(kInfo) << tree->options_.name << ": replayed "
+                        << wal_recovery->records_applied
+                        << " wal records from "
+                        << tree->wal_legacy_segments_.size()
+                        << " segment(s) into the memtable";
+  }
   return tree;
 }
 
@@ -140,11 +202,54 @@ bool LsmTree::MemTableFullLocked() const {
          memtable_->ApproximateBytes() >= options_.memtable_max_bytes;
 }
 
-bool LsmTree::RotateLocked() {
+StatusOr<bool> LsmTree::RotateLocked() {
   if (memtable_->Empty()) return false;
-  immutables_.push_back(std::shared_ptr<const MemTable>(std::move(memtable_)));
+  // Seal the active WAL segment before touching the memtable: on a sync or
+  // close failure nothing has been mutated, and both calls are safe to
+  // retry (PosixWritableFile::Close is idempotent).
+  std::vector<std::string> segments;
+  if (wal_ != nullptr) {
+    if (wal_sync_mode_ == WalSyncMode::kFlushOnly) {
+      LSMSTATS_RETURN_IF_ERROR(wal_->Sync());
+    }
+    LSMSTATS_RETURN_IF_ERROR(wal_->Close());
+    segments = std::move(wal_legacy_segments_);
+    wal_legacy_segments_.clear();
+    segments.push_back(wal_->path());
+    wal_.reset();
+  } else if (!wal_legacy_segments_.empty()) {
+    // Recovered records with no new writes since Open(): the legacy
+    // segments alone back this memtable.
+    segments = std::move(wal_legacy_segments_);
+    wal_legacy_segments_.clear();
+  }
+  immutables_.push_back(ImmutableMemTable{
+      std::shared_ptr<const MemTable>(std::move(memtable_)),
+      std::move(segments)});
   memtable_ = std::make_unique<MemTable>();
   return true;
+}
+
+Status LsmTree::WalAppendLocked(WalOp op, const LsmKey& key,
+                                std::string_view value) {
+  if (!wal_enabled_) return Status::OK();
+  if (wal_ == nullptr) {
+    auto writer = WalSegmentWriter::Create(
+        env_, WalFilePath(options_.directory, options_.name,
+                          next_wal_sequence_),
+        wal_sync_mode_);
+    LSMSTATS_RETURN_IF_ERROR(writer.status());
+    ++next_wal_sequence_;
+    if (wal_sync_mode_ != WalSyncMode::kNone) {
+      // Make the segment's directory entry durable so recovery will find
+      // it. On failure the writer is dropped; the empty orphan file is
+      // deleted by the next recovery, and the next write retries under a
+      // fresh sequence number.
+      LSMSTATS_RETURN_IF_ERROR(env_->SyncDir(options_.directory));
+    }
+    wal_ = std::move(writer).value();
+  }
+  return wal_->Append(op, key, value);
 }
 
 Status LsmTree::MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock) {
@@ -155,7 +260,12 @@ Status LsmTree::MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock) {
     lock.unlock();
     return Flush();
   }
-  RotateLocked();
+  {
+    auto rotated = RotateLocked();
+    LSMSTATS_RETURN_IF_ERROR(rotated.status());
+    // A full memtable is never empty, so a rotation happened unless the WAL
+    // seal failed above.
+  }
   ++pending_jobs_;
   // Schedule without holding mu_: after a scheduler shutdown the job runs
   // inline on this thread, and the job itself takes mu_.
@@ -174,6 +284,9 @@ Status LsmTree::MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock) {
 Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
   std::unique_lock<std::mutex> lock(mu_);
   LSMSTATS_RETURN_IF_ERROR(background_error_);
+  // Log before applying: a WAL failure must not leave the memtable holding a
+  // record the log never saw.
+  LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kPut, key, value));
   memtable_->Put(key, std::move(value), fresh_insert);
   return MaybeFlushAfterWrite(lock);
 }
@@ -181,6 +294,7 @@ Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
 Status LsmTree::Delete(const LsmKey& key) {
   std::unique_lock<std::mutex> lock(mu_);
   LSMSTATS_RETURN_IF_ERROR(background_error_);
+  LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kDelete, key, {}));
   memtable_->Delete(key);
   return MaybeFlushAfterWrite(lock);
 }
@@ -188,6 +302,7 @@ Status LsmTree::Delete(const LsmKey& key) {
 Status LsmTree::PutAntiMatter(const LsmKey& key) {
   std::unique_lock<std::mutex> lock(mu_);
   LSMSTATS_RETURN_IF_ERROR(background_error_);
+  LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kAntiMatter, key, {}));
   memtable_->PutAntiMatter(key);
   return MaybeFlushAfterWrite(lock);
 }
@@ -204,7 +319,10 @@ Status LsmTree::Get(const LsmKey& key, std::string* value) const {
     if (s.ok()) {
       return anti ? Status::NotFound("deleted") : Status::OK();
     }
-    frozen.assign(immutables_.rbegin(), immutables_.rend());
+    frozen.reserve(immutables_.size());
+    for (auto it = immutables_.rbegin(); it != immutables_.rend(); ++it) {
+      frozen.push_back(it->memtable);
+    }
     components = components_;
   }
   for (const auto& memtable : frozen) {
@@ -239,7 +357,10 @@ Status LsmTree::Scan(const LsmKey& lo, const LsmKey& hi,
     memtable_->ForEach([&](const Entry& e) {
       if (!(e.key < lo) && !(hi < e.key)) mem_entries.push_back(e);
     });
-    frozen.assign(immutables_.rbegin(), immutables_.rend());
+    frozen.reserve(immutables_.size());
+    for (auto it = immutables_.rbegin(); it != immutables_.rend(); ++it) {
+      frozen.push_back(it->memtable);
+    }
     components = components_;
   }
   std::vector<std::unique_ptr<EntryCursor>> inputs;
@@ -353,11 +474,27 @@ Status LsmTree::WriteComponent(
 
 Status LsmTree::FlushOneImmutable() {
   std::lock_guard<std::mutex> work(work_mu_);
+  // First finish any WAL deletions a previous flush failed: a stale segment
+  // would replay already-flushed records over newer data at the next Open,
+  // so the tree must not accept further flushes until they are gone.
+  std::vector<std::string> pending_deletes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_deletes = wal_obsolete_segments_;
+  }
+  if (!pending_deletes.empty()) {
+    LSMSTATS_RETURN_IF_ERROR(DeleteWalSegments(env_, pending_deletes));
+    std::lock_guard<std::mutex> lock(mu_);
+    wal_obsolete_segments_.clear();
+  }
+
   std::shared_ptr<const MemTable> victim;
+  std::vector<std::string> wal_segments;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (immutables_.empty()) return Status::OK();
-    victim = immutables_.front();
+    victim = immutables_.front().memtable;
+    wal_segments = immutables_.front().wal_segments;
   }
 
   OperationContext context;
@@ -371,24 +508,37 @@ Status LsmTree::FlushOneImmutable() {
   VectorEntryCursor cursor(std::move(entries));
 
   std::shared_ptr<DiskComponent> component;
-  return WriteComponent(
+  LSMSTATS_RETURN_IF_ERROR(WriteComponent(
       context, &cursor, {},
       [this](std::shared_ptr<DiskComponent> sealed) {
         // A rotated memtable is never empty, so a flush always seals a
         // component; swap it in and retire the memtable in one step so
-        // readers never see the data twice or not at all.
+        // readers never see the data twice or not at all. The memtable's WAL
+        // segments become obsolete the moment the component is durable.
         components_.insert(components_.begin(), std::move(sealed));
+        ImmutableMemTable& front = immutables_.front();
+        wal_obsolete_segments_.insert(wal_obsolete_segments_.end(),
+                                      front.wal_segments.begin(),
+                                      front.wal_segments.end());
         immutables_.pop_front();
         cv_.notify_all();
       },
-      &component);
+      &component));
+  if (!wal_segments.empty()) {
+    LSMSTATS_RETURN_IF_ERROR(DeleteWalSegments(env_, wal_segments));
+    // work_mu_ serializes flushes and the pending list was drained above, so
+    // the list holds exactly this memtable's segments right now.
+    std::lock_guard<std::mutex> lock(mu_);
+    wal_obsolete_segments_.clear();
+  }
+  return Status::OK();
 }
 
 Status LsmTree::Flush() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
-    RotateLocked();
+    LSMSTATS_RETURN_IF_ERROR(RotateLocked().status());
   }
   for (;;) {
     {
@@ -407,7 +557,9 @@ Status LsmTree::RequestFlush() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
-    rotated = RotateLocked();
+    auto rotated_or = RotateLocked();
+    LSMSTATS_RETURN_IF_ERROR(rotated_or.status());
+    rotated = *rotated_or;
     if (rotated) ++pending_jobs_;
   }
   if (rotated) options_.scheduler->Schedule([this] { BackgroundFlushJob(); });

@@ -47,6 +47,7 @@
 #include "lsm/event_listener.h"
 #include "lsm/memtable.h"
 #include "lsm/merge_policy.h"
+#include "lsm/wal.h"
 
 namespace lsmstats {
 
@@ -101,6 +102,15 @@ struct LsmTreeOptions {
   // Null falls back to EnvironmentBlockCache() (usually also null =>
   // uncached reads).
   BlockCache* block_cache = nullptr;
+  // Write-ahead log: when true, every Put/Delete/PutAntiMatter is appended
+  // to a per-tree log segment before it touches the memtable, and Open()
+  // replays surviving segments (see lsm/wal.h). Unset resolves to
+  // EnvironmentWalEnabled() (LSMSTATS_WAL, default off — the paper runs stay
+  // bit-identical). Explicitly setting `false` overrides the environment.
+  std::optional<bool> wal;
+  // Durability granularity of the log; unset resolves to
+  // EnvironmentWalSyncMode() (LSMSTATS_WAL_SYNC, default flush-only).
+  std::optional<WalSyncMode> wal_sync_mode;
 };
 
 class LsmTree {
@@ -111,9 +121,10 @@ class LsmTree {
   // `<name>_*.tmp` files from builds that crashed before sealing are
   // deleted; components that fail to open or fail checksum verification are
   // quarantined along with everything newer (see
-  // LsmTreeOptions::quarantine_corrupt_components). The memtable's contents
-  // at crash time are lost, as in any LSM without a write-ahead log; see
-  // DESIGN.md "Failure model & durability".
+  // LsmTreeOptions::quarantine_corrupt_components). Surviving write-ahead-log
+  // segments are replayed into the fresh memtable (torn tail truncated,
+  // mid-log corruption quarantined) — without them the memtable's contents at
+  // crash time are lost; see DESIGN.md "Failure model & durability".
   [[nodiscard]]
   static StatusOr<std::unique_ptr<LsmTree>> Open(LsmTreeOptions options);
 
@@ -212,9 +223,26 @@ class LsmTree {
   bool MemTableFullLocked() const;
   std::string ComponentPath(uint64_t id) const;
 
-  // Seals a non-empty memtable into the immutable queue. Returns whether a
-  // rotation happened. Caller holds mu_.
-  bool RotateLocked();
+  // A rotated memtable plus the WAL segments that back its records (empty
+  // when the WAL is off). The segments are deleted once the memtable is
+  // durable in a sealed component.
+  struct ImmutableMemTable {
+    std::shared_ptr<const MemTable> memtable;
+    std::vector<std::string> wal_segments;
+  };
+
+  // Seals a non-empty memtable into the immutable queue, sealing the active
+  // WAL segment with it (synced first in flush-only mode). Returns whether a
+  // rotation happened. On a WAL sync/close error nothing is mutated, so the
+  // caller may retry. Caller holds mu_.
+  [[nodiscard]] StatusOr<bool> RotateLocked();
+
+  // Appends one record to the active WAL segment (creating it lazily on the
+  // first logged write after a rotation); no-op when the WAL is off. Called
+  // before the memtable apply so an acknowledged write is never memtable-only
+  // under every-record sync. Caller holds mu_.
+  [[nodiscard]]
+  Status WalAppendLocked(WalOp op, const LsmKey& key, std::string_view value);
 
   // Handles a full memtable after a write: inline flush without a scheduler,
   // rotate + schedule + backpressure with one. Caller holds `lock` on mu_;
@@ -268,9 +296,10 @@ class LsmTree {
   mutable std::mutex mu_;
   std::condition_variable cv_;  // backpressure + job completion
   std::unique_ptr<MemTable> memtable_;
-  // Rotated memtables awaiting flush, oldest first. Frozen: safe to read
-  // without mu_ once a shared_ptr has been taken under it.
-  std::deque<std::shared_ptr<const MemTable>> immutables_;
+  // Rotated memtables awaiting flush, oldest first. The memtables are
+  // frozen: safe to read without mu_ once a shared_ptr has been taken
+  // under it.
+  std::deque<ImmutableMemTable> immutables_;
   // Newest first.
   std::vector<std::shared_ptr<DiskComponent>> components_;
   std::vector<LsmEventListener*> listeners_;
@@ -280,6 +309,21 @@ class LsmTree {
   Status background_error_;
   // Written only during Open(), before the tree is shared.
   std::vector<std::string> quarantined_files_;
+  // WAL policy resolved from options_/environment at construction.
+  bool wal_enabled_ = false;
+  WalSyncMode wal_sync_mode_ = WalSyncMode::kFlushOnly;
+  // Active segment, logging the mutable memtable. Created lazily by the
+  // first logged write, sealed (and handed to the immutable entry) at
+  // rotation. Guarded by mu_.
+  std::unique_ptr<WalSegmentWriter> wal_;
+  // Segments recovered by Open() that back replayed records now sitting in
+  // the mutable memtable; they ride along with the next rotation.
+  std::vector<std::string> wal_legacy_segments_;
+  uint64_t next_wal_sequence_ = 1;
+  // Segments whose memtable flushed durably but whose unlink has not
+  // succeeded yet; retried before the next flush (a stale segment would
+  // replay old records over newer data at the next Open).
+  std::vector<std::string> wal_obsolete_segments_;
 };
 
 }  // namespace lsmstats

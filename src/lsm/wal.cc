@@ -1,0 +1,287 @@
+#include "lsm/wal.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace lsmstats {
+
+namespace {
+
+constexpr char kWalSuffix[] = ".wal";
+constexpr size_t kWalSuffixLen = 4;
+constexpr size_t kCrcBytes = 4;
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* WalSyncModeToString(WalSyncMode mode) {
+  switch (mode) {
+    case WalSyncMode::kNone:
+      return "none";
+    case WalSyncMode::kFlushOnly:
+      return "flush-only";
+    case WalSyncMode::kEveryRecord:
+      return "every-record";
+  }
+  return "unknown";
+}
+
+StatusOr<WalSyncMode> WalSyncModeFromString(std::string_view s) {
+  if (s == "none") return WalSyncMode::kNone;
+  if (s == "flush-only") return WalSyncMode::kFlushOnly;
+  if (s == "every-record") return WalSyncMode::kEveryRecord;
+  return Status::InvalidArgument(
+      "unknown wal sync mode \"" + std::string(s) +
+      "\" (expected none, flush-only, or every-record)");
+}
+
+bool EnvironmentWalEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("LSMSTATS_WAL");
+    return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+WalSyncMode EnvironmentWalSyncMode() {
+  static const WalSyncMode mode = [] {
+    const char* v = std::getenv("LSMSTATS_WAL_SYNC");
+    if (v == nullptr || v[0] == '\0') return WalSyncMode::kFlushOnly;
+    auto parsed = WalSyncModeFromString(v);
+    // A typo here would silently weaken a durability guarantee; refuse to run.
+    LSMSTATS_CHECK_OK(parsed.status());
+    return parsed.value();
+  }();
+  return mode;
+}
+
+std::string WalFilePath(const std::string& directory,
+                        const std::string& tree_name, uint64_t sequence) {
+  return directory + "/" + tree_name + "_" + std::to_string(sequence) +
+         kWalSuffix;
+}
+
+// ------------------------------------------------------------------ writer
+
+StatusOr<std::unique_ptr<WalSegmentWriter>> WalSegmentWriter::Create(
+    Env* env, std::string path, WalSyncMode sync_mode) {
+  auto file = env->NewWritableFile(path);
+  LSMSTATS_RETURN_IF_ERROR(file.status());
+  return std::unique_ptr<WalSegmentWriter>(new WalSegmentWriter(
+      std::move(file).value(), std::move(path), sync_mode));
+}
+
+Status WalSegmentWriter::Append(WalOp op, const LsmKey& key,
+                                std::string_view value) {
+  Encoder payload;
+  payload.PutU8(static_cast<uint8_t>(op));
+  payload.PutI64(key.k0);
+  payload.PutI64(key.k1);
+  payload.PutI64(key.k2);
+  payload.PutString(value);
+
+  Encoder frame;
+  frame.PutVarint64(payload.size());
+  frame.PutU32(crc32c::Value(payload.buffer()));
+  std::string bytes = frame.Release();
+  bytes.append(payload.buffer());
+  LSMSTATS_RETURN_IF_ERROR(file_->Append(bytes));
+  ++records_;
+  if (sync_mode_ == WalSyncMode::kEveryRecord) return file_->Sync();
+  return Status::OK();
+}
+
+Status WalSegmentWriter::Sync() { return file_->Sync(); }
+
+Status WalSegmentWriter::Close() { return file_->Close(); }
+
+// ------------------------------------------------------------------ replay
+
+StatusOr<WalSegmentReplayResult> ReplayWalSegment(Env* env,
+                                                  const std::string& path,
+                                                  const WalReplayFn& apply) {
+  auto file = env->NewRandomAccessFile(path);
+  LSMSTATS_RETURN_IF_ERROR(file.status());
+  const uint64_t size = (*file)->size();
+  std::string data;
+  LSMSTATS_RETURN_IF_ERROR(
+      (*file)->Read(0, static_cast<size_t>(size), &data));
+
+  WalSegmentReplayResult result;
+  uint64_t pos = 0;
+  while (pos < data.size()) {
+    const uint64_t frame_start = pos;
+    // Frame length varint, decoded by hand so an incomplete final byte run
+    // (torn) is distinguishable from a malformed one (corrupt).
+    uint64_t payload_len = 0;
+    uint64_t p = pos;
+    int shift = 0;
+    bool complete = false;
+    bool malformed = false;
+    while (p < data.size() && shift <= 63) {
+      const uint8_t byte = static_cast<uint8_t>(data[p++]);
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        malformed = true;
+        break;
+      }
+      payload_len |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        complete = true;
+        break;
+      }
+      shift += 7;
+    }
+    if (malformed || (!complete && p < data.size())) {
+      result.tail = WalTail::kCorrupt;
+      result.valid_bytes = frame_start;
+      return result;
+    }
+    if (!complete || data.size() - p < kCrcBytes ||
+        payload_len > data.size() - p - kCrcBytes) {
+      // The frame extends past EOF: an append that never finished.
+      result.tail = WalTail::kTorn;
+      result.valid_bytes = frame_start;
+      return result;
+    }
+    uint32_t expected_crc;
+    std::memcpy(&expected_crc, data.data() + p, kCrcBytes);
+    const std::string_view payload(data.data() + p + kCrcBytes,
+                                   static_cast<size_t>(payload_len));
+    if (crc32c::Value(payload) != expected_crc) {
+      result.tail = WalTail::kCorrupt;
+      result.valid_bytes = frame_start;
+      return result;
+    }
+    Decoder dec(payload);
+    uint8_t op_byte = 0;
+    LsmKey key;
+    std::string value;
+    Status decode = dec.GetU8(&op_byte);
+    if (decode.ok()) decode = dec.GetI64(&key.k0);
+    if (decode.ok()) decode = dec.GetI64(&key.k1);
+    if (decode.ok()) decode = dec.GetI64(&key.k2);
+    if (decode.ok()) decode = dec.GetString(&value);
+    if (!decode.ok() || !dec.Done() ||
+        op_byte < static_cast<uint8_t>(WalOp::kPut) ||
+        op_byte > static_cast<uint8_t>(WalOp::kAntiMatter)) {
+      // The CRC matched but the payload is not a record we understand: the
+      // frame was written corrupt (or by a future format), not torn.
+      result.tail = WalTail::kCorrupt;
+      result.valid_bytes = frame_start;
+      return result;
+    }
+    apply(static_cast<WalOp>(op_byte), key, value);
+    ++result.records_applied;
+    pos = p + kCrcBytes + payload_len;
+    result.valid_bytes = pos;
+  }
+  result.tail = WalTail::kClean;
+  result.valid_bytes = data.size();
+  return result;
+}
+
+StatusOr<WalRecoveryResult> RecoverWalSegments(Env* env,
+                                               const std::string& directory,
+                                               const std::string& tree_name,
+                                               bool quarantine_corrupt,
+                                               const WalReplayFn& apply) {
+  WalRecoveryResult result;
+  std::vector<std::string> names;
+  LSMSTATS_RETURN_IF_ERROR(env->ListDir(directory, &names));
+  const std::string prefix = tree_name + "_";
+  std::vector<std::pair<uint64_t, std::string>> segments;  // (seq, path)
+  for (const std::string& filename : names) {
+    if (filename.rfind(prefix, 0) != 0) continue;
+    if (filename.size() <= prefix.size() + kWalSuffixLen ||
+        filename.substr(filename.size() - kWalSuffixLen) != kWalSuffix) {
+      continue;
+    }
+    const std::string id_text = filename.substr(
+        prefix.size(), filename.size() - prefix.size() - kWalSuffixLen);
+    if (!IsAllDigits(id_text)) continue;  // foreign file
+    segments.emplace_back(std::strtoull(id_text.c_str(), nullptr, 10),
+                          directory + "/" + filename);
+  }
+  std::sort(segments.begin(), segments.end());  // oldest first
+  if (!segments.empty()) result.next_sequence = segments.back().first + 1;
+
+  bool mutated = false;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string& path = segments[i].second;
+    auto replay = ReplayWalSegment(env, path, apply);
+    LSMSTATS_RETURN_IF_ERROR(replay.status());
+    result.records_applied += replay->records_applied;
+    const bool final_segment = i + 1 == segments.size();
+    if (replay->tail == WalTail::kClean ||
+        (replay->tail == WalTail::kTorn && final_segment)) {
+      if (replay->tail == WalTail::kTorn) {
+        LSMSTATS_LOG(kWarning)
+            << tree_name << ": wal segment " << path
+            << " has a torn tail; truncating to " << replay->valid_bytes
+            << " bytes (" << replay->records_applied << " whole records)";
+        LSMSTATS_RETURN_IF_ERROR(
+            env->TruncateFile(path, replay->valid_bytes));
+        result.truncated_torn_tail = true;
+        mutated = true;
+      }
+      if (replay->records_applied == 0) {
+        // An empty segment backs no records; removing it now keeps flushes
+        // from tracking files that will never be replayed.
+        LSMSTATS_RETURN_IF_ERROR(env->RemoveFileIfExists(path));
+        mutated = true;
+      } else {
+        result.live_segments.push_back(path);
+      }
+      continue;
+    }
+    // Mid-log corruption, or a tear in a segment that is not the newest:
+    // records after the damage are lost, so keeping any newer segment would
+    // replay newer writes above a hole — the same resurrection hazard as a
+    // missing component. Quarantine the damaged segment and everything newer.
+    const std::string reason = replay->tail == WalTail::kTorn
+                                   ? "torn before newer segments"
+                                   : "failed checksum or decode";
+    if (!quarantine_corrupt) {
+      return Status::Corruption("wal segment " + path + " " + reason);
+    }
+    LSMSTATS_LOG(kError) << tree_name << ": wal segment " << path << " "
+                         << reason
+                         << "; quarantining it and all newer segments";
+    for (size_t j = i; j < segments.size(); ++j) {
+      const std::string& victim = segments[j].second;
+      if (!env->FileExists(victim)) continue;
+      LSMSTATS_RETURN_IF_ERROR(
+          env->RenameFile(victim, victim + ".quarantine"));
+      result.quarantined_files.push_back(victim + ".quarantine");
+      mutated = true;
+    }
+    break;
+  }
+  if (mutated) {
+    LSMSTATS_RETURN_IF_ERROR(env->SyncDir(directory));
+  }
+  return result;
+}
+
+Status DeleteWalSegments(Env* env, const std::vector<std::string>& segments) {
+  for (const std::string& segment : segments) {
+    LSMSTATS_RETURN_IF_ERROR(env->RemoveFileIfExists(segment));
+  }
+  return Status::OK();
+}
+
+}  // namespace lsmstats

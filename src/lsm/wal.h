@@ -1,0 +1,190 @@
+// Write-ahead log for memtable durability.
+//
+// Without a WAL, a crash loses every record accepted into the mutable and
+// immutable memtables — and with them the synopses those records would have
+// fed (the paper's premise is that *every* record passes through an LSM
+// lifecycle event). The WAL closes that gap: each Put/Delete/PutAntiMatter is
+// appended to a per-tree log segment *before* it touches the memtable, and
+// Open() replays surviving segments so accepted records survive a reboot.
+//
+// Segment files are named `<tree-name>_<sequence>.wal` in the tree's
+// directory; sequence numbers are monotone, so name order is recency order
+// (the same discovery convention as `<tree-name>_<id>.cmp` components). A
+// segment holds the records of exactly one memtable incarnation: rotation
+// seals the active segment and the next logged write starts a fresh one;
+// once the corresponding memtable is flushed into a sealed component the
+// segment is obsolete and deleted.
+//
+// Record frame (all little-endian, varints/strings via common/coding.h):
+//
+//   [payload_len varint] [crc32c(payload) u32] [payload]
+//
+//   payload: [op u8] [k0 i64] [k1 i64] [k2 i64] [value length-prefixed]
+//
+// The CRC covers the payload only; the length prefix lets replay walk frames
+// without decoding them. A frame that extends past EOF is a torn tail (the
+// write never completed — truncate to the last whole frame); a complete
+// frame whose CRC or payload decode fails is mid-log corruption (handled
+// like a corrupt component: quarantine, see RecoverWalSegments).
+//
+// Durability is governed by WalSyncMode:
+//   * kEveryRecord — fsync after each append: an acknowledged write is
+//     durable the moment the call returns.
+//   * kFlushOnly   — fsync only when the segment is sealed at rotation: the
+//     immutable-memtable backlog is durable, the active memtable is not.
+//   * kNone        — never fsync: the OS page cache decides (still recovers
+//     from process crashes, not power loss).
+//
+// All file I/O flows through Env (tools/lint.py rule `wal-io` confines the
+// `.wal` suffix and WAL file access to this module), so FaultInjectionEnv
+// sees every WAL mutation and the crash-point sweep covers appends, syncs,
+// truncations, and deletions.
+
+#ifndef LSMSTATS_LSM_WAL_H_
+#define LSMSTATS_LSM_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "lsm/entry.h"
+
+namespace lsmstats {
+
+enum class WalSyncMode {
+  kNone,
+  kFlushOnly,
+  kEveryRecord,
+};
+
+const char* WalSyncModeToString(WalSyncMode mode);
+[[nodiscard]] StatusOr<WalSyncMode> WalSyncModeFromString(std::string_view s);
+
+// WAL policy resolved from the process environment, used wherever
+// LsmTreeOptions::wal / wal_sync_mode are left unset: LSMSTATS_WAL=1 enables
+// the log, LSMSTATS_WAL_SYNC names the sync mode (default flush-only). This
+// is how CI forces the WAL through the whole tier-1 suite without touching
+// call sites; unset variables leave the defaults (WAL off) bit-identical.
+bool EnvironmentWalEnabled();
+WalSyncMode EnvironmentWalSyncMode();
+
+// Logged operation kinds. Values are on-disk format; never renumber.
+enum class WalOp : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+  kAntiMatter = 3,
+};
+
+// `<directory>/<tree_name>_<sequence>.wal`.
+std::string WalFilePath(const std::string& directory,
+                        const std::string& tree_name, uint64_t sequence);
+
+// Appends framed records to one segment file. Not internally synchronized:
+// LsmTree calls it under its own mutex.
+class WalSegmentWriter {
+ public:
+  // Creates (truncates) the segment file. In kEveryRecord mode every Append
+  // fsyncs before returning.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<WalSegmentWriter>> Create(
+      Env* env, std::string path, WalSyncMode sync_mode);
+
+  [[nodiscard]]
+  Status Append(WalOp op, const LsmKey& key, std::string_view value);
+
+  // Makes every appended frame durable (used at rotation in kFlushOnly mode).
+  [[nodiscard]] Status Sync();
+
+  // Flushes to the OS and closes the file. Idempotent on success; durability
+  // beyond the sync mode's promises is NOT implied.
+  [[nodiscard]] Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t records_appended() const { return records_; }
+
+ private:
+  WalSegmentWriter(std::unique_ptr<WritableFile> file, std::string path,
+                   WalSyncMode sync_mode)
+      : file_(std::move(file)), path_(std::move(path)),
+        sync_mode_(sync_mode) {}
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  WalSyncMode sync_mode_;
+  uint64_t records_ = 0;
+};
+
+// Invoked for each replayed record, oldest first.
+using WalReplayFn =
+    std::function<void(WalOp op, const LsmKey& key, std::string_view value)>;
+
+// How one segment's byte stream ended.
+enum class WalTail {
+  kClean,    // every byte belongs to a whole, valid frame
+  kTorn,     // the final frame extends past EOF (interrupted append)
+  kCorrupt,  // a complete frame failed its CRC or payload decode
+};
+
+struct WalSegmentReplayResult {
+  uint64_t records_applied = 0;
+  // Offset of the first byte past the last valid frame — the truncation
+  // target for a torn tail.
+  uint64_t valid_bytes = 0;
+  WalTail tail = WalTail::kClean;
+};
+
+// Streams every valid frame of `path` through `apply` in append order and
+// classifies how the stream ended. Does not mutate the file.
+[[nodiscard]]
+StatusOr<WalSegmentReplayResult> ReplayWalSegment(Env* env,
+                                                  const std::string& path,
+                                                  const WalReplayFn& apply);
+
+struct WalRecoveryResult {
+  // Surviving segments whose records were replayed, oldest first. They back
+  // the recovered memtable and must be deleted once it flushes.
+  std::vector<std::string> live_segments;
+  // Segments renamed to `<file>.quarantine` because of mid-log corruption
+  // (or a torn tail in a non-final segment), plus everything newer.
+  std::vector<std::string> quarantined_files;
+  // Next unused segment sequence number (past every id seen on disk).
+  uint64_t next_sequence = 1;
+  uint64_t records_applied = 0;
+  // A torn final segment was truncated back to its last whole frame.
+  bool truncated_torn_tail = false;
+};
+
+// Discovers `<tree_name>_<seq>.wal` segments in `directory` and replays them
+// oldest to newest through `apply`. Outcomes per segment:
+//
+//   * clean, non-empty  — replayed; kept as a live segment.
+//   * clean, empty      — deleted (it backs no records).
+//   * torn tail, final segment — truncated at the last whole frame; the
+//     replayed prefix is kept. Only a suffix of acknowledged-but-unsynced
+//     writes is lost, so recovery stays prefix-consistent.
+//   * mid-log corruption (or a torn non-final segment) — with
+//     `quarantine_corrupt` the segment and every newer one are renamed to
+//     `<file>.quarantine` (keeping newer records above a hole would break
+//     prefix consistency, exactly as with components); without it the
+//     Corruption error is returned and the tree refuses to open.
+//
+// The directory is fsynced when any file was deleted/renamed/truncated.
+[[nodiscard]]
+StatusOr<WalRecoveryResult> RecoverWalSegments(Env* env,
+                                               const std::string& directory,
+                                               const std::string& tree_name,
+                                               bool quarantine_corrupt,
+                                               const WalReplayFn& apply);
+
+// Removes obsolete segment files (after their memtable flushed durably).
+[[nodiscard]]
+Status DeleteWalSegments(Env* env, const std::vector<std::string>& segments);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_WAL_H_

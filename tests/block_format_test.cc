@@ -289,6 +289,34 @@ TEST(BlockCacheTest, EvictedBlocksSurviveForHolders) {
   EXPECT_EQ((*held)[0], 'a');
 }
 
+TEST(BlockCacheTest, EraseDropsExactlyOneFilesBlocks) {
+  // Several shards so Erase has to visit all of them.
+  BlockCache cache(1 << 20, /*shard_count=*/4);
+  for (uint64_t offset = 0; offset < 8; ++offset) {
+    cache.Insert(1, offset, MakeBlock(100, 'a'));
+    cache.Insert(2, offset, MakeBlock(100, 'b'));
+  }
+  uint64_t charge_before = cache.GetStats().charge;
+  uint64_t misses_before = cache.GetStats().misses;
+
+  EXPECT_EQ(cache.Erase(1), 8u);
+  BlockCache::Stats stats = cache.GetStats();
+  // Dropped entries are not LRU evictions: a dead file's blocks leaving the
+  // cache must not read as cache pressure.
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.charge * 2, charge_before);
+  EXPECT_EQ(stats.misses, misses_before);  // Erase itself counts nothing
+
+  // File 1 is gone; file 2's entries are untouched and still hit.
+  for (uint64_t offset = 0; offset < 8; ++offset) {
+    EXPECT_EQ(cache.Lookup(1, offset), nullptr);
+    ASSERT_NE(cache.Lookup(2, offset), nullptr);
+  }
+  // Erasing an absent file is a harmless no-op.
+  EXPECT_EQ(cache.Erase(1), 0u);
+  EXPECT_EQ(cache.Erase(99), 0u);
+}
+
 TEST(BlockCacheTest, FileIdsAreProcessUnique) {
   uint64_t a = NewBlockCacheFileId();
   uint64_t b = NewBlockCacheFileId();

@@ -156,5 +156,97 @@ TEST_F(ClusterTest, UpdatesAndDeletesPropagate) {
               400.0, 1e-6);
 }
 
+TEST_F(ClusterTest, DroppedStatisticsCountOncePerSynopsisNotPerAttempt) {
+  auto cluster = Cluster::Start(
+      1, dir_, BaseOptions(SynopsisType::kEquiWidthHistogram));
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  // Exhaust every delivery attempt for exactly one message.
+  (*cluster)->controller().FailNextReceivesForTest(3);
+  for (int64_t pk = 0; pk < 50; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 10, 0};
+    ASSERT_TRUE((*cluster)->Insert(record).ok());
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+
+  NodeController* node = (*cluster)->node(0);
+  // One component's statistics were lost — counted once, not three times.
+  EXPECT_EQ(node->DroppedStatistics(), 1u);
+  EXPECT_GE(node->messages_sent(), 1u);
+  // Only the dropped message is missing from the receive ledger.
+  EXPECT_EQ((*cluster)->controller().messages_received(),
+            node->messages_sent() - 1);
+}
+
+TEST_F(ClusterTest, TransientRejectionsAreRetriedNotDropped) {
+  auto cluster = Cluster::Start(
+      1, dir_, BaseOptions(SynopsisType::kEquiWidthHistogram));
+  ASSERT_TRUE(cluster.ok());
+  // Two failures leave one attempt within the delivery budget.
+  (*cluster)->controller().FailNextReceivesForTest(2);
+  for (int64_t pk = 0; pk < 50; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 10, 0};
+    ASSERT_TRUE((*cluster)->Insert(record).ok());
+  }
+  ASSERT_TRUE((*cluster)->FlushAll().ok());
+
+  NodeController* node = (*cluster)->node(0);
+  EXPECT_EQ(node->DroppedStatistics(), 0u);
+  // The third attempt delivered: nothing is missing from the catalog and
+  // estimates see every record.
+  EXPECT_EQ((*cluster)->controller().messages_received(),
+            node->messages_sent());
+  EXPECT_NEAR((*cluster)->EstimateRange(kTweetMetricField, 0, 16383), 50.0,
+              1e-6);
+}
+
+TEST_F(ClusterTest, TransportAccountingIsDeterministic) {
+  // Two identical runs with identical injected rejections must agree on
+  // every transport counter and estimate: backoff jitter is drawn from a
+  // node-id-seeded RNG that advances only on failed attempts.
+  struct RunResult {
+    uint64_t sent = 0;
+    uint64_t bytes = 0;
+    uint64_t dropped = 0;
+    uint64_t received = 0;
+    double estimate = 0;
+  };
+  auto run = [&](const std::string& subdir) {
+    RunResult result;
+    auto cluster = Cluster::Start(
+        2, dir_ + "/" + subdir, BaseOptions(SynopsisType::kEquiWidthHistogram));
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+    (*cluster)->controller().FailNextReceivesForTest(2);
+    for (int64_t pk = 0; pk < 300; ++pk) {
+      Record record;
+      record.pk = pk;
+      record.fields = {pk % 20, 0};
+      EXPECT_TRUE((*cluster)->Insert(record).ok());
+    }
+    EXPECT_TRUE((*cluster)->FlushAll().ok());
+    for (size_t i = 0; i < (*cluster)->num_partitions(); ++i) {
+      result.sent += (*cluster)->node(i)->messages_sent();
+      result.bytes += (*cluster)->node(i)->bytes_sent();
+      result.dropped += (*cluster)->node(i)->DroppedStatistics();
+    }
+    result.received = (*cluster)->controller().messages_received();
+    result.estimate = (*cluster)->EstimateRange(kTweetMetricField, 0, 16383);
+    return result;
+  };
+
+  RunResult a = run("a");
+  RunResult b = run("b");
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.estimate, b.estimate);  // bit-identical, not merely close
+  EXPECT_GT(a.sent, 0u);
+  EXPECT_EQ(a.dropped, 0u);  // two rejections stay within the retry budget
+}
+
 }  // namespace
 }  // namespace lsmstats

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,9 @@ TEST_F(FaultInjectionTest, BackgroundFlushRetriesAfterTransientFailure) {
   options.memtable_max_entries = 10;
   options.scheduler = &scheduler;
   options.env = &env;
+  // The injected sync failure must hit the component seal, not a WAL fsync
+  // (which a forced-WAL environment would otherwise put first in line).
+  options.wal = false;
   auto tree = LsmTree::Open(options).value();
 
   // The first component seal's fsync fails once; the background retry must
@@ -206,14 +210,18 @@ ComponentWriteOptions SweepWriteOptions() {
 }
 
 // Ingest keys 0..N-1 in order with periodic flushes, then merge everything.
-// Returns the first error (expected when a crash is scheduled).
-Status RunWorkload(Env* env, const std::string& dir) {
+// Returns the first error (expected when a crash is scheduled). `wal` pins
+// LsmTreeOptions::wal; unset inherits the environment, as the seed sweep
+// always did.
+Status RunWorkload(Env* env, const std::string& dir,
+                   std::optional<bool> wal = std::nullopt) {
   LsmTreeOptions options;
   options.directory = dir;
   options.name = "t";
   options.memtable_max_entries = 20;
   options.env = env;
   options.write_options = SweepWriteOptions();
+  options.wal = wal;
   auto tree_or = LsmTree::Open(options);
   LSMSTATS_RETURN_IF_ERROR(tree_or.status());
   auto& tree = *tree_or;
@@ -225,23 +233,25 @@ Status RunWorkload(Env* env, const std::string& dir) {
   return tree->ForceFullMerge();
 }
 
-TEST_F(FaultInjectionTest, CrashPointSweep) {
+// Crash RunWorkload at every mutating filesystem op, reboot with power-loss
+// semantics, and check the recovery invariants each time.
+void SweepAllCrashPoints(const std::string& base_dir, std::optional<bool> wal) {
   // Clean run to size the sweep.
   uint64_t total_ops;
   {
-    std::string clean_dir = dir_ + "/clean";
+    std::string clean_dir = base_dir + "/clean";
     FaultInjectionEnv env;
-    ASSERT_TRUE(RunWorkload(&env, clean_dir).ok());
+    ASSERT_TRUE(RunWorkload(&env, clean_dir, wal).ok());
     total_ops = env.MutatingOpCount();
     ASSERT_GT(total_ops, 20u);  // the workload is non-trivial
   }
 
   for (uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
     SCOPED_TRACE("crash at mutating op " + std::to_string(crash_at));
-    std::string run_dir = dir_ + "/run" + std::to_string(crash_at);
+    std::string run_dir = base_dir + "/run" + std::to_string(crash_at);
     FaultInjectionEnv env;
     env.CrashAtMutatingOp(crash_at);
-    Status died = RunWorkload(&env, run_dir);
+    Status died = RunWorkload(&env, run_dir, wal);
     EXPECT_FALSE(died.ok());  // the crash point is within the workload
     // Power loss: un-synced bytes vanish, then the "machine" reboots.
     env.ClearFaults();
@@ -254,15 +264,20 @@ TEST_F(FaultInjectionTest, CrashPointSweep) {
     options.memtable_max_entries = 20;
     options.env = &env;
     options.write_options = SweepWriteOptions();
+    options.wal = wal;
     auto tree_or = LsmTree::Open(options);
     ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
     auto& tree = *tree_or;
 
-    // Invariant 2: no temporaries survive recovery.
+    // Invariant 2: no temporaries survive recovery — and with the WAL
+    // pinned off, no log segment may ever have existed.
     std::vector<std::string> names;
     ASSERT_TRUE(env.ListDir(run_dir, &names).ok());
     for (const std::string& name : names) {
       EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+      if (wal == false) {
+        EXPECT_EQ(name.find(".wal"), std::string::npos) << name;
+      }
     }
 
     // Invariant 3: the recovered live set is a prefix {0..m-1} of the
@@ -282,6 +297,117 @@ TEST_F(FaultInjectionTest, CrashPointSweep) {
     ASSERT_TRUE(tree->Flush().ok());
     std::string value;
     EXPECT_TRUE(tree->Get(PrimaryKey(1000), &value).ok());
+  }
+}
+
+TEST_F(FaultInjectionTest, CrashPointSweep) {
+  SweepAllCrashPoints(dir_, std::nullopt);
+}
+
+// The WAL-off path must behave exactly as before the WAL existed, even when
+// the environment (forced-WAL CI) turns the log on globally.
+TEST_F(FaultInjectionTest, CrashPointSweepWithWalPinnedOff) {
+  SweepAllCrashPoints(dir_, false);
+}
+
+// ------------------------------------------------- WAL every-record sweep
+
+// Ingest through a WAL-enabled tree under every-record sync, recording each
+// key whose Put was acknowledged. Rotations, the final flush, and the merge
+// put WAL creation, append, fsync, and deletion inside the crash window.
+Status RunWalWorkload(Env* env, const std::string& dir,
+                      std::vector<int64_t>* acked) {
+  LsmTreeOptions options;
+  options.directory = dir;
+  options.name = "t";
+  options.memtable_max_entries = 10;
+  options.env = env;
+  options.write_options = SweepWriteOptions();
+  options.wal = true;
+  options.wal_sync_mode = WalSyncMode::kEveryRecord;
+  auto tree_or = LsmTree::Open(options);
+  LSMSTATS_RETURN_IF_ERROR(tree_or.status());
+  auto& tree = *tree_or;
+  for (int64_t k = 0; k < 30; ++k) {
+    LSMSTATS_RETURN_IF_ERROR(
+        tree->Put(PrimaryKey(k), "v" + std::to_string(k), true));
+    if (acked != nullptr) acked->push_back(k);
+  }
+  LSMSTATS_RETURN_IF_ERROR(tree->Flush());
+  return tree->ForceFullMerge();
+}
+
+TEST_F(FaultInjectionTest, WalEveryRecordCrashSweepLosesNoAckedWrite) {
+  uint64_t total_ops;
+  {
+    std::string clean_dir = dir_ + "/clean";
+    FaultInjectionEnv env;
+    std::vector<int64_t> acked;
+    ASSERT_TRUE(RunWalWorkload(&env, clean_dir, &acked).ok());
+    ASSERT_EQ(acked.size(), 30u);
+    total_ops = env.MutatingOpCount();
+    ASSERT_GT(total_ops, 60u);  // every Put contributes an append + fsync
+  }
+
+  for (uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(crash_at));
+    std::string run_dir = dir_ + "/run" + std::to_string(crash_at);
+    FaultInjectionEnv env;
+    env.CrashAtMutatingOp(crash_at);
+    std::vector<int64_t> acked;
+    Status died = RunWalWorkload(&env, run_dir, &acked);
+    EXPECT_FALSE(died.ok());
+    env.ClearFaults();
+    ASSERT_TRUE(env.DropUnsyncedData().ok());
+
+    LsmTreeOptions options;
+    options.directory = run_dir;
+    options.name = "t";
+    options.memtable_max_entries = 10;
+    options.env = &env;
+    options.write_options = SweepWriteOptions();
+    options.wal = true;
+    options.wal_sync_mode = WalSyncMode::kEveryRecord;
+    auto tree_or = LsmTree::Open(options);
+    ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+    auto& tree = *tree_or;
+
+    // The durability contract: every acknowledged Put survives the crash.
+    std::string value;
+    for (int64_t k : acked) {
+      ASSERT_TRUE(tree->Get(PrimaryKey(k), &value).ok())
+          << "lost acknowledged key " << k;
+      EXPECT_EQ(value, "v" + std::to_string(k));
+    }
+
+    // The live set is still a consecutive prefix, at least as long as the
+    // acked run (a record can be durably logged yet unacknowledged when the
+    // crash hit a later op inside the same Put).
+    std::vector<int64_t> keys;
+    ASSERT_TRUE(tree->Scan(PrimaryKey(std::numeric_limits<int64_t>::min()),
+                           PrimaryKey(std::numeric_limits<int64_t>::max()),
+                           [&](const Entry& e) { keys.push_back(e.key.k0); })
+                    .ok());
+    ASSERT_GE(keys.size(), acked.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(keys[i], static_cast<int64_t>(i));
+    }
+
+    // No leaked temporaries; and once everything is flushed again, no WAL
+    // segment (or orphaned .tmp) may remain either.
+    std::vector<std::string> names;
+    ASSERT_TRUE(env.ListDir(run_dir, &names).ok());
+    for (const std::string& name : names) {
+      EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+    }
+    ASSERT_TRUE(tree->Put(PrimaryKey(1000), "post-crash", true).ok());
+    ASSERT_TRUE(tree->Flush().ok());
+    EXPECT_TRUE(tree->Get(PrimaryKey(1000), &value).ok());
+    ASSERT_TRUE(env.ListDir(run_dir, &names).ok());
+    for (const std::string& name : names) {
+      EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+      EXPECT_EQ(name.find(".wal"), std::string::npos) << name;
+    }
   }
 }
 

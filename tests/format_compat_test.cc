@@ -232,6 +232,36 @@ TEST(FormatCompat, RepeatedReadsServeFromBlockCache) {
             after_scan.hits + component->block_count());
 }
 
+TEST(FormatCompat, DeleteFileEvictsTheComponentsCachedBlocks) {
+  // A merged-away (or quarantined) component must not leave dead blocks
+  // squatting in the shared cache; its DeleteFile drops them immediately.
+  TempDir dir;
+  BlockCache cache(1 << 20);
+  ComponentWriteOptions write_options;
+  write_options.block_size = 256;
+  std::vector<Entry> entries = MakeEntries(1000);
+  auto dead = WriteComponent(dir.path() + "/dead.cmp", entries, write_options,
+                             DiskComponentReadOptions{&cache});
+  auto live = WriteComponent(dir.path() + "/live.cmp", entries, write_options,
+                             DiskComponentReadOptions{&cache});
+  ASSERT_NE(dead, nullptr);
+  ASSERT_NE(live, nullptr);
+  // Populate the cache from both components.
+  ExpectSameEntries(entries, ReadAll(*dead));
+  ExpectSameEntries(entries, ReadAll(*live));
+  uint64_t charge_full = cache.GetStats().charge;
+  ASSERT_GT(charge_full, 0u);
+
+  ASSERT_TRUE(dead->DeleteFile().ok());
+  BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.charge * 2, charge_full);  // identical components
+  EXPECT_EQ(stats.evictions, 0u);
+  // The survivor's blocks still serve from the cache.
+  uint64_t misses_before = stats.misses;
+  ExpectSameEntries(entries, ReadAll(*live));
+  EXPECT_EQ(cache.GetStats().misses, misses_before);
+}
+
 TEST(FormatCompat, UnknownWriteConfigurationIsRejected) {
   TempDir dir;
   LsmTreeOptions options;

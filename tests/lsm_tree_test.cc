@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/merge_cursor.h"
+#include "lsm/scheduler.h"
 
 namespace lsmstats {
 namespace {
@@ -398,6 +399,40 @@ TEST(LsmTree, ListenersObserveEveryRecordOfEveryEvent) {
   EXPECT_EQ(listener.sealed[2].entries_seen, 149u);
   EXPECT_EQ(listener.sealed[2].anti_seen, 0u);
   EXPECT_EQ(listener.sealed[2].replaced.size(), 2u);
+}
+
+TEST(LsmTree, EmptyFlushAndRequestFlushAreNoOps) {
+  // Flushing an empty tree — explicitly or via the non-blocking trigger —
+  // must not seal a component or emit a listener stream: a zero-record
+  // component would pollute the statistics catalog with empty synopses.
+  TempDir dir;
+  BackgroundScheduler scheduler(2);
+  RecordingListener listener;
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.scheduler = &scheduler;
+  auto tree = LsmTree::Open(options).value();
+  tree->AddListener(&listener);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree->RequestFlush().ok());
+  }
+  ASSERT_TRUE(tree->WaitForBackgroundWork().ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->ComponentCount(), 0u);
+  EXPECT_EQ(tree->ImmutableMemTableCount(), 0u);
+  EXPECT_TRUE(listener.sealed.empty());
+
+  // After real data lands, further empty flushes stay silent.
+  ASSERT_TRUE(tree->Put(PrimaryKey(1), "x", true).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  ASSERT_EQ(listener.sealed.size(), 1u);
+  ASSERT_TRUE(tree->RequestFlush().ok());
+  ASSERT_TRUE(tree->WaitForBackgroundWork().ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  EXPECT_EQ(listener.sealed.size(), 1u);
+  scheduler.Shutdown();
 }
 
 TEST(LsmTree, RandomizedEquivalenceWithStdMap) {

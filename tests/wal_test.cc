@@ -1,0 +1,492 @@
+// Tests for the write-ahead log: segment framing and replay, torn-tail vs
+// mid-log-corruption classification, the recovery policy (truncate / delete /
+// quarantine), LsmTree replay on reopen, and the sync-mode durability
+// contracts under simulated power loss.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "db/dataset.h"
+#include "lsm/lsm_tree.h"
+#include "lsm/wal.h"
+#include "workload/tweets.h"
+
+namespace lsmstats {
+namespace {
+
+struct ReplayedRecord {
+  WalOp op;
+  LsmKey key;
+  std::string value;
+};
+
+// Rewrites `path` with one byte XOR-flipped at `offset`.
+void FlipByte(Env* env, const std::string& path, uint64_t offset) {
+  auto reader = env->NewRandomAccessFile(path);
+  ASSERT_TRUE(reader.ok());
+  std::string data;
+  ASSERT_TRUE(
+      (*reader)->Read(0, static_cast<size_t>((*reader)->size()), &data).ok());
+  ASSERT_LT(offset, data.size());
+  data[offset] ^= 0x40;
+  auto file = env->NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(data).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lsmstats_wal_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  LsmTreeOptions Options() {
+    LsmTreeOptions options;
+    options.directory = dir_;
+    options.name = "t";
+    options.memtable_max_entries = 100;
+    options.wal = true;
+    return options;
+  }
+
+  // Basenames of the `.wal` segments currently in the directory.
+  std::vector<std::string> WalFiles() const {
+    std::vector<std::string> result;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".wal") {
+        result.push_back(entry.path().filename().string());
+      }
+    }
+    return result;
+  }
+
+  std::string dir_;
+};
+
+// --------------------------------------------------------- segment framing
+
+TEST_F(WalTest, SegmentRoundTrip) {
+  Env* env = Env::Default();
+  std::string path = WalFilePath(dir_, "t", 1);
+  auto writer = WalSegmentWriter::Create(env, path, WalSyncMode::kFlushOnly);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(WalOp::kPut, PrimaryKey(1), "one").ok());
+  ASSERT_TRUE((*writer)->Append(WalOp::kDelete, PrimaryKey(2), "").ok());
+  ASSERT_TRUE(
+      (*writer)->Append(WalOp::kAntiMatter, SecondaryKey(3, 4), "").ok());
+  EXPECT_EQ((*writer)->records_appended(), 3u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  std::vector<ReplayedRecord> records;
+  auto replay = ReplayWalSegment(
+      env, path, [&](WalOp op, const LsmKey& key, std::string_view value) {
+        records.push_back({op, key, std::string(value)});
+      });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->tail, WalTail::kClean);
+  EXPECT_EQ(replay->records_applied, 3u);
+  EXPECT_EQ(replay->valid_bytes, std::filesystem::file_size(path));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].op, WalOp::kPut);
+  EXPECT_EQ(records[0].key, PrimaryKey(1));
+  EXPECT_EQ(records[0].value, "one");
+  EXPECT_EQ(records[1].op, WalOp::kDelete);
+  EXPECT_EQ(records[1].key, PrimaryKey(2));
+  EXPECT_EQ(records[2].op, WalOp::kAntiMatter);
+  EXPECT_EQ(records[2].key, SecondaryKey(3, 4));
+}
+
+TEST_F(WalTest, TornTailClassifiedAndTruncatedByRecovery) {
+  Env* env = Env::Default();
+  std::string path = WalFilePath(dir_, "t", 1);
+  {
+    auto writer =
+        WalSegmentWriter::Create(env, path, WalSyncMode::kNone).value();
+    for (int64_t k = 0; k < 5; ++k) {
+      ASSERT_TRUE(writer->Append(WalOp::kPut, PrimaryKey(k), "vv").ok());
+    }
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  // Shear a few bytes off the final frame, as an interrupted append would.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 3);
+
+  uint64_t applied = 0;
+  auto replay = ReplayWalSegment(
+      env, path, [&](WalOp, const LsmKey&, std::string_view) { ++applied; });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->tail, WalTail::kTorn);
+  EXPECT_EQ(replay->records_applied, 4u);
+  EXPECT_EQ(applied, 4u);
+
+  // Recovery truncates back to the last whole frame; a second replay of the
+  // same segment is then clean with the same record count.
+  auto recovery = RecoverWalSegments(
+      env, dir_, "t", /*quarantine_corrupt=*/true,
+      [](WalOp, const LsmKey&, std::string_view) {});
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_TRUE(recovery->truncated_torn_tail);
+  EXPECT_EQ(recovery->records_applied, 4u);
+  ASSERT_EQ(recovery->live_segments.size(), 1u);
+  EXPECT_EQ(std::filesystem::file_size(path), replay->valid_bytes);
+  auto second = ReplayWalSegment(env, path,
+                                 [](WalOp, const LsmKey&, std::string_view) {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->tail, WalTail::kClean);
+  EXPECT_EQ(second->records_applied, 4u);
+}
+
+TEST_F(WalTest, MidLogCorruptionStopsReplayAtTheDamage) {
+  Env* env = Env::Default();
+  std::string path = WalFilePath(dir_, "t", 1);
+  {
+    auto writer =
+        WalSegmentWriter::Create(env, path, WalSyncMode::kNone).value();
+    // Identical value sizes => identical frame sizes.
+    ASSERT_TRUE(writer->Append(WalOp::kPut, PrimaryKey(0), "aa").ok());
+    ASSERT_TRUE(writer->Append(WalOp::kPut, PrimaryKey(1), "bb").ok());
+    ASSERT_TRUE(writer->Append(WalOp::kPut, PrimaryKey(2), "cc").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  const uint64_t size = std::filesystem::file_size(path);
+  ASSERT_EQ(size % 3, 0u);
+  const uint64_t frame_size = size / 3;
+  // Flip a bit inside the second frame's CRC field (frame layout:
+  // [len varint][crc u32][payload], so offset frame_size + 1 is in the CRC).
+  FlipByte(env, path, frame_size + 1);
+
+  uint64_t applied = 0;
+  auto replay = ReplayWalSegment(
+      env, path, [&](WalOp, const LsmKey&, std::string_view) { ++applied; });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->tail, WalTail::kCorrupt);
+  EXPECT_EQ(replay->records_applied, 1u);
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(replay->valid_bytes, frame_size);
+}
+
+TEST_F(WalTest, RecoveryQuarantinesCorruptSegmentAndAllNewer) {
+  Env* env = Env::Default();
+  std::string corrupt = WalFilePath(dir_, "t", 1);
+  std::string newer = WalFilePath(dir_, "t", 2);
+  for (const std::string& path : {corrupt, newer}) {
+    auto writer =
+        WalSegmentWriter::Create(env, path, WalSyncMode::kNone).value();
+    ASSERT_TRUE(writer->Append(WalOp::kPut, PrimaryKey(0), "aa").ok());
+    ASSERT_TRUE(writer->Append(WalOp::kPut, PrimaryKey(1), "bb").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  const uint64_t frame_size = std::filesystem::file_size(corrupt) / 2;
+  FlipByte(env, corrupt, frame_size + 1);
+
+  auto recovery = RecoverWalSegments(
+      env, dir_, "t", /*quarantine_corrupt=*/true,
+      [](WalOp, const LsmKey&, std::string_view) {});
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  // Records behind the damage would replay above a hole; both segments go.
+  EXPECT_TRUE(recovery->live_segments.empty());
+  ASSERT_EQ(recovery->quarantined_files.size(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(corrupt + ".quarantine"));
+  EXPECT_TRUE(std::filesystem::exists(newer + ".quarantine"));
+  EXPECT_FALSE(std::filesystem::exists(corrupt));
+  EXPECT_FALSE(std::filesystem::exists(newer));
+  // Sequence numbering continues past the quarantined segments.
+  EXPECT_EQ(recovery->next_sequence, 3u);
+
+  // Recovery is idempotent: the quarantined files are invisible to a rerun.
+  auto rerun = RecoverWalSegments(env, dir_, "t", /*quarantine_corrupt=*/true,
+                                  [](WalOp, const LsmKey&, std::string_view) {});
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_TRUE(rerun->live_segments.empty());
+  EXPECT_TRUE(rerun->quarantined_files.empty());
+}
+
+TEST_F(WalTest, SyncModeStringsRoundTrip) {
+  for (WalSyncMode mode : {WalSyncMode::kNone, WalSyncMode::kFlushOnly,
+                           WalSyncMode::kEveryRecord}) {
+    auto parsed = WalSyncModeFromString(WalSyncModeToString(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(WalSyncModeFromString("asap").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WalSyncModeFromString("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------- tree replay
+
+TEST_F(WalTest, ReopenReplaysUnflushedWrites) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE(
+          tree->Put(PrimaryKey(k), "v" + std::to_string(k), true).ok());
+    }
+  }  // "crash": nothing was ever flushed to a component
+  auto tree = LsmTree::Open(Options()).value();
+  EXPECT_EQ(tree->ComponentCount(), 0u);  // replayed into the memtable
+  std::string value;
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(tree->Get(PrimaryKey(k), &value).ok()) << "key " << k;
+    EXPECT_EQ(value, "v" + std::to_string(k));
+  }
+  // Flushing persists the replayed records and retires the log.
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  EXPECT_TRUE(WalFiles().empty());
+}
+
+TEST_F(WalTest, ReplayPreservesUpdatesAndDeletes) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "old", true).ok());
+    ASSERT_TRUE(tree->Put(PrimaryKey(2), "gone", true).ok());
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "new", false).ok());
+    ASSERT_TRUE(tree->Delete(PrimaryKey(2)).ok());
+  }
+  auto tree = LsmTree::Open(Options()).value();
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(1), &value).ok());
+  EXPECT_EQ(value, "new");
+  EXPECT_EQ(tree->Get(PrimaryKey(2), &value).code(), StatusCode::kNotFound);
+}
+
+TEST_F(WalTest, UpdatesStayOrderedAcrossSegmentGenerations) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "first", true).ok());
+  }
+  {
+    // The recovered record rides in the memtable backed by its original
+    // segment; the new write opens a second segment.
+    auto tree = LsmTree::Open(Options()).value();
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "second", false).ok());
+    EXPECT_EQ(WalFiles().size(), 2u);
+  }
+  auto tree = LsmTree::Open(Options()).value();
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(1), &value).ok());
+  EXPECT_EQ(value, "second");  // newer segment replayed after the older one
+  // One flush retires both generations.
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_TRUE(WalFiles().empty());
+  ASSERT_TRUE(tree->Get(PrimaryKey(1), &value).ok());
+  EXPECT_EQ(value, "second");
+}
+
+TEST_F(WalTest, TornSegmentTailTruncatedOnReopen) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    for (int64_t k = 0; k < 5; ++k) {
+      ASSERT_TRUE(tree->Put(PrimaryKey(k), "vv", true).ok());
+    }
+  }
+  auto files = WalFiles();
+  ASSERT_EQ(files.size(), 1u);
+  std::string path = dir_ + "/" + files[0];
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 3);
+
+  auto tree = LsmTree::Open(Options()).value();
+  // The whole-frame prefix survives; only the sheared final record is lost.
+  std::string value;
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_TRUE(tree->Get(PrimaryKey(k), &value).ok()) << "key " << k;
+  }
+  EXPECT_EQ(tree->Get(PrimaryKey(4), &value).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree->QuarantinedFiles().empty());
+  // The recovered tree keeps working and retires the truncated segment.
+  ASSERT_TRUE(tree->Put(PrimaryKey(4), "again", true).ok());
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_TRUE(WalFiles().empty());
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(10)).value(), 5u);
+}
+
+TEST_F(WalTest, CorruptSegmentQuarantinedOnReopen) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    ASSERT_TRUE(tree->Put(PrimaryKey(0), "aa", true).ok());
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "bb", true).ok());
+    ASSERT_TRUE(tree->Put(PrimaryKey(2), "cc", true).ok());
+  }
+  auto files = WalFiles();
+  ASSERT_EQ(files.size(), 1u);
+  std::string path = dir_ + "/" + files[0];
+  const uint64_t frame_size = std::filesystem::file_size(path) / 3;
+  FlipByte(Env::Default(), path, frame_size + 1);  // second frame's CRC
+
+  auto tree_or = LsmTree::Open(Options());
+  ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
+  auto& tree = *tree_or;
+  ASSERT_EQ(tree->QuarantinedFiles().size(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // Records ahead of the damage were replayed; the rest are lost with the
+  // quarantined segment, never silently half-applied.
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(0), &value).ok());
+  EXPECT_EQ(value, "aa");
+  EXPECT_EQ(tree->Get(PrimaryKey(1), &value).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree->Get(PrimaryKey(2), &value).code(), StatusCode::kNotFound);
+}
+
+TEST_F(WalTest, CorruptSegmentFailsOpenInStrictMode) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    ASSERT_TRUE(tree->Put(PrimaryKey(0), "aa", true).ok());
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "bb", true).ok());
+  }
+  auto files = WalFiles();
+  ASSERT_EQ(files.size(), 1u);
+  std::string path = dir_ + "/" + files[0];
+  FlipByte(Env::Default(), path, std::filesystem::file_size(path) / 2 + 1);
+
+  LsmTreeOptions strict = Options();
+  strict.quarantine_corrupt_components = false;
+  auto tree = LsmTree::Open(strict);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kCorruption);
+  EXPECT_TRUE(std::filesystem::exists(path));  // strict mode mutates nothing
+}
+
+TEST_F(WalTest, EmptySegmentDeletedAtRecovery) {
+  // A crash between segment creation and the first durable append leaves a
+  // zero-length file; recovery removes it rather than tracking a segment
+  // that backs no records.
+  {
+    auto writer = WalSegmentWriter::Create(
+        Env::Default(), WalFilePath(dir_, "t", 9), WalSyncMode::kNone);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto tree = LsmTree::Open(Options()).value();
+  EXPECT_TRUE(WalFiles().empty());
+  // Sequence numbers still advance past the deleted segment.
+  ASSERT_TRUE(tree->Put(PrimaryKey(1), "x", true).ok());
+  auto files = WalFiles();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], "t_10.wal");
+}
+
+TEST_F(WalTest, ExplicitWalOffCreatesNoSegments) {
+  LsmTreeOptions options = Options();
+  options.wal = false;  // must override LSMSTATS_WAL=1 too
+  {
+    auto tree = LsmTree::Open(options).value();
+    for (int64_t k = 0; k < 10; ++k) {
+      ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+    }
+    EXPECT_TRUE(WalFiles().empty());
+  }
+  // Pre-WAL semantics: an unflushed memtable dies with the process.
+  auto tree = LsmTree::Open(options).value();
+  std::string value;
+  EXPECT_EQ(tree->Get(PrimaryKey(0), &value).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(WalFiles().empty());
+}
+
+TEST_F(WalTest, DisablingWalReplaysAndRetiresOldSegments) {
+  {
+    auto tree = LsmTree::Open(Options()).value();
+    ASSERT_TRUE(tree->Put(PrimaryKey(1), "kept", true).ok());
+  }
+  // Reopen with the WAL switched off: the old segment must still be
+  // replayed (its records were acknowledged) and retired by the next flush,
+  // not silently ignored.
+  LsmTreeOptions off = Options();
+  off.wal = false;
+  auto tree = LsmTree::Open(off).value();
+  std::string value;
+  ASSERT_TRUE(tree->Get(PrimaryKey(1), &value).ok());
+  EXPECT_EQ(value, "kept");
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_TRUE(WalFiles().empty());
+}
+
+// ----------------------------------------------------- sync-mode contracts
+
+TEST_F(WalTest, EveryRecordSyncSurvivesPowerLoss) {
+  FaultInjectionEnv env;
+  LsmTreeOptions options = Options();
+  options.env = &env;
+  options.wal_sync_mode = WalSyncMode::kEveryRecord;
+  {
+    auto tree = LsmTree::Open(options).value();
+    for (int64_t k = 0; k < 7; ++k) {
+      ASSERT_TRUE(
+          tree->Put(PrimaryKey(k), "v" + std::to_string(k), true).ok());
+    }
+  }
+  // Power loss: everything that was not fsynced vanishes. Every Put fsynced
+  // before acknowledging, so nothing may be lost.
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto tree = LsmTree::Open(options).value();
+  std::string value;
+  for (int64_t k = 0; k < 7; ++k) {
+    ASSERT_TRUE(tree->Get(PrimaryKey(k), &value).ok()) << "key " << k;
+    EXPECT_EQ(value, "v" + std::to_string(k));
+  }
+}
+
+TEST_F(WalTest, FlushOnlySyncMayLoseTheActiveMemtableOnPowerLoss) {
+  FaultInjectionEnv env;
+  LsmTreeOptions options = Options();
+  options.env = &env;
+  options.wal_sync_mode = WalSyncMode::kFlushOnly;
+  {
+    auto tree = LsmTree::Open(options).value();
+    for (int64_t k = 0; k < 7; ++k) {
+      ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+    }
+  }
+  // Nothing rotated, so nothing was fsynced: the documented contract is
+  // that the active memtable's records are not durable in this mode.
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto tree = LsmTree::Open(options).value();
+  std::string value;
+  EXPECT_EQ(tree->Get(PrimaryKey(0), &value).code(), StatusCode::kNotFound);
+  // The zero-length segment was cleaned up; the tree keeps working.
+  EXPECT_TRUE(WalFiles().empty());
+  ASSERT_TRUE(tree->Put(PrimaryKey(100), "y", true).ok());
+  ASSERT_TRUE(tree->Get(PrimaryKey(100), &value).ok());
+}
+
+// ------------------------------------------------------------ dataset level
+
+TEST_F(WalTest, DatasetReplaysEveryIndexInLockstep) {
+  auto make_options = [&] {
+    DatasetOptions options;
+    options.directory = dir_;
+    options.name = "tweets";
+    options.schema = TweetSchema(ValueDomain(0, 14));
+    options.memtable_max_entries = 100;
+    options.wal = true;
+    return options;
+  };
+  {
+    auto dataset = Dataset::Open(make_options()).value();
+    for (int64_t pk = 0; pk < 20; ++pk) {
+      Record record;
+      record.pk = pk;
+      record.fields = {pk % 5, 0};
+      ASSERT_TRUE(dataset->Insert(record).ok());
+    }
+  }  // crash before any flush
+  auto dataset = Dataset::Open(make_options()).value();
+  auto record = dataset->Get(7);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  // The secondary index recovered in lockstep with the primary: a range
+  // count that routes through it sees every replayed row.
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 2, 2).value(), 4u);
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 20u);
+}
+
+}  // namespace
+}  // namespace lsmstats

@@ -35,6 +35,10 @@ clang-tidy is unavailable:
                  data-region reads bypass block framing, per-block CRC
                  verification, and the shared block cache; readers must go
                  through DiskComponent / the block layer.
+  wal-io         no `.wal` string literals in src/ outside src/lsm/wal.cc —
+                 WAL segment naming, framing, and file access are confined
+                 to the WAL module so the log format has exactly one
+                 reader/writer and recovery rules stay in one place.
 
 Suppressing a finding: append `// lint:allow(<rule>)` to the offending line
 together with a reason, e.g.
@@ -276,6 +280,27 @@ def check_block_layer(path: Path, raw_lines: list[str], code_lines: list[str]) -
                    "the block cache stay on the path")
 
 
+# -------------------------------------------------------------------- wal-io
+
+# A string literal mentioning the `.wal` suffix. Scanned over RAW lines (the
+# code view blanks string literals) so constructing WAL paths outside the WAL
+# module is caught.
+WAL_IO_RE = re.compile(r'"[^"]*\.wal[^"]*"')
+
+WAL_IMPL_FILES = {SRC / "lsm" / "wal.cc"}
+
+
+def check_wal_io(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    if path in WAL_IMPL_FILES:
+        return
+    for idx, raw in enumerate(raw_lines):
+        if WAL_IO_RE.search(raw) and not allowed(raw, "wal-io"):
+            report(path, idx + 1, "wal-io",
+                   "`.wal` literal outside src/lsm/wal.cc — WAL segment "
+                   "naming and file access belong to the WAL module "
+                   "(use WalFilePath / RecoverWalSegments)")
+
+
 # -------------------------------------------------------------- header-guard
 
 def expected_guard(path: Path) -> str:
@@ -342,6 +367,7 @@ def main() -> int:
         check_raw_new_delete(path, raw, code)
         check_banned(path, raw, code)
         check_env_bypass(path, raw, code)
+        check_wal_io(path, raw, code)
     random_impl = REPO / "src" / "common"
     for path in cc_and_h:
         if SRC not in path.parents and (REPO / "bench") not in path.parents:
