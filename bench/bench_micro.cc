@@ -12,6 +12,7 @@
 #include <filesystem>
 
 #include "common/coding.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "lsm/disk_component.h"
 #include "lsm/format/block.h"
@@ -63,6 +64,23 @@ BENCHMARK_CAPTURE(BM_SynopsisBuild, EquiHeight,
                   SynopsisType::kEquiHeightHistogram);
 BENCHMARK_CAPTURE(BM_SynopsisBuild, Wavelet, SynopsisType::kWavelet);
 BENCHMARK_CAPTURE(BM_SynopsisBuild, GKQuantile, SynopsisType::kGKQuantile);
+
+// ---------------------------------------------------------------- mutex
+
+// The annotated Mutex wraps std::mutex and, in release builds (this bench
+// runs under the default RelWithDebInfo preset, where the lock-rank checker
+// is compiled out), must cost exactly an uncontended std::mutex lock/unlock.
+// A regression here means the checker leaked into the shipped Lock/Unlock —
+// the CI `nm` guard catches the symbols, this catches the cycles.
+void BM_MutexLockUnlock(benchmark::State& state) {
+  Mutex mu(LockRank::kLeaf, "bench_micro");
+  for (auto _ : state) {
+    MutexLock lock(&mu);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexLockUnlock);
 
 // ------------------------------------------------------------- memtable
 

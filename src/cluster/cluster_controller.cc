@@ -43,12 +43,12 @@ ClusterController::ClusterController(
     : estimator_(&catalog_, estimator_options) {}
 
 void ClusterController::FailNextReceivesForTest(uint64_t n) {
-  std::lock_guard<std::mutex> lock(receive_mu_);
+  MutexLock lock(&receive_mu_);
   fail_receives_ = n;
 }
 
 Status ClusterController::ReceiveStatistics(std::string_view message_bytes) {
-  std::lock_guard<std::mutex> lock(receive_mu_);
+  MutexLock lock(&receive_mu_);
   if (fail_receives_ > 0) {
     --fail_receives_;
     // A dropped message never reaches the controller, so it must not count
@@ -87,6 +87,16 @@ Status ClusterController::ReceiveStatistics(std::string_view message_bytes) {
   }
   catalog_.Register(msg.key, std::move(entry), msg.replaced_component_ids);
   return Status::OK();
+}
+
+uint64_t ClusterController::messages_received() const {
+  MutexLock lock(&receive_mu_);
+  return messages_received_;
+}
+
+uint64_t ClusterController::bytes_received() const {
+  MutexLock lock(&receive_mu_);
+  return bytes_received_;
 }
 
 double ClusterController::EstimateRange(

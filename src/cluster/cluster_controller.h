@@ -14,10 +14,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "stats/cardinality_estimator.h"
 #include "stats/statistics_catalog.h"
 
@@ -47,7 +47,9 @@ class ClusterController {
   // statistics catalog. Internally synchronized: nodes whose indexes flush
   // on background scheduler threads may deliver concurrently. Estimator
   // queries remain externally synchronized with respect to ingestion.
-  [[nodiscard]] Status ReceiveStatistics(std::string_view message_bytes);
+  [[nodiscard]]
+  Status ReceiveStatistics(std::string_view message_bytes)
+      EXCLUDES(receive_mu_);
 
   // Cluster-wide cardinality estimate for a dataset field (sums the
   // per-partition estimates, Algorithm 2 over each partition's stream).
@@ -58,25 +60,26 @@ class ClusterController {
   const StatisticsCatalog& catalog() const { return catalog_; }
   CardinalityEstimator& estimator() { return estimator_; }
 
-  // Transport accounting.
-  uint64_t messages_received() const { return messages_received_; }
-  uint64_t bytes_received() const { return bytes_received_; }
+  // Transport accounting. Locked: tests poll these while scheduler workers
+  // deliver statistics concurrently.
+  uint64_t messages_received() const EXCLUDES(receive_mu_);
+  uint64_t bytes_received() const EXCLUDES(receive_mu_);
 
   // Fault injection for transport tests: the next `n` ReceiveStatistics
   // calls fail with IOError before any accounting or catalog mutation, as a
   // dropped datagram would. Lets tests pin the node-side retry/drop
   // bookkeeping (DroppedStatistics counts once per synopsis, not per
   // attempt).
-  void FailNextReceivesForTest(uint64_t n);
+  void FailNextReceivesForTest(uint64_t n) EXCLUDES(receive_mu_);
 
  private:
   // Serializes the receive path (catalog mutation + transport accounting).
-  std::mutex receive_mu_;
+  mutable Mutex receive_mu_{LockRank::kClusterReceive, "cluster_receive"};
   StatisticsCatalog catalog_;
   CardinalityEstimator estimator_;
-  uint64_t messages_received_ = 0;
-  uint64_t bytes_received_ = 0;
-  uint64_t fail_receives_ = 0;  // guarded by receive_mu_
+  uint64_t messages_received_ GUARDED_BY(receive_mu_) = 0;
+  uint64_t bytes_received_ GUARDED_BY(receive_mu_) = 0;
+  uint64_t fail_receives_ GUARDED_BY(receive_mu_) = 0;
 };
 
 }  // namespace lsmstats

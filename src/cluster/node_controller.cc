@@ -31,7 +31,7 @@ void NodeController::TransportSink::PublishComponentStatistics(
   }
   Encoder wire;
   msg.EncodeTo(&wire);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++messages_sent;
   bytes_sent += wire.size();
   Status s = Status::OK();

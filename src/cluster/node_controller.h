@@ -22,10 +22,10 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cluster/cluster_controller.h"
+#include "common/mutex.h"
 #include "common/random.h"
 #include "db/dataset.h"
 
@@ -76,11 +76,13 @@ class NodeController {
     // an in-process call, the schedule shape is what the tests pin down.
     static constexpr std::chrono::milliseconds kBaseBackoff{2};
 
-    // One in-flight delivery per node, like a single TCP connection.
-    std::mutex mu_;
+    // One in-flight delivery per node, like a single TCP connection. Held
+    // across ReceiveStatistics: kTransportSink sits directly above
+    // kClusterReceive in the hierarchy.
+    Mutex mu_{LockRank::kTransportSink, "transport_sink"};
     ClusterController* controller_;
-    // Guarded by mu_; advanced only on failed attempts.
-    Random jitter_rng_;
+    // Advanced only on failed attempts.
+    Random jitter_rng_ GUARDED_BY(mu_);
   };
 
   NodeController(uint32_t node_id, ClusterController* controller);

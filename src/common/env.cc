@@ -101,27 +101,27 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
     : base_(base != nullptr ? base : Env::Default()) {}
 
 void FaultInjectionEnv::CrashAtMutatingOp(uint64_t op_index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_at_ = op_index;
 }
 
 void FaultInjectionEnv::FailNthWrite(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_write_at_ = n;
 }
 
 void FaultInjectionEnv::FailNthSync(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_sync_at_ = n;
 }
 
 void FaultInjectionEnv::FailNthRename(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fail_rename_at_ = n;
 }
 
 void FaultInjectionEnv::ClearFaults() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crash_at_ = 0;
   fail_write_at_ = 0;
   fail_sync_at_ = 0;
@@ -129,17 +129,17 @@ void FaultInjectionEnv::ClearFaults() {
 }
 
 uint64_t FaultInjectionEnv::MutatingOpCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return mutating_ops_;
 }
 
 uint64_t FaultInjectionEnv::InjectedFailureCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return injected_failures_;
 }
 
 Status FaultInjectionEnv::BeforeMutation(OpKind kind, const std::string& what) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++mutating_ops_;
   if (crash_at_ != 0 && mutating_ops_ >= crash_at_) {
     ++injected_failures_;
@@ -185,14 +185,14 @@ Status FaultInjectionEnv::OnSync(const std::string& path, uint64_t size) {
 }
 
 void FaultInjectionEnv::RecordSynced(const std::string& path, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   synced_sizes_[path] = size;
 }
 
 Status FaultInjectionEnv::DropUnsyncedData() {
   std::map<std::string, uint64_t> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     snapshot = synced_sizes_;
   }
   for (const auto& [path, synced] : snapshot) {
@@ -217,7 +217,7 @@ StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
   auto base = base_->NewWritableFile(path);
   LSMSTATS_RETURN_IF_ERROR(base.status());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     synced_sizes_[path] = 0;  // created but nothing durable yet
   }
   return std::unique_ptr<WritableFile>(
@@ -238,7 +238,7 @@ Status FaultInjectionEnv::RemoveFileIfExists(const std::string& path) {
   LSMSTATS_RETURN_IF_ERROR(BeforeMutation(OpKind::kOther, "unlink " + path));
   Status s = base_->RemoveFileIfExists(path);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     synced_sizes_.erase(path);
   }
   return s;
@@ -254,7 +254,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
       BeforeMutation(OpKind::kRename, "rename " + from + " -> " + to));
   Status s = base_->RenameFile(from, to);
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = synced_sizes_.find(from);
     if (it != synced_sizes_.end()) {
       synced_sizes_[to] = it->second;

@@ -23,11 +23,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/file.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace lsmstats {
@@ -149,20 +149,20 @@ class FaultInjectionEnv : public Env {
   [[nodiscard]] Status OnSync(const std::string& path, uint64_t size);
   void RecordSynced(const std::string& path, uint64_t size);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{LockRank::kEnv, "fault_injection_env"};
   Env* base_;
-  uint64_t mutating_ops_ = 0;
-  uint64_t crash_at_ = 0;  // 0 = no crash scheduled
-  uint64_t writes_ = 0;
-  uint64_t syncs_ = 0;
-  uint64_t renames_ = 0;
-  uint64_t fail_write_at_ = 0;
-  uint64_t fail_sync_at_ = 0;
-  uint64_t fail_rename_at_ = 0;
-  uint64_t injected_failures_ = 0;
+  uint64_t mutating_ops_ GUARDED_BY(mu_) = 0;
+  uint64_t crash_at_ GUARDED_BY(mu_) = 0;  // 0 = no crash scheduled
+  uint64_t writes_ GUARDED_BY(mu_) = 0;
+  uint64_t syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t renames_ GUARDED_BY(mu_) = 0;
+  uint64_t fail_write_at_ GUARDED_BY(mu_) = 0;
+  uint64_t fail_sync_at_ GUARDED_BY(mu_) = 0;
+  uint64_t fail_rename_at_ GUARDED_BY(mu_) = 0;
+  uint64_t injected_failures_ GUARDED_BY(mu_) = 0;
   // Last durable (synced) size of every file written through this env.
   // Files created but never synced map to 0.
-  std::map<std::string, uint64_t> synced_sizes_;
+  std::map<std::string, uint64_t> synced_sizes_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmstats

@@ -20,7 +20,9 @@ namespace {
 constexpr size_t kWriteBufferSize = 1 << 16;
 
 Status ErrnoStatus(const std::string& context) {
-  return Status::IOError(context + ": " + std::strerror(errno));
+  // strerror's static buffer is fine here: this feeds an error path, and the
+  // message is copied into the Status before any other call can clobber it.
+  return Status::IOError(context + ": " + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
 }
 
 // ---------------------------------------------------------------- Writable

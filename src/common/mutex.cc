@@ -1,0 +1,93 @@
+#include "common/mutex.h"
+
+#if LSMSTATS_LOCK_RANK_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsmstats {
+namespace lock_rank_internal {
+
+namespace {
+
+// Deepest legal nesting. The hierarchy has ~11 levels; a thread legitimately
+// holds three or four locks at the worst (work_mu_ -> mu_ -> env). Blowing
+// this bound is a bug in its own right, so it aborts like an inversion.
+constexpr int kMaxHeldLocks = 16;
+
+struct HeldStack {
+  const Mutex* held[kMaxHeldLocks];
+  int depth = 0;
+};
+
+HeldStack& Stack() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+[[noreturn]] void Die(const char* what, const Mutex* mu,
+                      const HeldStack& stack) {
+  std::fprintf(stderr,
+               "lock-rank checker: %s: \"%s\" (rank %d)\n"
+               "locks held by this thread (acquisition order):\n",
+               what, mu->name(), static_cast<int>(mu->rank()));
+  if (stack.depth == 0) {
+    std::fprintf(stderr, "  (none)\n");
+  }
+  for (int i = 0; i < stack.depth; ++i) {
+    std::fprintf(stderr, "  #%d \"%s\" (rank %d)\n", i, stack.held[i]->name(),
+                 static_cast<int>(stack.held[i]->rank()));
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void CheckAcquire(const Mutex* mu) {
+  HeldStack& stack = Stack();
+  for (int i = 0; i < stack.depth; ++i) {
+    if (stack.held[i] == mu) {
+      Die("re-entrant acquisition", mu, stack);
+    }
+    if (static_cast<int>(stack.held[i]->rank()) <=
+        static_cast<int>(mu->rank())) {
+      Die("lock rank inversion", mu, stack);
+    }
+  }
+  if (stack.depth == kMaxHeldLocks) {
+    Die("held-lock stack overflow", mu, stack);
+  }
+}
+
+void RecordAcquired(const Mutex* mu) {
+  HeldStack& stack = Stack();
+  stack.held[stack.depth++] = mu;
+}
+
+void RecordReleased(const Mutex* mu) {
+  HeldStack& stack = Stack();
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    if (stack.held[i] != mu) continue;
+    // Releases need not be LIFO; compact the stack in place.
+    for (int j = i + 1; j < stack.depth; ++j) {
+      stack.held[j - 1] = stack.held[j];
+    }
+    --stack.depth;
+    return;
+  }
+  Die("release of a mutex this thread does not hold", mu, stack);
+}
+
+void CheckHeld(const Mutex* mu) {
+  HeldStack& stack = Stack();
+  for (int i = 0; i < stack.depth; ++i) {
+    if (stack.held[i] == mu) return;
+  }
+  Die("AssertHeld on a mutex this thread does not hold", mu, stack);
+}
+
+}  // namespace lock_rank_internal
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LOCK_RANK_CHECKS

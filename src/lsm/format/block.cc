@@ -11,7 +11,9 @@ namespace lsmstats {
 const ComponentWriteOptions& EnvironmentWriteOptions() {
   static const ComponentWriteOptions* options = [] {
     auto* resolved = new ComponentWriteOptions();
-    const char* codec = std::getenv("LSMSTATS_COMPRESSION");
+    // Read once under the function-local static's init lock; nothing in this
+    // process calls setenv, so the unsynchronized-environ hazard does not apply.
+    const char* codec = std::getenv("LSMSTATS_COMPRESSION");  // NOLINT(concurrency-mt-unsafe)
     if (codec != nullptr && codec[0] != '\0') {
       resolved->compression = codec;
     }

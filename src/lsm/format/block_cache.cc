@@ -45,7 +45,7 @@ BlockCache::Shard& BlockCache::ShardFor(const Key& key) {
 BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_id, uint64_t offset) {
   Key key{file_id, offset};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -61,7 +61,7 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
   Key key{file_id, offset};
   uint64_t charge = block->size() + kEntryOverhead;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.charge -= it->second->charge;
@@ -85,7 +85,7 @@ uint64_t BlockCache::Erase(uint64_t file_id) {
   // A file's blocks hash across every shard, so all shards are visited; each
   // is locked on its own, never two at once.
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->key.file_id != file_id) {
         ++it;
@@ -104,7 +104,7 @@ BlockCache::Stats BlockCache::GetStats() const {
   Stats stats;
   stats.capacity = capacity_;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
@@ -120,7 +120,9 @@ uint64_t NewBlockCacheFileId() {
 
 BlockCache* EnvironmentBlockCache() {
   static BlockCache* const cache = []() -> BlockCache* {
-    const char* mb_text = std::getenv("LSMSTATS_BLOCK_CACHE_MB");
+    // Read once under the function-local static's init lock; nothing in this
+    // process calls setenv, so the unsynchronized-environ hazard does not apply.
+    const char* mb_text = std::getenv("LSMSTATS_BLOCK_CACHE_MB");  // NOLINT(concurrency-mt-unsafe)
     if (mb_text == nullptr || mb_text[0] == '\0') return nullptr;
     uint64_t mb = std::strtoull(mb_text, nullptr, 10);
     if (mb == 0) return nullptr;

@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace lsmstats {
 
@@ -84,13 +85,14 @@ class BlockCache {
     uint64_t charge;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
-    uint64_t charge = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
+    mutable Mutex mu{LockRank::kBlockCacheShard, "block_cache_shard"};
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map
+        GUARDED_BY(mu);
+    uint64_t charge GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key);

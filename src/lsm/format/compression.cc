@@ -1,9 +1,9 @@
 #include "lsm/format/compression.h"
 
 #include <map>
-#include <mutex>
 
 #include "common/coding.h"
+#include "common/mutex.h"
 
 namespace lsmstats {
 
@@ -123,9 +123,10 @@ class DeltaVarintCodec : public CompressionCodec {
 };
 
 struct CodecRegistry {
-  std::mutex mu;
-  std::map<uint8_t, const CompressionCodec*> by_tag;
-  std::map<std::string, const CompressionCodec*, std::less<>> by_name;
+  Mutex mu{LockRank::kCodecRegistry, "codec_registry"};
+  std::map<uint8_t, const CompressionCodec*> by_tag GUARDED_BY(mu);
+  std::map<std::string, const CompressionCodec*, std::less<>> by_name
+      GUARDED_BY(mu);
 };
 
 CodecRegistry& GlobalCodecRegistry() {
@@ -146,14 +147,14 @@ CodecRegistry& GlobalCodecRegistry() {
 
 const CompressionCodec* CodecByTag(uint8_t tag) {
   CodecRegistry& registry = GlobalCodecRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   auto it = registry.by_tag.find(tag);
   return it == registry.by_tag.end() ? nullptr : it->second;
 }
 
 const CompressionCodec* CodecByName(std::string_view name) {
   CodecRegistry& registry = GlobalCodecRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   auto it = registry.by_name.find(name);
   return it == registry.by_name.end() ? nullptr : it->second;
 }
@@ -167,7 +168,7 @@ Status RegisterCodec(const CompressionCodec* codec) {
         "codec tags below 64 are reserved for built-ins");
   }
   CodecRegistry& registry = GlobalCodecRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(&registry.mu);
   if (registry.by_tag.count(codec->tag()) > 0 ||
       registry.by_name.count(codec->name()) > 0) {
     return Status::AlreadyExists("codec tag or name already registered");

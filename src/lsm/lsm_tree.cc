@@ -32,10 +32,8 @@ LsmTree::LsmTree(LsmTreeOptions options)
 }
 
 LsmTree::~LsmTree() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return pending_jobs_ == 0; });
-  }
+  MutexLock lock(&mu_);
+  while (pending_jobs_ != 0) cv_.Wait(&mu_);
   if (wal_ != nullptr) {
     // Best effort: the segment stays on disk either way and recovery replays
     // it, so a failed close only costs the sync-mode durability upgrade.
@@ -63,6 +61,11 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
                                    tree->write_options_.compression);
   }
   Env* env = tree->env_;
+  // Recovery mutates guarded members (component stack, WAL bookkeeping).
+  // Nothing else can touch the tree yet, but holding mu_ keeps the accesses
+  // inside the locking discipline — and every filesystem/cache rank sits
+  // below kTreeState, so the ordering is exercised, not just asserted.
+  MutexLock recovery_lock(&tree->mu_);
   LSMSTATS_RETURN_IF_ERROR(env->CreateDirIfMissing(tree->options_.directory));
 
   // Recover components left by a previous incarnation of this tree: files
@@ -157,6 +160,9 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
       env, tree->options_.directory, tree->options_.name,
       tree->options_.quarantine_corrupt_components,
       [raw](WalOp op, const LsmKey& key, std::string_view value) {
+        // Runs synchronously under the recovery lock taken above; the
+        // analysis cannot see through the std::function.
+        raw->mu_.AssertHeld();
         switch (op) {
           case WalOp::kPut:
             // fresh_insert is not logged; replaying without it is always
@@ -252,59 +258,68 @@ Status LsmTree::WalAppendLocked(WalOp op, const LsmKey& key,
   return wal_->Append(op, key, value);
 }
 
-Status LsmTree::MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock) {
-  if (!options_.auto_flush || !MemTableFullLocked()) return Status::OK();
-  if (options_.scheduler == nullptr) {
+Status LsmTree::MaybeFlushAfterWrite() {
+  bool scheduled = false;
+  {
+    MutexLock lock(&mu_);
+    if (!options_.auto_flush || !MemTableFullLocked()) return Status::OK();
+    if (options_.scheduler != nullptr) {
+      auto rotated = RotateLocked();
+      LSMSTATS_RETURN_IF_ERROR(rotated.status());
+      // A full memtable is never empty, so a rotation happened unless the
+      // WAL seal failed above.
+      ++pending_jobs_;
+      scheduled = true;
+    }
+  }
+  if (!scheduled) {
     // Synchronous mode: flush inline, exactly like the single-threaded
-    // engine. Flush() re-acquires the locks it needs.
-    lock.unlock();
+    // engine. Flush() acquires the locks it needs.
     return Flush();
   }
-  {
-    auto rotated = RotateLocked();
-    LSMSTATS_RETURN_IF_ERROR(rotated.status());
-    // A full memtable is never empty, so a rotation happened unless the WAL
-    // seal failed above.
-  }
-  ++pending_jobs_;
   // Schedule without holding mu_: after a scheduler shutdown the job runs
   // inline on this thread, and the job itself takes mu_.
-  lock.unlock();
   options_.scheduler->Schedule([this] { BackgroundFlushJob(); });
-  lock.lock();
   // Backpressure: stall the writer once too many rotated memtables are
   // waiting for the workers, so memory stays bounded under write bursts.
-  cv_.wait(lock, [this] {
-    return immutables_.size() <= options_.max_immutable_memtables ||
-           !background_error_.ok();
-  });
+  MutexLock lock(&mu_);
+  while (immutables_.size() > options_.max_immutable_memtables &&
+         background_error_.ok()) {
+    cv_.Wait(&mu_);
+  }
   return background_error_;
 }
 
 Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
-  std::unique_lock<std::mutex> lock(mu_);
-  LSMSTATS_RETURN_IF_ERROR(background_error_);
-  // Log before applying: a WAL failure must not leave the memtable holding a
-  // record the log never saw.
-  LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kPut, key, value));
-  memtable_->Put(key, std::move(value), fresh_insert);
-  return MaybeFlushAfterWrite(lock);
+  {
+    MutexLock lock(&mu_);
+    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    // Log before applying: a WAL failure must not leave the memtable holding
+    // a record the log never saw.
+    LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kPut, key, value));
+    memtable_->Put(key, std::move(value), fresh_insert);
+  }
+  return MaybeFlushAfterWrite();
 }
 
 Status LsmTree::Delete(const LsmKey& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  LSMSTATS_RETURN_IF_ERROR(background_error_);
-  LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kDelete, key, {}));
-  memtable_->Delete(key);
-  return MaybeFlushAfterWrite(lock);
+  {
+    MutexLock lock(&mu_);
+    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kDelete, key, {}));
+    memtable_->Delete(key);
+  }
+  return MaybeFlushAfterWrite();
 }
 
 Status LsmTree::PutAntiMatter(const LsmKey& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  LSMSTATS_RETURN_IF_ERROR(background_error_);
-  LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kAntiMatter, key, {}));
-  memtable_->PutAntiMatter(key);
-  return MaybeFlushAfterWrite(lock);
+  {
+    MutexLock lock(&mu_);
+    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kAntiMatter, key, {}));
+    memtable_->PutAntiMatter(key);
+  }
+  return MaybeFlushAfterWrite();
 }
 
 Status LsmTree::Get(const LsmKey& key, std::string* value) const {
@@ -313,7 +328,7 @@ Status LsmTree::Get(const LsmKey& key, std::string* value) const {
   std::vector<std::shared_ptr<const MemTable>> frozen;  // newest first
   std::vector<std::shared_ptr<DiskComponent>> components;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     bool anti = false;
     Status s = memtable_->Get(key, value, &anti);
     if (s.ok()) {
@@ -353,7 +368,7 @@ Status LsmTree::Scan(const LsmKey& lo, const LsmKey& hi,
   std::vector<std::shared_ptr<const MemTable>> frozen;  // newest first
   std::vector<std::shared_ptr<DiskComponent>> components;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     memtable_->ForEach([&](const Entry& e) {
       if (!(e.key < lo) && !(hi < e.key)) mem_entries.push_back(e);
     });
@@ -410,7 +425,7 @@ Status LsmTree::WriteComponent(
 
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     id = next_component_id_++;
   }
   DiskComponentBuilder builder(env_, ComponentPath(id),
@@ -438,7 +453,7 @@ Status LsmTree::WriteComponent(
     ComponentMetadata empty;
     empty.id = id;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       empty.timestamp = logical_clock_++;
       install(nullptr);
     }
@@ -450,14 +465,14 @@ Status LsmTree::WriteComponent(
 
   uint64_t timestamp;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     timestamp = logical_clock_++;
   }
   auto component_or = builder.Finish(id, timestamp);
   LSMSTATS_RETURN_IF_ERROR(component_or.status());
   *out = std::move(component_or).value();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     install(*out);
   }
   for (auto& observer : observers) {
@@ -473,25 +488,25 @@ Status LsmTree::WriteComponent(
 }
 
 Status LsmTree::FlushOneImmutable() {
-  std::lock_guard<std::mutex> work(work_mu_);
+  MutexLock work(&work_mu_);
   // First finish any WAL deletions a previous flush failed: a stale segment
   // would replay already-flushed records over newer data at the next Open,
   // so the tree must not accept further flushes until they are gone.
   std::vector<std::string> pending_deletes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending_deletes = wal_obsolete_segments_;
   }
   if (!pending_deletes.empty()) {
     LSMSTATS_RETURN_IF_ERROR(DeleteWalSegments(env_, pending_deletes));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     wal_obsolete_segments_.clear();
   }
 
   std::shared_ptr<const MemTable> victim;
   std::vector<std::string> wal_segments;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (immutables_.empty()) return Status::OK();
     victim = immutables_.front().memtable;
     wal_segments = immutables_.front().wal_segments;
@@ -511,6 +526,7 @@ Status LsmTree::FlushOneImmutable() {
   LSMSTATS_RETURN_IF_ERROR(WriteComponent(
       context, &cursor, {},
       [this](std::shared_ptr<DiskComponent> sealed) {
+        mu_.AssertHeld();  // WriteComponent invokes install under mu_
         // A rotated memtable is never empty, so a flush always seals a
         // component; swap it in and retire the memtable in one step so
         // readers never see the data twice or not at all. The memtable's WAL
@@ -521,14 +537,14 @@ Status LsmTree::FlushOneImmutable() {
                                       front.wal_segments.begin(),
                                       front.wal_segments.end());
         immutables_.pop_front();
-        cv_.notify_all();
+        cv_.NotifyAll();
       },
       &component));
   if (!wal_segments.empty()) {
     LSMSTATS_RETURN_IF_ERROR(DeleteWalSegments(env_, wal_segments));
     // work_mu_ serializes flushes and the pending list was drained above, so
     // the list holds exactly this memtable's segments right now.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     wal_obsolete_segments_.clear();
   }
   return Status::OK();
@@ -536,13 +552,13 @@ Status LsmTree::FlushOneImmutable() {
 
 Status LsmTree::Flush() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
     LSMSTATS_RETURN_IF_ERROR(RotateLocked().status());
   }
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (immutables_.empty()) break;
     }
     LSMSTATS_RETURN_IF_ERROR(FlushOneImmutableWithRetry());
@@ -555,7 +571,7 @@ Status LsmTree::RequestFlush() {
   if (options_.scheduler == nullptr) return Flush();
   bool rotated;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
     auto rotated_or = RotateLocked();
     LSMSTATS_RETURN_IF_ERROR(rotated_or.status());
@@ -567,21 +583,21 @@ Status LsmTree::RequestFlush() {
 }
 
 Status LsmTree::WaitForBackgroundWork() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_jobs_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_jobs_ != 0) cv_.Wait(&mu_);
   return background_error_;
 }
 
 Status LsmTree::BackgroundError() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return background_error_;
 }
 
 void LsmTree::FinishJob(Status s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (background_error_.ok() && !s.ok()) background_error_ = std::move(s);
   --pending_jobs_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status LsmTree::FlushOneImmutableWithRetry() {
@@ -602,7 +618,7 @@ void LsmTree::BackgroundFlushJob() {
   Status s = FlushOneImmutableWithRetry();
   bool want_merge = false;
   if (s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::vector<ComponentMetadata> metadata;
     metadata.reserve(components_.size());
     for (const auto& component : components_) {
@@ -622,11 +638,11 @@ void LsmTree::BackgroundFlushJob() {
 void LsmTree::BackgroundMergeJob() { FinishJob(MaybeMerge()); }
 
 Status LsmTree::MaybeMerge() {
-  std::lock_guard<std::mutex> work(work_mu_);
+  MutexLock work(&work_mu_);
   for (;;) {
     std::optional<MergeDecision> decision;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       std::vector<ComponentMetadata> metadata;
       metadata.reserve(components_.size());
       for (const auto& component : components_) {
@@ -645,10 +661,10 @@ Status LsmTree::MaybeMerge() {
 }
 
 Status LsmTree::ForceFullMerge() {
-  std::lock_guard<std::mutex> work(work_mu_);
+  MutexLock work(&work_mu_);
   size_t component_count;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     component_count = components_.size();
   }
   if (component_count < 2) return Status::OK();
@@ -664,7 +680,7 @@ Status LsmTree::MergeRange(const MergeDecision& decision) {
   std::vector<std::shared_ptr<DiskComponent>> replaced;
   std::vector<uint64_t> replaced_ids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     LSMSTATS_CHECK(decision.end <= components_.size());
     context.includes_oldest_component = decision.end == components_.size();
     for (size_t i = decision.begin; i < decision.end; ++i) {
@@ -687,6 +703,7 @@ Status LsmTree::MergeRange(const MergeDecision& decision) {
   Status s = WriteComponent(
       context, &merged, replaced_ids,
       [this, &decision](std::shared_ptr<DiskComponent> sealed) {
+        mu_.AssertHeld();  // WriteComponent invokes install under mu_
         // Replace the merged range with its result in one step, so readers
         // see either all inputs or the output (recency order is preserved:
         // everything in the range is newer than what follows and older than
@@ -717,9 +734,9 @@ Status LsmTree::MergeRange(const MergeDecision& decision) {
 Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
                          uint64_t expected_anti_matter) {
   {
-    std::lock_guard<std::mutex> work(work_mu_);
+    MutexLock work(&work_mu_);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       LSMSTATS_RETURN_IF_ERROR(background_error_);
       if (!memtable_->Empty() || !immutables_.empty()) {
         return Status::FailedPrecondition(
@@ -735,6 +752,7 @@ Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
     LSMSTATS_RETURN_IF_ERROR(WriteComponent(
         context, input, {},
         [this](std::shared_ptr<DiskComponent> sealed) {
+          mu_.AssertHeld();  // WriteComponent invokes install under mu_
           if (sealed) components_.insert(components_.begin(),
                                          std::move(sealed));
         },
@@ -744,12 +762,12 @@ Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
 }
 
 size_t LsmTree::ComponentCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return components_.size();
 }
 
 std::vector<ComponentMetadata> LsmTree::ComponentsMetadata() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ComponentMetadata> result;
   result.reserve(components_.size());
   for (const auto& component : components_) {
@@ -759,27 +777,27 @@ std::vector<ComponentMetadata> LsmTree::ComponentsMetadata() const {
 }
 
 uint64_t LsmTree::MemTableEntryCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memtable_->EntryCount();
 }
 
 uint64_t LsmTree::MemTableBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memtable_->ApproximateBytes();
 }
 
 size_t LsmTree::ImmutableMemTableCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return immutables_.size();
 }
 
 std::vector<std::string> LsmTree::QuarantinedFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return quarantined_files_;
 }
 
 uint64_t LsmTree::TotalDiskRecords() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& component : components_) {
     total += component->metadata().record_count;

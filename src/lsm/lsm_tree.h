@@ -30,16 +30,15 @@
 #define LSMSTATS_LSM_LSM_TREE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "lsm/disk_component.h"
 #include "lsm/entry.h"
@@ -145,9 +144,10 @@ class LsmTree {
   // a full memtable is rotated and flushed in the background; the call
   // returns without touching disk (unless backpressure stalls it).
   [[nodiscard]]
-  Status Put(const LsmKey& key, std::string value, bool fresh_insert = false);
-  [[nodiscard]] Status Delete(const LsmKey& key);
-  [[nodiscard]] Status PutAntiMatter(const LsmKey& key);
+  Status Put(const LsmKey& key, std::string value, bool fresh_insert = false)
+      EXCLUDES(mu_);
+  [[nodiscard]] Status Delete(const LsmKey& key) EXCLUDES(mu_);
+  [[nodiscard]] Status PutAntiMatter(const LsmKey& key) EXCLUDES(mu_);
 
   // --- Reads ---------------------------------------------------------------
 
@@ -173,26 +173,26 @@ class LsmTree {
   // Synchronous barrier: persists the memtable and every pending immutable
   // memtable as disk components (no-op when all are empty), lets the merge
   // policy run, and waits for outstanding background jobs.
-  [[nodiscard]] Status Flush();
+  [[nodiscard]] Status Flush() EXCLUDES(work_mu_, mu_);
 
   // Non-blocking flush trigger: rotates a non-empty memtable and schedules
   // its flush on the background scheduler. Without a scheduler this is
   // Flush().
-  [[nodiscard]] Status RequestFlush();
+  [[nodiscard]] Status RequestFlush() EXCLUDES(work_mu_, mu_);
 
   // Runs the merge policy until it makes no further decision.
-  [[nodiscard]] Status MaybeMerge();
+  [[nodiscard]] Status MaybeMerge() EXCLUDES(work_mu_, mu_);
 
   // Merges all disk components into one.
-  [[nodiscard]] Status ForceFullMerge();
+  [[nodiscard]] Status ForceFullMerge() EXCLUDES(work_mu_, mu_);
 
   // Blocks until all scheduled flush/merge jobs for this tree completed;
   // returns the first background failure, if any (sticky — also surfaced by
   // the next Put/Delete).
-  [[nodiscard]] Status WaitForBackgroundWork();
+  [[nodiscard]] Status WaitForBackgroundWork() EXCLUDES(mu_);
 
   // First error a background job hit, or OK.
-  [[nodiscard]] Status BackgroundError() const;
+  [[nodiscard]] Status BackgroundError() const EXCLUDES(mu_);
 
   // Builds one component bottom-up from a sorted, reconciled entry stream.
   // Requires an empty memtable. `expected_records` is the stream length
@@ -220,7 +220,7 @@ class LsmTree {
  private:
   explicit LsmTree(LsmTreeOptions options);
 
-  bool MemTableFullLocked() const;
+  bool MemTableFullLocked() const REQUIRES(mu_);
   std::string ComponentPath(uint64_t id) const;
 
   // A rotated memtable plus the WAL segments that back its records (empty
@@ -234,37 +234,39 @@ class LsmTree {
   // Seals a non-empty memtable into the immutable queue, sealing the active
   // WAL segment with it (synced first in flush-only mode). Returns whether a
   // rotation happened. On a WAL sync/close error nothing is mutated, so the
-  // caller may retry. Caller holds mu_.
-  [[nodiscard]] StatusOr<bool> RotateLocked();
+  // caller may retry.
+  [[nodiscard]] StatusOr<bool> RotateLocked() REQUIRES(mu_);
 
   // Appends one record to the active WAL segment (creating it lazily on the
   // first logged write after a rotation); no-op when the WAL is off. Called
   // before the memtable apply so an acknowledged write is never memtable-only
-  // under every-record sync. Caller holds mu_.
+  // under every-record sync.
   [[nodiscard]]
-  Status WalAppendLocked(WalOp op, const LsmKey& key, std::string_view value);
+  Status WalAppendLocked(WalOp op, const LsmKey& key, std::string_view value)
+      REQUIRES(mu_);
 
-  // Handles a full memtable after a write: inline flush without a scheduler,
-  // rotate + schedule + backpressure with one. Caller holds `lock` on mu_;
-  // the lock is released around the Schedule() call (a shut-down scheduler
-  // runs the job inline, and the job takes mu_ itself).
-  [[nodiscard]] Status MaybeFlushAfterWrite(std::unique_lock<std::mutex>& lock);
+  // Handles a full memtable after a write landed: inline flush without a
+  // scheduler; rotate + schedule + backpressure with one. Called without mu_
+  // (a shut-down scheduler runs the job inline, and the job takes mu_
+  // itself).
+  [[nodiscard]] Status MaybeFlushAfterWrite() EXCLUDES(work_mu_, mu_);
 
   // Background job bodies; record failures in background_error_.
-  void BackgroundFlushJob();
-  void BackgroundMergeJob();
-  void FinishJob(Status s);
+  void BackgroundFlushJob() EXCLUDES(work_mu_, mu_);
+  void BackgroundMergeJob() EXCLUDES(work_mu_, mu_);
+  void FinishJob(Status s) EXCLUDES(mu_);
 
   // Flushes the oldest pending immutable memtable (no-op when none).
   // Serializes on work_mu_. Does not run the merge policy.
-  [[nodiscard]] Status FlushOneImmutable();
+  [[nodiscard]] Status FlushOneImmutable() EXCLUDES(work_mu_, mu_);
 
   // FlushOneImmutable plus up to background_flush_retries retries with
   // exponential backoff. Retrying is safe from any thread: a failed flush
   // leaves the immutable queue and component stack untouched and its
   // half-written temporary removed, so the retry re-runs the whole flush
   // under a fresh component id.
-  [[nodiscard]] Status FlushOneImmutableWithRetry();
+  [[nodiscard]]
+  Status FlushOneImmutableWithRetry() EXCLUDES(work_mu_, mu_);
 
   // Streams `input` into a new component, driving listeners. `install` is
   // invoked under mu_ with the sealed component (null when the stream
@@ -275,11 +277,12 @@ class LsmTree {
       const OperationContext& context, EntryCursor* input,
       const std::vector<uint64_t>& replaced_ids,
       const std::function<void(std::shared_ptr<DiskComponent>)>& install,
-      std::shared_ptr<DiskComponent>* out);
+      std::shared_ptr<DiskComponent>* out) REQUIRES(work_mu_) EXCLUDES(mu_);
 
   // Performs one merge over components_[decision.begin, decision.end).
-  // Caller holds work_mu_.
-  [[nodiscard]] Status MergeRange(const MergeDecision& decision);
+  [[nodiscard]]
+  Status MergeRange(const MergeDecision& decision)
+      REQUIRES(work_mu_) EXCLUDES(mu_);
 
   LsmTreeOptions options_;
   Env* env_;  // options_.env or Env::Default(); never null
@@ -289,41 +292,44 @@ class LsmTree {
   BlockCache* block_cache_ = nullptr;
 
   // Serializes structural operations (flush, merge, bulkload) and thereby
-  // all listener callbacks. Never acquired while holding mu_.
-  std::mutex work_mu_;
+  // all listener callbacks. Never acquired while holding mu_ (kTreeWork sits
+  // directly above kTreeState in the hierarchy).
+  Mutex work_mu_{LockRank::kTreeWork, "tree_work"};
 
   // Guards every member below. Held only for short, non-blocking sections.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // backpressure + job completion
-  std::unique_ptr<MemTable> memtable_;
+  mutable Mutex mu_{LockRank::kTreeState, "tree_state"};
+  CondVar cv_;  // backpressure + job completion
+  std::unique_ptr<MemTable> memtable_ GUARDED_BY(mu_);
   // Rotated memtables awaiting flush, oldest first. The memtables are
   // frozen: safe to read without mu_ once a shared_ptr has been taken
   // under it.
-  std::deque<ImmutableMemTable> immutables_;
+  std::deque<ImmutableMemTable> immutables_ GUARDED_BY(mu_);
   // Newest first.
-  std::vector<std::shared_ptr<DiskComponent>> components_;
+  std::vector<std::shared_ptr<DiskComponent>> components_ GUARDED_BY(mu_);
+  // Written only by AddListener before the tree is shared (see its comment).
   std::vector<LsmEventListener*> listeners_;
-  uint64_t next_component_id_ = 1;
-  uint64_t logical_clock_ = 1;
-  size_t pending_jobs_ = 0;
-  Status background_error_;
-  // Written only during Open(), before the tree is shared.
-  std::vector<std::string> quarantined_files_;
+  uint64_t next_component_id_ GUARDED_BY(mu_) = 1;
+  uint64_t logical_clock_ GUARDED_BY(mu_) = 1;
+  size_t pending_jobs_ GUARDED_BY(mu_) = 0;
+  Status background_error_ GUARDED_BY(mu_);
+  // Written only during Open(), before the tree is shared (Open still takes
+  // mu_ for the analysis's sake — it is uncontended there).
+  std::vector<std::string> quarantined_files_ GUARDED_BY(mu_);
   // WAL policy resolved from options_/environment at construction.
   bool wal_enabled_ = false;
   WalSyncMode wal_sync_mode_ = WalSyncMode::kFlushOnly;
   // Active segment, logging the mutable memtable. Created lazily by the
   // first logged write, sealed (and handed to the immutable entry) at
-  // rotation. Guarded by mu_.
-  std::unique_ptr<WalSegmentWriter> wal_;
+  // rotation.
+  std::unique_ptr<WalSegmentWriter> wal_ GUARDED_BY(mu_);
   // Segments recovered by Open() that back replayed records now sitting in
   // the mutable memtable; they ride along with the next rotation.
-  std::vector<std::string> wal_legacy_segments_;
-  uint64_t next_wal_sequence_ = 1;
+  std::vector<std::string> wal_legacy_segments_ GUARDED_BY(mu_);
+  uint64_t next_wal_sequence_ GUARDED_BY(mu_) = 1;
   // Segments whose memtable flushed durably but whose unlink has not
   // succeeded yet; retried before the next flush (a stale segment would
   // replay old records over newer data at the next Open).
-  std::vector<std::string> wal_obsolete_segments_;
+  std::vector<std::string> wal_obsolete_segments_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmstats

@@ -17,50 +17,51 @@ BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
 
 void BackgroundScheduler::Schedule(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    ++tasks_scheduled_;
     if (!shutdown_) {
-      ++tasks_scheduled_;
       queue_.push_back(std::move(task));
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
       return;
     }
-    ++tasks_scheduled_;
   }
   // Post-shutdown: degrade to synchronous execution so no work is lost.
   task();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++tasks_completed_;
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 void BackgroundScheduler::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // shutdown with a drained queue
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
-    ++active_;
-    lock.unlock();
+    std::function<void()> task;
+    {
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
     task();
-    lock.lock();
+    MutexLock lock(&mu_);
     --active_;
     ++tasks_completed_;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 
 void BackgroundScheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(&mu_);
 }
 
 void BackgroundScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) return;
     shutdown_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
@@ -68,12 +69,12 @@ void BackgroundScheduler::Shutdown() {
 }
 
 uint64_t BackgroundScheduler::tasks_scheduled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_scheduled_;
 }
 
 uint64_t BackgroundScheduler::tasks_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tasks_completed_;
 }
 

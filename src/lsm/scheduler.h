@@ -19,14 +19,14 @@
 #ifndef LSMSTATS_LSM_SCHEDULER_H_
 #define LSMSTATS_LSM_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace lsmstats {
 
@@ -42,34 +42,38 @@ class BackgroundScheduler {
   ~BackgroundScheduler();
 
   // Enqueues `task` for execution on a worker thread. After Shutdown() the
-  // task runs inline instead.
-  void Schedule(std::function<void()> task);
+  // task runs inline instead. Must be called with no engine lock held
+  // (mu_ is kScheduler, the top of the hierarchy, precisely so the rank
+  // checker enforces this): the inline path runs the task on the caller,
+  // and the task takes tree locks itself.
+  void Schedule(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until the queue is empty and no worker is mid-task.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   // Finishes all queued tasks, then joins the workers. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   size_t thread_count() const { return threads_.size(); }
 
   // Tasks handed to Schedule() so far (including inline post-shutdown runs).
-  uint64_t tasks_scheduled() const;
+  uint64_t tasks_scheduled() const EXCLUDES(mu_);
   // Tasks that have finished executing.
-  uint64_t tasks_completed() const;
+  uint64_t tasks_completed() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks / shutdown
-  std::condition_variable idle_cv_;   // Drain() waits for quiescence
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_{LockRank::kScheduler, "scheduler"};
+  CondVar work_cv_;   // workers wait for tasks / shutdown
+  CondVar idle_cv_;   // Drain() waits for quiescence
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // Written only by the constructor, before any concurrent access.
   std::vector<std::thread> threads_;
-  size_t active_ = 0;  // workers currently running a task
-  bool shutdown_ = false;
-  uint64_t tasks_scheduled_ = 0;
-  uint64_t tasks_completed_ = 0;
+  size_t active_ GUARDED_BY(mu_) = 0;  // workers currently running a task
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  uint64_t tasks_scheduled_ GUARDED_BY(mu_) = 0;
+  uint64_t tasks_completed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lsmstats

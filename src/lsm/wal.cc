@@ -51,7 +51,9 @@ StatusOr<WalSyncMode> WalSyncModeFromString(std::string_view s) {
 
 bool EnvironmentWalEnabled() {
   static const bool enabled = [] {
-    const char* v = std::getenv("LSMSTATS_WAL");
+    // Read once under the function-local static's init lock; nothing in this
+    // process calls setenv, so the unsynchronized-environ hazard does not apply.
+    const char* v = std::getenv("LSMSTATS_WAL");  // NOLINT(concurrency-mt-unsafe)
     return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
   }();
   return enabled;
@@ -59,7 +61,9 @@ bool EnvironmentWalEnabled() {
 
 WalSyncMode EnvironmentWalSyncMode() {
   static const WalSyncMode mode = [] {
-    const char* v = std::getenv("LSMSTATS_WAL_SYNC");
+    // Read once under the function-local static's init lock; nothing in this
+    // process calls setenv, so the unsynchronized-environ hazard does not apply.
+    const char* v = std::getenv("LSMSTATS_WAL_SYNC");  // NOLINT(concurrency-mt-unsafe)
     if (v == nullptr || v[0] == '\0') return WalSyncMode::kFlushOnly;
     auto parsed = WalSyncModeFromString(v);
     // A typo here would silently weaken a durability guarantee; refuse to run.

@@ -32,7 +32,7 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
     std::shared_ptr<const Synopsis> cached_merged;
     std::shared_ptr<const Synopsis> cached_anti;
     {
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      MutexLock lock(&cache_mu_);
       auto it = cache_.find(key);
       // Algorithm 2 lines 4-10: serve from the cached merged synopsis unless
       // the catalog changed underneath it (isStale).
@@ -91,7 +91,7 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
   if (mergeable) {
     // Two threads recomputing concurrently both store equivalent results for
     // the same version; last writer wins and nothing is torn.
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(&cache_mu_);
     CachedMerged& cached = cache_[key];
     cached.catalog_version = version;
     cached.merged = std::move(merged);

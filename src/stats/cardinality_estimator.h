@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "stats/statistics_catalog.h"
 
 namespace lsmstats {
@@ -72,8 +72,8 @@ class CardinalityEstimator {
   // Drops all cached merged synopses. Safe to call concurrently with
   // estimation: in-flight queries keep shared references to the synopses
   // they are probing.
-  void InvalidateCache() {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+  void InvalidateCache() EXCLUDES(cache_mu_) {
+    MutexLock lock(&cache_mu_);
     cache_.clear();
   }
 
@@ -92,8 +92,8 @@ class CardinalityEstimator {
   // Guards cache_ only; estimation itself runs lock-free on shared
   // snapshots, so serving estimates concurrently with statistics delivery
   // (which invalidates) is race-free.
-  mutable std::mutex cache_mu_;
-  std::map<StatisticsKey, CachedMerged> cache_;
+  mutable Mutex cache_mu_{LockRank::kEstimatorCache, "estimator_cache"};
+  std::map<StatisticsKey, CachedMerged> cache_ GUARDED_BY(cache_mu_);
 };
 
 }  // namespace lsmstats

@@ -16,14 +16,26 @@ constexpr size_t kCatalogTrailerSize = 4 + 8;  // payload CRC32C + magic
 }  // namespace
 
 StatisticsCatalog::StatisticsCatalog(StatisticsCatalog&& other) {
-  std::lock_guard<std::mutex> lock(other.mu_);
+  MutexLock lock(&other.mu_);
   streams_ = std::move(other.streams_);
 }
 
 StatisticsCatalog& StatisticsCatalog::operator=(StatisticsCatalog&& other) {
   if (this != &other) {
-    std::scoped_lock lock(mu_, other.mu_);
-    streams_ = std::move(other.streams_);
+    // Sequential, never nested: both catalogs share the same lock rank, so
+    // holding one while acquiring the other would trip the rank checker (and
+    // rightly so — two concurrent cross-assignments could deadlock). Take
+    // the source's streams under its lock, then install under ours. The
+    // instant between the two is safe: replacement has a single writer
+    // (LoadFromFile), and readers see either the old or the new catalog.
+    std::map<StatisticsKey, Stream> taken;
+    {
+      MutexLock lock(&other.mu_);
+      taken = std::move(other.streams_);
+      other.streams_.clear();
+    }
+    MutexLock lock(&mu_);
+    streams_ = std::move(taken);
   }
   return *this;
 }
@@ -31,7 +43,7 @@ StatisticsCatalog& StatisticsCatalog::operator=(StatisticsCatalog&& other) {
 void StatisticsCatalog::Register(
     const StatisticsKey& key, SynopsisEntry entry,
     const std::vector<uint64_t>& replaced_component_ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stream& stream = streams_[key];
   if (!replaced_component_ids.empty()) {
     auto replaced = [&](const SynopsisEntry& e) {
@@ -49,7 +61,7 @@ void StatisticsCatalog::Register(
 
 void StatisticsCatalog::Drop(const StatisticsKey& key,
                              const std::vector<uint64_t>& component_ids) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(key);
   if (it == streams_.end()) return;
   auto dropped = [&](const SynopsisEntry& e) {
@@ -64,7 +76,7 @@ void StatisticsCatalog::Drop(const StatisticsKey& key,
 
 std::vector<SynopsisEntry> StatisticsCatalog::GetSynopses(
     const StatisticsKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(key);
   if (it == streams_.end()) return {};
   return it->second.entries;
@@ -72,7 +84,7 @@ std::vector<SynopsisEntry> StatisticsCatalog::GetSynopses(
 
 std::vector<SynopsisEntry> StatisticsCatalog::GetSynopsesAllPartitions(
     const std::string& dataset, const std::string& field) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SynopsisEntry> result;
   for (const auto& [key, stream] : streams_) {
     if (key.dataset == dataset && key.field == field) {
@@ -85,7 +97,7 @@ std::vector<SynopsisEntry> StatisticsCatalog::GetSynopsesAllPartitions(
 
 std::vector<StatisticsKey> StatisticsCatalog::Keys(
     const std::string& dataset, const std::string& field) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<StatisticsKey> result;
   for (const auto& [key, stream] : streams_) {
     if (key.dataset == dataset && key.field == field) {
@@ -96,13 +108,13 @@ std::vector<StatisticsKey> StatisticsCatalog::Keys(
 }
 
 uint64_t StatisticsCatalog::Version(const StatisticsKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(key);
   return it == streams_.end() ? 0 : it->second.version;
 }
 
 uint64_t StatisticsCatalog::TotalStorageBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& [key, stream] : streams_) {
     for (const SynopsisEntry& entry : stream.entries) {
@@ -118,13 +130,13 @@ uint64_t StatisticsCatalog::TotalStorageBytes() const {
 }
 
 size_t StatisticsCatalog::EntryCount(const StatisticsKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = streams_.find(key);
   return it == streams_.end() ? 0 : it->second.entries.size();
 }
 
 void StatisticsCatalog::EncodeTo(Encoder* enc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enc->PutVarint64(streams_.size());
   for (const auto& [key, stream] : streams_) {
     enc->PutString(key.dataset);
@@ -150,33 +162,40 @@ void StatisticsCatalog::EncodeTo(Encoder* enc) const {
 
 StatusOr<StatisticsCatalog> StatisticsCatalog::DecodeFrom(Decoder* dec) {
   StatisticsCatalog catalog;
-  uint64_t stream_count;
-  LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&stream_count));
-  for (uint64_t s = 0; s < stream_count; ++s) {
-    StatisticsKey key;
-    LSMSTATS_RETURN_IF_ERROR(dec->GetString(&key.dataset));
-    LSMSTATS_RETURN_IF_ERROR(dec->GetString(&key.field));
-    LSMSTATS_RETURN_IF_ERROR(dec->GetU32(&key.partition));
-    Stream& stream = catalog.streams_[key];
-    LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&stream.version));
-    uint64_t entry_count;
-    LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry_count));
-    if (entry_count > dec->remaining()) {
-      return Status::Corruption("catalog entry count exceeds buffer");
-    }
-    stream.entries.resize(entry_count);
-    for (SynopsisEntry& entry : stream.entries) {
-      LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry.component_id));
-      LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry.timestamp));
-      for (auto* slot : {&entry.synopsis, &entry.anti_synopsis}) {
-        std::string body;
-        LSMSTATS_RETURN_IF_ERROR(dec->GetString(&body));
-        if (body.empty()) continue;
-        Decoder body_dec(body);
-        auto synopsis = DecodeSynopsis(&body_dec);
-        LSMSTATS_RETURN_IF_ERROR(synopsis.status());
-        *slot = std::shared_ptr<const Synopsis>(
-            std::move(synopsis).value().release());
+  {
+    // The catalog is function-local, but streams_ is a guarded member, so
+    // the analysis wants its lock held. The scope must end before the final
+    // return: the move into the StatusOr locks catalog.mu_ again, and the
+    // rank checker treats that as a re-entrant acquisition if still held.
+    MutexLock lock(&catalog.mu_);
+    uint64_t stream_count;
+    LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&stream_count));
+    for (uint64_t s = 0; s < stream_count; ++s) {
+      StatisticsKey key;
+      LSMSTATS_RETURN_IF_ERROR(dec->GetString(&key.dataset));
+      LSMSTATS_RETURN_IF_ERROR(dec->GetString(&key.field));
+      LSMSTATS_RETURN_IF_ERROR(dec->GetU32(&key.partition));
+      Stream& stream = catalog.streams_[key];
+      LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&stream.version));
+      uint64_t entry_count;
+      LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry_count));
+      if (entry_count > dec->remaining()) {
+        return Status::Corruption("catalog entry count exceeds buffer");
+      }
+      stream.entries.resize(entry_count);
+      for (SynopsisEntry& entry : stream.entries) {
+        LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry.component_id));
+        LSMSTATS_RETURN_IF_ERROR(dec->GetVarint64(&entry.timestamp));
+        for (auto* slot : {&entry.synopsis, &entry.anti_synopsis}) {
+          std::string body;
+          LSMSTATS_RETURN_IF_ERROR(dec->GetString(&body));
+          if (body.empty()) continue;
+          Decoder body_dec(body);
+          auto synopsis = DecodeSynopsis(&body_dec);
+          LSMSTATS_RETURN_IF_ERROR(synopsis.status());
+          *slot = std::shared_ptr<const Synopsis>(
+              std::move(synopsis).value().release());
+        }
       }
     }
   }

@@ -21,11 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "synopsis/synopsis.h"
 
 namespace lsmstats {
@@ -118,8 +118,8 @@ class StatisticsCatalog {
 
   // Guards streams_. EncodeTo locks it, so Save/DecodeFrom callers must not
   // hold it (they don't: SaveToFile only touches the encoder and the file).
-  mutable std::mutex mu_;
-  std::map<StatisticsKey, Stream> streams_;
+  mutable Mutex mu_{LockRank::kStatisticsCatalog, "statistics_catalog"};
+  std::map<StatisticsKey, Stream> streams_ GUARDED_BY(mu_);
 };
 
 }  // namespace lsmstats

@@ -73,8 +73,9 @@ StatusOr<std::unique_ptr<SocketFeed>> SocketFeed::Start(
     std::vector<Record> records, size_t field_count) {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    // strerror feeds an error path; the text is copied out immediately.
     return Status::IOError(std::string("socketpair: ") +
-                           std::strerror(errno));
+                           std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
   }
   return std::unique_ptr<SocketFeed>(
       new SocketFeed(fds[0], fds[1], std::move(records), field_count));
@@ -95,8 +96,9 @@ bool SocketFeed::ReadExact(char* buf, size_t n) {
       return false;
     }
     if (r < 0) {
+      // strerror feeds an error path; the text is copied out immediately.
       status_ = Status::IOError(std::string("socket read: ") +
-                                std::strerror(errno));
+                                std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
       return false;
     }
     done += static_cast<size_t>(r);

@@ -1,8 +1,10 @@
 // Tests for the shared-nothing cluster simulation: partition routing,
 // byte-level synopsis transport, and global estimation.
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -246,6 +248,53 @@ TEST_F(ClusterTest, TransportAccountingIsDeterministic) {
   EXPECT_EQ(a.estimate, b.estimate);  // bit-identical, not merely close
   EXPECT_GT(a.sent, 0u);
   EXPECT_EQ(a.dropped, 0u);  // two rejections stay within the retry budget
+}
+
+// Regression test: messages_received()/bytes_received() used to read the
+// counters without receive_mu_, racing with ReceiveStatistics on scheduler
+// threads. The accessors now lock; this pins that — the TSan CI leg flags
+// the unlocked version, and the final counts must equal what was delivered.
+TEST_F(ClusterTest, CounterAccessorsAreSafeUnderConcurrentReceives) {
+  ClusterController controller;
+
+  // A record_count == 0 message exercises the cheap Drop path, keeping the
+  // test about counter synchronization rather than synopsis decoding.
+  ComponentStatsMessage msg;
+  msg.key = {"ds", "f", 0};
+  msg.record_count = 0;
+  Encoder enc;
+  msg.EncodeTo(&enc);
+  const std::string bytes(enc.buffer());
+
+  constexpr int kSenders = 4;
+  constexpr uint64_t kMessagesPerSender = 500;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> senders;
+  senders.reserve(kSenders);
+  for (int i = 0; i < kSenders; ++i) {
+    senders.emplace_back([&controller, &bytes] {
+      for (uint64_t n = 0; n < kMessagesPerSender; ++n) {
+        ASSERT_TRUE(controller.ReceiveStatistics(bytes).ok());
+      }
+    });
+  }
+  std::thread poller([&controller, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      // Each read must observe a consistent snapshot, never a torn value.
+      EXPECT_LE(controller.messages_received(),
+                static_cast<uint64_t>(kSenders) * kMessagesPerSender);
+      EXPECT_LE(controller.bytes_received(),
+                static_cast<uint64_t>(kSenders) * kMessagesPerSender * 1024);
+    }
+  });
+  for (auto& t : senders) t.join();
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_EQ(controller.messages_received(),
+            static_cast<uint64_t>(kSenders) * kMessagesPerSender);
+  EXPECT_EQ(controller.bytes_received(),
+            static_cast<uint64_t>(kSenders) * kMessagesPerSender * bytes.size());
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// Tests for the annotated Mutex/MutexLock/CondVar wrappers and the debug
+// lock-rank checker (common/mutex.h).
+//
+// This file is built as its own target (lsmstats_mutex_tests) that compiles
+// common/mutex.cc with LSMSTATS_LOCK_RANK_CHECKS forced to 1, so the death
+// tests fire regardless of the build type of the main library. It must not
+// link lsmstats: the library's mutex.cc may have the checker compiled out,
+// and mixing the two definitions would be an ODR violation.
+
+#include "common/mutex.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lsmstats {
+namespace {
+
+static_assert(LSMSTATS_LOCK_RANK_CHECKS == 1,
+              "lsmstats_mutex_tests must force the rank checker on");
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mu(LockRank::kLeaf, "leaf");
+  mu.Lock();
+  mu.AssertHeld();
+  mu.Unlock();
+}
+
+TEST(MutexTest, ScopedLockGuards) {
+  Mutex mu(LockRank::kLeaf, "leaf");
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(MutexTest, CorrectOrderNestingPasses) {
+  Mutex outer(LockRank::kTreeWork, "outer");
+  Mutex middle(LockRank::kTreeState, "middle");
+  Mutex inner(LockRank::kEnv, "inner");
+  MutexLock a(&outer);
+  MutexLock b(&middle);
+  MutexLock c(&inner);
+  outer.AssertHeld();
+  middle.AssertHeld();
+  inner.AssertHeld();
+}
+
+TEST(MutexTest, ReleaseOrderIsFree) {
+  // The checker constrains acquisition order only; releases may interleave
+  // (hand-over-hand locking releases the outer lock first).
+  Mutex outer(LockRank::kTreeWork, "outer");
+  Mutex inner(LockRank::kTreeState, "inner");
+  outer.Lock();
+  inner.Lock();
+  outer.Unlock();  // non-LIFO
+  inner.AssertHeld();
+  inner.Unlock();
+  // The stack is clean: a fresh correct-order sequence still passes.
+  MutexLock a(&outer);
+  MutexLock b(&inner);
+}
+
+TEST(MutexTest, SameRankDistinctMutexesSequentiallyPasses) {
+  // Two same-rank mutexes may be taken by one thread as long as the first is
+  // released before the second is acquired (StatisticsCatalog::operator=).
+  Mutex first(LockRank::kStatisticsCatalog, "first");
+  Mutex second(LockRank::kStatisticsCatalog, "second");
+  { MutexLock lock(&first); }
+  { MutexLock lock(&second); }
+}
+
+TEST(MutexDeathTest, RankInversionAborts) {
+  Mutex inner(LockRank::kTreeState, "tree_state");
+  Mutex outer(LockRank::kTreeWork, "tree_work");
+  MutexLock lock(&inner);
+  // kTreeWork > kTreeState: acquiring upward must die before blocking.
+  EXPECT_DEATH({ MutexLock bad(&outer); }, "lock rank inversion");
+}
+
+TEST(MutexDeathTest, EqualRankNestingAborts) {
+  Mutex first(LockRank::kStatisticsCatalog, "catalog_a");
+  Mutex second(LockRank::kStatisticsCatalog, "catalog_b");
+  MutexLock lock(&first);
+  // Strictly decreasing means equal ranks cannot nest: two threads doing
+  // this in opposite orders would deadlock.
+  EXPECT_DEATH({ MutexLock bad(&second); }, "lock rank inversion");
+}
+
+TEST(MutexDeathTest, ReentrantAcquisitionAborts) {
+  Mutex mu(LockRank::kLeaf, "leaf");
+  MutexLock lock(&mu);
+  EXPECT_DEATH(mu.Lock(), "re-entrant acquisition");
+}
+
+TEST(MutexDeathTest, AssertHeldWithoutLockAborts) {
+  Mutex mu(LockRank::kLeaf, "leaf");
+  EXPECT_DEATH(mu.AssertHeld(), "does not hold");
+}
+
+TEST(MutexDeathTest, UnlockWithoutLockAborts) {
+  Mutex mu(LockRank::kLeaf, "leaf");
+  EXPECT_DEATH(mu.Unlock(), "does not hold");
+}
+
+TEST(CondVarTest, WaitNotifyRoundTrip) {
+  Mutex mu(LockRank::kLeaf, "cv_mutex");
+  CondVar cv;
+  bool ready = false;
+  bool consumed = false;
+
+  std::thread consumer([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    mu.AssertHeld();  // Wait() re-acquired and re-recorded the lock
+    consumed = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+    while (!consumed) cv.Wait(&mu);
+  }
+  consumer.join();
+  MutexLock lock(&mu);
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(consumed);
+}
+
+TEST(CondVarTest, PredicateWait) {
+  Mutex mu(LockRank::kLeaf, "cv_mutex");
+  CondVar cv;
+  int stage = 0;
+  std::thread worker([&] {
+    for (int next = 1; next <= 3; ++next) {
+      MutexLock lock(&mu);
+      stage = next;
+      cv.NotifyAll();
+    }
+  });
+  {
+    MutexLock lock(&mu);
+    cv.Wait(&mu, [&] { return stage == 3; });
+    EXPECT_EQ(stage, 3);
+  }
+  worker.join();
+}
+
+TEST(CondVarTest, WaitKeepsHeldStackHonest) {
+  // After Wait() returns, the mutex must be back on the thread's held-lock
+  // stack: acquiring a lower-ranked mutex succeeds, re-acquiring aborts.
+  Mutex mu(LockRank::kTreeState, "cv_mutex");
+  Mutex lower(LockRank::kLeaf, "leaf");
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    MutexLock nested(&lower);  // rank order still enforced post-wait
+    mu.AssertHeld();
+  }
+  notifier.join();
+}
+
+}  // namespace
+}  // namespace lsmstats

@@ -39,6 +39,12 @@ clang-tidy is unavailable:
                  WAL segment naming, framing, and file access are confined
                  to the WAL module so the log format has exactly one
                  reader/writer and recovery rules stay in one place.
+  raw-mutex      no `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+                 `std::scoped_lock` / `std::condition_variable` /
+                 `std::shared_mutex` in src/ outside src/common/mutex.* —
+                 all locking goes through the annotated Mutex/MutexLock/
+                 CondVar wrappers so thread-safety analysis and the debug
+                 lock-rank checker see every acquisition.
 
 Suppressing a finding: append `// lint:allow(<rule>)` to the offending line
 together with a reason, e.g.
@@ -301,6 +307,39 @@ def check_wal_io(path: Path, raw_lines: list[str], code_lines: list[str]) -> Non
                    "(use WalFilePath / RecoverWalSegments)")
 
 
+# ----------------------------------------------------------------- raw-mutex
+
+# Raw standard-library synchronization primitives. Locking in src/ must use
+# the annotated wrappers in common/mutex.h: they carry the Clang thread-safety
+# capability attributes and the debug lock-rank checker, and a raw std::mutex
+# is invisible to both. timed/recursive variants are matched by prefix.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*("
+    r"mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?"
+    r")\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+# The annotated wrapper itself is the one place allowed to touch std::mutex.
+RAW_MUTEX_IMPL_FILES = {SRC / "common" / "mutex.h", SRC / "common" / "mutex.cc"}
+
+
+def check_raw_mutex(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    if path in RAW_MUTEX_IMPL_FILES:
+        return
+    for idx, code in enumerate(code_lines):
+        m = RAW_MUTEX_RE.search(code)
+        if m and not allowed(raw_lines[idx], "raw-mutex"):
+            what = m.group(1) or "<mutex>/<condition_variable> include"
+            report(path, idx + 1, "raw-mutex",
+                   f"raw `{what}` — use Mutex/MutexLock/CondVar from "
+                   "common/mutex.h so the thread-safety annotations and the "
+                   "lock-rank checker cover it")
+
+
 # -------------------------------------------------------------- header-guard
 
 def expected_guard(path: Path) -> str:
@@ -368,6 +407,7 @@ def main() -> int:
         check_banned(path, raw, code)
         check_env_bypass(path, raw, code)
         check_wal_io(path, raw, code)
+        check_raw_mutex(path, raw, code)
     random_impl = REPO / "src" / "common"
     for path in cc_and_h:
         if SRC not in path.parents and (REPO / "bench") not in path.parents:
