@@ -11,7 +11,9 @@
 // statistics-gathering algorithm relative to the NoStats baseline — the
 // streaming builders ride along with work the LSM events do anyway.
 
+#include <algorithm>
 #include <cinttypes>
+#include <thread>
 
 #include "bench_common.h"
 #include "db/dataset.h"
@@ -38,6 +40,11 @@ struct StorageConfig {
   uint64_t block_cache_mb = 0;
   int wal = -1;  // -1 = unset (environment default), 0 = off, 1 = on
   std::string wal_sync;
+  // --wal_group_commit=1 amortizes every-record fsyncs across concurrent
+  // writers; --shared_wal=1 gives the dataset one log stream for all of its
+  // index trees instead of one per tree.
+  int wal_group_commit = -1;
+  bool shared_wal = false;
 };
 
 std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
@@ -65,9 +72,80 @@ std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
     LSMSTATS_CHECK_OK(sync_mode.status());
     options.wal_sync_mode = *sync_mode;
   }
+  if (storage.wal_group_commit >= 0) {
+    options.wal_group_commit = storage.wal_group_commit != 0;
+  }
+  options.shared_wal = storage.shared_wal;
   auto dataset = Dataset::Open(std::move(options));
   LSMSTATS_CHECK_OK(dataset.status());
   return std::move(dataset).value();
+}
+
+// Multi-writer WAL commit-path ingest, measured at the LsmTree level — the
+// tree is internally synchronized, so concurrent writers contend on the real
+// commit path (Dataset above it keeps its documented single-logical-writer
+// contract). Each writer ingests its own key range in groups of `batch`
+// records (1 = plain Put, >1 = one atomic WriteBatch per group). The
+// memtable bound keeps flushes off the timed path: this measures log
+// appends, fsyncs, and leader election, nothing else.
+struct CommitRunResult {
+  double seconds = 0;
+  uint64_t syncs = 0;
+  uint64_t logged = 0;
+};
+
+CommitRunResult MultiWriterWalIngest(uint64_t records, size_t writers,
+                                     size_t batch, size_t payload, int wal,
+                                     const std::string& wal_sync,
+                                     bool group_commit) {
+  ScopedTempDir dir;
+  LsmTreeOptions options;
+  options.directory = dir.path();
+  options.name = "walbench";
+  options.memtable_max_entries = records + 1;
+  options.memtable_max_bytes = (records + 1) * (payload + 64);
+  options.wal = wal > 0;
+  if (!wal_sync.empty()) {
+    auto sync_mode = WalSyncModeFromString(wal_sync);
+    LSMSTATS_CHECK_OK(sync_mode.status());
+    options.wal_sync_mode = *sync_mode;
+  }
+  options.wal_group_commit = group_commit;
+  auto tree_or = LsmTree::Open(options);
+  LSMSTATS_CHECK_OK(tree_or.status());
+  auto& tree = *tree_or;
+
+  const uint64_t per_writer = records / writers;
+  const std::string value(payload, 'x');
+  CommitRunResult result;
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      const int64_t base = static_cast<int64_t>(w * per_writer);
+      for (uint64_t i = 0; i < per_writer; i += batch) {
+        const uint64_t end = std::min(i + batch, per_writer);
+        if (batch <= 1) {
+          LSMSTATS_CHECK_OK(
+              tree->Put(PrimaryKey(base + static_cast<int64_t>(i)), value,
+                        true));
+        } else {
+          WriteBatch write_batch;
+          for (uint64_t k = i; k < end; ++k) {
+            write_batch.Put(PrimaryKey(base + static_cast<int64_t>(k)),
+                            value, true);
+          }
+          LSMSTATS_CHECK_OK(tree->Write(std::move(write_batch)));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  result.seconds = timer.ElapsedSeconds();
+  result.syncs = tree->WalSyncCount();
+  result.logged = tree->WalRecordsLogged();
+  return result;
 }
 
 void Run(const Flags& flags) {
@@ -82,6 +160,11 @@ void Run(const Flags& flags) {
   storage.wal = static_cast<int>(
       flags.GetU64("wal", static_cast<uint64_t>(-1)));
   storage.wal_sync = flags.GetString("wal_sync", "");
+  storage.wal_group_commit = static_cast<int>(
+      flags.GetU64("wal_group_commit", static_cast<uint64_t>(-1)));
+  storage.shared_wal = flags.GetU64("shared_wal", 0) != 0;
+  const size_t writers = flags.GetU64("writers", 8);
+  const size_t batch = flags.GetU64("batch", 1);
   const ValueDomain domain(0, 16);
 
   DistributionSpec spec;
@@ -242,6 +325,44 @@ void Run(const Flags& flags) {
   // and the feed could disconnect; flushes still draining are finished in
   // `drain_sec`. The accept speedup is the throughput gain a producer sees.
   // Not part of "all" so the paper-figure modes stay single-threaded.
+  // Durability-cost matrix: records/sec and fsyncs/record for every WAL
+  // sync mode, with single-record commit vs group commit side by side.
+  // Group commit only changes behavior under every-record sync (that is the
+  // mode with an fsync on the commit path to amortize); the other rows are
+  // shown once. `--writers=` and `--batch=` pick the concurrency and the
+  // WriteBatch size every cell runs with.
+  if (mode == "durability") {
+    PrintHeader("WAL durability matrix (" + std::to_string(writers) +
+                    " writers, batch=" + std::to_string(batch) + ")",
+                {"sync_mode", "commit", "records/s", "fsync/rec", "seconds"});
+    struct MatrixRow {
+      const char* sync;
+      const char* wal_sync;  // empty = WAL off
+      int wal;
+      bool group;
+      const char* commit;
+    };
+    const MatrixRow rows[] = {
+        {"(wal off)", "", 0, false, "-"},
+        {"none", "none", 1, false, "single"},
+        {"flush-only", "flush-only", 1, false, "single"},
+        {"every-record", "every-record", 1, false, "single"},
+        {"every-record", "every-record", 1, true, "group"},
+    };
+    for (const MatrixRow& row : rows) {
+      CommitRunResult result = MultiWriterWalIngest(
+          records, writers, batch, payload, row.wal, row.wal_sync, row.group);
+      PrintCell(row.sync);
+      PrintCell(row.commit);
+      PrintCell(static_cast<double>(records) / result.seconds);
+      PrintCell(row.wal > 0 ? static_cast<double>(result.syncs) /
+                                  static_cast<double>(result.logged)
+                            : 0.0);
+      PrintCell(result.seconds);
+      EndRow();
+    }
+  }
+
   if (mode == "concurrent") {
     const size_t threads = flags.GetU64("threads", 4);
     PrintHeader("Fig 2c: concurrent ingestion (background flush/merge, " +
@@ -279,6 +400,37 @@ void Run(const Flags& flags) {
       PrintCell(conc_times.total - conc_times.accept);
       PrintCell(sync_times.total / conc_times.accept);
       EndRow();
+    }
+
+    // Group commit vs per-record commit at `writers` concurrent writers.
+    // Only meaningful when an fsync sits on the commit path, so this runs
+    // with every-record sync (overriding --wal_sync= for the comparison if
+    // the WAL was requested with a different mode). The no-WAL row bounds
+    // how much of the raw ingest rate durable commit retains.
+    if (storage.wal > 0) {
+      PrintHeader("group commit vs per-record commit (" +
+                      std::to_string(writers) + " writers, batch=" +
+                      std::to_string(batch) + ", every-record sync)",
+                  {"commit", "records/s", "fsync/rec", "speedup"});
+      CommitRunResult no_wal =
+          MultiWriterWalIngest(records, writers, batch, payload, 0, "", false);
+      CommitRunResult single = MultiWriterWalIngest(
+          records, writers, batch, payload, 1, "every-record", false);
+      CommitRunResult group = MultiWriterWalIngest(
+          records, writers, batch, payload, 1, "every-record", true);
+      auto emit = [&](const char* label, const CommitRunResult& result,
+                      bool wal_on) {
+        PrintCell(label);
+        PrintCell(static_cast<double>(records) / result.seconds);
+        PrintCell(wal_on ? static_cast<double>(result.syncs) /
+                               static_cast<double>(result.logged)
+                         : 0.0);
+        PrintCell(single.seconds / result.seconds);
+        EndRow();
+      };
+      emit("no-wal", no_wal, false);
+      emit("per-record", single, true);
+      emit("group", group, true);
     }
   }
 }

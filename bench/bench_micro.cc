@@ -255,6 +255,74 @@ void BM_ComponentGet(benchmark::State& state, bool cached) {
 BENCHMARK_CAPTURE(BM_ComponentGet, Cold, false);
 BENCHMARK_CAPTURE(BM_ComponentGet, Cached, true);
 
+// ------------------------------------------------------------------- wal
+
+void BM_WalFrameEncodeSingle(benchmark::State& state) {
+  std::string value(100, 'x');
+  std::string out;
+  int64_t pk = 0;
+  for (auto _ : state) {
+    out.clear();
+    EncodeWalRecordFrame(WalOp::kPut, PrimaryKey(pk++), value, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalFrameEncodeSingle);
+
+// One batch frame covering `range(0)` records: a single length/CRC header
+// and one CRC pass over the whole payload, vs. one per record above.
+void BM_WalFrameEncodeBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string value(100, 'x');
+  WriteBatch batch;
+  for (size_t i = 0; i < n; ++i) {
+    batch.Put(PrimaryKey(static_cast<int64_t>(i)), value, true);
+  }
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    EncodeWalBatchFrame(batch, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_WalFrameEncodeBatch)->Arg(16)->Arg(256);
+
+// Acked-durable Put at ONE writer, group commit off vs on. With a single
+// writer the group path self-elects without stalling (the group-size hint
+// decays to 1), so these two must cost the same — any gap is leader-elect
+// overhead leaking onto the uncontended path. Prefers tmpfs (/dev/shm) so
+// the fsync is nearly free and the protocol cost isn't buried under device
+// latency; fixed iteration count keeps the memtable from rotating mid-run.
+void BM_WalUncontendedPut(benchmark::State& state, bool group_commit) {
+  std::string tmpl_str =
+      (std::filesystem::is_directory("/dev/shm") ? "/dev/shm" : "/tmp") +
+      std::string("/lsmstats_micro_XXXXXX");
+  std::vector<char> tmpl(tmpl_str.begin(), tmpl_str.end());
+  tmpl.push_back('\0');
+  std::string dir = ::mkdtemp(tmpl.data());
+  LsmTreeOptions options;
+  options.directory = dir;
+  options.memtable_max_entries = 1 << 20;
+  options.wal = true;
+  options.wal_sync_mode = WalSyncMode::kEveryRecord;
+  options.wal_group_commit = group_commit;
+  auto tree = std::move(LsmTree::Open(options)).value();
+  std::string value(100, 'x');
+  int64_t pk = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Put(PrimaryKey(pk++), value, true));
+  }
+  state.SetItemsProcessed(state.iterations());
+  tree.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK_CAPTURE(BM_WalUncontendedPut, SingleCommit, false)
+    ->Iterations(1 << 15);
+BENCHMARK_CAPTURE(BM_WalUncontendedPut, GroupCommit, true)
+    ->Iterations(1 << 15);
+
 // --------------------------------------------------- wavelet reconstruct
 
 void BM_WaveletPointReconstruction(benchmark::State& state) {

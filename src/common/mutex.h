@@ -32,6 +32,7 @@
 #ifndef LSMSTATS_COMMON_MUTEX_H_
 #define LSMSTATS_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -62,6 +63,11 @@ enum class LockRank : int {
   // LsmTree::mu_ — memtable / component-stack state. Acquired under
   // work_mu_ (install steps), never the other way around.
   kTreeState = 90,
+  // WalLog::mu_ — the group-commit write-ahead-log state. Acquired under
+  // LsmTree::mu_ (appends and segment sealing happen inside the tree's
+  // write critical section) and bare from commit waiters and the dataset's
+  // shared-WAL path; performs Env I/O while held.
+  kWalLog = 85,
   // FaultInjectionEnv::mu_ — filesystem ops run under tree locks (WAL
   // appends under mu_, component builds under work_mu_).
   kEnv = 80,
@@ -197,6 +203,40 @@ class CondVar {
   template <typename Predicate>
   void Wait(Mutex* mu, Predicate pred) REQUIRES(mu) {
     while (!pred()) Wait(mu);
+  }
+
+  // Single timed wait. Returns true if woken by a notify, false on timeout.
+  // Spurious wakeups count as notifies: use the predicate overload below
+  // unless the caller loops itself.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex* mu,
+                 std::chrono::time_point<Clock, Duration> deadline)
+      REQUIRES(mu) {
+#if LSMSTATS_LOCK_RANK_CHECKS
+    lock_rank_internal::CheckHeld(mu);
+    lock_rank_internal::RecordReleased(mu);
+#endif
+    std::unique_lock<std::mutex> native(mu->native_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+#if LSMSTATS_LOCK_RANK_CHECKS
+    lock_rank_internal::CheckAcquire(mu);
+    lock_rank_internal::RecordAcquired(mu);
+#endif
+    return status == std::cv_status::no_timeout;
+  }
+
+  // Waits up to `timeout` for `pred()` to hold. Returns pred()'s value on
+  // exit — true means the predicate held, false means the window elapsed
+  // without it.
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex* mu, std::chrono::duration<Rep, Period> timeout,
+               Predicate pred) REQUIRES(mu) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (!WaitUntil(mu, deadline)) return pred();
+    }
+    return true;
   }
 
   void NotifyOne() { cv_.notify_one(); }

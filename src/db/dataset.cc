@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_set>
 
 #include "common/check.h"
 
@@ -45,11 +46,23 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     }
     write_options = resolved;
   }
+  dataset->env_ = opts.env != nullptr ? opts.env : Env::Default();
+  const bool wal_enabled =
+      opts.wal.has_value() ? *opts.wal : EnvironmentWalEnabled();
+  dataset->shared_wal_enabled_ = opts.shared_wal && wal_enabled;
   auto apply_storage_options = [&](LsmTreeOptions& tree_opts) {
     tree_opts.write_options = write_options;
     tree_opts.block_cache = opts.block_cache.get();
-    tree_opts.wal = opts.wal;
-    tree_opts.wal_sync_mode = opts.wal_sync_mode;
+    if (dataset->shared_wal_enabled_) {
+      // The dataset's shared log replaces the per-tree logs; the explicit
+      // false overrides any environment forcing (LSMSTATS_WAL=1) so a
+      // logical record is never logged twice.
+      tree_opts.wal = false;
+    } else {
+      tree_opts.wal = opts.wal;
+      tree_opts.wal_sync_mode = opts.wal_sync_mode;
+      tree_opts.wal_group_commit = opts.wal_group_commit;
+    }
   };
 
   // Primary index. The dataset coordinates flushes itself so the trees run
@@ -142,6 +155,59 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
           dataset->composite_collectors_.back().get());
     }
   }
+
+  if (dataset->shared_wal_enabled_) {
+    // All trees are open, so recovery can demultiplex surviving shared
+    // segments by tree id into the right memtables. Replay is pessimistic
+    // about freshness (fresh_insert is not logged), exactly like per-tree
+    // replay.
+    Status replay_error;
+    auto apply = [&](uint32_t tree_id, WalOp op, const LsmKey& key,
+                     std::string_view value) {
+      if (!replay_error.ok()) return;
+      LsmTree* tree = dataset->TreeById(tree_id);
+      if (tree == nullptr) {
+        replay_error = Status::Corruption(
+            "shared WAL record for unknown tree id " +
+            std::to_string(tree_id));
+        return;
+      }
+      Status applied;
+      switch (op) {
+        case WalOp::kPut:
+          applied = tree->Put(key, std::string(value), /*fresh_insert=*/false);
+          break;
+        case WalOp::kDelete:
+          applied = tree->Delete(key);
+          break;
+        case WalOp::kAntiMatter:
+          applied = tree->PutAntiMatter(key);
+          break;
+      }
+      if (!applied.ok()) replay_error = applied;
+    };
+    auto recovery = RecoverWalSegments(dataset->env_, opts.directory,
+                                       opts.name + "_wal",
+                                       /*quarantine_corrupt=*/true, apply);
+    LSMSTATS_RETURN_IF_ERROR(recovery.status());
+    LSMSTATS_RETURN_IF_ERROR(replay_error);
+    // The recovered segments back the records just replayed into the
+    // memtables; they stay on disk until those records rotate and flush.
+    dataset->shared_wal_recovered_ = std::move(recovery->live_segments);
+
+    WalLogOptions log_options;
+    log_options.env = dataset->env_;
+    log_options.directory = opts.directory;
+    log_options.prefix = opts.name + "_wal";
+    log_options.sync_mode = opts.wal_sync_mode.has_value()
+                                ? *opts.wal_sync_mode
+                                : EnvironmentWalSyncMode();
+    log_options.group_commit = opts.wal_group_commit.has_value()
+                                   ? *opts.wal_group_commit
+                                   : EnvironmentWalGroupCommit();
+    log_options.next_sequence = recovery->next_sequence;
+    dataset->shared_wal_ = std::make_unique<WalLog>(std::move(log_options));
+  }
   return dataset;
 }
 
@@ -175,6 +241,102 @@ LsmTree* Dataset::composite(const std::string& field_a,
   return nullptr;
 }
 
+LsmTree* Dataset::TreeById(uint32_t tree_id) {
+  if (tree_id == 0) return primary_.get();
+  size_t index = tree_id - 1;
+  if (index < secondaries_.size()) return secondaries_[index].get();
+  index -= secondaries_.size();
+  if (index < composite_trees_.size()) return composite_trees_[index].get();
+  return nullptr;
+}
+
+Status Dataset::LogShared(const WriteBatch& batch) {
+  if (shared_wal_ == nullptr || batch.empty()) return Status::OK();
+  auto ticket = shared_wal_->AppendBatch(batch);
+  LSMSTATS_RETURN_IF_ERROR(ticket.status());
+  // Durability before apply: if we crash between the two, replay re-applies
+  // the batch, and an error here leaves the batch unacknowledged and
+  // unapplied.
+  return shared_wal_->WaitDurable(ticket.value());
+}
+
+Status Dataset::ApplyEntry(WriteBatchEntry& entry) {
+  LsmTree* tree = TreeById(entry.tree_id);
+  if (tree == nullptr) {
+    return Status::Internal("write batch entry for unknown tree id " +
+                            std::to_string(entry.tree_id));
+  }
+  switch (entry.op) {
+    case WalOp::kPut:
+      return tree->Put(entry.key, std::move(entry.value), entry.fresh_insert);
+    case WalOp::kDelete:
+      return tree->Delete(entry.key);
+    case WalOp::kAntiMatter:
+      return tree->PutAntiMatter(entry.key);
+  }
+  return Status::Internal("unknown write batch op");
+}
+
+Status Dataset::CommitMutation(WriteBatch batch) {
+  LSMSTATS_RETURN_IF_ERROR(LogShared(batch));
+  // Without a shared log each tree logs its own entries inside Put/Delete,
+  // exactly as before the batch plumbing existed: same calls, same order.
+  for (WriteBatchEntry& entry : batch.mutable_entries()) {
+    LSMSTATS_RETURN_IF_ERROR(ApplyEntry(entry));
+  }
+  return Status::OK();
+}
+
+Status Dataset::CommitAtomic(WriteBatch batch) {
+  if (batch.empty()) return Status::OK();
+  // Over the shared log the whole cross-tree batch is one frame already.
+  if (shared_wal_enabled_) return CommitMutation(std::move(batch));
+  // Otherwise regroup per tree so each tree commits its slice as one atomic
+  // frame (one fsync under every-record sync) via LsmTree::Write.
+  const size_t tree_count =
+      1 + secondaries_.size() + composite_trees_.size();
+  std::vector<WriteBatch> per_tree(tree_count);
+  for (WriteBatchEntry& entry : batch.mutable_entries()) {
+    if (entry.tree_id >= tree_count) {
+      return Status::Internal("write batch entry for unknown tree id " +
+                              std::to_string(entry.tree_id));
+    }
+    per_tree[entry.tree_id].mutable_entries().push_back(std::move(entry));
+  }
+  for (size_t id = 0; id < tree_count; ++id) {
+    if (per_tree[id].empty()) continue;
+    LSMSTATS_RETURN_IF_ERROR(
+        TreeById(static_cast<uint32_t>(id))->Write(std::move(per_tree[id])));
+  }
+  return Status::OK();
+}
+
+Status Dataset::SealSharedWal() {
+  if (shared_wal_ == nullptr) return Status::OK();
+  auto sealed = shared_wal_->Seal();
+  LSMSTATS_RETURN_IF_ERROR(sealed.status());
+  // The records replayed from recovered segments rotate out at this same
+  // boundary, so those segments graduate to reclaimable alongside the one
+  // just sealed.
+  shared_wal_sealed_.insert(shared_wal_sealed_.end(),
+                            shared_wal_recovered_.begin(),
+                            shared_wal_recovered_.end());
+  shared_wal_recovered_.clear();
+  if (sealed.value().has_value()) {
+    shared_wal_sealed_.push_back(*sealed.value());
+  }
+  return Status::OK();
+}
+
+Status Dataset::ReclaimSharedWal() {
+  if (shared_wal_sealed_.empty()) return Status::OK();
+  Status deleted = DeleteWalSegments(env_, shared_wal_sealed_);
+  // On failure keep the whole list: deletion is idempotent
+  // (RemoveFileIfExists), so the next barrier retries everything.
+  if (deleted.ok()) shared_wal_sealed_.clear();
+  return deleted;
+}
+
 Status Dataset::MaybeFlush() {
   if (!options_.auto_flush ||
       primary_->MemTableEntryCount() < options_.memtable_max_entries) {
@@ -182,7 +344,10 @@ Status Dataset::MaybeFlush() {
   }
   if (options_.scheduler == nullptr) return Flush();
   // Scheduler mode: rotate every index and return to the writer; the worker
-  // pool flushes all indexes in parallel off the write path.
+  // pool flushes all indexes in parallel off the write path. The shared WAL
+  // segment is sealed with the memtables it backs; it becomes reclaimable
+  // once the background flushes drain (WaitForBackgroundWork / Flush).
+  LSMSTATS_RETURN_IF_ERROR(SealSharedWal());
   LSMSTATS_RETURN_IF_ERROR(primary_->RequestFlush());
   for (auto& secondary : secondaries_) {
     LSMSTATS_RETURN_IF_ERROR(secondary->RequestFlush());
@@ -203,23 +368,51 @@ Status Dataset::Insert(const Record& record) {
     return Status::AlreadyExists("pk " + std::to_string(record.pk));
   }
   if (lookup.code() != StatusCode::kNotFound) return lookup;
-  Encoder enc;
-  EncodeRecordValue(record, &enc);
-  LSMSTATS_RETURN_IF_ERROR(primary_->Put(PrimaryKey(record.pk), enc.Release(),
-                                         /*fresh_insert=*/true));
-  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
-    int64_t sk = record.fields[indexed_fields_[i]];
-    LSMSTATS_RETURN_IF_ERROR(secondaries_[i]->Put(SecondaryKey(sk, record.pk),
-                                                  "", /*fresh_insert=*/true));
-  }
-  for (size_t i = 0; i < composite_fields_.size(); ++i) {
-    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Put(
-        CompositeKey(record.fields[composite_fields_[i].first],
-                     record.fields[composite_fields_[i].second], record.pk),
-        "", /*fresh_insert=*/true));
-  }
+  WriteBatch batch;
+  AppendInsertEntries(record, &batch);
+  LSMSTATS_RETURN_IF_ERROR(CommitMutation(std::move(batch)));
   ++live_records_;
   return MaybeFlush();
+}
+
+// Entries for inserting `record` into every index, in the order the trees
+// are maintained (primary, secondaries, composites — tree-id order).
+void Dataset::AppendInsertEntries(const Record& record,
+                                  WriteBatch* batch) const {
+  Encoder enc;
+  EncodeRecordValue(record, &enc);
+  batch->Put(PrimaryKey(record.pk), enc.Release(), /*fresh_insert=*/true,
+             /*tree_id=*/0);
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    int64_t sk = record.fields[indexed_fields_[i]];
+    batch->Put(SecondaryKey(sk, record.pk), "", /*fresh_insert=*/true,
+               static_cast<uint32_t>(1 + i));
+  }
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    batch->Put(CompositeKey(record.fields[composite_fields_[i].first],
+                            record.fields[composite_fields_[i].second],
+                            record.pk),
+               "", /*fresh_insert=*/true,
+               static_cast<uint32_t>(1 + indexed_fields_.size() + i));
+  }
+}
+
+// Entries for deleting `old_record` from every index (anti-matter where the
+// entry may live in older components; the trees decide via their memtables).
+void Dataset::AppendDeleteEntries(const Record& old_record,
+                                  WriteBatch* batch) const {
+  batch->Delete(PrimaryKey(old_record.pk), /*tree_id=*/0);
+  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
+    int64_t sk = old_record.fields[indexed_fields_[i]];
+    batch->Delete(SecondaryKey(sk, old_record.pk),
+                  static_cast<uint32_t>(1 + i));
+  }
+  for (size_t i = 0; i < composite_fields_.size(); ++i) {
+    batch->Delete(CompositeKey(old_record.fields[composite_fields_[i].first],
+                               old_record.fields[composite_fields_[i].second],
+                               old_record.pk),
+                  static_cast<uint32_t>(1 + indexed_fields_.size() + i));
+  }
 }
 
 Status Dataset::Update(const Record& record) {
@@ -232,20 +425,21 @@ Status Dataset::Update(const Record& record) {
 
   Encoder enc;
   EncodeRecordValue(record, &enc);
+  WriteBatch batch;
   // The primary index needs no anti-matter for an update: the newer version
   // shadows the older one and they reconcile at merge time (Appendix A).
-  LSMSTATS_RETURN_IF_ERROR(primary_->Put(PrimaryKey(record.pk), enc.Release(),
-                                         /*fresh_insert=*/false));
+  batch.Put(PrimaryKey(record.pk), enc.Release(), /*fresh_insert=*/false,
+            /*tree_id=*/0);
   // Secondary indexes key on <SK, PK>, so a changed SK needs an anti-matter
   // entry for the old pair plus a regular entry for the new one.
   for (size_t i = 0; i < indexed_fields_.size(); ++i) {
     int64_t old_sk = old_record.fields[indexed_fields_[i]];
     int64_t new_sk = record.fields[indexed_fields_[i]];
     if (old_sk == new_sk) continue;
-    LSMSTATS_RETURN_IF_ERROR(
-        secondaries_[i]->Delete(SecondaryKey(old_sk, record.pk)));
-    LSMSTATS_RETURN_IF_ERROR(secondaries_[i]->Put(
-        SecondaryKey(new_sk, record.pk), "", /*fresh_insert=*/true));
+    const auto tree_id = static_cast<uint32_t>(1 + i);
+    batch.Delete(SecondaryKey(old_sk, record.pk), tree_id);
+    batch.Put(SecondaryKey(new_sk, record.pk), "", /*fresh_insert=*/true,
+              tree_id);
   }
   for (size_t i = 0; i < composite_fields_.size(); ++i) {
     int64_t old_a = old_record.fields[composite_fields_[i].first];
@@ -253,29 +447,77 @@ Status Dataset::Update(const Record& record) {
     int64_t new_a = record.fields[composite_fields_[i].first];
     int64_t new_b = record.fields[composite_fields_[i].second];
     if (old_a == new_a && old_b == new_b) continue;
-    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Delete(
-        CompositeKey(old_a, old_b, record.pk)));
-    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Put(
-        CompositeKey(new_a, new_b, record.pk), "", /*fresh_insert=*/true));
+    const auto tree_id =
+        static_cast<uint32_t>(1 + indexed_fields_.size() + i);
+    batch.Delete(CompositeKey(old_a, old_b, record.pk), tree_id);
+    batch.Put(CompositeKey(new_a, new_b, record.pk), "",
+              /*fresh_insert=*/true, tree_id);
   }
+  LSMSTATS_RETURN_IF_ERROR(CommitMutation(std::move(batch)));
   return MaybeFlush();
 }
 
 Status Dataset::Delete(int64_t pk) {
   auto old_or = Get(pk);
   if (!old_or.ok()) return old_or.status();
-  const Record& old_record = old_or.value();
-  LSMSTATS_RETURN_IF_ERROR(primary_->Delete(PrimaryKey(pk)));
-  for (size_t i = 0; i < indexed_fields_.size(); ++i) {
-    int64_t sk = old_record.fields[indexed_fields_[i]];
-    LSMSTATS_RETURN_IF_ERROR(secondaries_[i]->Delete(SecondaryKey(sk, pk)));
-  }
-  for (size_t i = 0; i < composite_fields_.size(); ++i) {
-    LSMSTATS_RETURN_IF_ERROR(composite_trees_[i]->Delete(
-        CompositeKey(old_record.fields[composite_fields_[i].first],
-                     old_record.fields[composite_fields_[i].second], pk)));
-  }
+  WriteBatch batch;
+  AppendDeleteEntries(old_or.value(), &batch);
+  LSMSTATS_RETURN_IF_ERROR(CommitMutation(std::move(batch)));
   --live_records_;
+  return MaybeFlush();
+}
+
+Status Dataset::PutBatch(const std::vector<Record>& records) {
+  if (records.empty()) return Status::OK();
+  // Validate everything before mutating anything: an atomic batch must not
+  // fail halfway with a prefix applied.
+  std::unordered_set<int64_t> batch_pks;
+  batch_pks.reserve(records.size());
+  for (const Record& record : records) {
+    if (record.fields.size() != options_.schema.field_count()) {
+      return Status::InvalidArgument("record does not match schema");
+    }
+    if (!batch_pks.insert(record.pk).second) {
+      return Status::InvalidArgument("duplicate pk in batch: " +
+                                     std::to_string(record.pk));
+    }
+    std::string existing;
+    Status lookup = primary_->Get(PrimaryKey(record.pk), &existing);
+    if (lookup.ok()) {
+      return Status::AlreadyExists("pk " + std::to_string(record.pk));
+    }
+    if (lookup.code() != StatusCode::kNotFound) return lookup;
+  }
+  WriteBatch batch;
+  for (const Record& record : records) {
+    AppendInsertEntries(record, &batch);
+  }
+  LSMSTATS_RETURN_IF_ERROR(CommitAtomic(std::move(batch)));
+  live_records_ += records.size();
+  return MaybeFlush();
+}
+
+Status Dataset::DeleteBatch(const std::vector<int64_t>& pks) {
+  if (pks.empty()) return Status::OK();
+  std::unordered_set<int64_t> batch_pks;
+  batch_pks.reserve(pks.size());
+  std::vector<Record> old_records;
+  old_records.reserve(pks.size());
+  for (int64_t pk : pks) {
+    if (!batch_pks.insert(pk).second) {
+      return Status::InvalidArgument("duplicate pk in batch: " +
+                                     std::to_string(pk));
+    }
+    auto old_or = Get(pk);
+    if (!old_or.ok()) return old_or.status();
+    old_records.push_back(std::move(old_or).value());
+  }
+  WriteBatch batch;
+  for (const Record& old_record : old_records) {
+    AppendDeleteEntries(old_record, &batch);
+  }
+  LSMSTATS_RETURN_IF_ERROR(CommitAtomic(std::move(batch)));
+  live_records_ -= pks.size();
   return MaybeFlush();
 }
 
@@ -391,6 +633,9 @@ StatusOr<uint64_t> Dataset::CountAll() const {
 }
 
 Status Dataset::Flush() {
+  // Seal the active shared segment before any tree rotates so the segment
+  // backs exactly the memtable contents this barrier will flush.
+  LSMSTATS_RETURN_IF_ERROR(SealSharedWal());
   if (options_.scheduler != nullptr) {
     // Kick every index's rotation first so the flushes overlap on the
     // worker pool; the drains below then mostly wait instead of working.
@@ -409,7 +654,9 @@ Status Dataset::Flush() {
   for (auto& composite : composite_trees_) {
     LSMSTATS_RETURN_IF_ERROR(composite->Flush());
   }
-  return Status::OK();
+  // Every tree has now flushed everything the sealed segments back, so they
+  // are reclaimable — the all-trees-flushed rule for a shared log.
+  return ReclaimSharedWal();
 }
 
 Status Dataset::WaitForBackgroundWork() {
@@ -420,7 +667,34 @@ Status Dataset::WaitForBackgroundWork() {
   for (auto& composite : composite_trees_) {
     LSMSTATS_RETURN_IF_ERROR(composite->WaitForBackgroundWork());
   }
-  return Status::OK();
+  // Segments are sealed only when every tree rotates (MaybeFlush / Flush),
+  // so with the background queues drained all their records sit in sealed
+  // components.
+  return ReclaimSharedWal();
+}
+
+uint64_t Dataset::WalSyncCount() const {
+  if (shared_wal_ != nullptr) return shared_wal_->sync_count();
+  uint64_t total = primary_->WalSyncCount();
+  for (const auto& secondary : secondaries_) {
+    total += secondary->WalSyncCount();
+  }
+  for (const auto& composite : composite_trees_) {
+    total += composite->WalSyncCount();
+  }
+  return total;
+}
+
+uint64_t Dataset::WalRecordsLogged() const {
+  if (shared_wal_ != nullptr) return shared_wal_->records_appended();
+  uint64_t total = primary_->WalRecordsLogged();
+  for (const auto& secondary : secondaries_) {
+    total += secondary->WalRecordsLogged();
+  }
+  for (const auto& composite : composite_trees_) {
+    total += composite->WalRecordsLogged();
+  }
+  return total;
 }
 
 Status Dataset::ForceFullMerge() {

@@ -29,6 +29,8 @@
 #include "db/record.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/scheduler.h"
+#include "lsm/wal.h"
+#include "lsm/write_batch.h"
 #include "stats/statistics_collector.h"
 #include "stats/composite_collector.h"
 #include "stats/unsorted_field_collector.h"
@@ -91,9 +93,20 @@ struct DatasetOptions {
   // Write-ahead-log policy shared by the primary, secondary, and composite
   // trees (an index tree that lost its memtable while the primary kept its
   // records would desynchronize the dataset, so the policy is per-dataset).
-  // Unset defers to LSMSTATS_WAL / LSMSTATS_WAL_SYNC; see LsmTreeOptions.
+  // Unset defers to LSMSTATS_WAL / LSMSTATS_WAL_SYNC /
+  // LSMSTATS_WAL_GROUP_COMMIT; see LsmTreeOptions.
   std::optional<bool> wal;
   std::optional<WalSyncMode> wal_sync_mode;
+  std::optional<bool> wal_group_commit;
+  // One shared log stream (`<name>_wal_<seq>.wal`) owned by the dataset
+  // serves every index tree instead of one log per tree: a logical
+  // modification spanning the primary, secondary, and composite indexes is
+  // logged — and under every-record sync, fsynced — exactly once, as one
+  // atomic batch frame whose entries carry tree ids. Recovery demultiplexes
+  // by tree id; a sealed segment is reclaimed only after ALL trees backed by
+  // it have flushed. Takes effect only when the WAL is enabled (per `wal` or
+  // LSMSTATS_WAL); off by default, leaving per-tree logs byte-identical.
+  bool shared_wal = false;
 };
 
 class Dataset {
@@ -115,6 +128,18 @@ class Dataset {
 
   // Inserts or updates without a prior existence requirement.
   [[nodiscard]] Status Upsert(const Record& record);
+
+  // Inserts every record as one atomic unit: all constraints are validated
+  // up front (schema match, no existing pk, no duplicate pk within the
+  // batch), then the whole batch is committed as one WAL frame per index
+  // tree — one frame total over a shared per-dataset WAL — so recovery
+  // replays it all-or-nothing and every-record sync pays one fsync for the
+  // lot. Nothing is applied if validation fails.
+  [[nodiscard]] Status PutBatch(const std::vector<Record>& records);
+
+  // Deletes every pk as one atomic unit, with the same up-front validation
+  // (pk exists, no duplicates) and the same one-frame-per-tree commit.
+  [[nodiscard]] Status DeleteBatch(const std::vector<int64_t>& pks);
 
   // Bulkloads `records` (sorted by pk, duplicate-free) into empty indexes:
   // the bottom-up path that produces a single component per index (§4.2).
@@ -175,12 +200,60 @@ class Dataset {
 
   uint64_t live_records() const { return live_records_; }
 
+  // Data fsyncs issued / logical records logged by this dataset's WAL
+  // configuration: the shared log's counters when one is active, otherwise
+  // the sum over the per-tree logs (0 when the WAL is off). Benchmarks
+  // report fsyncs/record from these.
+  uint64_t WalSyncCount() const;
+  uint64_t WalRecordsLogged() const;
+
  private:
   explicit Dataset(DatasetOptions options);
 
   [[nodiscard]] Status MaybeFlush();
 
+  // Index tree addressed by a WriteBatchEntry tree id (0 = primary, then
+  // secondaries, then composites, in schema order); null if out of range.
+  LsmTree* TreeById(uint32_t tree_id);
+
+  // Logs `batch` to the shared WAL as one atomic frame and blocks until it
+  // is durable per the sync mode (group commit defers the ack to the
+  // leader's fsync). No-op when no shared log is active or the batch is
+  // empty. Called BEFORE the entries are applied, so replay covers the
+  // crash window between durability and apply.
+  [[nodiscard]] Status LogShared(const WriteBatch& batch);
+
+  // Routes one entry to its tree's Put/Delete/PutAntiMatter, moving the
+  // value out.
+  [[nodiscard]] Status ApplyEntry(WriteBatchEntry& entry);
+
+  // Append the per-index entries of one logical insert/delete to `batch`,
+  // in tree-id order (primary, secondaries, composites).
+  void AppendInsertEntries(const Record& record, WriteBatch* batch) const;
+  void AppendDeleteEntries(const Record& old_record, WriteBatch* batch) const;
+
+  // Logs (shared mode) then applies a single logical modification's entries
+  // in batch order — the one write path behind Insert/Update/Delete.
+  [[nodiscard]] Status CommitMutation(WriteBatch batch);
+
+  // Commits a multi-record batch atomically: one shared frame when the
+  // shared WAL is active, otherwise one LsmTree::Write per tree (one atomic
+  // frame each).
+  [[nodiscard]] Status CommitAtomic(WriteBatch batch);
+
+  // Seals the shared WAL's active segment at a rotation point; the sealed
+  // segment (plus any segments recovered at Open, whose replayed records
+  // rotate out with this same boundary) joins shared_wal_sealed_.
+  [[nodiscard]] Status SealSharedWal();
+
+  // Deletes every sealed shared segment. Callers are synchronous barriers
+  // that guarantee ALL trees have flushed past the sealed segments — the
+  // reclamation rule that makes one log safe for many trees. On failure the
+  // list is kept and the next barrier retries (deletion is idempotent).
+  [[nodiscard]] Status ReclaimSharedWal();
+
   DatasetOptions options_;
+  Env* env_ = nullptr;  // options_.env or Env::Default(); never null
   std::unique_ptr<LsmTree> primary_;
   // One per indexed field, schema order.
   std::vector<size_t> indexed_fields_;
@@ -194,6 +267,20 @@ class Dataset {
       composite_collectors_;
   std::unique_ptr<UnsortedFieldCollector> unsorted_collector_;
   uint64_t live_records_ = 0;
+
+  // Shared per-dataset WAL (null unless DatasetOptions::shared_wal with the
+  // WAL enabled). The dataset is externally synchronized, so these need no
+  // lock of their own; WalLog is internally synchronized for its
+  // group-commit waiters.
+  bool shared_wal_enabled_ = false;
+  std::unique_ptr<WalLog> shared_wal_;
+  // Segments recovered at Open: they back replayed records now sitting in
+  // the mutable memtables, so they become reclaimable only at the next
+  // rotation boundary (SealSharedWal moves them into shared_wal_sealed_).
+  std::vector<std::string> shared_wal_recovered_;
+  // Sealed segments awaiting reclamation at the next all-trees-flushed
+  // barrier.
+  std::vector<std::string> shared_wal_sealed_;
 };
 
 }  // namespace lsmstats

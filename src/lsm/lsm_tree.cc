@@ -25,24 +25,23 @@ LsmTree::LsmTree(LsmTreeOptions options)
                                             : EnvironmentWalEnabled()),
       wal_sync_mode_(options_.wal_sync_mode.has_value()
                          ? *options_.wal_sync_mode
-                         : EnvironmentWalSyncMode()) {
+                         : EnvironmentWalSyncMode()),
+      wal_group_commit_(options_.wal_group_commit.has_value()
+                            ? *options_.wal_group_commit
+                            : EnvironmentWalGroupCommit()) {
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
 }
 
 LsmTree::~LsmTree() {
-  MutexLock lock(&mu_);
-  while (pending_jobs_ != 0) cv_.Wait(&mu_);
-  if (wal_ != nullptr) {
-    // Best effort: the segment stays on disk either way and recovery replays
-    // it, so a failed close only costs the sync-mode durability upgrade.
-    Status s = wal_->Close();
-    if (!s.ok()) {
-      LSMSTATS_LOG(kWarning) << options_.name << ": closing wal segment "
-                             << wal_->path() << " failed: " << s.ToString();
-    }
+  {
+    MutexLock lock(&mu_);
+    while (pending_jobs_ != 0) cv_.Wait(&mu_);
   }
+  // wal_log_'s destructor closes the active segment best effort: the bytes
+  // stay on disk either way and recovery replays them, so a failed close
+  // only costs the sync-mode durability upgrade.
 }
 
 StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
@@ -159,27 +158,18 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   auto wal_recovery = RecoverWalSegments(
       env, tree->options_.directory, tree->options_.name,
       tree->options_.quarantine_corrupt_components,
-      [raw](WalOp op, const LsmKey& key, std::string_view value) {
+      [raw](uint32_t /*tree_id*/, WalOp op, const LsmKey& key,
+            std::string_view value) {
         // Runs synchronously under the recovery lock taken above; the
-        // analysis cannot see through the std::function.
+        // analysis cannot see through the std::function. A per-tree log
+        // only writes tree id 0, so the id carries no information here.
         raw->mu_.AssertHeld();
-        switch (op) {
-          case WalOp::kPut:
-            // fresh_insert is not logged; replaying without it is always
-            // correct, merely pessimistic about anti-matter placement.
-            raw->memtable_->Put(key, std::string(value),
-                                /*fresh_insert=*/false);
-            break;
-          case WalOp::kDelete:
-            raw->memtable_->Delete(key);
-            break;
-          case WalOp::kAntiMatter:
-            raw->memtable_->PutAntiMatter(key);
-            break;
-        }
+        // fresh_insert is not logged; replaying without it is always
+        // correct, merely pessimistic about anti-matter placement.
+        raw->memtable_->Apply(op, key, std::string(value),
+                              /*fresh_insert=*/false);
       });
   LSMSTATS_RETURN_IF_ERROR(wal_recovery.status());
-  tree->next_wal_sequence_ = wal_recovery->next_sequence;
   tree->wal_legacy_segments_ = std::move(wal_recovery->live_segments);
   for (const std::string& quarantined : wal_recovery->quarantined_files) {
     tree->quarantined_files_.push_back(quarantined);
@@ -190,6 +180,17 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
                         << " wal records from "
                         << tree->wal_legacy_segments_.size()
                         << " segment(s) into the memtable";
+  }
+  if (tree->wal_enabled_) {
+    WalLogOptions log_options;
+    log_options.env = env;
+    log_options.directory = tree->options_.directory;
+    log_options.prefix = tree->options_.name;
+    log_options.sync_mode = tree->wal_sync_mode_;
+    log_options.group_commit = tree->wal_group_commit_;
+    log_options.next_sequence = wal_recovery->next_sequence;
+    tree->wal_log_ = std::make_unique<WalLog>(std::move(log_options));
+    tree->wal_wait_durable_ = tree->wal_log_->group_commit_effective();
   }
   return tree;
 }
@@ -210,19 +211,18 @@ bool LsmTree::MemTableFullLocked() const {
 
 StatusOr<bool> LsmTree::RotateLocked() {
   if (memtable_->Empty()) return false;
-  // Seal the active WAL segment before touching the memtable: on a sync or
-  // close failure nothing has been mutated, and both calls are safe to
-  // retry (PosixWritableFile::Close is idempotent).
+  // Seal the active WAL segment before touching the memtable: on a flush,
+  // sync, or close failure nothing has been mutated (the log keeps its
+  // segment open), so the caller may retry. Sealing flushes any frames a
+  // group-commit leader has not yet written, so the sealed segment holds
+  // exactly the records of this memtable incarnation.
   std::vector<std::string> segments;
-  if (wal_ != nullptr) {
-    if (wal_sync_mode_ == WalSyncMode::kFlushOnly) {
-      LSMSTATS_RETURN_IF_ERROR(wal_->Sync());
-    }
-    LSMSTATS_RETURN_IF_ERROR(wal_->Close());
+  if (wal_log_ != nullptr) {
+    auto sealed = wal_log_->Seal();
+    LSMSTATS_RETURN_IF_ERROR(sealed.status());
     segments = std::move(wal_legacy_segments_);
     wal_legacy_segments_.clear();
-    segments.push_back(wal_->path());
-    wal_.reset();
+    if (sealed->has_value()) segments.push_back(**sealed);
   } else if (!wal_legacy_segments_.empty()) {
     // Recovered records with no new writes since Open(): the legacy
     // segments alone back this memtable.
@@ -236,26 +236,10 @@ StatusOr<bool> LsmTree::RotateLocked() {
   return true;
 }
 
-Status LsmTree::WalAppendLocked(WalOp op, const LsmKey& key,
-                                std::string_view value) {
-  if (!wal_enabled_) return Status::OK();
-  if (wal_ == nullptr) {
-    auto writer = WalSegmentWriter::Create(
-        env_, WalFilePath(options_.directory, options_.name,
-                          next_wal_sequence_),
-        wal_sync_mode_);
-    LSMSTATS_RETURN_IF_ERROR(writer.status());
-    ++next_wal_sequence_;
-    if (wal_sync_mode_ != WalSyncMode::kNone) {
-      // Make the segment's directory entry durable so recovery will find
-      // it. On failure the writer is dropped; the empty orphan file is
-      // deleted by the next recovery, and the next write retries under a
-      // fresh sequence number.
-      LSMSTATS_RETURN_IF_ERROR(env_->SyncDir(options_.directory));
-    }
-    wal_ = std::move(writer).value();
-  }
-  return wal_->Append(op, key, value);
+StatusOr<uint64_t> LsmTree::WalAppendLocked(WalOp op, const LsmKey& key,
+                                            std::string_view value) {
+  if (!wal_enabled_) return uint64_t{0};
+  return wal_log_->Append(op, key, value);
 }
 
 Status LsmTree::MaybeFlushAfterWrite() {
@@ -291,33 +275,78 @@ Status LsmTree::MaybeFlushAfterWrite() {
 }
 
 Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
+  uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
     // Log before applying: a WAL failure must not leave the memtable holding
-    // a record the log never saw.
-    LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kPut, key, value));
+    // a record the log never saw. Under group commit the frame is buffered
+    // here (still under mu_, so log order equals apply order) and made
+    // durable below.
+    auto logged = WalAppendLocked(WalOp::kPut, key, value);
+    LSMSTATS_RETURN_IF_ERROR(logged.status());
+    ticket = *logged;
     memtable_->Put(key, std::move(value), fresh_insert);
+  }
+  // Group commit: the ack waits for a leader's fsync with no tree lock held,
+  // so one leader batches every concurrent writer's frame into one fsync.
+  if (wal_wait_durable_) {
+    LSMSTATS_RETURN_IF_ERROR(wal_log_->WaitDurable(ticket));
   }
   return MaybeFlushAfterWrite();
 }
 
 Status LsmTree::Delete(const LsmKey& key) {
+  uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
-    LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kDelete, key, {}));
+    auto logged = WalAppendLocked(WalOp::kDelete, key, {});
+    LSMSTATS_RETURN_IF_ERROR(logged.status());
+    ticket = *logged;
     memtable_->Delete(key);
+  }
+  if (wal_wait_durable_) {
+    LSMSTATS_RETURN_IF_ERROR(wal_log_->WaitDurable(ticket));
   }
   return MaybeFlushAfterWrite();
 }
 
 Status LsmTree::PutAntiMatter(const LsmKey& key) {
+  uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
     LSMSTATS_RETURN_IF_ERROR(background_error_);
-    LSMSTATS_RETURN_IF_ERROR(WalAppendLocked(WalOp::kAntiMatter, key, {}));
+    auto logged = WalAppendLocked(WalOp::kAntiMatter, key, {});
+    LSMSTATS_RETURN_IF_ERROR(logged.status());
+    ticket = *logged;
     memtable_->PutAntiMatter(key);
+  }
+  if (wal_wait_durable_) {
+    LSMSTATS_RETURN_IF_ERROR(wal_log_->WaitDurable(ticket));
+  }
+  return MaybeFlushAfterWrite();
+}
+
+Status LsmTree::Write(WriteBatch batch) {
+  if (batch.empty()) return Status::OK();
+  uint64_t ticket = 0;
+  {
+    MutexLock lock(&mu_);
+    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    if (wal_enabled_) {
+      // One frame, one CRC: recovery replays the batch all-or-nothing.
+      auto logged = wal_log_->AppendBatch(batch);
+      LSMSTATS_RETURN_IF_ERROR(logged.status());
+      ticket = *logged;
+    }
+    for (WriteBatchEntry& entry : batch.mutable_entries()) {
+      memtable_->Apply(entry.op, entry.key, std::move(entry.value),
+                       entry.fresh_insert);
+    }
+  }
+  if (wal_wait_durable_) {
+    LSMSTATS_RETURN_IF_ERROR(wal_log_->WaitDurable(ticket));
   }
   return MaybeFlushAfterWrite();
 }
@@ -794,6 +823,14 @@ size_t LsmTree::ImmutableMemTableCount() const {
 std::vector<std::string> LsmTree::QuarantinedFiles() const {
   MutexLock lock(&mu_);
   return quarantined_files_;
+}
+
+uint64_t LsmTree::WalSyncCount() const {
+  return wal_log_ != nullptr ? wal_log_->sync_count() : 0;
+}
+
+uint64_t LsmTree::WalRecordsLogged() const {
+  return wal_log_ != nullptr ? wal_log_->records_appended() : 0;
 }
 
 uint64_t LsmTree::TotalDiskRecords() const {

@@ -47,6 +47,7 @@
 #include "lsm/memtable.h"
 #include "lsm/merge_policy.h"
 #include "lsm/wal.h"
+#include "lsm/write_batch.h"
 
 namespace lsmstats {
 
@@ -110,6 +111,12 @@ struct LsmTreeOptions {
   // Durability granularity of the log; unset resolves to
   // EnvironmentWalSyncMode() (LSMSTATS_WAL_SYNC, default flush-only).
   std::optional<WalSyncMode> wal_sync_mode;
+  // Group commit for every-record sync: writers buffer framed records and an
+  // elected leader fsyncs the whole pending batch, amortizing one fsync
+  // across N concurrent writers (see lsm/wal.h, WalLog). Only changes
+  // behavior when the WAL is on with every-record sync. Unset resolves to
+  // EnvironmentWalGroupCommit() (LSMSTATS_WAL_GROUP_COMMIT, default off).
+  std::optional<bool> wal_group_commit;
 };
 
 class LsmTree {
@@ -148,6 +155,12 @@ class LsmTree {
       EXCLUDES(mu_);
   [[nodiscard]] Status Delete(const LsmKey& key) EXCLUDES(mu_);
   [[nodiscard]] Status PutAntiMatter(const LsmKey& key) EXCLUDES(mu_);
+
+  // Commits a whole WriteBatch atomically: one WAL frame (one CRC, one
+  // fsync under every-record sync) and one lock acquisition for all
+  // memtable applies. Recovery replays the batch all-or-nothing. Entry
+  // tree ids are ignored — every entry lands in this tree.
+  [[nodiscard]] Status Write(WriteBatch batch) EXCLUDES(mu_);
 
   // --- Reads ---------------------------------------------------------------
 
@@ -212,6 +225,10 @@ class LsmTree {
   const LsmTreeOptions& options() const { return options_; }
   // Files Open() renamed to `<file>.quarantine` during recovery.
   std::vector<std::string> QuarantinedFiles() const;
+  // Data fsyncs the WAL has issued / logical records it has logged (0 when
+  // the WAL is off) — benchmarks report fsyncs/record from these.
+  uint64_t WalSyncCount() const;
+  uint64_t WalRecordsLogged() const;
 
   // Total live-record estimate ignoring reconciliation (records - 2*anti
   // would be exact only if every anti-matter cancels in-tree).
@@ -237,13 +254,14 @@ class LsmTree {
   // caller may retry.
   [[nodiscard]] StatusOr<bool> RotateLocked() REQUIRES(mu_);
 
-  // Appends one record to the active WAL segment (creating it lazily on the
-  // first logged write after a rotation); no-op when the WAL is off. Called
-  // before the memtable apply so an acknowledged write is never memtable-only
-  // under every-record sync.
+  // Logs one record to the WAL (which creates its segment lazily on the
+  // first logged write after a rotation); returns the commit ticket for
+  // WalLog::WaitDurable, or 0 when the WAL is off. Called before the
+  // memtable apply so an acknowledged write is never memtable-only under
+  // every-record sync.
   [[nodiscard]]
-  Status WalAppendLocked(WalOp op, const LsmKey& key, std::string_view value)
-      REQUIRES(mu_);
+  StatusOr<uint64_t> WalAppendLocked(WalOp op, const LsmKey& key,
+                                     std::string_view value) REQUIRES(mu_);
 
   // Handles a full memtable after a write landed: inline flush without a
   // scheduler; rotate + schedule + backpressure with one. Called without mu_
@@ -318,14 +336,19 @@ class LsmTree {
   // WAL policy resolved from options_/environment at construction.
   bool wal_enabled_ = false;
   WalSyncMode wal_sync_mode_ = WalSyncMode::kFlushOnly;
-  // Active segment, logging the mutable memtable. Created lazily by the
-  // first logged write, sealed (and handed to the immutable entry) at
-  // rotation.
-  std::unique_ptr<WalSegmentWriter> wal_ GUARDED_BY(mu_);
+  bool wal_group_commit_ = false;
+  // True when acks must wait for a group-commit leader's fsync (WAL on,
+  // every-record sync, group commit requested). Set in Open(), immutable
+  // afterwards.
+  bool wal_wait_durable_ = false;
+  // The write-ahead log (null when the WAL is off). Internally synchronized
+  // at rank kWalLog, which sits directly below mu_: appends and seals
+  // happen under mu_, durability waits take only the log's own lock.
+  // Created in Open() before the tree is shared, immutable afterwards.
+  std::unique_ptr<WalLog> wal_log_;
   // Segments recovered by Open() that back replayed records now sitting in
   // the mutable memtable; they ride along with the next rotation.
   std::vector<std::string> wal_legacy_segments_ GUARDED_BY(mu_);
-  uint64_t next_wal_sequence_ GUARDED_BY(mu_) = 1;
   // Segments whose memtable flushed durably but whose unlink has not
   // succeeded yet; retried before the next flush (a stale segment would
   // replay old records over newer data at the next Open).

@@ -1,14 +1,18 @@
 #include "lsm/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "lsm/write_batch.h"
 
 namespace lsmstats {
 
@@ -18,12 +22,45 @@ constexpr char kWalSuffix[] = ".wal";
 constexpr size_t kWalSuffixLen = 4;
 constexpr size_t kCrcBytes = 4;
 
+// Bounded wait a leader candidate gives re-arriving writers before syncing
+// a group smaller than the previous one (see WaitDurable). Sized well under
+// a device fsync, so a mispredicted stall costs a fraction of the sync it
+// tries to amortize.
+constexpr std::chrono::microseconds kGroupCommitStallWindow{100};
+
+// Once the forming group reaches the previous group's size, the stall ends
+// after this much time passes with no new arrival (see WaitDurable).
+constexpr std::chrono::microseconds kGroupCommitQuietWindow{25};
+
 bool IsAllDigits(std::string_view s) {
   if (s.empty()) return false;
   for (char c : s) {
     if (c < '0' || c > '9') return false;
   }
   return true;
+}
+
+// Frames `payload` ([len varint][crc u32][payload]) onto `*out`.
+void AppendFramedPayload(const Encoder& payload, std::string* out) {
+  Encoder header;
+  header.PutVarint64(payload.size());
+  header.PutU32(crc32c::Value(payload.buffer()));
+  out->append(header.buffer());
+  out->append(payload.buffer());
+}
+
+void PutRecordFields(Encoder* payload, WalOp op, const LsmKey& key,
+                     std::string_view value) {
+  payload->PutU8(static_cast<uint8_t>(op));
+  payload->PutI64(key.k0);
+  payload->PutI64(key.k1);
+  payload->PutI64(key.k2);
+  payload->PutString(value);
+}
+
+bool IsRecordOp(uint8_t op_byte) {
+  return op_byte >= static_cast<uint8_t>(WalOp::kPut) &&
+         op_byte <= static_cast<uint8_t>(WalOp::kAntiMatter);
 }
 
 }  // namespace
@@ -73,10 +110,40 @@ WalSyncMode EnvironmentWalSyncMode() {
   return mode;
 }
 
+bool EnvironmentWalGroupCommit() {
+  static const bool enabled = [] {
+    // Read once under the function-local static's init lock; nothing in this
+    // process calls setenv, so the unsynchronized-environ hazard does not apply.
+    const char* v = std::getenv("LSMSTATS_WAL_GROUP_COMMIT");  // NOLINT(concurrency-mt-unsafe)
+    return v != nullptr && v[0] != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
 std::string WalFilePath(const std::string& directory,
-                        const std::string& tree_name, uint64_t sequence) {
-  return directory + "/" + tree_name + "_" + std::to_string(sequence) +
+                        const std::string& prefix, uint64_t sequence) {
+  return directory + "/" + prefix + "_" + std::to_string(sequence) +
          kWalSuffix;
+}
+
+// ---------------------------------------------------------------- encoding
+
+void EncodeWalRecordFrame(WalOp op, const LsmKey& key, std::string_view value,
+                          std::string* out) {
+  Encoder payload;
+  PutRecordFields(&payload, op, key, value);
+  AppendFramedPayload(payload, out);
+}
+
+void EncodeWalBatchFrame(const WriteBatch& batch, std::string* out) {
+  Encoder payload;
+  payload.PutU8(kWalBatchFrameTag);
+  payload.PutVarint64(batch.size());
+  for (const WriteBatchEntry& entry : batch.entries()) {
+    payload.PutVarint64(entry.tree_id);
+    PutRecordFields(&payload, entry.op, entry.key, entry.value);
+  }
+  AppendFramedPayload(payload, out);
 }
 
 // ------------------------------------------------------------------ writer
@@ -91,21 +158,17 @@ StatusOr<std::unique_ptr<WalSegmentWriter>> WalSegmentWriter::Create(
 
 Status WalSegmentWriter::Append(WalOp op, const LsmKey& key,
                                 std::string_view value) {
-  Encoder payload;
-  payload.PutU8(static_cast<uint8_t>(op));
-  payload.PutI64(key.k0);
-  payload.PutI64(key.k1);
-  payload.PutI64(key.k2);
-  payload.PutString(value);
-
-  Encoder frame;
-  frame.PutVarint64(payload.size());
-  frame.PutU32(crc32c::Value(payload.buffer()));
-  std::string bytes = frame.Release();
-  bytes.append(payload.buffer());
-  LSMSTATS_RETURN_IF_ERROR(file_->Append(bytes));
-  ++records_;
+  std::string bytes;
+  EncodeWalRecordFrame(op, key, value, &bytes);
+  LSMSTATS_RETURN_IF_ERROR(AppendFrames(bytes, 1));
   if (sync_mode_ == WalSyncMode::kEveryRecord) return file_->Sync();
+  return Status::OK();
+}
+
+Status WalSegmentWriter::AppendFrames(std::string_view frames,
+                                      uint64_t record_count) {
+  LSMSTATS_RETURN_IF_ERROR(file_->Append(frames));
+  records_ += record_count;
   return Status::OK();
 }
 
@@ -113,7 +176,281 @@ Status WalSegmentWriter::Sync() { return file_->Sync(); }
 
 Status WalSegmentWriter::Close() { return file_->Close(); }
 
+// ----------------------------------------------------------------- WalLog
+
+WalLog::WalLog(WalLogOptions options)
+    : options_(std::move(options)),
+      group_commit_(options_.group_commit &&
+                    options_.sync_mode == WalSyncMode::kEveryRecord),
+      next_sequence_(options_.next_sequence) {}
+
+WalLog::~WalLog() {
+  MutexLock lock(&mu_);
+  // Destruction implies no concurrent writers, so no leader can be mid-sync.
+  if (writer_ == nullptr) return;
+  if (!pending_.empty()) {
+    Status flush = writer_->AppendFrames(pending_, pending_records_);
+    if (!flush.ok()) {
+      LSMSTATS_LOG(kWarning) << options_.prefix
+                             << ": flushing buffered wal frames on shutdown "
+                                "failed: " << flush.message();
+    }
+  }
+  Status close = writer_->Close();
+  if (!close.ok()) {
+    LSMSTATS_LOG(kWarning) << options_.prefix << ": closing wal segment "
+                           << writer_->path()
+                           << " failed: " << close.message();
+  }
+}
+
+Status WalLog::EnsureWriterLocked() {
+  if (writer_ != nullptr) return Status::OK();
+  auto writer = WalSegmentWriter::Create(
+      options_.env,
+      WalFilePath(options_.directory, options_.prefix, next_sequence_),
+      options_.sync_mode);
+  LSMSTATS_RETURN_IF_ERROR(writer.status());
+  if (options_.sync_mode != WalSyncMode::kNone) {
+    // Make the segment's directory entry durable before any record in it can
+    // be acknowledged; otherwise a power loss could drop the whole file out
+    // from under records the sync mode promised to keep.
+    LSMSTATS_RETURN_IF_ERROR(options_.env->SyncDir(options_.directory));
+  }
+  writer_ = std::move(writer).value();
+  ++next_sequence_;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> WalLog::AppendFrameLocked(std::string frame,
+                                             uint64_t record_count) {
+  if (group_commit_) {
+    // A leader failure left frame durability unknown; appending above the
+    // hole would let a later ack imply an earlier, lost record.
+    LSMSTATS_RETURN_IF_ERROR(group_error_);
+  }
+  LSMSTATS_RETURN_IF_ERROR(EnsureWriterLocked());
+  if (group_commit_) {
+    pending_.append(frame);
+    pending_records_ += record_count;
+    records_ += record_count;
+    return ++appended_seq_;
+  }
+  LSMSTATS_RETURN_IF_ERROR(writer_->AppendFrames(frame, record_count));
+  if (options_.sync_mode == WalSyncMode::kEveryRecord) {
+    ++syncs_;
+    LSMSTATS_RETURN_IF_ERROR(writer_->Sync());
+  }
+  records_ += record_count;
+  durable_seq_ = ++appended_seq_;
+  return appended_seq_;
+}
+
+StatusOr<uint64_t> WalLog::Append(WalOp op, const LsmKey& key,
+                                  std::string_view value) {
+  std::string frame;
+  EncodeWalRecordFrame(op, key, value, &frame);
+  MutexLock lock(&mu_);
+  return AppendFrameLocked(std::move(frame), 1);
+}
+
+StatusOr<uint64_t> WalLog::AppendBatch(const WriteBatch& batch) {
+  if (batch.empty()) return uint64_t{0};
+  std::string frame;
+  EncodeWalBatchFrame(batch, &frame);
+  MutexLock lock(&mu_);
+  return AppendFrameLocked(std::move(frame), batch.size());
+}
+
+void WalLog::LeadCommitLocked() {
+  sync_in_progress_ = true;
+  std::string batch = std::move(pending_);
+  pending_.clear();
+  const uint64_t batch_records = pending_records_;
+  pending_records_ = 0;
+  last_group_records_ = batch_records;
+  const uint64_t target = appended_seq_;
+  // Non-null: an undurable ticket implies an appended frame, and Seal()
+  // (the only reset) first waits for !sync_in_progress_ and publishes
+  // durable_seq_ = appended_seq_ before releasing the writer.
+  WalSegmentWriter* writer = writer_.get();
+  // The sync_in_progress_ flag gives this thread exclusive use of the
+  // segment file; followers keep buffering into pending_ under mu_.
+  mu_.Unlock();
+  Status s = writer->AppendFrames(batch, batch_records);
+  bool attempted_sync = false;
+  if (s.ok()) {
+    attempted_sync = true;
+    s = writer->Sync();
+  }
+  mu_.Lock();
+  if (attempted_sync) ++syncs_;
+  sync_in_progress_ = false;
+  if (s.ok()) {
+    if (target > durable_seq_) durable_seq_ = target;
+  } else if (group_error_.ok()) {
+    group_error_ = s;
+  }
+  cv_.NotifyAll();
+}
+
+Status WalLog::WaitDurable(uint64_t ticket) {
+  if (ticket == 0 || !group_commit_) return Status::OK();
+  MutexLock lock(&mu_);
+  bool stalled = false;
+  while (true) {
+    if (durable_seq_ >= ticket) return Status::OK();
+    if (!group_error_.ok()) return group_error_;
+    if (sync_in_progress_) {
+      cv_.Wait(&mu_);
+      continue;
+    }
+    // Leader stall (cf. Postgres commit_delay): if the group about to be
+    // synced is smaller than the one that just committed, the missing
+    // writers are almost certainly re-arriving — they were all released
+    // together and are only a memtable apply behind. Spin one bounded
+    // window for them to land before spending an fsync on a fraction of a
+    // group. A spin (not a CondVar wait) because reacting to the group
+    // filling is the commit critical path; a sleep would add a wakeup
+    // latency comparable to the fsync being saved. The window ends when the
+    // group has reached the previous size AND stopped growing for a quiet
+    // interval — the quiet check lets the group overshoot the hint, so a
+    // writer pool larger than the last group is re-captured whole instead
+    // of equilibrating at the hint. One window per WaitDurable call, so a
+    // shrinking pool pays the deadline at most once before the hint decays.
+    if (!stalled && pending_records_ < last_group_records_) {
+      stalled = true;
+      const auto start = std::chrono::steady_clock::now();
+      const auto deadline = start + kGroupCommitStallWindow;
+      auto last_growth = start;
+      uint64_t seen = pending_records_;
+      while (!sync_in_progress_ && durable_seq_ < ticket &&
+             group_error_.ok()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        if (pending_records_ != seen) {
+          seen = pending_records_;
+          last_growth = now;
+        } else if (seen >= last_group_records_ &&
+                   now - last_growth >= kGroupCommitQuietWindow) {
+          break;
+        }
+        mu_.Unlock();
+        std::this_thread::yield();
+        mu_.Lock();
+      }
+      continue;
+    }
+    LeadCommitLocked();
+  }
+}
+
+StatusOr<std::optional<std::string>> WalLog::Seal() {
+  MutexLock lock(&mu_);
+  cv_.Wait(&mu_, [this]() REQUIRES(mu_) { return !sync_in_progress_; });
+  if (writer_ == nullptr) return std::optional<std::string>();
+  const bool had_pending = !pending_.empty();
+  if (had_pending) {
+    Status flush = writer_->AppendFrames(pending_, pending_records_);
+    if (!flush.ok()) {
+      // pending_ is kept so a retried Seal (or the next leader) can still
+      // commit the frames; a duplicated partial append replays idempotently.
+      if (group_commit_ && group_error_.ok()) group_error_ = flush;
+      cv_.NotifyAll();
+      return flush;
+    }
+    pending_.clear();
+    pending_records_ = 0;
+  }
+  // kFlushOnly's durability point is the seal; under group commit any frame
+  // flushed just now was promised every-record durability before its ack.
+  if (options_.sync_mode == WalSyncMode::kFlushOnly ||
+      (options_.sync_mode == WalSyncMode::kEveryRecord && had_pending)) {
+    ++syncs_;
+    Status sync = writer_->Sync();
+    if (!sync.ok()) {
+      if (group_commit_ && group_error_.ok()) group_error_ = sync;
+      cv_.NotifyAll();
+      return sync;
+    }
+  }
+  durable_seq_ = appended_seq_;
+  LSMSTATS_RETURN_IF_ERROR(writer_->Close());
+  std::string path = writer_->path();
+  writer_.reset();
+  cv_.NotifyAll();
+  return std::optional<std::string>(std::move(path));
+}
+
+uint64_t WalLog::sync_count() const {
+  MutexLock lock(&mu_);
+  return syncs_;
+}
+
+uint64_t WalLog::records_appended() const {
+  MutexLock lock(&mu_);
+  return records_;
+}
+
 // ------------------------------------------------------------------ replay
+
+namespace {
+
+struct DecodedWalEntry {
+  uint32_t tree_id = 0;
+  WalOp op = WalOp::kPut;
+  LsmKey key;
+  std::string value;
+};
+
+bool DecodeRecordFields(Decoder* dec, uint8_t op_byte, uint32_t tree_id,
+                        DecodedWalEntry* out) {
+  if (!IsRecordOp(op_byte)) return false;
+  out->tree_id = tree_id;
+  out->op = static_cast<WalOp>(op_byte);
+  Status decode = dec->GetI64(&out->key.k0);
+  if (decode.ok()) decode = dec->GetI64(&out->key.k1);
+  if (decode.ok()) decode = dec->GetI64(&out->key.k2);
+  if (decode.ok()) decode = dec->GetString(&out->value);
+  return decode.ok();
+}
+
+// Decodes a whole frame payload into `*entries` (one entry for a
+// single-record payload, all of them for a batch payload). Returning false
+// means the payload is corrupt; nothing is applied from it.
+bool DecodeWalPayload(std::string_view payload,
+                      std::vector<DecodedWalEntry>* entries) {
+  Decoder dec(payload);
+  uint8_t op_byte = 0;
+  if (!dec.GetU8(&op_byte).ok()) return false;
+  if (op_byte == kWalBatchFrameTag) {
+    uint64_t count = 0;
+    if (!dec.GetVarint64(&count).ok()) return false;
+    entries->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t tree_id = 0;
+      uint8_t entry_op = 0;
+      if (!dec.GetVarint64(&tree_id).ok() || !dec.GetU8(&entry_op).ok()) {
+        return false;
+      }
+      if (tree_id > std::numeric_limits<uint32_t>::max()) return false;
+      DecodedWalEntry entry;
+      if (!DecodeRecordFields(&dec, entry_op,
+                              static_cast<uint32_t>(tree_id), &entry)) {
+        return false;
+      }
+      entries->push_back(std::move(entry));
+    }
+    return dec.Done();
+  }
+  DecodedWalEntry entry;
+  if (!DecodeRecordFields(&dec, op_byte, /*tree_id=*/0, &entry)) return false;
+  if (!dec.Done()) return false;
+  entries->push_back(std::move(entry));
+  return true;
+}
+
+}  // namespace
 
 StatusOr<WalSegmentReplayResult> ReplayWalSegment(Env* env,
                                                   const std::string& path,
@@ -170,26 +507,20 @@ StatusOr<WalSegmentReplayResult> ReplayWalSegment(Env* env,
       result.valid_bytes = frame_start;
       return result;
     }
-    Decoder dec(payload);
-    uint8_t op_byte = 0;
-    LsmKey key;
-    std::string value;
-    Status decode = dec.GetU8(&op_byte);
-    if (decode.ok()) decode = dec.GetI64(&key.k0);
-    if (decode.ok()) decode = dec.GetI64(&key.k1);
-    if (decode.ok()) decode = dec.GetI64(&key.k2);
-    if (decode.ok()) decode = dec.GetString(&value);
-    if (!decode.ok() || !dec.Done() ||
-        op_byte < static_cast<uint8_t>(WalOp::kPut) ||
-        op_byte > static_cast<uint8_t>(WalOp::kAntiMatter)) {
+    // Decode the entire frame before applying any record from it: this is
+    // what makes a batch frame atomic under replay.
+    std::vector<DecodedWalEntry> entries;
+    if (!DecodeWalPayload(payload, &entries)) {
       // The CRC matched but the payload is not a record we understand: the
       // frame was written corrupt (or by a future format), not torn.
       result.tail = WalTail::kCorrupt;
       result.valid_bytes = frame_start;
       return result;
     }
-    apply(static_cast<WalOp>(op_byte), key, value);
-    ++result.records_applied;
+    for (const DecodedWalEntry& entry : entries) {
+      apply(entry.tree_id, entry.op, entry.key, entry.value);
+    }
+    result.records_applied += entries.size();
     pos = p + kCrcBytes + payload_len;
     result.valid_bytes = pos;
   }
@@ -200,22 +531,23 @@ StatusOr<WalSegmentReplayResult> ReplayWalSegment(Env* env,
 
 StatusOr<WalRecoveryResult> RecoverWalSegments(Env* env,
                                                const std::string& directory,
-                                               const std::string& tree_name,
+                                               const std::string& prefix,
                                                bool quarantine_corrupt,
                                                const WalReplayFn& apply) {
   WalRecoveryResult result;
   std::vector<std::string> names;
   LSMSTATS_RETURN_IF_ERROR(env->ListDir(directory, &names));
-  const std::string prefix = tree_name + "_";
+  const std::string name_prefix = prefix + "_";
   std::vector<std::pair<uint64_t, std::string>> segments;  // (seq, path)
   for (const std::string& filename : names) {
-    if (filename.rfind(prefix, 0) != 0) continue;
-    if (filename.size() <= prefix.size() + kWalSuffixLen ||
+    if (filename.rfind(name_prefix, 0) != 0) continue;
+    if (filename.size() <= name_prefix.size() + kWalSuffixLen ||
         filename.substr(filename.size() - kWalSuffixLen) != kWalSuffix) {
       continue;
     }
     const std::string id_text = filename.substr(
-        prefix.size(), filename.size() - prefix.size() - kWalSuffixLen);
+        name_prefix.size(),
+        filename.size() - name_prefix.size() - kWalSuffixLen);
     if (!IsAllDigits(id_text)) continue;  // foreign file
     segments.emplace_back(std::strtoull(id_text.c_str(), nullptr, 10),
                           directory + "/" + filename);
@@ -234,7 +566,7 @@ StatusOr<WalRecoveryResult> RecoverWalSegments(Env* env,
         (replay->tail == WalTail::kTorn && final_segment)) {
       if (replay->tail == WalTail::kTorn) {
         LSMSTATS_LOG(kWarning)
-            << tree_name << ": wal segment " << path
+            << prefix << ": wal segment " << path
             << " has a torn tail; truncating to " << replay->valid_bytes
             << " bytes (" << replay->records_applied << " whole records)";
         LSMSTATS_RETURN_IF_ERROR(
@@ -262,7 +594,7 @@ StatusOr<WalRecoveryResult> RecoverWalSegments(Env* env,
     if (!quarantine_corrupt) {
       return Status::Corruption("wal segment " + path + " " + reason);
     }
-    LSMSTATS_LOG(kError) << tree_name << ": wal segment " << path << " "
+    LSMSTATS_LOG(kError) << prefix << ": wal segment " << path << " "
                          << reason
                          << "; quarantining it and all newer segments";
     for (size_t j = i; j < segments.size(); ++j) {

@@ -7,33 +7,51 @@
 // appended to a per-tree log segment *before* it touches the memtable, and
 // Open() replays surviving segments so accepted records survive a reboot.
 //
-// Segment files are named `<tree-name>_<sequence>.wal` in the tree's
-// directory; sequence numbers are monotone, so name order is recency order
-// (the same discovery convention as `<tree-name>_<id>.cmp` components). A
-// segment holds the records of exactly one memtable incarnation: rotation
-// seals the active segment and the next logged write starts a fresh one;
-// once the corresponding memtable is flushed into a sealed component the
-// segment is obsolete and deleted.
+// Segment files are named `<prefix>_<sequence>.wal` in the owning tree's (or
+// dataset's) directory; sequence numbers are monotone, so name order is
+// recency order (the same discovery convention as `<tree-name>_<id>.cmp`
+// components). A segment holds the records of exactly one memtable
+// incarnation: rotation seals the active segment and the next logged write
+// starts a fresh one; once the corresponding memtable is flushed into a
+// sealed component the segment is obsolete and deleted. A *shared* log
+// (one stream serving all of a dataset's index trees, see Dataset) follows
+// the same lifecycle with the dataset sealing around whole-dataset flushes.
 //
 // Record frame (all little-endian, varints/strings via common/coding.h):
 //
 //   [payload_len varint] [crc32c(payload) u32] [payload]
 //
-//   payload: [op u8] [k0 i64] [k1 i64] [k2 i64] [value length-prefixed]
+//   single-record payload:
+//     [op u8 ∈ {1,2,3}] [k0 i64] [k1 i64] [k2 i64] [value length-prefixed]
+//   batch payload (one WriteBatch, committed atomically):
+//     [tag u8 = 4] [count varint]
+//     then `count` × [tree_id varint] [op u8] [k0 i64] [k1 i64] [k2 i64]
+//                    [value length-prefixed]
 //
 // The CRC covers the payload only; the length prefix lets replay walk frames
 // without decoding them. A frame that extends past EOF is a torn tail (the
 // write never completed — truncate to the last whole frame); a complete
 // frame whose CRC or payload decode fails is mid-log corruption (handled
-// like a corrupt component: quarantine, see RecoverWalSegments).
+// like a corrupt component: quarantine, see RecoverWalSegments). Because one
+// CRC covers a whole batch payload and replay decodes a frame completely
+// before applying anything, a batch is replayed all-or-nothing: a reopened
+// tree never observes half a WriteBatch.
 //
 // Durability is governed by WalSyncMode:
-//   * kEveryRecord — fsync after each append: an acknowledged write is
+//   * kEveryRecord — fsync after each commit: an acknowledged write is
 //     durable the moment the call returns.
 //   * kFlushOnly   — fsync only when the segment is sealed at rotation: the
 //     immutable-memtable backlog is durable, the active memtable is not.
 //   * kNone        — never fsync: the OS page cache decides (still recovers
 //     from process crashes, not power loss).
+//
+// Group commit (WalLog with group_commit=true, meaningful only under
+// kEveryRecord) replaces fsync-per-record with fsync-per-*leader*: writers
+// buffer their encoded frames under the log's mutex and wait; the first
+// waiter whose record is not yet durable becomes the leader, writes and
+// fsyncs every buffered frame with one syscall pair, and wakes all waiters
+// whose records the sync covered. The "acked ⇒ durable" contract is
+// unchanged — only the ack is deferred, never the apply order.
 //
 // All file I/O flows through Env (tools/lint.py rule `wal-io` confines the
 // `.wal` suffix and WAL file access to this module), so FaultInjectionEnv
@@ -46,15 +64,20 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "lsm/entry.h"
 
 namespace lsmstats {
+
+class WriteBatch;  // lsm/write_batch.h
 
 enum class WalSyncMode {
   kNone,
@@ -67,11 +90,13 @@ const char* WalSyncModeToString(WalSyncMode mode);
 
 // WAL policy resolved from the process environment, used wherever
 // LsmTreeOptions::wal / wal_sync_mode are left unset: LSMSTATS_WAL=1 enables
-// the log, LSMSTATS_WAL_SYNC names the sync mode (default flush-only). This
-// is how CI forces the WAL through the whole tier-1 suite without touching
-// call sites; unset variables leave the defaults (WAL off) bit-identical.
+// the log, LSMSTATS_WAL_SYNC names the sync mode (default flush-only), and
+// LSMSTATS_WAL_GROUP_COMMIT=1 turns on group commit. This is how CI forces
+// the WAL through the whole tier-1 suite without touching call sites; unset
+// variables leave the defaults (WAL off) bit-identical.
 bool EnvironmentWalEnabled();
 WalSyncMode EnvironmentWalSyncMode();
+bool EnvironmentWalGroupCommit();
 
 // Logged operation kinds. Values are on-disk format; never renumber.
 enum class WalOp : uint8_t {
@@ -80,12 +105,24 @@ enum class WalOp : uint8_t {
   kAntiMatter = 3,
 };
 
-// `<directory>/<tree_name>_<sequence>.wal`.
+// On-disk payload tag marking a batch frame (stored where a single-record
+// payload stores its WalOp). Sits above every WalOp value; never renumber.
+inline constexpr uint8_t kWalBatchFrameTag = 4;
+
+// `<directory>/<prefix>_<sequence>.wal`.
 std::string WalFilePath(const std::string& directory,
-                        const std::string& tree_name, uint64_t sequence);
+                        const std::string& prefix, uint64_t sequence);
+
+// Appends one framed single-record payload to `*out`.
+void EncodeWalRecordFrame(WalOp op, const LsmKey& key, std::string_view value,
+                          std::string* out);
+
+// Appends one framed batch payload covering every entry of `batch` to
+// `*out`. The frame's single CRC makes the batch atomic under replay.
+void EncodeWalBatchFrame(const WriteBatch& batch, std::string* out);
 
 // Appends framed records to one segment file. Not internally synchronized:
-// LsmTree calls it under its own mutex.
+// callers (WalLog, tests) serialize access themselves.
 class WalSegmentWriter {
  public:
   // Creates (truncates) the segment file. In kEveryRecord mode every Append
@@ -96,6 +133,12 @@ class WalSegmentWriter {
 
   [[nodiscard]]
   Status Append(WalOp op, const LsmKey& key, std::string_view value);
+
+  // Appends pre-encoded frame bytes covering `record_count` logical records.
+  // Never syncs — callers owning a commit protocol (WalLog) decide when the
+  // bytes must become durable.
+  [[nodiscard]]
+  Status AppendFrames(std::string_view frames, uint64_t record_count);
 
   // Makes every appended frame durable (used at rotation in kFlushOnly mode).
   [[nodiscard]] Status Sync();
@@ -119,9 +162,131 @@ class WalSegmentWriter {
   uint64_t records_ = 0;
 };
 
-// Invoked for each replayed record, oldest first.
-using WalReplayFn =
-    std::function<void(WalOp op, const LsmKey& key, std::string_view value)>;
+struct WalLogOptions {
+  Env* env = nullptr;
+  std::string directory;
+  // Segment files are `<prefix>_<seq>.wal`: the tree name for a per-tree
+  // log, `<dataset>_wal` for a shared per-dataset log.
+  std::string prefix;
+  WalSyncMode sync_mode = WalSyncMode::kFlushOnly;
+  // Enables group commit. Only changes behavior under kEveryRecord (the
+  // other modes never fsync on the append path, so there is nothing to
+  // amortize); see the class comment.
+  bool group_commit = false;
+  // First unused segment sequence number (from WalRecoveryResult).
+  uint64_t next_sequence = 1;
+};
+
+// A write-ahead log: an append stream over rotating segment files, with an
+// optional group-commit protocol amortizing one fsync across N concurrent
+// writers. Internally synchronized (rank LockRank::kWalLog — acquired under
+// LsmTree::mu_ on the append/seal paths, bare from commit waiters).
+//
+// Usage contract, in the order a write takes:
+//   1. Append()/AppendBatch() — under the caller's own write critical
+//      section, BEFORE the memtable apply, so log order always equals apply
+//      order. Returns a ticket. Without group commit the record is already
+//      committed per the sync mode when this returns.
+//   2. WaitDurable(ticket) — with NO caller lock held. With group commit
+//      this blocks until a leader has fsynced the record (electing the
+//      calling thread as leader when none is active); the caller must not
+//      acknowledge the write before this returns OK. Without group commit
+//      it returns immediately.
+//   3. Seal() — under the caller's write critical section, at memtable
+//      rotation. Flushes any buffered frames, syncs per the sync mode,
+//      closes the segment and returns its path (nullopt if no record was
+//      ever logged); the next Append starts a fresh segment.
+//
+// Errors: append/creation failures are returned to the caller and are
+// retryable (matching the pre-group-commit behavior). A group-commit
+// *leader* failure is sticky: the on-disk state of every buffered frame is
+// unknown, so acknowledging anything newer would ack above a hole — every
+// current and future waiter gets the same error.
+class WalLog {
+ public:
+  explicit WalLog(WalLogOptions options);
+  // Best-effort: flushes buffered frames and closes the active segment,
+  // logging (not raising) failures. Callers needing the error must Seal()
+  // first. Must not race any other member call.
+  ~WalLog();
+
+  WalLog(const WalLog&) = delete;
+  WalLog& operator=(const WalLog&) = delete;
+
+  // Logs one record / one atomic batch. Returns the commit ticket to pass
+  // to WaitDurable (0 when there is nothing to wait on, e.g. an empty
+  // batch).
+  [[nodiscard]] StatusOr<uint64_t> Append(WalOp op, const LsmKey& key,
+                                          std::string_view value)
+      EXCLUDES(mu_);
+  [[nodiscard]] StatusOr<uint64_t> AppendBatch(const WriteBatch& batch)
+      EXCLUDES(mu_);
+
+  // Blocks until every frame up to `ticket` is durable (group commit) or
+  // returns immediately (all other configurations). Call with no lock held.
+  [[nodiscard]] Status WaitDurable(uint64_t ticket) EXCLUDES(mu_);
+
+  // Seals the active segment: flushes buffered frames, syncs per the sync
+  // mode, closes the file. Returns the sealed segment's path, or nullopt if
+  // nothing was ever appended since the last seal. On failure the segment
+  // stays open so a retry can re-seal.
+  [[nodiscard]] StatusOr<std::optional<std::string>> Seal() EXCLUDES(mu_);
+
+  // True when group commit is in effect (requested AND kEveryRecord).
+  bool group_commit_effective() const { return group_commit_; }
+  WalSyncMode sync_mode() const { return options_.sync_mode; }
+
+  // Observability (benchmarks report fsyncs/record from these).
+  uint64_t sync_count() const EXCLUDES(mu_);
+  uint64_t records_appended() const EXCLUDES(mu_);
+
+ private:
+  [[nodiscard]] Status EnsureWriterLocked() REQUIRES(mu_);
+  [[nodiscard]] StatusOr<uint64_t> AppendFrameLocked(std::string frame,
+                                                     uint64_t record_count)
+      REQUIRES(mu_);
+  // Group-commit leader body: takes every buffered frame, releases mu_ for
+  // the append+fsync (mu_ is re-held on return), publishes the new durable
+  // ticket or the sticky error, and wakes all waiters.
+  void LeadCommitLocked() REQUIRES(mu_);
+
+  const WalLogOptions options_;
+  const bool group_commit_;  // requested AND kEveryRecord
+
+  mutable Mutex mu_{LockRank::kWalLog, "wal_log"};
+  CondVar cv_;
+  std::unique_ptr<WalSegmentWriter> writer_ GUARDED_BY(mu_);
+  uint64_t next_sequence_ GUARDED_BY(mu_);
+  // Frames buffered by group-commit appends, awaiting a leader.
+  std::string pending_ GUARDED_BY(mu_);
+  uint64_t pending_records_ GUARDED_BY(mu_) = 0;
+  // Tickets: appended_seq_ counts frames logged, durable_seq_ the prefix
+  // known durable. Equal except between a group-commit append and its
+  // leader's fsync.
+  uint64_t appended_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t durable_seq_ GUARDED_BY(mu_) = 0;
+  // True while a leader owns the segment file outside mu_; Seal() and
+  // leader election wait on it.
+  bool sync_in_progress_ GUARDED_BY(mu_) = false;
+  // Size of the most recent committed group. A would-be leader whose
+  // pending set is smaller than this stalls one short window before
+  // syncing: right after a group commits, its writers race back with their
+  // next record, and whoever arrives first would otherwise burn an fsync on
+  // a near-empty group while the rest are microseconds behind. The hint
+  // decays to the solo group size after one commit, so a lone writer never
+  // stalls twice.
+  uint64_t last_group_records_ GUARDED_BY(mu_) = 0;
+  Status group_error_ GUARDED_BY(mu_);
+  uint64_t syncs_ GUARDED_BY(mu_) = 0;
+  uint64_t records_ GUARDED_BY(mu_) = 0;
+};
+
+// Invoked for each replayed record, oldest first. `tree_id` is 0 for
+// single-record frames and for batch entries logged by one tree; a shared
+// per-dataset log tags each batch entry with the owning index tree (see
+// Dataset's tree-id assignment).
+using WalReplayFn = std::function<void(
+    uint32_t tree_id, WalOp op, const LsmKey& key, std::string_view value)>;
 
 // How one segment's byte stream ended.
 enum class WalTail {
@@ -131,6 +296,7 @@ enum class WalTail {
 };
 
 struct WalSegmentReplayResult {
+  // Logical records applied (every entry of a batch frame counts).
   uint64_t records_applied = 0;
   // Offset of the first byte past the last valid frame — the truncation
   // target for a torn tail.
@@ -139,7 +305,9 @@ struct WalSegmentReplayResult {
 };
 
 // Streams every valid frame of `path` through `apply` in append order and
-// classifies how the stream ended. Does not mutate the file.
+// classifies how the stream ended. A frame is decoded in full before any of
+// its records is applied, so batch frames apply all-or-nothing. Does not
+// mutate the file.
 [[nodiscard]]
 StatusOr<WalSegmentReplayResult> ReplayWalSegment(Env* env,
                                                   const std::string& path,
@@ -159,7 +327,7 @@ struct WalRecoveryResult {
   bool truncated_torn_tail = false;
 };
 
-// Discovers `<tree_name>_<seq>.wal` segments in `directory` and replays them
+// Discovers `<prefix>_<seq>.wal` segments in `directory` and replays them
 // oldest to newest through `apply`. Outcomes per segment:
 //
 //   * clean, non-empty  — replayed; kept as a live segment.
@@ -177,7 +345,7 @@ struct WalRecoveryResult {
 [[nodiscard]]
 StatusOr<WalRecoveryResult> RecoverWalSegments(Env* env,
                                                const std::string& directory,
-                                               const std::string& tree_name,
+                                               const std::string& prefix,
                                                bool quarantine_corrupt,
                                                const WalReplayFn& apply);
 

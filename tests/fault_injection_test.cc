@@ -16,10 +16,12 @@
 
 #include "common/crc32c.h"
 #include "common/env.h"
+#include "db/dataset.h"
 #include "lsm/format/block.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/scheduler.h"
 #include "stats/statistics_catalog.h"
+#include "workload/tweets.h"
 
 namespace lsmstats {
 namespace {
@@ -403,6 +405,122 @@ TEST_F(FaultInjectionTest, WalEveryRecordCrashSweepLosesNoAckedWrite) {
     ASSERT_TRUE(tree->Put(PrimaryKey(1000), "post-crash", true).ok());
     ASSERT_TRUE(tree->Flush().ok());
     EXPECT_TRUE(tree->Get(PrimaryKey(1000), &value).ok());
+    ASSERT_TRUE(env.ListDir(run_dir, &names).ok());
+    for (const std::string& name : names) {
+      EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+      EXPECT_EQ(name.find(".wal"), std::string::npos) << name;
+    }
+  }
+}
+
+// ------------------------- group-commit + shared-WAL batch crash sweep
+
+constexpr int64_t kSweepBatches = 8;
+constexpr int64_t kSweepBatchSize = 3;
+
+// Ingest through a shared-WAL dataset under every-record sync with group
+// commit enabled, one atomic PutBatch of kSweepBatchSize records at a time
+// (batch b covers pks [b*size, (b+1)*size)). Appends each batch index to
+// `acked` once its PutBatch was acknowledged. The small memtable bound
+// forces mid-run flushes, putting shared-segment sealing and reclamation
+// inside the crash window alongside batch appends and leader fsyncs.
+Status RunSharedBatchWorkload(Env* env, const std::string& dir,
+                              std::vector<int64_t>* acked) {
+  DatasetOptions options;
+  options.directory = dir;
+  options.name = "ds";
+  options.schema = TweetSchema(ValueDomain(0, 14));
+  options.memtable_max_entries = 8;
+  options.env = env;
+  options.wal = true;
+  options.wal_sync_mode = WalSyncMode::kEveryRecord;
+  options.wal_group_commit = true;
+  options.shared_wal = true;
+  auto dataset_or = Dataset::Open(options);
+  LSMSTATS_RETURN_IF_ERROR(dataset_or.status());
+  auto& dataset = *dataset_or;
+  for (int64_t b = 0; b < kSweepBatches; ++b) {
+    std::vector<Record> records;
+    for (int64_t i = 0; i < kSweepBatchSize; ++i) {
+      Record record;
+      record.pk = kSweepBatchSize * b + i;
+      record.fields = {record.pk % 5, 0};
+      records.push_back(record);
+    }
+    LSMSTATS_RETURN_IF_ERROR(dataset->PutBatch(records));
+    if (acked != nullptr) acked->push_back(b);
+  }
+  return dataset->Flush();
+}
+
+TEST_F(FaultInjectionTest, SharedWalGroupCommitBatchSweepIsAtomic) {
+  uint64_t total_ops;
+  {
+    std::string clean_dir = dir_ + "/clean";
+    FaultInjectionEnv env;
+    std::vector<int64_t> acked;
+    ASSERT_TRUE(RunSharedBatchWorkload(&env, clean_dir, &acked).ok());
+    ASSERT_EQ(acked.size(), static_cast<size_t>(kSweepBatches));
+    total_ops = env.MutatingOpCount();
+    ASSERT_GT(total_ops, 30u);
+  }
+
+  for (uint64_t crash_at = 1; crash_at <= total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at mutating op " + std::to_string(crash_at));
+    std::string run_dir = dir_ + "/run" + std::to_string(crash_at);
+    FaultInjectionEnv env;
+    env.CrashAtMutatingOp(crash_at);
+    std::vector<int64_t> acked;
+    Status died = RunSharedBatchWorkload(&env, run_dir, &acked);
+    EXPECT_FALSE(died.ok());
+    env.ClearFaults();
+    ASSERT_TRUE(env.DropUnsyncedData().ok());
+
+    DatasetOptions options;
+    options.directory = run_dir;
+    options.name = "ds";
+    options.schema = TweetSchema(ValueDomain(0, 14));
+    options.memtable_max_entries = 8;
+    options.env = &env;
+    options.wal = true;
+    options.wal_sync_mode = WalSyncMode::kEveryRecord;
+    options.wal_group_commit = true;
+    options.shared_wal = true;
+    auto dataset_or = Dataset::Open(options);
+    ASSERT_TRUE(dataset_or.ok()) << dataset_or.status().ToString();
+    auto& dataset = *dataset_or;
+
+    // Invariant 1: every batch recovered all-or-nothing (a torn batch would
+    // leave a partial pk run), and every ACKED batch recovered whole.
+    for (int64_t b = 0; b < kSweepBatches; ++b) {
+      int64_t present = 0;
+      for (int64_t i = 0; i < kSweepBatchSize; ++i) {
+        if (dataset->Get(kSweepBatchSize * b + i).ok()) ++present;
+      }
+      ASSERT_TRUE(present == 0 || present == kSweepBatchSize)
+          << "torn batch " << b << ": " << present << " of "
+          << kSweepBatchSize << " records";
+      if (static_cast<size_t>(b) < acked.size()) {
+        ASSERT_EQ(present, kSweepBatchSize)
+            << "lost acknowledged batch " << b;
+      }
+    }
+
+    // Invariant 2: the secondary index recovered in lockstep with the
+    // primary — the shared log's whole point.
+    uint64_t live = dataset->CountAll().value();
+    EXPECT_EQ(live % kSweepBatchSize, 0u);
+    EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), live);
+
+    // Invariant 3: the recovered dataset accepts new batches, and a full
+    // flush retires every shared segment and temporary.
+    Record record;
+    record.pk = 1000;
+    record.fields = {1, 0};
+    ASSERT_TRUE(dataset->PutBatch({record}).ok());
+    ASSERT_TRUE(dataset->Flush().ok());
+    ASSERT_TRUE(dataset->Get(1000).ok());
+    std::vector<std::string> names;
     ASSERT_TRUE(env.ListDir(run_dir, &names).ok());
     for (const std::string& name : names) {
       EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;

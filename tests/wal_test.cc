@@ -87,7 +87,7 @@ TEST_F(WalTest, SegmentRoundTrip) {
 
   std::vector<ReplayedRecord> records;
   auto replay = ReplayWalSegment(
-      env, path, [&](WalOp op, const LsmKey& key, std::string_view value) {
+      env, path, [&](uint32_t, WalOp op, const LsmKey& key, std::string_view value) {
         records.push_back({op, key, std::string(value)});
       });
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
@@ -120,7 +120,7 @@ TEST_F(WalTest, TornTailClassifiedAndTruncatedByRecovery) {
 
   uint64_t applied = 0;
   auto replay = ReplayWalSegment(
-      env, path, [&](WalOp, const LsmKey&, std::string_view) { ++applied; });
+      env, path, [&](uint32_t, WalOp, const LsmKey&, std::string_view) { ++applied; });
   ASSERT_TRUE(replay.ok());
   EXPECT_EQ(replay->tail, WalTail::kTorn);
   EXPECT_EQ(replay->records_applied, 4u);
@@ -130,14 +130,14 @@ TEST_F(WalTest, TornTailClassifiedAndTruncatedByRecovery) {
   // same segment is then clean with the same record count.
   auto recovery = RecoverWalSegments(
       env, dir_, "t", /*quarantine_corrupt=*/true,
-      [](WalOp, const LsmKey&, std::string_view) {});
+      [](uint32_t, WalOp, const LsmKey&, std::string_view) {});
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
   EXPECT_TRUE(recovery->truncated_torn_tail);
   EXPECT_EQ(recovery->records_applied, 4u);
   ASSERT_EQ(recovery->live_segments.size(), 1u);
   EXPECT_EQ(std::filesystem::file_size(path), replay->valid_bytes);
   auto second = ReplayWalSegment(env, path,
-                                 [](WalOp, const LsmKey&, std::string_view) {});
+                                 [](uint32_t, WalOp, const LsmKey&, std::string_view) {});
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->tail, WalTail::kClean);
   EXPECT_EQ(second->records_applied, 4u);
@@ -164,7 +164,7 @@ TEST_F(WalTest, MidLogCorruptionStopsReplayAtTheDamage) {
 
   uint64_t applied = 0;
   auto replay = ReplayWalSegment(
-      env, path, [&](WalOp, const LsmKey&, std::string_view) { ++applied; });
+      env, path, [&](uint32_t, WalOp, const LsmKey&, std::string_view) { ++applied; });
   ASSERT_TRUE(replay.ok());
   EXPECT_EQ(replay->tail, WalTail::kCorrupt);
   EXPECT_EQ(replay->records_applied, 1u);
@@ -188,7 +188,7 @@ TEST_F(WalTest, RecoveryQuarantinesCorruptSegmentAndAllNewer) {
 
   auto recovery = RecoverWalSegments(
       env, dir_, "t", /*quarantine_corrupt=*/true,
-      [](WalOp, const LsmKey&, std::string_view) {});
+      [](uint32_t, WalOp, const LsmKey&, std::string_view) {});
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
   // Records behind the damage would replay above a hole; both segments go.
   EXPECT_TRUE(recovery->live_segments.empty());
@@ -202,7 +202,7 @@ TEST_F(WalTest, RecoveryQuarantinesCorruptSegmentAndAllNewer) {
 
   // Recovery is idempotent: the quarantined files are invisible to a rerun.
   auto rerun = RecoverWalSegments(env, dir_, "t", /*quarantine_corrupt=*/true,
-                                  [](WalOp, const LsmKey&, std::string_view) {});
+                                  [](uint32_t, WalOp, const LsmKey&, std::string_view) {});
   ASSERT_TRUE(rerun.ok());
   EXPECT_TRUE(rerun->live_segments.empty());
   EXPECT_TRUE(rerun->quarantined_files.empty());
@@ -486,6 +486,403 @@ TEST_F(WalTest, DatasetReplaysEveryIndexInLockstep) {
   // count that routes through it sees every replayed row.
   EXPECT_EQ(dataset->CountRange(kTweetMetricField, 2, 2).value(), 4u);
   EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 20u);
+}
+
+// ------------------------------------------------------------ batch frames
+
+TEST_F(WalTest, BatchFrameRoundTripPreservesTreeIds) {
+  Env* env = Env::Default();
+  std::string path = WalFilePath(dir_, "t", 1);
+  WriteBatch batch;
+  batch.Put(PrimaryKey(1), "one", /*fresh_insert=*/true, /*tree_id=*/0);
+  batch.Put(SecondaryKey(5, 1), "", /*fresh_insert=*/true, /*tree_id=*/1);
+  batch.Delete(PrimaryKey(2), /*tree_id=*/0);
+  batch.PutAntiMatter(SecondaryKey(9, 2), /*tree_id=*/2);
+  std::string frame;
+  EncodeWalBatchFrame(batch, &frame);
+  {
+    auto writer =
+        WalSegmentWriter::Create(env, path, WalSyncMode::kFlushOnly).value();
+    ASSERT_TRUE(writer->AppendFrames(frame, batch.size()).ok());
+    EXPECT_EQ(writer->records_appended(), 4u);
+    ASSERT_TRUE(writer->Close().ok());
+  }
+
+  struct Demuxed {
+    uint32_t tree_id;
+    WalOp op;
+    LsmKey key;
+    std::string value;
+  };
+  std::vector<Demuxed> records;
+  auto replay = ReplayWalSegment(
+      env, path,
+      [&](uint32_t tree_id, WalOp op, const LsmKey& key,
+          std::string_view value) {
+        records.push_back({tree_id, op, key, std::string(value)});
+      });
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->tail, WalTail::kClean);
+  // Every entry of the batch counts as one logical record.
+  EXPECT_EQ(replay->records_applied, 4u);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].tree_id, 0u);
+  EXPECT_EQ(records[0].op, WalOp::kPut);
+  EXPECT_EQ(records[0].key, PrimaryKey(1));
+  EXPECT_EQ(records[0].value, "one");
+  EXPECT_EQ(records[1].tree_id, 1u);
+  EXPECT_EQ(records[1].key, SecondaryKey(5, 1));
+  EXPECT_EQ(records[2].tree_id, 0u);
+  EXPECT_EQ(records[2].op, WalOp::kDelete);
+  EXPECT_EQ(records[3].tree_id, 2u);
+  EXPECT_EQ(records[3].op, WalOp::kAntiMatter);
+}
+
+TEST_F(WalTest, TornBatchFrameDroppedInItsEntirety) {
+  Env* env = Env::Default();
+  std::string path = WalFilePath(dir_, "t", 1);
+  WriteBatch batch;
+  batch.Put(PrimaryKey(10), "aaaa", false, 0);
+  batch.Put(PrimaryKey(11), "bbbb", false, 1);
+  batch.Put(PrimaryKey(12), "cccc", false, 2);
+  std::string frame;
+  EncodeWalBatchFrame(batch, &frame);
+  {
+    auto writer =
+        WalSegmentWriter::Create(env, path, WalSyncMode::kNone).value();
+    ASSERT_TRUE(
+        writer->Append(WalOp::kPut, PrimaryKey(1), "whole").ok());
+    ASSERT_TRUE(writer->AppendFrames(frame, batch.size()).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  // Shear into the middle of the batch frame: two of its three entries are
+  // bytewise intact, but the frame must be dropped whole — no torn batch.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 6);
+
+  uint64_t applied = 0;
+  auto replay = ReplayWalSegment(
+      env, path,
+      [&](uint32_t, WalOp, const LsmKey&, std::string_view) { ++applied; });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->tail, WalTail::kTorn);
+  EXPECT_EQ(replay->records_applied, 1u);  // only the single-record frame
+  EXPECT_EQ(applied, 1u);
+}
+
+TEST_F(WalTest, TreeWriteCommitsBatchAtomicallyAcrossReopen) {
+  LsmTreeOptions options = Options();
+  {
+    auto tree = LsmTree::Open(options).value();
+    WriteBatch batch;
+    for (int64_t k = 0; k < 8; ++k) {
+      batch.Put(PrimaryKey(k), "b" + std::to_string(k), true);
+    }
+    batch.Delete(PrimaryKey(3));
+    ASSERT_TRUE(tree->Write(std::move(batch)).ok());
+    // Batch entries count as logical records in the log's accounting.
+    EXPECT_EQ(tree->WalRecordsLogged(), 9u);
+  }  // crash before any flush
+  auto tree = LsmTree::Open(options).value();
+  std::string value;
+  for (int64_t k = 0; k < 8; ++k) {
+    if (k == 3) {
+      EXPECT_EQ(tree->Get(PrimaryKey(k), &value).code(),
+                StatusCode::kNotFound);
+      continue;
+    }
+    ASSERT_TRUE(tree->Get(PrimaryKey(k), &value).ok()) << "key " << k;
+    EXPECT_EQ(value, "b" + std::to_string(k));
+  }
+}
+
+TEST_F(WalTest, EmptyBatchWriteIsANoOp) {
+  auto tree = LsmTree::Open(Options()).value();
+  ASSERT_TRUE(tree->Write(WriteBatch()).ok());
+  EXPECT_EQ(tree->MemTableEntryCount(), 0u);
+  EXPECT_EQ(tree->WalRecordsLogged(), 0u);
+  EXPECT_TRUE(WalFiles().empty());  // no segment created for nothing
+}
+
+// ------------------------------------------------------------ group commit
+
+TEST_F(WalTest, GroupCommitSingleWriterSurvivesPowerLoss) {
+  // With one writer the caller is always its own leader; the acked ⇒
+  // durable contract must hold exactly as in plain every-record mode.
+  FaultInjectionEnv env;
+  LsmTreeOptions options = Options();
+  options.env = &env;
+  options.wal_sync_mode = WalSyncMode::kEveryRecord;
+  options.wal_group_commit = true;
+  {
+    auto tree = LsmTree::Open(options).value();
+    for (int64_t k = 0; k < 7; ++k) {
+      ASSERT_TRUE(
+          tree->Put(PrimaryKey(k), "v" + std::to_string(k), true).ok());
+    }
+    WriteBatch batch;
+    batch.Put(PrimaryKey(100), "batched", true);
+    batch.Put(PrimaryKey(101), "batched", true);
+    ASSERT_TRUE(tree->Write(std::move(batch)).ok());
+    // One fsync per leader commit: 7 singles + 1 batch.
+    EXPECT_EQ(tree->WalSyncCount(), 8u);
+    EXPECT_EQ(tree->WalRecordsLogged(), 9u);
+  }
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto tree = LsmTree::Open(options).value();
+  std::string value;
+  for (int64_t k = 0; k < 7; ++k) {
+    ASSERT_TRUE(tree->Get(PrimaryKey(k), &value).ok()) << "key " << k;
+  }
+  ASSERT_TRUE(tree->Get(PrimaryKey(100), &value).ok());
+  ASSERT_TRUE(tree->Get(PrimaryKey(101), &value).ok());
+}
+
+TEST_F(WalTest, GroupCommitFlushRetiresSegmentsLikePlainMode) {
+  LsmTreeOptions options = Options();
+  options.wal_sync_mode = WalSyncMode::kEveryRecord;
+  options.wal_group_commit = true;
+  auto tree = LsmTree::Open(options).value();
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+  }
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->ComponentCount(), 1u);
+  EXPECT_TRUE(WalFiles().empty());
+  EXPECT_EQ(tree->ScanCount(PrimaryKey(0), PrimaryKey(100)).value(), 10u);
+}
+
+TEST_F(WalTest, GroupCommitOffOutsideEveryRecordMode) {
+  // group_commit under flush-only sync has nothing to amortize; the log
+  // must behave exactly like plain flush-only (no deferred acks).
+  LsmTreeOptions options = Options();
+  options.wal_sync_mode = WalSyncMode::kFlushOnly;
+  options.wal_group_commit = true;
+  auto tree = LsmTree::Open(options).value();
+  for (int64_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(tree->Put(PrimaryKey(k), "x", true).ok());
+  }
+  EXPECT_EQ(tree->WalSyncCount(), 0u);  // no append-path fsyncs
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_TRUE(WalFiles().empty());
+}
+
+// ------------------------------------------------------- shared dataset WAL
+
+DatasetOptions SharedWalDatasetOptions(const std::string& dir) {
+  DatasetOptions options;
+  options.directory = dir;
+  options.name = "tweets";
+  options.schema = TweetSchema(ValueDomain(0, 14));
+  options.memtable_max_entries = 100;
+  options.wal = true;
+  options.shared_wal = true;
+  return options;
+}
+
+TEST_F(WalTest, SharedWalUsesOneSegmentStreamForAllIndexes) {
+  auto dataset = Dataset::Open(SharedWalDatasetOptions(dir_)).value();
+  for (int64_t pk = 0; pk < 10; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 5, 0};
+    ASSERT_TRUE(dataset->Insert(record).ok());
+  }
+  // One stream for the whole dataset: every segment carries the dataset's
+  // shared prefix, and no per-tree segment exists.
+  auto files = WalFiles();
+  ASSERT_FALSE(files.empty());
+  for (const std::string& file : files) {
+    EXPECT_EQ(file.rfind("tweets_wal_", 0), 0u) << file;
+  }
+  // Each Insert logged one batch (primary + secondary entries) — logical
+  // records count per entry, frames per batch.
+  EXPECT_EQ(dataset->WalRecordsLogged(), 20u);
+}
+
+TEST_F(WalTest, SharedWalRecoversEveryIndexFromOneLog) {
+  {
+    auto dataset = Dataset::Open(SharedWalDatasetOptions(dir_)).value();
+    for (int64_t pk = 0; pk < 20; ++pk) {
+      Record record;
+      record.pk = pk;
+      record.fields = {pk % 5, 0};
+      ASSERT_TRUE(dataset->Insert(record).ok());
+    }
+    ASSERT_TRUE(dataset->Delete(7).ok());
+  }  // crash before any flush
+  auto dataset = Dataset::Open(SharedWalDatasetOptions(dir_)).value();
+  ASSERT_TRUE(dataset->Get(3).ok());
+  EXPECT_EQ(dataset->Get(7).status().code(), StatusCode::kNotFound);
+  // The secondary index recovered in lockstep from the same log (pk 7 had
+  // metric 2, so that bucket lost one row).
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 2, 2).value(), 3u);
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 19u);
+  // Flushing everything makes the components durable and reclaims every
+  // shared segment (all trees backed by them have flushed).
+  ASSERT_TRUE(dataset->Flush().ok());
+  EXPECT_TRUE(WalFiles().empty());
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 19u);
+}
+
+TEST_F(WalTest, SharedWalSurvivesPowerLossUnderEveryRecordSync) {
+  FaultInjectionEnv env;
+  auto make_options = [&] {
+    DatasetOptions options = SharedWalDatasetOptions(dir_);
+    options.env = &env;
+    options.wal_sync_mode = WalSyncMode::kEveryRecord;
+    options.wal_group_commit = true;
+    return options;
+  };
+  {
+    auto dataset = Dataset::Open(make_options()).value();
+    for (int64_t pk = 0; pk < 8; ++pk) {
+      Record record;
+      record.pk = pk;
+      record.fields = {pk % 5, 0};
+      ASSERT_TRUE(dataset->Insert(record).ok());
+    }
+    // One fsync per logical modification, not one per index tree.
+    EXPECT_EQ(dataset->WalSyncCount(), 8u);
+    EXPECT_EQ(dataset->WalRecordsLogged(), 16u);
+  }
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto dataset = Dataset::Open(make_options()).value();
+  for (int64_t pk = 0; pk < 8; ++pk) {
+    ASSERT_TRUE(dataset->Get(pk).ok()) << "pk " << pk;
+  }
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 8u);
+}
+
+TEST_F(WalTest, SharedWalSegmentsAwaitAllTreesFlushing) {
+  auto dataset = Dataset::Open(SharedWalDatasetOptions(dir_)).value();
+  Record record;
+  record.pk = 1;
+  record.fields = {2, 0};
+  ASSERT_TRUE(dataset->Insert(record).ok());
+  ASSERT_FALSE(WalFiles().empty());  // active segment backs the memtables
+  ASSERT_TRUE(dataset->Flush().ok());
+  // The barrier flushed every tree, so the sealed segment was reclaimed.
+  EXPECT_TRUE(WalFiles().empty());
+  // Writes after the flush open a fresh segment.
+  record.pk = 2;
+  ASSERT_TRUE(dataset->Insert(record).ok());
+  EXPECT_EQ(WalFiles().size(), 1u);
+}
+
+// --------------------------------------------------- dataset batch mutations
+
+TEST_F(WalTest, PutBatchValidatesBeforeApplyingAnything) {
+  auto dataset = Dataset::Open(SharedWalDatasetOptions(dir_)).value();
+  Record seeded;
+  seeded.pk = 5;
+  seeded.fields = {1, 0};
+  ASSERT_TRUE(dataset->Insert(seeded).ok());
+
+  std::vector<Record> batch;
+  for (int64_t pk = 10; pk < 13; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 5, 0};
+    batch.push_back(record);
+  }
+  batch.push_back(seeded);  // collides with the existing pk
+  EXPECT_EQ(dataset->PutBatch(batch).code(), StatusCode::kAlreadyExists);
+  // Validation failed up front: none of the fresh records landed.
+  EXPECT_EQ(dataset->Get(10).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dataset->live_records(), 1u);
+
+  batch.pop_back();
+  batch.push_back(batch.front());  // duplicate within the batch
+  EXPECT_EQ(dataset->PutBatch(batch).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dataset->Get(10).status().code(), StatusCode::kNotFound);
+
+  batch.pop_back();
+  ASSERT_TRUE(dataset->PutBatch(batch).ok());
+  EXPECT_EQ(dataset->live_records(), 4u);
+  for (int64_t pk = 10; pk < 13; ++pk) {
+    EXPECT_TRUE(dataset->Get(pk).ok()) << "pk " << pk;
+  }
+}
+
+TEST_F(WalTest, AckedPutBatchRecoversAtomicallyAcrossAllIndexes) {
+  FaultInjectionEnv env;
+  auto make_options = [&] {
+    DatasetOptions options = SharedWalDatasetOptions(dir_);
+    options.env = &env;
+    options.wal_sync_mode = WalSyncMode::kEveryRecord;
+    options.wal_group_commit = true;
+    return options;
+  };
+  {
+    auto dataset = Dataset::Open(make_options()).value();
+    std::vector<Record> batch;
+    for (int64_t pk = 0; pk < 6; ++pk) {
+      Record record;
+      record.pk = pk;
+      record.fields = {pk % 5, 0};
+      batch.push_back(record);
+    }
+    ASSERT_TRUE(dataset->PutBatch(batch).ok());
+    // The whole cross-index batch was one frame and one fsync.
+    EXPECT_EQ(dataset->WalSyncCount(), 1u);
+    EXPECT_EQ(dataset->WalRecordsLogged(), 12u);
+  }
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto dataset = Dataset::Open(make_options()).value();
+  // All or nothing, across primary AND secondary: either count would catch
+  // a half-replayed batch.
+  EXPECT_EQ(dataset->CountAll().value(), 6u);
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 6u);
+}
+
+TEST_F(WalTest, DeleteBatchRemovesEveryRecordAtomically) {
+  auto dataset = Dataset::Open(SharedWalDatasetOptions(dir_)).value();
+  std::vector<Record> records;
+  for (int64_t pk = 0; pk < 6; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 5, 0};
+    records.push_back(record);
+  }
+  ASSERT_TRUE(dataset->PutBatch(records).ok());
+
+  EXPECT_EQ(dataset->DeleteBatch({0, 0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dataset->DeleteBatch({0, 99}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(dataset->live_records(), 6u);  // validation touched nothing
+
+  ASSERT_TRUE(dataset->DeleteBatch({0, 2, 4}).ok());
+  EXPECT_EQ(dataset->live_records(), 3u);
+  EXPECT_EQ(dataset->CountAll().value(), 3u);
+  EXPECT_EQ(dataset->Get(2).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(dataset->Get(1).ok());
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 3u);
+}
+
+TEST_F(WalTest, DatasetBatchesWorkWithoutSharedWal) {
+  // The batch API is independent of the WAL configuration: per-tree logs
+  // split the batch into one atomic frame per tree, and with the WAL off it
+  // is simply a grouped apply.
+  for (bool wal : {false, true}) {
+    std::string subdir = dir_ + (wal ? "/wal" : "/nowal");
+    std::filesystem::create_directories(subdir);
+    DatasetOptions options = SharedWalDatasetOptions(subdir);
+    options.shared_wal = false;
+    options.wal = wal;
+    auto dataset = Dataset::Open(options).value();
+    std::vector<Record> records;
+    for (int64_t pk = 0; pk < 5; ++pk) {
+      Record record;
+      record.pk = pk;
+      record.fields = {pk % 5, 0};
+      records.push_back(record);
+    }
+    ASSERT_TRUE(dataset->PutBatch(records).ok());
+    EXPECT_EQ(dataset->CountAll().value(), 5u);
+    ASSERT_TRUE(dataset->DeleteBatch({1, 3}).ok());
+    EXPECT_EQ(dataset->CountAll().value(), 3u);
+    EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 3u);
+  }
 }
 
 }  // namespace
