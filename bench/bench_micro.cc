@@ -12,6 +12,8 @@
 #include <filesystem>
 
 #include "common/coding.h"
+#include "common/env.h"
+#include "common/error_taxonomy.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "lsm/disk_component.h"
@@ -340,6 +342,34 @@ void BM_WaveletPointReconstruction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WaveletPointReconstruction);
+
+// ------------------------------------------------------ error handling
+
+// The free-space watchdog runs one probe per flush/merge/WAL-segment
+// creation; this prices that statvfs call so the "degrade before writing"
+// check is visibly cheap next to the component build it guards.
+void BM_FreeSpaceProbe(benchmark::State& state) {
+  Env* env = Env::Default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->GetFreeSpace("/tmp"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreeSpaceProbe);
+
+// Severity classification sits on every background-error path (and on each
+// inline retry decision); it should cost a branch, not a lookup.
+void BM_ClassifySeverity(benchmark::State& state) {
+  const Status statuses[4] = {
+      Status::OK(), Status::IOError("enospc"), Status::Corruption("crc"),
+      Status::Internal("bug")};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifySeverity(statuses[i++ & 3]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifySeverity);
 
 }  // namespace
 }  // namespace lsmstats

@@ -1,5 +1,7 @@
 #include "common/env.h"
 
+#include <atomic>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,6 +9,30 @@
 namespace lsmstats {
 
 namespace {
+
+uint64_t EnvironmentUint64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+// Deterministic transient-fault hook for the forced-fault CI leg: with
+// LSMSTATS_FAULT_FREE_PROBE=N (and LSMSTATS_FAULT_SEED offsetting the
+// phase), every Nth free-space probe reports zero bytes free. Combined with
+// LSMSTATS_MIN_FREE_BYTES=1 this makes a deterministic fraction of
+// flush/merge attempts fail with a retryable IOError BEFORE any byte is
+// written, driving the transient-retry and auto-recovery paths through the
+// whole tier-1 suite. Off (0) outside that leg.
+uint64_t EnvironmentFaultFreeProbeEvery() {
+  static const uint64_t every =
+      EnvironmentUint64("LSMSTATS_FAULT_FREE_PROBE", 0);
+  return every;
+}
+
+uint64_t EnvironmentFaultSeed() {
+  static const uint64_t seed = EnvironmentUint64("LSMSTATS_FAULT_SEED", 0);
+  return seed;
+}
 
 // --------------------------------------------------------------- PosixEnv
 
@@ -42,6 +68,15 @@ class PosixEnv : public Env {
                  std::vector<std::string>* names) override {
     return internal::PosixListDir(path, names);
   }
+  StatusOr<uint64_t> GetFreeSpace(const std::string& path) override {
+    uint64_t every = EnvironmentFaultFreeProbeEvery();
+    if (every != 0) {
+      static std::atomic<uint64_t> probes{0};
+      uint64_t n = probes.fetch_add(1, std::memory_order_relaxed) + 1;
+      if ((n + EnvironmentFaultSeed()) % every == 0) return 0;
+    }
+    return internal::PosixGetFreeSpace(path);
+  }
 };
 
 }  // namespace
@@ -49,6 +84,17 @@ class PosixEnv : public Env {
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();  // lint:allow(raw-new) leaked process-wide singleton
   return env;
+}
+
+uint64_t EnvironmentMinFreeBytes() {
+  static const uint64_t bytes = EnvironmentUint64("LSMSTATS_MIN_FREE_BYTES", 0);
+  return bytes;
+}
+
+int EnvironmentFlushRetryFloor() {
+  static const int retries =
+      static_cast<int>(EnvironmentUint64("LSMSTATS_FLUSH_RETRIES", 0));
+  return retries;
 }
 
 std::string DirectoryOf(const std::string& path) {
@@ -69,8 +115,7 @@ class FaultInjectionEnv::FaultWritableFile : public WritableFile {
       : env_(env), path_(std::move(path)), base_(std::move(base)) {}
 
   Status Append(std::string_view data) override {
-    LSMSTATS_RETURN_IF_ERROR(
-        env_->OnAppend(path_, base_->size() + data.size()));
+    LSMSTATS_RETURN_IF_ERROR(env_->OnAppend(path_, data.size()));
     return base_->Append(data);
   }
 
@@ -120,12 +165,38 @@ void FaultInjectionEnv::FailNthRename(uint64_t n) {
   fail_rename_at_ = n;
 }
 
+void FaultInjectionEnv::FailWritesWith(Status status, uint64_t count) {
+  MutexLock lock(&mu_);
+  fail_writes_status_ = std::move(status);
+  fail_writes_remaining_ = count;
+}
+
 void FaultInjectionEnv::ClearFaults() {
   MutexLock lock(&mu_);
   crash_at_ = 0;
   fail_write_at_ = 0;
   fail_sync_at_ = 0;
   fail_rename_at_ = 0;
+  fail_writes_remaining_ = 0;
+  fail_writes_status_ = Status::OK();
+}
+
+void FaultInjectionEnv::SetFreeSpaceBudget(uint64_t bytes) {
+  MutexLock lock(&mu_);
+  has_free_budget_ = true;
+  free_budget_ = bytes;
+}
+
+void FaultInjectionEnv::AddFreeSpace(uint64_t bytes) {
+  MutexLock lock(&mu_);
+  has_free_budget_ = true;
+  free_budget_ += bytes;
+}
+
+void FaultInjectionEnv::ClearFreeSpaceBudget() {
+  MutexLock lock(&mu_);
+  has_free_budget_ = false;
+  free_budget_ = 0;
 }
 
 uint64_t FaultInjectionEnv::MutatingOpCount() const {
@@ -170,13 +241,28 @@ Status FaultInjectionEnv::BeforeMutation(OpKind kind, const std::string& what) {
     ++injected_failures_;
     return Status::IOError("injected fault (" + what + ")");
   }
+  if (kind == OpKind::kWrite && fail_writes_remaining_ > 0) {
+    --fail_writes_remaining_;
+    ++injected_failures_;
+    return Status(fail_writes_status_.code(),
+                  fail_writes_status_.message() + " (" + what + ")");
+  }
   return Status::OK();
 }
 
-Status FaultInjectionEnv::OnAppend(const std::string& path,
-                                   uint64_t new_size) {
-  (void)new_size;  // sizes become interesting only at Sync time
-  return BeforeMutation(OpKind::kWrite, "write " + path);
+Status FaultInjectionEnv::OnAppend(const std::string& path, uint64_t bytes) {
+  LSMSTATS_RETURN_IF_ERROR(BeforeMutation(OpKind::kWrite, "write " + path));
+  MutexLock lock(&mu_);
+  if (has_free_budget_) {
+    if (free_budget_ < bytes) {
+      ++injected_failures_;
+      return Status::IOError("injected ENOSPC: write " + path + " needs " +
+                             std::to_string(bytes) + " bytes, " +
+                             std::to_string(free_budget_) + " free");
+    }
+    free_budget_ -= bytes;
+  }
+  return Status::OK();
 }
 
 Status FaultInjectionEnv::OnSync(const std::string& path, uint64_t size) {
@@ -278,6 +364,14 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
 Status FaultInjectionEnv::ListDir(const std::string& path,
                                   std::vector<std::string>* names) {
   return base_->ListDir(path, names);
+}
+
+StatusOr<uint64_t> FaultInjectionEnv::GetFreeSpace(const std::string& path) {
+  {
+    MutexLock lock(&mu_);
+    if (has_free_budget_) return free_budget_;
+  }
+  return base_->GetFreeSpace(path);
 }
 
 }  // namespace lsmstats

@@ -67,11 +67,34 @@ class Env {
   [[nodiscard]]
   virtual Status ListDir(const std::string& path,
                          std::vector<std::string>* names) = 0;
+
+  // Bytes available to this process on the filesystem holding `path`. The
+  // disk-space watchdog (LsmTree/WalLog) consults this before starting a
+  // flush, merge, or WAL segment so the engine can degrade gracefully BEFORE
+  // half-written files appear. The base default reports "unlimited" so an
+  // Env that cannot answer never trips the watchdog by accident.
+  [[nodiscard]] virtual StatusOr<uint64_t> GetFreeSpace(
+      const std::string& path) {
+    (void)path;
+    return UINT64_MAX;
+  }
 };
 
 // Directory part of `path` ("." when it has no separator) — for SyncDir after
 // sealing a file into that directory.
 std::string DirectoryOf(const std::string& path);
+
+// Environment overrides for the error-handling/watchdog knobs, read once per
+// process (same idiom as EnvironmentWalEnabled in src/lsm/wal.cc). They let
+// CI force the degradation/recovery machinery onto the whole tier-1 suite
+// without touching per-test options; defaults leave behavior unchanged.
+//
+// LSMSTATS_MIN_FREE_BYTES — free-space floor applied to trees that don't set
+// LsmTreeOptions::min_free_bytes explicitly (0 = watchdog off).
+uint64_t EnvironmentMinFreeBytes();
+// LSMSTATS_FLUSH_RETRIES — floor on background flush/merge transient retries
+// applied on top of LsmTreeOptions::background_flush_retries (0 = no floor).
+int EnvironmentFlushRetryFloor();
 
 // Env test double injecting deterministic filesystem faults.
 //
@@ -84,6 +107,14 @@ std::string DirectoryOf(const std::string& path);
 //   * FailNthWrite/Sync/Rename(n): the nth such op (1-based, counted per
 //     kind) fails once with IOError("injected ..."); later ops succeed —
 //     exercises retry paths.
+//   * FailWritesWith(status, count): the next `count` write ops fail with
+//     copies of `status` — scripts transient-outage windows (a burst of
+//     EIO/ENOSPC that later clears) for the auto-recovery tests.
+//   * SetFreeSpaceBudget(bytes): simulated disk capacity. Appends draw it
+//     down; when a write doesn't fit it fails with an injected-ENOSPC
+//     IOError and GetFreeSpace() reports what's left, so the free-space
+//     watchdog and ENOSPC-then-recover sequences are scriptable without
+//     filling a real disk. AddFreeSpace() models space being freed.
 //   * TruncateTailBytes(path, n): tears the tail off a file on the backing
 //     filesystem (torn-write simulation).
 //   * DropUnsyncedData(): truncates every file written through this env back
@@ -102,7 +133,18 @@ class FaultInjectionEnv : public Env {
   void FailNthWrite(uint64_t n);              // 1-based, one-shot
   void FailNthSync(uint64_t n);
   void FailNthRename(uint64_t n);
+  // The next `count` write ops (file creates + appends) fail with copies of
+  // `status`. Cleared by ClearFaults() or after `count` failures.
+  void FailWritesWith(Status status, uint64_t count);
   void ClearFaults();
+
+  // --- simulated disk capacity --------------------------------------------
+
+  // Installs (or resets) the free-space budget. AddFreeSpace models an
+  // operator freeing space; ClearFreeSpaceBudget returns to "unlimited".
+  void SetFreeSpaceBudget(uint64_t bytes);
+  void AddFreeSpace(uint64_t bytes);
+  void ClearFreeSpaceBudget();
 
   // Mutating ops observed so far (to size a crash-point sweep).
   uint64_t MutatingOpCount() const;
@@ -134,6 +176,9 @@ class FaultInjectionEnv : public Env {
   [[nodiscard]]
   Status ListDir(const std::string& path,
                  std::vector<std::string>* names) override;
+  // Reports the remaining simulated budget when one is set, else forwards.
+  [[nodiscard]]
+  StatusOr<uint64_t> GetFreeSpace(const std::string& path) override;
 
  private:
   class FaultWritableFile;
@@ -144,8 +189,9 @@ class FaultInjectionEnv : public Env {
   // `what` names the op for the error message.
   [[nodiscard]] Status BeforeMutation(OpKind kind, const std::string& what);
 
-  // Called by FaultWritableFile under no lock.
-  [[nodiscard]] Status OnAppend(const std::string& path, uint64_t new_size);
+  // Called by FaultWritableFile under no lock. `bytes` is the size of the
+  // append, drawn from the free-space budget when one is set.
+  [[nodiscard]] Status OnAppend(const std::string& path, uint64_t bytes);
   [[nodiscard]] Status OnSync(const std::string& path, uint64_t size);
   void RecordSynced(const std::string& path, uint64_t size);
 
@@ -160,6 +206,10 @@ class FaultInjectionEnv : public Env {
   uint64_t fail_sync_at_ GUARDED_BY(mu_) = 0;
   uint64_t fail_rename_at_ GUARDED_BY(mu_) = 0;
   uint64_t injected_failures_ GUARDED_BY(mu_) = 0;
+  Status fail_writes_status_ GUARDED_BY(mu_);
+  uint64_t fail_writes_remaining_ GUARDED_BY(mu_) = 0;
+  bool has_free_budget_ GUARDED_BY(mu_) = false;
+  uint64_t free_budget_ GUARDED_BY(mu_) = 0;
   // Last durable (synced) size of every file written through this env.
   // Files created but never synced map to 0.
   std::map<std::string, uint64_t> synced_sizes_ GUARDED_BY(mu_);

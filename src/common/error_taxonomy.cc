@@ -1,0 +1,46 @@
+#include "common/error_taxonomy.h"
+
+namespace lsmstats {
+
+ErrorSeverity ClassifySeverity(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ErrorSeverity::kNone;
+    case StatusCode::kIOError:
+      // Environmental: disk pressure, interrupted syscalls, watchdog trips,
+      // injected faults. Flush/merge leave no partial state on failure, so
+      // these are safe to re-run.
+      return ErrorSeverity::kTransient;
+    case StatusCode::kCorruption:
+      // Damaged bytes on disk. Retrying re-reads the same damage; writing
+      // more risks burying it. Read-only until repaired.
+      return ErrorSeverity::kHard;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+      // None of these should surface from a background flush/merge; if one
+      // does, the engine is in a state its own invariants do not cover.
+      return ErrorSeverity::kFatal;
+  }
+  return ErrorSeverity::kFatal;
+}
+
+const char* ErrorSeverityToString(ErrorSeverity severity) {
+  switch (severity) {
+    case ErrorSeverity::kNone:
+      return "none";
+    case ErrorSeverity::kTransient:
+      return "transient";
+    case ErrorSeverity::kHard:
+      return "hard";
+    case ErrorSeverity::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+}  // namespace lsmstats

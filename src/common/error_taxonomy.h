@@ -1,0 +1,57 @@
+// Severity taxonomy over Status: the error-handling policy layer.
+//
+// Status says WHAT failed; the taxonomy says what the engine may DO about
+// it. Every failure that reaches a tree's sticky background-error slot
+// (LsmTree::SetBackgroundErrorLocked) is classified into one of three
+// severities, and the severity — not the raw code — drives the recovery
+// state machine (DESIGN.md "Error handling & degraded modes"):
+//
+//   kTransient  Retryable environmental I/O failures: disk pressure
+//               (ENOSPC), interrupted syscalls, the free-space watchdog
+//               tripping, injected fault-test errors. The failed operation
+//               left no partial state behind (flush/merge abandon their
+//               temporary and install nothing), so re-running it is safe —
+//               the auto-recovery manager schedules bounded-backoff retries
+//               and clears the error when one succeeds.
+//   kHard       Data-plane damage: checksum mismatches, torn frames,
+//               undecodable blocks. Retrying cannot help and writing more
+//               could make it worse; the tree degrades to read-only
+//               (serving Get/Scan/estimates from the intact component
+//               stack) until an operator repairs the files and calls
+//               Resume().
+//   kFatal      Everything else — invariant violations, logic errors,
+//               precondition failures surfacing on a background path. These
+//               indicate a bug, not an environment problem; the tree
+//               degrades to read-only and Resume() refuses to clear them.
+//
+// The mapping is deliberately coarse and centralized: a new component that
+// returns plain Status codes (IOError for environmental failures,
+// Corruption for damaged bytes, anything else for bugs) gets the right
+// recovery behavior for free, with no per-callsite policy.
+
+#ifndef LSMSTATS_COMMON_ERROR_TAXONOMY_H_
+#define LSMSTATS_COMMON_ERROR_TAXONOMY_H_
+
+#include "common/status.h"
+
+namespace lsmstats {
+
+// Ordered by how bad things are: comparisons rely on kNone < kTransient <
+// kHard < kFatal (aggregation takes the max across trees). Values are not
+// persisted; renumbering is safe.
+enum class ErrorSeverity {
+  kNone = 0,   // status is OK
+  kTransient,  // retryable environmental failure; auto-recovery applies
+  kHard,       // data damage; read-only until repaired + Resume()
+  kFatal,      // bug-class failure; read-only, Resume() refuses
+};
+
+// Classifies `status` per the table above.
+ErrorSeverity ClassifySeverity(const Status& status);
+
+// "none", "transient", "hard", "fatal".
+const char* ErrorSeverityToString(ErrorSeverity severity);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_COMMON_ERROR_TAXONOMY_H_

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/statvfs.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -255,6 +256,17 @@ Status PosixTruncateFile(const std::string& path, uint64_t size) {
     return ErrnoStatus("truncate " + path);
   }
   return Status::OK();
+}
+
+StatusOr<uint64_t> PosixGetFreeSpace(const std::string& path) {
+  struct statvfs vfs;
+  if (::statvfs(path.c_str(), &vfs) != 0) {
+    return ErrnoStatus("statvfs " + path);
+  }
+  // f_bavail, not f_bfree: the watchdog should see what an unprivileged
+  // writer can actually use, excluding the root-reserved blocks.
+  return static_cast<uint64_t>(vfs.f_bavail) *
+         static_cast<uint64_t>(vfs.f_frsize);
 }
 
 Status PosixListDir(const std::string& path,

@@ -121,6 +121,9 @@ bool PosixFileExists(const std::string& path);
 Status PosixRenameFile(const std::string& from, const std::string& to);
 [[nodiscard]] Status PosixSyncDir(const std::string& path);
 [[nodiscard]] Status PosixTruncateFile(const std::string& path, uint64_t size);
+// Bytes available to unprivileged writers on the filesystem holding `path`
+// (statvfs f_bavail * f_frsize).
+[[nodiscard]] StatusOr<uint64_t> PosixGetFreeSpace(const std::string& path);
 [[nodiscard]]
 Status PosixListDir(const std::string& path,
                     std::vector<std::string>* names);

@@ -53,6 +53,7 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
   auto apply_storage_options = [&](LsmTreeOptions& tree_opts) {
     tree_opts.write_options = write_options;
     tree_opts.block_cache = opts.block_cache.get();
+    tree_opts.min_free_bytes = opts.min_free_bytes;
     if (dataset->shared_wal_enabled_) {
       // The dataset's shared log replaces the per-tree logs; the explicit
       // false overrides any environment forcing (LSMSTATS_WAL=1) so a
@@ -206,6 +207,9 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
                                    ? *opts.wal_group_commit
                                    : EnvironmentWalGroupCommit();
     log_options.next_sequence = recovery->next_sequence;
+    // Explicit floor only: the env override stays a background-path knob and
+    // never turns shared-WAL segment rotation into a Put-visible error.
+    log_options.min_free_bytes = opts.min_free_bytes.value_or(0);
     dataset->shared_wal_ = std::make_unique<WalLog>(std::move(log_options));
   }
   return dataset;
@@ -278,6 +282,7 @@ Status Dataset::ApplyEntry(WriteBatchEntry& entry) {
 }
 
 Status Dataset::CommitMutation(WriteBatch batch) {
+  LSMSTATS_RETURN_IF_ERROR(CheckWritable());
   LSMSTATS_RETURN_IF_ERROR(LogShared(batch));
   // Without a shared log each tree logs its own entries inside Put/Delete,
   // exactly as before the batch plumbing existed: same calls, same order.
@@ -293,6 +298,7 @@ Status Dataset::CommitAtomic(WriteBatch batch) {
   if (shared_wal_enabled_) return CommitMutation(std::move(batch));
   // Otherwise regroup per tree so each tree commits its slice as one atomic
   // frame (one fsync under every-record sync) via LsmTree::Write.
+  LSMSTATS_RETURN_IF_ERROR(CheckWritable());
   const size_t tree_count =
       1 + secondaries_.size() + composite_trees_.size();
   std::vector<WriteBatch> per_tree(tree_count);
@@ -671,6 +677,54 @@ Status Dataset::WaitForBackgroundWork() {
   // so with the background queues drained all their records sit in sealed
   // components.
   return ReclaimSharedWal();
+}
+
+Status Dataset::CheckWritable() const {
+  auto gate = [this](const LsmTree& tree) {
+    Status s = tree.BackgroundError();
+    if (s.ok()) return s;
+    return Status(s.code(), "dataset " + options_.name +
+                                " rejecting writes: index " +
+                                tree.options().name + " is " +
+                                TreeModeToString(tree.Health().mode) + ": " +
+                                s.message());
+  };
+  LSMSTATS_RETURN_IF_ERROR(gate(*primary_));
+  for (const auto& secondary : secondaries_) {
+    LSMSTATS_RETURN_IF_ERROR(gate(*secondary));
+  }
+  for (const auto& composite : composite_trees_) {
+    LSMSTATS_RETURN_IF_ERROR(gate(*composite));
+  }
+  return Status::OK();
+}
+
+DatasetHealth Dataset::Health() const {
+  DatasetHealth health;
+  auto add = [&health](const LsmTree& tree) {
+    HealthSnapshot snapshot = tree.Health();
+    if (snapshot.mode == TreeMode::kRecovering) ++health.recovering_trees;
+    if (snapshot.mode == TreeMode::kReadOnly) ++health.degraded_trees;
+    // TreeMode orders by severity, so "worst wins" is a plain max.
+    if (snapshot.mode > health.mode) health.mode = snapshot.mode;
+    health.trees.emplace_back(tree.options().name, std::move(snapshot));
+  };
+  add(*primary_);
+  for (const auto& secondary : secondaries_) add(*secondary);
+  for (const auto& composite : composite_trees_) add(*composite);
+  return health;
+}
+
+Status Dataset::Resume() {
+  Status first;
+  auto resume = [&first](LsmTree& tree) {
+    Status s = tree.Resume();
+    if (!s.ok() && first.ok()) first = std::move(s);
+  };
+  resume(*primary_);
+  for (auto& secondary : secondaries_) resume(*secondary);
+  for (auto& composite : composite_trees_) resume(*composite);
+  return first;
 }
 
 uint64_t Dataset::WalSyncCount() const {

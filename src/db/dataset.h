@@ -98,6 +98,11 @@ struct DatasetOptions {
   std::optional<bool> wal;
   std::optional<WalSyncMode> wal_sync_mode;
   std::optional<bool> wal_group_commit;
+  // Free-space watchdog floor applied to every index tree (flush/merge
+  // refuse to start below it) and to shared-WAL segment creation; see
+  // LsmTreeOptions::min_free_bytes. Unset defers to LSMSTATS_MIN_FREE_BYTES
+  // for the trees and disables the WAL probe.
+  std::optional<uint64_t> min_free_bytes;
   // One shared log stream (`<name>_wal_<seq>.wal`) owned by the dataset
   // serves every index tree instead of one log per tree: a logical
   // modification spanning the primary, secondary, and composite indexes is
@@ -107,6 +112,19 @@ struct DatasetOptions {
   // it have flushed. Takes effect only when the WAL is enabled (per `wal` or
   // LSMSTATS_WAL); off by default, leaving per-tree logs byte-identical.
   bool shared_wal = false;
+};
+
+// Aggregate health of a dataset's index trees (Dataset::Health()).
+struct DatasetHealth {
+  // Worst mode across all trees: one read-only index makes the dataset
+  // read-only as a whole, because a logical modification must land in every
+  // index to keep them synchronized.
+  TreeMode mode = TreeMode::kHealthy;
+  size_t recovering_trees = 0;
+  size_t degraded_trees = 0;  // trees in kReadOnly
+  // Per-tree snapshots, primary first, then secondaries and composites in
+  // schema order; .first is the tree name (e.g. "<dataset>_sk_<field>").
+  std::vector<std::pair<std::string, HealthSnapshot>> trees;
 };
 
 class Dataset {
@@ -171,6 +189,16 @@ class Dataset {
   // returns the first background failure, if any.
   [[nodiscard]] Status WaitForBackgroundWork();
 
+  // Aggregate + per-tree degradation state. Reads stay available in every
+  // mode; writes are rejected while any tree is degraded (see
+  // CheckWritable).
+  [[nodiscard]] DatasetHealth Health() const;
+
+  // Attempts LsmTree::Resume on every degraded index tree (all of them,
+  // even after a failure) and returns the first error, so one stuck tree
+  // doesn't stop the others from recovering.
+  [[nodiscard]] Status Resume();
+
   // --- Introspection -------------------------------------------------------
 
   const Schema& schema() const { return options_.schema; }
@@ -231,6 +259,14 @@ class Dataset {
   // in tree-id order (primary, secondaries, composites).
   void AppendInsertEntries(const Record& record, WriteBatch* batch) const;
   void AppendDeleteEntries(const Record& old_record, WriteBatch* batch) const;
+
+  // Write-availability gate, checked BEFORE any entry of a mutation is
+  // logged or applied: a degraded index tree fails the whole modification up
+  // front with an error naming the tree, instead of letting ApplyEntry
+  // half-apply a cross-tree batch and leave the indexes desynchronized. (A
+  // tree degrading concurrently mid-batch can still surface the error
+  // per-entry; the gate removes the common already-degraded case.)
+  [[nodiscard]] Status CheckWritable() const;
 
   // Logs (shared mode) then applies a single logical modification's entries
   // in batch order — the one write path behind Insert/Update/Delete.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -11,6 +10,18 @@
 #include "lsm/scheduler.h"
 
 namespace lsmstats {
+
+const char* TreeModeToString(TreeMode mode) {
+  switch (mode) {
+    case TreeMode::kHealthy:
+      return "healthy";
+    case TreeMode::kRecovering:
+      return "recovering";
+    case TreeMode::kReadOnly:
+      return "read-only";
+  }
+  return "unknown";
+}
 
 LsmTree::LsmTree(LsmTreeOptions options)
     : options_(std::move(options)),
@@ -32,11 +43,21 @@ LsmTree::LsmTree(LsmTreeOptions options)
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
+  min_free_bytes_ =
+      options_.min_free_bytes.value_or(EnvironmentMinFreeBytes());
+  // The environment can raise (never lower) the transient-retry count so a
+  // CI leg can inject faults under the whole suite without reds.
+  flush_retries_ =
+      std::max(options_.background_flush_retries, EnvironmentFlushRetryFloor());
 }
 
 LsmTree::~LsmTree() {
   {
     MutexLock lock(&mu_);
+    // Wake retry backoffs and recovery waits: outstanding jobs finish their
+    // current attempt and bail instead of sleeping out their schedule.
+    shutting_down_ = true;
+    cv_.NotifyAll();
     while (pending_jobs_ != 0) cv_.Wait(&mu_);
   }
   // wal_log_'s destructor closes the active segment best effort: the bytes
@@ -189,6 +210,9 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
     log_options.sync_mode = tree->wal_sync_mode_;
     log_options.group_commit = tree->wal_group_commit_;
     log_options.next_sequence = wal_recovery->next_sequence;
+    // Explicit option only — the LSMSTATS_MIN_FREE_BYTES override must not
+    // turn env-injected watchdog trips into write errors on the Put path.
+    log_options.min_free_bytes = tree->options_.min_free_bytes.value_or(0);
     tree->wal_log_ = std::make_unique<WalLog>(std::move(log_options));
     tree->wal_wait_durable_ = tree->wal_log_->group_commit_effective();
   }
@@ -271,14 +295,14 @@ Status LsmTree::MaybeFlushAfterWrite() {
          background_error_.ok()) {
     cv_.Wait(&mu_);
   }
-  return background_error_;
+  return WriteGateLocked();
 }
 
 Status LsmTree::Put(const LsmKey& key, std::string value, bool fresh_insert) {
   uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
-    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
     // Log before applying: a WAL failure must not leave the memtable holding
     // a record the log never saw. Under group commit the frame is buffered
     // here (still under mu_, so log order equals apply order) and made
@@ -300,7 +324,7 @@ Status LsmTree::Delete(const LsmKey& key) {
   uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
-    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
     auto logged = WalAppendLocked(WalOp::kDelete, key, {});
     LSMSTATS_RETURN_IF_ERROR(logged.status());
     ticket = *logged;
@@ -316,7 +340,7 @@ Status LsmTree::PutAntiMatter(const LsmKey& key) {
   uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
-    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
     auto logged = WalAppendLocked(WalOp::kAntiMatter, key, {});
     LSMSTATS_RETURN_IF_ERROR(logged.status());
     ticket = *logged;
@@ -333,7 +357,7 @@ Status LsmTree::Write(WriteBatch batch) {
   uint64_t ticket = 0;
   {
     MutexLock lock(&mu_);
-    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
     if (wal_enabled_) {
       // One frame, one CRC: recovery replays the batch all-or-nothing.
       auto logged = wal_log_->AppendBatch(batch);
@@ -541,6 +565,11 @@ Status LsmTree::FlushOneImmutable() {
     wal_segments = immutables_.front().wal_segments;
   }
 
+  // Probe after the obsolete-segment deletes above (they free space) and
+  // before building: a full disk should fail the flush cleanly here, not
+  // leave a half-written temporary behind.
+  LSMSTATS_RETURN_IF_ERROR(CheckFreeSpace("flush"));
+
   OperationContext context;
   context.op = LsmOperation::kFlush;
   context.expected_records = victim->EntryCount();
@@ -582,7 +611,7 @@ Status LsmTree::FlushOneImmutable() {
 Status LsmTree::Flush() {
   {
     MutexLock lock(&mu_);
-    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
     LSMSTATS_RETURN_IF_ERROR(RotateLocked().status());
   }
   for (;;) {
@@ -601,7 +630,7 @@ Status LsmTree::RequestFlush() {
   bool rotated;
   {
     MutexLock lock(&mu_);
-    LSMSTATS_RETURN_IF_ERROR(background_error_);
+    LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
     auto rotated_or = RotateLocked();
     LSMSTATS_RETURN_IF_ERROR(rotated_or.status());
     rotated = *rotated_or;
@@ -623,24 +652,248 @@ Status LsmTree::BackgroundError() const {
 }
 
 void LsmTree::FinishJob(Status s) {
-  MutexLock lock(&mu_);
-  if (background_error_.ok() && !s.ok()) background_error_ = std::move(s);
-  --pending_jobs_;
+  bool recover = false;
+  {
+    MutexLock lock(&mu_);
+    if (!s.ok()) recover = SetBackgroundErrorLocked(std::move(s));
+    --pending_jobs_;
+    cv_.NotifyAll();
+  }
+  // Schedule with no lock held (rank kScheduler sits above every tree lock,
+  // and a shut-down scheduler runs the job inline on this thread).
+  if (recover) {
+    options_.scheduler->Schedule([this] { BackgroundRecoveryJob(); });
+  }
+}
+
+bool LsmTree::SetBackgroundErrorLocked(Status s) {
+  if (s.ok()) return false;
+  ErrorSeverity severity = ClassifySeverity(s);
+  last_error_ = s;
+  last_severity_ = severity;
+  if (!background_error_.ok()) {
+    // An episode is already in flight. Keep the first error sticky; a worse
+    // failure arriving mid-recovery still demotes the tree to read-only (the
+    // pending recovery job sees the mode change and will not clear it).
+    if (severity >= ErrorSeverity::kHard && mode_ != TreeMode::kReadOnly) {
+      EnterReadOnlyLocked();
+    }
+    return false;
+  }
+  background_error_ = std::move(s);
+  cv_.NotifyAll();  // backpressured writers must wake up and fail fast
+  if (severity == ErrorSeverity::kTransient && options_.auto_recovery &&
+      options_.scheduler != nullptr && !shutting_down_) {
+    mode_ = TreeMode::kRecovering;
+    degraded_since_ = std::chrono::steady_clock::now();
+    recovery_round_ = 0;
+    ++pending_jobs_;  // the recovery job's slot; released in its epilogue
+    return true;
+  }
+  EnterReadOnlyLocked();
+  return false;
+}
+
+void LsmTree::ClearBackgroundErrorLocked() {
+  background_error_ = Status::OK();
+  if (mode_ != TreeMode::kHealthy) {
+    degraded_accum_ += std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - degraded_since_);
+  }
+  mode_ = TreeMode::kHealthy;
+  recovery_round_ = 0;
+  ++recoveries_succeeded_;
   cv_.NotifyAll();
 }
 
-Status LsmTree::FlushOneImmutableWithRetry() {
-  Status s = FlushOneImmutable();
-  // Transient errors (disk pressure, injected faults) should not poison the
-  // tree permanently; re-run the whole flush after a short backoff.
+void LsmTree::EnterReadOnlyLocked() {
+  if (mode_ == TreeMode::kHealthy) {
+    degraded_since_ = std::chrono::steady_clock::now();
+  }
+  mode_ = TreeMode::kReadOnly;
+  cv_.NotifyAll();
+}
+
+Status LsmTree::WriteGateLocked() const {
+  if (background_error_.ok()) return Status::OK();
+  const char* state = mode_ == TreeMode::kRecovering
+                          ? "recovering from"
+                          : "read-only (degraded) after";
+  // Keep the sticky error's code so callers branching on IOError/Corruption
+  // behave the same whether they raced the failure or arrived later.
+  return Status(background_error_.code(),
+                options_.name + " is " + state + " a " +
+                    ErrorSeverityToString(last_severity_) +
+                    " background error: " + background_error_.message());
+}
+
+Status LsmTree::NoteStructuralFailure(Status s) {
+  if (s.ok()) return s;
+  ErrorSeverity severity = ClassifySeverity(s);
+  MutexLock lock(&mu_);
+  if (severity == ErrorSeverity::kTransient) {
+    // The caller got the error back and the failed operation left no partial
+    // state, so nothing is sticky — the seed's inline-error semantics, which
+    // the crash sweeps rely on. Only the health surface records it.
+    last_error_ = std::move(s);
+    last_severity_ = severity;
+    return last_error_;
+  }
+  bool recover = SetBackgroundErrorLocked(s);
+  // Non-transient errors never take a recovery slot, so there is nothing to
+  // schedule — which is what makes this safe to call with work_mu_ held.
+  LSMSTATS_CHECK(!recover);
+  return s;
+}
+
+Status LsmTree::CheckFreeSpace(const char* what) const {
+  if (min_free_bytes_ == 0) return Status::OK();
+  auto free = env_->GetFreeSpace(options_.directory);
+  // A failed probe must not stop the engine; only a successful answer below
+  // the floor counts as disk-full.
+  if (!free.ok()) return Status::OK();
+  if (*free < min_free_bytes_) {
+    return Status::IOError(std::string(what) +
+                           " aborted by free-space watchdog: " +
+                           std::to_string(*free) + " bytes free in " +
+                           options_.directory + ", need " +
+                           std::to_string(min_free_bytes_));
+  }
+  return Status::OK();
+}
+
+Status LsmTree::RunWithTransientRetry(const char* what,
+                                      const std::function<Status()>& body) {
+  Status s = body();
   for (int attempt = 0;
-       !s.ok() && attempt < options_.background_flush_retries; ++attempt) {
-    LSMSTATS_LOG(kWarning) << options_.name << ": flush failed ("
+       !s.ok() && ClassifySeverity(s) == ErrorSeverity::kTransient &&
+       attempt < flush_retries_;
+       ++attempt) {
+    LSMSTATS_LOG(kWarning) << options_.name << ": " << what << " failed ("
                            << s.ToString() << "); retrying";
-    std::this_thread::sleep_for(options_.flush_retry_backoff * (1 << attempt));
-    s = FlushOneImmutable();
+    {
+      MutexLock lock(&mu_);
+      // Interruptible backoff: teardown sets shutting_down_ and wakes us, so
+      // a dying tree never waits out a retry schedule.
+      if (cv_.WaitFor(&mu_, options_.flush_retry_backoff * (1 << attempt),
+                      [this] {
+                        mu_.AssertHeld();
+                        return shutting_down_;
+                      })) {
+        return s;
+      }
+    }
+    s = body();
   }
   return s;
+}
+
+Status LsmTree::FlushOneImmutableWithRetry() {
+  return NoteStructuralFailure(
+      RunWithTransientRetry("flush", [this] { return FlushOneImmutable(); }));
+}
+
+Status LsmTree::DrainPendingWork() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (immutables_.empty()) break;
+    }
+    LSMSTATS_RETURN_IF_ERROR(FlushOneImmutableWithRetry());
+  }
+  return MaybeMerge();
+}
+
+void LsmTree::BackgroundRecoveryJob() {
+  {
+    MutexLock lock(&mu_);
+    ++recovery_attempts_;
+    int round = recovery_round_++;
+    auto backoff = options_.auto_recovery_backoff * (1 << std::min(round, 6));
+    if (cv_.WaitFor(&mu_, backoff, [this] {
+          mu_.AssertHeld();
+          return shutting_down_;
+        })) {
+      // Teardown: leave the error in place and release the slot.
+      --pending_jobs_;
+      cv_.NotifyAll();
+      return;
+    }
+  }
+  Status s = DrainPendingWork();
+  bool reschedule = false;
+  {
+    MutexLock lock(&mu_);
+    if (s.ok()) {
+      // A concurrent escalation (hard error from another job) or an explicit
+      // Resume() may have moved the tree out of kRecovering; only clear what
+      // is still ours to clear.
+      if (mode_ == TreeMode::kRecovering && !background_error_.ok()) {
+        LSMSTATS_LOG(kInfo)
+            << options_.name << ": auto-recovery cleared background error ("
+            << last_error_.ToString() << ") after " << recovery_round_
+            << " attempt(s)";
+        ClearBackgroundErrorLocked();
+      }
+    } else if (ClassifySeverity(s) == ErrorSeverity::kTransient &&
+               mode_ == TreeMode::kRecovering && !shutting_down_ &&
+               recovery_round_ < options_.max_auto_recovery_attempts) {
+      reschedule = true;
+      ++pending_jobs_;
+    } else {
+      last_error_ = s;
+      last_severity_ = ClassifySeverity(s);
+      LSMSTATS_LOG(kError) << options_.name << ": auto-recovery gave up ("
+                           << s.ToString() << "); tree is read-only";
+      EnterReadOnlyLocked();
+    }
+    --pending_jobs_;
+    cv_.NotifyAll();
+  }
+  if (reschedule) {
+    options_.scheduler->Schedule([this] { BackgroundRecoveryJob(); });
+  }
+}
+
+Status LsmTree::Resume() {
+  {
+    MutexLock lock(&mu_);
+    if (background_error_.ok()) return Status::OK();
+    if (last_severity_ == ErrorSeverity::kFatal) {
+      return Status::FailedPrecondition(
+          options_.name + ": cannot resume from a fatal error: " +
+          background_error_.message());
+    }
+    ++recovery_attempts_;
+  }
+  Status s = DrainPendingWork();
+  MutexLock lock(&mu_);
+  if (!s.ok()) {
+    last_error_ = s;
+    last_severity_ = ClassifySeverity(s);
+    EnterReadOnlyLocked();
+    return s;
+  }
+  // A concurrent auto-recovery pass may have beaten us to the clear.
+  if (!background_error_.ok()) ClearBackgroundErrorLocked();
+  return Status::OK();
+}
+
+HealthSnapshot LsmTree::Health() const {
+  MutexLock lock(&mu_);
+  HealthSnapshot snap;
+  snap.mode = mode_;
+  snap.last_error = last_error_;
+  snap.last_severity = last_severity_;
+  snap.recovery_attempts = recovery_attempts_;
+  snap.recoveries_succeeded = recoveries_succeeded_;
+  snap.time_in_degraded = degraded_accum_;
+  if (mode_ != TreeMode::kHealthy) {
+    snap.time_in_degraded +=
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - degraded_since_);
+  }
+  return snap;
 }
 
 void LsmTree::BackgroundFlushJob() {
@@ -685,8 +938,41 @@ Status LsmTree::MaybeMerge() {
       }
     }
     if (!decision.has_value()) return Status::OK();
-    LSMSTATS_RETURN_IF_ERROR(MergeRange(*decision));
+    Status s = MergeRangeWithRetry(*decision);
+    if (!s.ok()) return NoteStructuralFailure(std::move(s));
   }
+}
+
+Status LsmTree::MergeRangeWithRetry(const MergeDecision& decision) {
+  // Retrying the install phase with the same decision is safe: a failed
+  // MergeRange never ran its install, and work_mu_ (held by the caller) pins
+  // the component stack, so the picked index range stays valid. Once the
+  // install ran the stack HAS changed — `installed` makes sure a retry only
+  // re-runs the idempotent cleanup, never the merge itself.
+  std::vector<std::shared_ptr<DiskComponent>> obsolete;
+  bool installed = false;
+  return RunWithTransientRetry(
+      "merge", [this, &decision, &obsolete, &installed] {
+        work_mu_.AssertHeld();
+        if (!installed) {
+          LSMSTATS_RETURN_IF_ERROR(CheckFreeSpace("merge"));
+          LSMSTATS_RETURN_IF_ERROR(MergeRange(decision, &obsolete));
+          installed = true;
+        }
+        return DeleteObsoleteComponents(&obsolete);
+      });
+}
+
+Status LsmTree::DeleteObsoleteComponents(
+    std::vector<std::shared_ptr<DiskComponent>>* obsolete) {
+  while (!obsolete->empty()) {
+    // In-flight readers may still hold cursors on these components; they
+    // keep reading through their open file handles (POSIX unlink keeps the
+    // data alive until the last handle closes).
+    LSMSTATS_RETURN_IF_ERROR(obsolete->back()->DeleteFile());
+    obsolete->pop_back();
+  }
+  return Status::OK();
 }
 
 Status LsmTree::ForceFullMerge() {
@@ -697,10 +983,14 @@ Status LsmTree::ForceFullMerge() {
     component_count = components_.size();
   }
   if (component_count < 2) return Status::OK();
-  return MergeRange(MergeDecision{0, component_count});
+  Status s = MergeRangeWithRetry(MergeDecision{0, component_count});
+  if (!s.ok()) return NoteStructuralFailure(std::move(s));
+  return Status::OK();
 }
 
-Status LsmTree::MergeRange(const MergeDecision& decision) {
+Status LsmTree::MergeRange(
+    const MergeDecision& decision,
+    std::vector<std::shared_ptr<DiskComponent>>* obsolete) {
   // Caller holds work_mu_: no other structural operation can move the range
   // between the snapshot below and the install.
   OperationContext context;
@@ -751,12 +1041,7 @@ Status LsmTree::MergeRange(const MergeDecision& decision) {
       &component);
   // On failure the install callback never ran, so the stack is untouched.
   LSMSTATS_RETURN_IF_ERROR(s);
-  for (auto& old_component : replaced) {
-    // In-flight readers may still hold cursors on these components; they
-    // keep reading through their open file handles (POSIX unlink keeps the
-    // data alive until the last handle closes).
-    LSMSTATS_RETURN_IF_ERROR(old_component->DeleteFile());
-  }
+  *obsolete = std::move(replaced);
   return Status::OK();
 }
 
@@ -766,7 +1051,7 @@ Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
     MutexLock work(&work_mu_);
     {
       MutexLock lock(&mu_);
-      LSMSTATS_RETURN_IF_ERROR(background_error_);
+      LSMSTATS_RETURN_IF_ERROR(WriteGateLocked());
       if (!memtable_->Empty() || !immutables_.empty()) {
         return Status::FailedPrecondition(
             "bulkload requires an empty memtable; flush first");
@@ -778,14 +1063,17 @@ Status LsmTree::Bulkload(EntryCursor* input, uint64_t expected_records,
     context.expected_anti_matter = expected_anti_matter;
 
     std::shared_ptr<DiskComponent> component;
-    LSMSTATS_RETURN_IF_ERROR(WriteComponent(
+    Status s = WriteComponent(
         context, input, {},
         [this](std::shared_ptr<DiskComponent> sealed) {
           mu_.AssertHeld();  // WriteComponent invokes install under mu_
           if (sealed) components_.insert(components_.begin(),
                                          std::move(sealed));
         },
-        &component));
+        &component);
+    // No transient retry here: the caller owns the input cursor and it is
+    // not rewindable, so only the health surface is updated.
+    if (!s.ok()) return NoteStructuralFailure(std::move(s));
   }
   return MaybeMerge();
 }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/error_taxonomy.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "lsm/disk_component.h"
@@ -87,12 +88,34 @@ struct LsmTreeOptions {
   // Open(), so torn tails and bit rot surface at recovery rather than at
   // first read. Costs one sequential scan per recovered component.
   bool paranoid_recovery_checks = true;
-  // A failed background flush is retried this many times (a failed flush
-  // leaves the immutable queue and component stack untouched, so the retry
-  // re-runs cleanly) with exponential backoff starting here. Inline flushes
-  // report the error to the caller instead.
+  // A flush or merge that fails with a TRANSIENT error (see
+  // common/error_taxonomy.h) is retried inline this many times (a failed
+  // flush/merge leaves the immutable queue and component stack untouched, so
+  // the retry re-runs cleanly) with exponential backoff starting here; the
+  // backoff wait is interruptible by shutdown. LSMSTATS_FLUSH_RETRIES can
+  // raise (never lower) the count for a whole test run. Inline flushes
+  // report a persisting error to the caller; background jobs hand it to the
+  // auto-recovery manager.
   int background_flush_retries = 1;
   std::chrono::milliseconds flush_retry_backoff{10};
+  // Auto-recovery (scheduler mode only): when a background job exhausts its
+  // inline retries on a transient error, the tree enters kRecovering and
+  // schedules bounded-backoff recovery jobs that re-run the pending work,
+  // clearing the background error when one succeeds. After
+  // max_auto_recovery_attempts consecutive failures the tree gives up and
+  // degrades to read-only (Resume() can still rescue it). Hard/fatal errors
+  // skip straight to read-only.
+  bool auto_recovery = true;
+  int max_auto_recovery_attempts = 5;
+  std::chrono::milliseconds auto_recovery_backoff{10};
+  // Free-space watchdog: flush and merge refuse to start (with a retryable
+  // IOError) while the tree directory's filesystem reports fewer free bytes
+  // than this, so disk exhaustion degrades the tree BEFORE half-written
+  // components appear — and auto-recovery resumes it when space returns.
+  // Unset resolves to EnvironmentMinFreeBytes() (LSMSTATS_MIN_FREE_BYTES,
+  // default 0 = off). An explicit value is also applied to WAL segment
+  // creation (the environment override is not — see WalLogOptions).
+  std::optional<uint64_t> min_free_bytes;
   // Format/codec/block-size for components this tree writes. Unset resolves
   // to EnvironmentWriteOptions() (format v3, codec from LSMSTATS_COMPRESSION
   // or "none") at Open.
@@ -117,6 +140,37 @@ struct LsmTreeOptions {
   // behavior when the WAL is on with every-record sync. Unset resolves to
   // EnvironmentWalGroupCommit() (LSMSTATS_WAL_GROUP_COMMIT, default off).
   std::optional<bool> wal_group_commit;
+};
+
+// Degradation state of a tree. Reads (Get/Scan/ScanCount and the statistics
+// they feed) are served in every mode; writes and structural operations are
+// accepted only in kHealthy.
+enum class TreeMode {
+  kHealthy = 0,
+  // A transient background failure is being retried by the auto-recovery
+  // manager; writes fail fast until it clears.
+  kRecovering,
+  // Degraded: a hard/fatal error (or exhausted recovery) stopped background
+  // work; the tree serves reads from the installed component stack until
+  // Resume() succeeds.
+  kReadOnly,
+};
+
+const char* TreeModeToString(TreeMode mode);
+
+// Point-in-time health of one tree (LsmTree::Health()).
+struct HealthSnapshot {
+  TreeMode mode = TreeMode::kHealthy;
+  // Most recent error observed on a structural path (retried-away transient
+  // errors included), and its classification. OK when nothing ever failed.
+  Status last_error;
+  ErrorSeverity last_severity = ErrorSeverity::kNone;
+  // Recovery passes started (auto + explicit Resume) / completed
+  // successfully over the tree's lifetime.
+  uint64_t recovery_attempts = 0;
+  uint64_t recoveries_succeeded = 0;
+  // Total time spent outside kHealthy, including the current episode.
+  std::chrono::milliseconds time_in_degraded{0};
 };
 
 class LsmTree {
@@ -207,6 +261,17 @@ class LsmTree {
   // First error a background job hit, or OK.
   [[nodiscard]] Status BackgroundError() const EXCLUDES(mu_);
 
+  // Current degradation state, last error, and recovery counters.
+  [[nodiscard]] HealthSnapshot Health() const EXCLUDES(mu_);
+
+  // Explicitly re-runs the pending background work (flushes + merges) and
+  // clears the background error on success, returning the tree to kHealthy —
+  // the operator-facing escape from read-only mode once the underlying cause
+  // (full disk, repaired files) is gone. OK when the tree is healthy;
+  // FailedPrecondition for fatal-class errors, which indicate a bug rather
+  // than a repairable environment.
+  [[nodiscard]] Status Resume() EXCLUDES(work_mu_, mu_);
+
   // Builds one component bottom-up from a sorted, reconciled entry stream.
   // Requires an empty memtable. `expected_records` is the stream length
   // (known from the sorter, paper §3.2).
@@ -269,10 +334,54 @@ class LsmTree {
   // itself).
   [[nodiscard]] Status MaybeFlushAfterWrite() EXCLUDES(work_mu_, mu_);
 
-  // Background job bodies; record failures in background_error_.
+  // Background job bodies; failures funnel through FinishJob into
+  // SetBackgroundErrorLocked.
   void BackgroundFlushJob() EXCLUDES(work_mu_, mu_);
   void BackgroundMergeJob() EXCLUDES(work_mu_, mu_);
   void FinishJob(Status s) EXCLUDES(mu_);
+
+  // --- error handling & recovery (DESIGN.md "Error handling") --------------
+  //
+  // background_error_ is mutated ONLY by SetBackgroundErrorLocked and
+  // ClearBackgroundErrorLocked (enforced by tools/lint.py rule
+  // `background-error`), so every state transition of the recovery machine
+  // goes through these two functions.
+
+  // Records a failed structural operation: classifies `s`, keeps the first
+  // error sticky, and decides the tree's fate. Returns true when the caller
+  // must schedule BackgroundRecoveryJob (a pending_jobs_ slot has been taken
+  // for it); the caller must do so with NO lock held — Schedule on a
+  // shut-down scheduler runs the job inline.
+  [[nodiscard]] bool SetBackgroundErrorLocked(Status s) REQUIRES(mu_);
+  // Reverts to kHealthy after a successful recovery pass.
+  void ClearBackgroundErrorLocked() REQUIRES(mu_);
+  void EnterReadOnlyLocked() REQUIRES(mu_);
+  // The write-path gate: OK when healthy, else a descriptive
+  // read-only/recovering error carrying the sticky error's code.
+  [[nodiscard]] Status WriteGateLocked() const REQUIRES(mu_);
+  // Classifies and records a failure from an inline structural path (Flush/
+  // MaybeMerge/Bulkload callers). Transient errors are only recorded as
+  // last_error_ — they were returned to the caller and left no partial
+  // state, matching the pre-recovery semantics the crash sweeps depend on.
+  // Hard/fatal errors additionally degrade the tree to read-only. Returns
+  // `s` unchanged for tail-call use.
+  [[nodiscard]] Status NoteStructuralFailure(Status s) EXCLUDES(mu_);
+  // Auto-recovery pass: interruptible backoff, then DrainPendingWork;
+  // clears the error on success, reschedules itself on another transient
+  // failure, gives up into read-only otherwise.
+  void BackgroundRecoveryJob() EXCLUDES(work_mu_, mu_);
+  // Re-runs the pending structural work: flushes every queued immutable
+  // memtable, then runs the merge policy to quiescence.
+  [[nodiscard]] Status DrainPendingWork() EXCLUDES(work_mu_, mu_);
+  // Free-space watchdog probe for `what` ("flush"/"merge"): retryable
+  // IOError when the directory's filesystem is below min_free_bytes_. Probe
+  // failures never block — only a successful answer below the floor counts.
+  [[nodiscard]] Status CheckFreeSpace(const char* what) const;
+  // Runs `body`, retrying transient failures up to flush_retries_ times with
+  // exponential backoff; the backoff wait is woken by shutdown. May be
+  // called with work_mu_ held (the body sees the caller's locks).
+  [[nodiscard]] Status RunWithTransientRetry(
+      const char* what, const std::function<Status()>& body) EXCLUDES(mu_);
 
   // Flushes the oldest pending immutable memtable (no-op when none).
   // Serializes on work_mu_. Does not run the merge policy.
@@ -297,9 +406,30 @@ class LsmTree {
       const std::function<void(std::shared_ptr<DiskComponent>)>& install,
       std::shared_ptr<DiskComponent>* out) REQUIRES(work_mu_) EXCLUDES(mu_);
 
-  // Performs one merge over components_[decision.begin, decision.end).
+  // Performs one merge over components_[decision.begin, decision.end) up to
+  // and including the install, filling `obsolete` with the replaced
+  // components (whose files still exist — pass them to
+  // DeleteObsoleteComponents). On failure the install never ran and
+  // `obsolete` is untouched, so retrying with the same decision is safe; a
+  // success must NOT be re-run (the stack has changed under the decision's
+  // indices).
   [[nodiscard]]
-  Status MergeRange(const MergeDecision& decision)
+  Status MergeRange(const MergeDecision& decision,
+                    std::vector<std::shared_ptr<DiskComponent>>* obsolete)
+      REQUIRES(work_mu_) EXCLUDES(mu_);
+
+  // Unlinks replaced components' files, popping each from `obsolete` as it
+  // goes; idempotent (RemoveFileIfExists), so safe to retry after a partial
+  // failure.
+  [[nodiscard]]
+  Status DeleteObsoleteComponents(
+      std::vector<std::shared_ptr<DiskComponent>>* obsolete);
+
+  // One pick-free merge step: CheckFreeSpace + MergeRange + cleanup, with
+  // transient failures of each phase retried independently (the install runs
+  // at most once). Caller holds work_mu_.
+  [[nodiscard]]
+  Status MergeRangeWithRetry(const MergeDecision& decision)
       REQUIRES(work_mu_) EXCLUDES(mu_);
 
   LsmTreeOptions options_;
@@ -330,6 +460,25 @@ class LsmTree {
   uint64_t logical_clock_ GUARDED_BY(mu_) = 1;
   size_t pending_jobs_ GUARDED_BY(mu_) = 0;
   Status background_error_ GUARDED_BY(mu_);
+  // Recovery state machine (see DESIGN.md "Error handling & degraded
+  // modes"): mode_ tracks healthy -> recovering -> read-only transitions,
+  // recovery_round_ counts consecutive failures within the current episode
+  // (reset on success), the *_attempts_/ *_succeeded_ counters and the
+  // degraded-time accumulator feed HealthSnapshot.
+  TreeMode mode_ GUARDED_BY(mu_) = TreeMode::kHealthy;
+  Status last_error_ GUARDED_BY(mu_);
+  ErrorSeverity last_severity_ GUARDED_BY(mu_) = ErrorSeverity::kNone;
+  uint64_t recovery_attempts_ GUARDED_BY(mu_) = 0;
+  uint64_t recoveries_succeeded_ GUARDED_BY(mu_) = 0;
+  int recovery_round_ GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point degraded_since_ GUARDED_BY(mu_);
+  std::chrono::milliseconds degraded_accum_ GUARDED_BY(mu_){0};
+  // Set by the destructor to wake retry backoffs and recovery waits so
+  // teardown never stalls behind a sleep.
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  // Resolved from options_/environment at construction; immutable after.
+  uint64_t min_free_bytes_ = 0;
+  int flush_retries_ = 0;
   // Written only during Open(), before the tree is shared (Open still takes
   // mu_ for the analysis's sake — it is uncontended there).
   std::vector<std::string> quarantined_files_ GUARDED_BY(mu_);

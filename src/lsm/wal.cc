@@ -206,6 +206,17 @@ WalLog::~WalLog() {
 
 Status WalLog::EnsureWriterLocked() {
   if (writer_ != nullptr) return Status::OK();
+  if (options_.min_free_bytes > 0) {
+    auto free = options_.env->GetFreeSpace(options_.directory);
+    // A failed probe must not block the log: only a successful answer below
+    // the floor counts as "disk full".
+    if (free.ok() && *free < options_.min_free_bytes) {
+      return Status::IOError(
+          "wal segment creation aborted: " + std::to_string(*free) +
+          " bytes free in " + options_.directory + ", need " +
+          std::to_string(options_.min_free_bytes));
+    }
+  }
   auto writer = WalSegmentWriter::Create(
       options_.env,
       WalFilePath(options_.directory, options_.prefix, next_sequence_),

@@ -175,6 +175,14 @@ struct WalLogOptions {
   bool group_commit = false;
   // First unused segment sequence number (from WalRecoveryResult).
   uint64_t next_sequence = 1;
+  // Free-space watchdog floor: a new segment is only started when the log
+  // directory's filesystem reports at least this many free bytes, so a full
+  // disk fails the triggering write fast instead of leaving a half-written
+  // segment. 0 disables the probe. Wired from the tree/dataset options'
+  // explicit min_free_bytes only — never from the LSMSTATS_MIN_FREE_BYTES
+  // override — so env-forced CI legs don't turn watchdog trips into write
+  // errors surfaced to Put callers.
+  uint64_t min_free_bytes = 0;
 };
 
 // A write-ahead log: an append stream over rotating segment files, with an

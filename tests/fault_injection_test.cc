@@ -4,6 +4,7 @@
 // operation of an ingest/flush/merge run, reopen, and assert the tree comes
 // back prefix-consistent with no leaked temporaries.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -120,6 +121,57 @@ TEST_F(FaultInjectionTest, TruncateTailBytesTearsFile) {
   auto reader = env.NewRandomAccessFile(path);
   ASSERT_TRUE(reader.ok());
   EXPECT_EQ((*reader)->size(), 6u);
+}
+
+TEST_F(FaultInjectionTest, FailWritesWithScriptsAnOutageWindow) {
+  FaultInjectionEnv env;
+  env.FailWritesWith(Status::Corruption("injected bit rot"), 2);
+  // Both file creation and appends count as write ops.
+  EXPECT_EQ(env.NewWritableFile(dir_ + "/a").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(env.NewWritableFile(dir_ + "/a").status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(env.InjectedFailureCount(), 2u);
+  // The window is over: the third write succeeds.
+  auto file = env.NewWritableFile(dir_ + "/a");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("data").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST_F(FaultInjectionTest, ClearFaultsDisarmsWriteOutage) {
+  FaultInjectionEnv env;
+  env.FailWritesWith(Status::IOError("injected"), 100);
+  EXPECT_FALSE(env.NewWritableFile(dir_ + "/a").ok());
+  env.ClearFaults();
+  EXPECT_TRUE(env.NewWritableFile(dir_ + "/a").ok());
+}
+
+TEST_F(FaultInjectionTest, FreeSpaceBudgetDrawsDownAndRefills) {
+  FaultInjectionEnv env;
+  env.SetFreeSpaceBudget(10);
+  auto file = env.NewWritableFile(dir_ + "/f");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("12345").ok());
+  EXPECT_EQ(env.GetFreeSpace(dir_).value(), 5u);
+  // An append that doesn't fit fails as ENOSPC without consuming budget.
+  Status s = (*file)->Append("123456");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("ENOSPC"), std::string::npos) << s.ToString();
+  EXPECT_EQ(env.GetFreeSpace(dir_).value(), 5u);
+  // Freeing space makes the same append land.
+  env.AddFreeSpace(10);
+  ASSERT_TRUE((*file)->Append("123456").ok());
+  EXPECT_EQ(env.GetFreeSpace(dir_).value(), 9u);
+  ASSERT_TRUE((*file)->Close().ok());
+  // Back to unlimited: the probe answers from the backing filesystem (max of
+  // a few probes, so a forced LSMSTATS_FAULT_FREE_PROBE zero can't flake it).
+  env.ClearFreeSpaceBudget();
+  uint64_t max_free = 0;
+  for (int i = 0; i < 3; ++i) {
+    max_free = std::max(max_free, env.GetFreeSpace(dir_).value());
+  }
+  EXPECT_GT(max_free, 9u);
 }
 
 // ------------------------------------------------- background flush retry
@@ -527,6 +579,79 @@ TEST_F(FaultInjectionTest, SharedWalGroupCommitBatchSweepIsAtomic) {
       EXPECT_EQ(name.find(".wal"), std::string::npos) << name;
     }
   }
+}
+
+// ---------------------------------------- dataset degradation contract
+
+// One corrupted index tree must degrade the dataset as a unit: reads and
+// estimates keep serving, but a mutation is refused up front — before any
+// entry applies anywhere — so the indexes never desynchronize, and the
+// healthy siblings are never wedged (their own background paths stay clean).
+TEST_F(FaultInjectionTest, DegradedSecondaryRejectsWritesWithoutWedgingSiblings) {
+  FaultInjectionEnv env;
+  DatasetOptions options;
+  options.directory = dir_;
+  options.name = "ds";
+  options.schema = TweetSchema(ValueDomain(0, 14));
+  options.memtable_max_entries = 100;
+  options.env = &env;
+  options.wal = false;
+  options.min_free_bytes = 0;
+  auto dataset = Dataset::Open(options).value();
+  for (int64_t pk = 0; pk < 20; ++pk) {
+    Record record;
+    record.pk = pk;
+    record.fields = {pk % 5, 0};
+    ASSERT_TRUE(dataset->Insert(record).ok());
+  }
+  LsmTree* secondary = dataset->secondary(kTweetMetricField);
+  ASSERT_NE(secondary, nullptr);
+
+  // Corrupt exactly the secondary's flush (targeted directly, so the fault
+  // can't land on the primary first).
+  env.FailWritesWith(Status::Corruption("injected bit rot"), 1);
+  ASSERT_FALSE(secondary->Flush().ok());
+
+  // The dataset's aggregate health reports the degraded member by the worst
+  // mode across trees; the siblings themselves stay healthy.
+  DatasetHealth health = dataset->Health();
+  EXPECT_EQ(health.mode, TreeMode::kReadOnly);
+  EXPECT_EQ(health.degraded_trees, 1u);
+  EXPECT_EQ(health.recovering_trees, 0u);
+  EXPECT_TRUE(dataset->primary()->BackgroundError().ok());
+  EXPECT_EQ(dataset->primary()->Health().mode, TreeMode::kHealthy);
+
+  // Reads and estimates still serve across every index.
+  EXPECT_TRUE(dataset->Get(5).ok());
+  EXPECT_EQ(dataset->CountAll().value(), 20u);
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 20u);
+
+  // A single-record insert is refused up front, naming the degraded tree —
+  // and nothing was applied to the primary (no half-applied mutation).
+  Record blocked;
+  blocked.pk = 500;
+  blocked.fields = {1, 0};
+  Status insert = dataset->Insert(blocked);
+  ASSERT_FALSE(insert.ok());
+  EXPECT_EQ(insert.code(), StatusCode::kCorruption);
+  EXPECT_NE(insert.message().find(secondary->options().name),
+            std::string::npos)
+      << insert.ToString();
+  EXPECT_FALSE(dataset->Get(500).ok());
+  EXPECT_EQ(dataset->CountAll().value(), 20u);
+
+  // Same for a cross-tree batch: all-or-nothing means nothing.
+  ASSERT_FALSE(dataset->PutBatch({blocked}).ok());
+  EXPECT_EQ(dataset->CountAll().value(), 20u);
+
+  // The fault was one-shot: resuming the dataset drains the secondary's
+  // pinned flush and ingestion picks back up in lockstep.
+  ASSERT_TRUE(dataset->Resume().ok());
+  EXPECT_EQ(dataset->Health().mode, TreeMode::kHealthy);
+  ASSERT_TRUE(dataset->Insert(blocked).ok());
+  ASSERT_TRUE(dataset->Flush().ok());
+  EXPECT_EQ(dataset->CountAll().value(), 21u);
+  EXPECT_EQ(dataset->CountRange(kTweetMetricField, 0, 14).value(), 21u);
 }
 
 }  // namespace

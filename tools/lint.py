@@ -39,6 +39,11 @@ clang-tidy is unavailable:
                  WAL segment naming, framing, and file access are confined
                  to the WAL module so the log format has exactly one
                  reader/writer and recovery rules stay in one place.
+  background-error  `background_error_` is assigned only inside the
+                 designated LsmTree setters (SetBackgroundErrorLocked /
+                 ClearBackgroundErrorLocked) — every other mutation would
+                 bypass the mode machine, the health counters, and the
+                 auto-recovery scheduling that those setters keep in sync.
   raw-mutex      no `std::mutex` / `std::lock_guard` / `std::unique_lock` /
                  `std::scoped_lock` / `std::condition_variable` /
                  `std::shared_mutex` in src/ outside src/common/mutex.* —
@@ -340,6 +345,38 @@ def check_raw_mutex(path: Path, raw_lines: list[str], code_lines: list[str]) -> 
                    "lock-rank checker cover it")
 
 
+# ----------------------------------------------------------- background-error
+
+# An assignment to the background-error slot (not `==` comparison). Mutating
+# it anywhere but the designated setters skips the healthy/recovering/
+# read-only transitions, the health counters, and the recovery-job slot
+# accounting those setters maintain.
+BACKGROUND_ERROR_RE = re.compile(r"\bbackground_error_\s*=(?!=)")
+
+# The designated setters, in the one file allowed to contain them.
+BACKGROUND_ERROR_IMPL = SRC / "lsm" / "lsm_tree.cc"
+BACKGROUND_ERROR_SETTERS = {"SetBackgroundErrorLocked", "ClearBackgroundErrorLocked"}
+LSM_TREE_FN_RE = re.compile(r"\bLsmTree::(\w+)\s*\(")
+
+
+def check_background_error(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    current_fn = ""
+    for idx, code in enumerate(code_lines):
+        m = LSM_TREE_FN_RE.search(code)
+        if m:
+            current_fn = m.group(1)
+        if not BACKGROUND_ERROR_RE.search(code):
+            continue
+        if allowed(raw_lines[idx], "background-error"):
+            continue
+        if path == BACKGROUND_ERROR_IMPL and current_fn in BACKGROUND_ERROR_SETTERS:
+            continue
+        report(path, idx + 1, "background-error",
+               "`background_error_` assigned outside SetBackgroundErrorLocked/"
+               "ClearBackgroundErrorLocked — use the setters so mode, health "
+               "counters, and auto-recovery stay in sync")
+
+
 # -------------------------------------------------------------- header-guard
 
 def expected_guard(path: Path) -> str:
@@ -408,6 +445,7 @@ def main() -> int:
         check_env_bypass(path, raw, code)
         check_wal_io(path, raw, code)
         check_raw_mutex(path, raw, code)
+        check_background_error(path, raw, code)
     random_impl = REPO / "src" / "common"
     for path in cc_and_h:
         if SRC not in path.parents and (REPO / "bench") not in path.parents:
