@@ -178,6 +178,13 @@ class StatsRig {
     for (int64_t value : values) Ingest(value);
   }
 
+  // Deletes a previously ingested <value, pk> entry. When the original has
+  // already been flushed this lands as anti-matter that only a merge can
+  // reconcile — the mechanism the accuracy-vs-policy mode measures.
+  void Delete(int64_t value, int64_t pk) {
+    LSMSTATS_CHECK_OK(tree_->Delete(SecondaryKey(value, pk)));
+  }
+
   void Flush() { LSMSTATS_CHECK_OK(tree_->Flush()); }
   void ForceFullMerge() { LSMSTATS_CHECK_OK(tree_->ForceFullMerge()); }
 

@@ -17,6 +17,7 @@
 
 #include "bench_common.h"
 #include "db/dataset.h"
+#include "lsm/merge_policy.h"
 #include "lsm/scheduler.h"
 #include "workload/feed.h"
 #include "workload/tweets.h"
@@ -45,6 +46,10 @@ struct StorageConfig {
   // index trees instead of one per tree.
   int wal_group_commit = -1;
   bool shared_wal = false;
+  // --merge_policy=nomerge|constant|prefix|tiered|leveled|partitioned
+  // swaps the compaction policy every dataset runs under; empty keeps the
+  // paper-mode Tiered default.
+  std::string merge_policy;
 };
 
 std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
@@ -61,7 +66,12 @@ std::unique_ptr<Dataset> OpenDataset(const std::string& dir,
   options.synopsis_type = type;
   options.synopsis_budget = budget;
   options.memtable_max_entries = memtable_entries;
-  options.merge_policy = std::make_shared<TieredMergePolicy>();
+  if (storage.merge_policy.empty()) {
+    options.merge_policy = std::make_shared<TieredMergePolicy>();
+  } else {
+    options.merge_policy = MakeMergePolicyByName(storage.merge_policy);
+    LSMSTATS_CHECK(options.merge_policy != nullptr);  // unknown policy name
+  }
   options.sink = type == SynopsisType::kNone ? nullptr : sink;
   options.scheduler = scheduler;
   options.compression = storage.compression;
@@ -163,6 +173,7 @@ void Run(const Flags& flags) {
   storage.wal_group_commit = static_cast<int>(
       flags.GetU64("wal_group_commit", static_cast<uint64_t>(-1)));
   storage.shared_wal = flags.GetU64("shared_wal", 0) != 0;
+  storage.merge_policy = flags.GetString("merge_policy", "");
   const size_t writers = flags.GetU64("writers", 8);
   const size_t batch = flags.GetU64("batch", 1);
   const ValueDomain domain(0, 16);
@@ -188,6 +199,9 @@ void Run(const Flags& flags) {
                 storage.wal > 0 ? "on" : "off",
                 storage.wal_sync.empty() ? "flush-only"
                                          : storage.wal_sync.c_str());
+  }
+  if (!storage.merge_policy.empty()) {
+    std::printf("merge policy: %s\n", storage.merge_policy.c_str());
   }
 
   auto make_records = [&]() {

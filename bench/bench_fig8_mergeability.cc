@@ -12,28 +12,177 @@
 // sub-millisecond — mergeability matters more for statistics storage than
 // for query time.
 
+#include <algorithm>
 #include <cinttypes>
+#include <memory>
 
 #include "bench_common.h"
+#include "lsm/merge_policy.h"
 
 namespace lsmstats::bench {
 namespace {
 
-void Run(const Flags& flags) {
+// --mode=policy: the accuracy-vs-policy experiment the paper lacks. One
+// Zipf-random dataset with a 25%-delete update stream is ingested once per
+// merge policy; deletes target entries flushed two memtables earlier, so
+// they land as anti-matter that only a merge can reconcile. Per policy we
+// report the normalized L1 estimate error per synopsis type, plus:
+//
+//   staleness   fraction of on-disk entries (and thus of the synopsis mass
+//               the catalog mirrors) describing already-deleted data — a
+//               dead positive entry or the anti-matter cancelling it:
+//               2*anti / (positive + anti). Merges reconcile it to zero.
+//   components  component count at measurement time (catalog fan-in).
+//   merge_MB    cumulative merge output bytes — the write amplification
+//               paid to keep staleness and fan-in down.
+void RunPolicyAccuracy(const Flags& flags) {
   const uint64_t records = flags.GetU64("records", 200000);
   const size_t values = flags.GetU64("values", 2000);
   const size_t queries = flags.GetU64("queries", 1000);
   const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
   const size_t budget = flags.GetU64("budget", 256);
   const size_t flush_count = flags.GetU64("flushes", 24);
+  const uint64_t memtable_entries = records / flush_count + 1;
+  const ValueDomain domain(0, log_domain);
+  const size_t domain_size = size_t{1} << log_domain;
 
-  std::printf("Figure 8: query-time overhead, NoMerge vs Bulkload "
+  DistributionSpec spec;
+  spec.spread = SpreadDistribution::kZipfRandom;
+  spec.frequency = FrequencyDistribution::kZipf;
+  spec.num_values = values;
+  spec.total_records = records;
+  spec.domain = domain;
+  spec.seed = 42;
+  auto dist = SyntheticDistribution::Generate(spec);
+  auto record_values = dist.ExpandShuffled(7);
+  auto query_set = QueryGenerator::Make(QueryType::kFixedLength, domain, 128,
+                                        99, queries);
+
+  std::vector<StatsRig::SynopsisSlot> slots;
+  for (SynopsisType type : EvaluatedSynopsisTypes()) {
+    slots.push_back({SynopsisTypeToString(type), type, budget});
+  }
+
+  std::printf("Figure 8b: estimate accuracy vs merge policy (records=%" PRIu64
+              ", 25%% deletes, Zipf-random spread, %zu-element synopses)\n",
+              records, budget);
+
+  struct PolicyPoint {
+    std::string label;
+    std::shared_ptr<MergePolicy> policy;
+  };
+  // Leveled knobs are scaled to the rig's component sizes so levels actually
+  // form at bench scale (the MakeMergePolicyByName defaults target
+  // production-sized components).
+  LeveledPolicyOptions leveled;
+  leveled.level0_limit = 4;
+  leveled.base_level_bytes = 512 << 10;
+  leveled.level_size_ratio = 4.0;
+  LeveledPolicyOptions partitioned = leveled;
+  partitioned.partition_split_bytes = 128 << 10;
+  std::vector<PolicyPoint> points;
+  points.push_back({"NoMerge", std::make_shared<NoMergePolicy>()});
+  points.push_back({"Constant", std::make_shared<ConstantMergePolicy>(4)});
+  points.push_back({"Prefix",
+                    std::make_shared<PrefixMergePolicy>(1ull << 20, 5)});
+  points.push_back({"Tiered", std::make_shared<TieredMergePolicy>()});
+  points.push_back({"Leveled",
+                    std::make_shared<LeveledMergePolicy>(leveled)});
+  points.push_back({"Partitioned",
+                    std::make_shared<LeveledMergePolicy>(partitioned)});
+
+  std::vector<std::string> columns = {"Policy"};
+  for (const auto& slot : slots) columns.push_back(slot.label);
+  columns.insert(columns.end(),
+                 {"staleness", "components", "merge_MB"});
+  PrintHeader("Fig 8b  [normalized L1 error]", columns);
+
+  for (const PolicyPoint& point : points) {
+    ScopedTempDir dir;
+    StatsRig rig(dir.path(), domain, slots, point.policy, memtable_entries);
+
+    // Insert stream with 25% deletes lagging two memtables behind, so every
+    // delete targets an already-flushed entry and must travel as anti-matter.
+    const uint64_t lag = 2 * memtable_entries;
+    std::vector<int64_t> live(domain_size, 0);
+    uint64_t live_total = 0;
+    for (uint64_t pk = 0; pk < record_values.size(); ++pk) {
+      const int64_t value = record_values[pk];
+      rig.Ingest(value);
+      live[static_cast<size_t>(value)] += 1;
+      ++live_total;
+      if (pk % 4 == 3 && pk >= lag) {
+        const uint64_t victim = pk - lag;
+        const int64_t victim_value = record_values[victim];
+        rig.Delete(victim_value, static_cast<int64_t>(victim));
+        live[static_cast<size_t>(victim_value)] -= 1;
+        --live_total;
+      }
+    }
+    rig.Flush();
+
+    std::vector<uint64_t> prefix(domain_size + 1, 0);
+    for (size_t v = 0; v < domain_size; ++v) {
+      prefix[v + 1] = prefix[v] + static_cast<uint64_t>(live[v]);
+    }
+    auto exact = [&](const RangeQuery& q) -> uint64_t {
+      int64_t lo = std::max<int64_t>(q.lo, 0);
+      int64_t hi = std::min<int64_t>(q.hi,
+                                     static_cast<int64_t>(domain_size) - 1);
+      if (hi < lo) return 0;
+      return prefix[static_cast<size_t>(hi) + 1] -
+             prefix[static_cast<size_t>(lo)];
+    };
+
+    PrintCell(point.label);
+    for (const auto& slot : slots) {
+      PrintCell(NormalizedL1Error(
+          query_set,
+          [&](const RangeQuery& q) {
+            return rig.Estimate(slot.label, q.lo, q.hi);
+          },
+          exact, live_total));
+    }
+    HealthSnapshot health = rig.tree()->Health();
+    uint64_t positive = 0;
+    uint64_t anti = 0;
+    for (const LevelStats& level : health.levels) {
+      positive += level.records;
+      anti += level.anti_matter;
+    }
+    PrintCell(positive + anti == 0
+                  ? 0.0
+                  : static_cast<double>(2 * anti) /
+                        static_cast<double>(positive + anti));
+    PrintCell(static_cast<double>(rig.tree()->ComponentCount()));
+    PrintCell(static_cast<double>(health.merge_bytes_written) / (1 << 20));
+    EndRow();
+  }
+}
+
+void Run(const Flags& flags) {
+  if (flags.GetString("mode", "paper") == "policy") {
+    RunPolicyAccuracy(flags);
+    return;
+  }
+  const uint64_t records = flags.GetU64("records", 200000);
+  const size_t values = flags.GetU64("values", 2000);
+  const size_t queries = flags.GetU64("queries", 1000);
+  const int log_domain = static_cast<int>(flags.GetU64("log_domain", 16));
+  const size_t budget = flags.GetU64("budget", 256);
+  const size_t flush_count = flags.GetU64("flushes", 24);
+  // --merge_policy= swaps the feed rig's policy (paper default: NoMerge).
+  const std::string forced_policy = flags.GetString("merge_policy", "");
+  const std::string feed_label =
+      forced_policy.empty() ? "NoMerge" : forced_policy;
+
+  std::printf("Figure 8: query-time overhead, %s vs Bulkload "
               "(records=%" PRIu64 ", Zipf frequencies, %zu-element "
               "synopses, ~%zu NoMerge components)\n",
-              records, budget, flush_count);
+              feed_label.c_str(), records, budget, flush_count);
 
   PrintHeader("Fig 8  [ms per estimate]",
-              {"Spread", "Synopsis", "NoMerge", "Bulkload", "components"});
+              {"Spread", "Synopsis", feed_label, "Bulkload", "components"});
   for (SpreadDistribution spread : AllSpreadDistributions()) {
     DistributionSpec spec;
     spec.spread = spread;
@@ -52,11 +201,18 @@ void Run(const Flags& flags) {
       slots.push_back({SynopsisTypeToString(type), type, budget});
     }
 
-    // NoMerge: feed-style ingestion, every flush a component.
+    // NoMerge: feed-style ingestion, every flush a component (or whatever
+    // --merge_policy= forces instead).
+    std::shared_ptr<MergePolicy> feed_policy;
+    if (forced_policy.empty()) {
+      feed_policy = std::make_shared<NoMergePolicy>();
+    } else {
+      feed_policy = MakeMergePolicyByName(forced_policy);
+      LSMSTATS_CHECK(feed_policy != nullptr);  // unknown policy name
+    }
     ScopedTempDir nomerge_dir;
     StatsRig nomerge(nomerge_dir.path(), spec.domain, slots,
-                     std::make_shared<NoMergePolicy>(),
-                     records / flush_count + 1);
+                     std::move(feed_policy), records / flush_count + 1);
     nomerge.IngestAll(record_values);
     nomerge.Flush();
 

@@ -23,6 +23,9 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
         "DatasetOptions.sink is required when statistics are enabled");
   }
   if (!options.merge_policy) {
+    options.merge_policy = EnvironmentMergePolicy();
+  }
+  if (!options.merge_policy) {
     options.merge_policy = std::make_shared<NoMergePolicy>();
   }
   auto dataset = std::unique_ptr<Dataset>(new Dataset(std::move(options)));

@@ -62,7 +62,8 @@ struct DatasetOptions {
   // Flush all indexes once the primary memtable holds this many records.
   uint64_t memtable_max_entries = 64 * 1024;
   bool auto_flush = true;
-  // Shared by all indexes. Defaults to NoMerge.
+  // Shared by all indexes. Null resolves to EnvironmentMergePolicy()
+  // (LSMSTATS_MERGE_POLICY), then to NoMerge — the paper-mode default.
   std::shared_ptr<MergePolicy> merge_policy;
   // When set, every index's flush/merge work runs on this scheduler: a full
   // memtable triggers a non-blocking rotation on all indexes, whose flushes

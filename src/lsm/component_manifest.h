@@ -1,0 +1,91 @@
+// Per-tree component manifest: the durable record of the component stack's
+// ORDER and LEVELS.
+//
+// The recovery scan can list which component files exist, but not how they
+// relate: file ids are allocated monotonically at creation time, so a merge
+// OUTPUT (created late) carries a higher id than untouched components that
+// are logically NEWER than it. Reconstructing recency from ids alone would
+// stack old merged data above newer writes after a reopen — and levels are
+// not recoverable from the files at all, because the component footer is
+// deliberately frozen (paper-mode byte-for-byte identity). The manifest
+// closes both gaps:
+//
+//   * `stack` lists the live components newest-first with their levels.
+//   * `pending` (optional) is the write-ahead record of an in-flight merge:
+//     its planned inputs and the output ids allocated so far. A crash
+//     between sealing an output file and committing the merge leaves the
+//     output on disk but not in any committed stack; recovery deletes
+//     exactly the pending output ids (they are never reused — id allocation
+//     is monotonic and persists via the recovered maximum) and resumes from
+//     the committed stack.
+//
+// Writes are atomic (tmp file → fsync → rename → directory fsync, the same
+// seal protocol components use) and CRC-protected. A tree that never merges
+// never writes a manifest, so paper-mode directories stay identical to the
+// seed layout; recovery without a manifest falls back to id-order recency
+// with every component at level 0 — exactly the historical behavior, which
+// is correct for merge-free (NoMerge) trees.
+
+#ifndef LSMSTATS_LSM_COMPONENT_MANIFEST_H_
+#define LSMSTATS_LSM_COMPONENT_MANIFEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace lsmstats {
+
+struct ManifestEntry {
+  uint64_t id = 0;
+  uint32_t level = 0;
+};
+
+// Write-ahead record of a merge in flight.
+struct ManifestPendingMerge {
+  uint32_t target_level = 0;
+  std::vector<uint64_t> input_ids;
+  // Output ids sealed (or about to be sealed) by the merge; grows as the
+  // merge streams. Any of these found on disk without a committing manifest
+  // rewrite are garbage from a crashed merge.
+  std::vector<uint64_t> output_ids;
+};
+
+struct ComponentManifest {
+  // Live components, newest first (same order as LsmTree's stack).
+  std::vector<ManifestEntry> stack;
+  // The tree's id-allocation high-water mark when this manifest was
+  // written. Recovery uses it to tell two kinds of unlisted on-disk
+  // component apart: id >= next_component_id means a flush sealed after
+  // this manifest (stack it on top, id order is recency order among
+  // those), id < next_component_id means a merge input the manifest
+  // already superseded whose unlink did not survive the crash (delete it —
+  // keeping it would resurrect reconciled-away records).
+  uint64_t next_component_id = 1;
+  std::optional<ManifestPendingMerge> pending;
+};
+
+// `<directory>/<name>.manifest` — no `<name>_` separator, so the component
+// recovery scan (which matches `<name>_<id>.cmp`) never confuses it for a
+// component file.
+std::string ComponentManifestPath(const std::string& directory,
+                                  const std::string& name);
+
+// Atomically replaces the manifest (tmp → fsync → rename → dir fsync).
+[[nodiscard]] Status WriteComponentManifest(Env* env,
+                                            const std::string& directory,
+                                            const std::string& name,
+                                            const ComponentManifest& manifest);
+
+// Reads the manifest. nullopt when the file does not exist; Corruption when
+// it exists but fails its magic/CRC/decode (callers decide whether to fall
+// back to id-order recovery or fail).
+[[nodiscard]] StatusOr<std::optional<ComponentManifest>> ReadComponentManifest(
+    Env* env, const std::string& directory, const std::string& name);
+
+}  // namespace lsmstats
+
+#endif  // LSMSTATS_LSM_COMPONENT_MANIFEST_H_

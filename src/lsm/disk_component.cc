@@ -299,7 +299,7 @@ Status DiskComponentBuilder::Add(const Entry& entry) {
 }
 
 StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
-    uint64_t id, uint64_t timestamp) {
+    uint64_t id, uint64_t timestamp, uint32_t level) {
   LSMSTATS_RETURN_IF_ERROR(open_status_);
   // Any failure below leaves a half-written .tmp; make the cleanup uniform.
   auto fail = [this](Status s) -> Status {
@@ -392,7 +392,7 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponentBuilder::Finish(
     return s;
   }
 
-  return DiskComponent::Open(env_, path_, id, timestamp, read_options_);
+  return DiskComponent::Open(env_, path_, id, timestamp, read_options_, level);
 }
 
 void DiskComponentBuilder::Abandon() {
@@ -410,7 +410,7 @@ void DiskComponentBuilder::Abandon() {
 
 StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
     Env* env, const std::string& path, uint64_t id, uint64_t timestamp,
-    DiskComponentReadOptions read_options) {
+    DiskComponentReadOptions read_options, uint32_t level) {
   if (env == nullptr) env = Env::Default();
   auto file_or = env->NewRandomAccessFile(path);
   LSMSTATS_RETURN_IF_ERROR(file_or.status());
@@ -461,6 +461,7 @@ StatusOr<std::shared_ptr<DiskComponent>> DiskComponent::Open(
   md.id = id;
   md.timestamp = timestamp;
   md.file_size = file->size();
+  md.level = level;
 
   if (component->data_end_ > bloom_offset || bloom_offset > checksum_offset ||
       checksum_offset > file->size() - kFooterSize) {

@@ -65,6 +65,12 @@ struct ComponentMetadata {
   // Logical creation timestamp assigned by the owning LsmTree; newer
   // components have strictly larger timestamps.
   uint64_t timestamp = 0;
+  // Compaction level assigned by the owning LsmTree (0 = flush arrival
+  // area; levels >= 1 are sorted runs of non-overlapping key ranges under
+  // the leveled policies). Not part of the on-disk footer — it is
+  // persisted through the component manifest, so the file format and the
+  // paper-mode runs stay bit-identical.
+  uint32_t level = 0;
 };
 
 // Reader-side knobs, threaded from the owning tree into Open.
@@ -98,11 +104,12 @@ class DiskComponentBuilder {
   [[nodiscard]] Status Add(const Entry& entry);
 
   // Seals the file — sync, atomic rename into place, directory sync — and
-  // opens it as a component. `id` and `timestamp` are assigned by the owning
-  // tree. On failure the temporary file is removed (best effort).
+  // opens it as a component. `id`, `timestamp`, and `level` are assigned by
+  // the owning tree. On failure the temporary file is removed (best effort).
   [[nodiscard]]
   StatusOr<std::shared_ptr<DiskComponent>> Finish(uint64_t id,
-                                                  uint64_t timestamp);
+                                                  uint64_t timestamp,
+                                                  uint32_t level = 0);
 
   // Abandons the build and removes the partial file.
   void Abandon();
@@ -155,7 +162,8 @@ class DiskComponent : public std::enable_shared_from_this<DiskComponent> {
   [[nodiscard]]
   static StatusOr<std::shared_ptr<DiskComponent>> Open(
       Env* env, const std::string& path, uint64_t id, uint64_t timestamp,
-      DiskComponentReadOptions read_options = DiskComponentReadOptions());
+      DiskComponentReadOptions read_options = DiskComponentReadOptions(),
+      uint32_t level = 0);
 
   const ComponentMetadata& metadata() const { return metadata_; }
   const std::string& path() const { return path_; }

@@ -40,9 +40,14 @@ struct OperationContext {
   // reconciliation shrinks it).
   uint64_t expected_records = 0;
   uint64_t expected_anti_matter = 0;
-  // Merge only: true when the merge covers the oldest component, so
-  // anti-matter entries are reconciled away rather than carried forward.
+  // Merge only: true when no surviving component older than the merge
+  // output overlaps its key range, so anti-matter entries are reconciled
+  // away rather than carried forward. (A merge that covers the oldest
+  // component always qualifies.)
   bool includes_oldest_component = false;
+  // Compaction level the new component is installed at (0 for flushes and
+  // bulkloads; the merge plan's target for merges).
+  uint32_t target_level = 0;
 };
 
 // Observes the write of one new component.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <optional>
 #include <utility>
 
@@ -40,6 +41,9 @@ LsmTree::LsmTree(LsmTreeOptions options)
       wal_group_commit_(options_.wal_group_commit.has_value()
                             ? *options_.wal_group_commit
                             : EnvironmentWalGroupCommit()) {
+  if (!options_.merge_policy) {
+    options_.merge_policy = EnvironmentMergePolicy();
+  }
   if (!options_.merge_policy) {
     options_.merge_policy = std::make_shared<NoMergePolicy>();
   }
@@ -89,8 +93,8 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   LSMSTATS_RETURN_IF_ERROR(env->CreateDirIfMissing(tree->options_.directory));
 
   // Recover components left by a previous incarnation of this tree: files
-  // named <name>_<id>.cmp. Ids are assigned monotonically, so id order is
-  // recency order. Open() runs before the tree is shared, so no locking yet.
+  // named <name>_<id>.cmp, plus (for trees that have merged) the component
+  // manifest recording stack order, levels, and any in-flight merge.
   std::vector<uint64_t> recovered_ids;
   const std::string prefix = tree->options_.name + "_";
   std::vector<std::string> names;
@@ -120,20 +124,109 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   }
   std::sort(recovered_ids.begin(), recovered_ids.end());  // oldest first
   if (!recovered_ids.empty()) {
-    // Past every id on disk, including ones we may quarantine below.
+    // Past every id on disk, including ones we may quarantine or delete
+    // below.
     tree->next_component_id_ = recovered_ids.back() + 1;
+  }
+
+  // The manifest, when present, dictates recency order and levels; without
+  // it (a tree that never merged) id order IS recency order and everything
+  // sits at level 0. A manifest that fails its checksum is quarantined like
+  // a corrupt component and recovery proceeds id-ordered — degraded but
+  // safe for the merge-free trees that mode serves.
+  const std::string manifest_path =
+      ComponentManifestPath(tree->options_.directory, tree->options_.name);
+  LSMSTATS_RETURN_IF_ERROR(env->RemoveFileIfExists(manifest_path + ".tmp"));
+  std::optional<ComponentManifest> manifest;
+  {
+    auto manifest_or = ReadComponentManifest(env, tree->options_.directory,
+                                             tree->options_.name);
+    if (manifest_or.ok()) {
+      manifest = std::move(*manifest_or);
+    } else {
+      if (!tree->options_.quarantine_corrupt_components) {
+        return manifest_or.status();
+      }
+      LSMSTATS_LOG(kError)
+          << tree->options_.name << ": component manifest failed recovery ("
+          << manifest_or.status().ToString()
+          << "); quarantining it and recovering in id order";
+      if (env->FileExists(manifest_path)) {
+        LSMSTATS_RETURN_IF_ERROR(
+            env->RenameFile(manifest_path, manifest_path + ".quarantine"));
+        tree->quarantined_files_.push_back(manifest_path + ".quarantine");
+        LSMSTATS_RETURN_IF_ERROR(env->SyncDir(tree->options_.directory));
+      }
+    }
+  }
+  if (manifest.has_value()) {
+    // Never reuse an id the manifest has seen — a pending merge may have
+    // allocated ids past every file that survived.
+    tree->next_component_id_ =
+        std::max(tree->next_component_id_, manifest->next_component_id);
+  }
+
+  // Decide, per on-disk id, whether it is live and where it sits.
+  struct IntendedEntry {
+    uint64_t id = 0;
+    uint32_t level = 0;
+  };
+  std::vector<IntendedEntry> intended;  // newest first
+  std::vector<uint64_t> doomed;  // uncommitted outputs + stale merge inputs
+  if (!manifest.has_value()) {
+    for (auto it = recovered_ids.rbegin(); it != recovered_ids.rend(); ++it) {
+      intended.push_back(IntendedEntry{*it, 0});
+    }
+  } else {
+    auto contains = [](const std::vector<uint64_t>& ids, uint64_t id) {
+      return std::find(ids.begin(), ids.end(), id) != ids.end();
+    };
+    std::vector<uint64_t> pending_outputs;
+    if (manifest->pending.has_value()) {
+      pending_outputs = manifest->pending->output_ids;
+    }
+    std::vector<uint64_t> listed_ids;
+    listed_ids.reserve(manifest->stack.size());
+    for (const ManifestEntry& entry : manifest->stack) {
+      listed_ids.push_back(entry.id);
+    }
+    // Newest first: flushes sealed after the last manifest write (ids past
+    // the manifest's high-water mark; id order is recency order among them),
+    // then the manifest's stack in its own order.
+    for (auto it = recovered_ids.rbegin(); it != recovered_ids.rend(); ++it) {
+      uint64_t id = *it;
+      if (contains(pending_outputs, id)) {
+        // Sealed output of a merge that never committed.
+        doomed.push_back(id);
+        continue;
+      }
+      if (contains(listed_ids, id)) continue;  // placed below, in stack order
+      if (id >= manifest->next_component_id) {
+        intended.push_back(IntendedEntry{id, 0});  // post-manifest flush
+      } else {
+        // A merge input the committed manifest superseded; the crash
+        // interrupted its unlink. Resurrecting it would re-expose records
+        // its merge output reconciled away.
+        doomed.push_back(id);
+      }
+    }
+    for (const ManifestEntry& entry : manifest->stack) {
+      // A listed entry whose file vanished fails to open below and takes
+      // everything newer with it (quarantine cascade).
+      intended.push_back(IntendedEntry{entry.id, entry.level});
+    }
   }
 
   // Open oldest to newest so a corrupt component can take down itself and
   // everything newer while the consistent older prefix survives. Timestamps
   // must grow with recency: oldest component gets 1.
   std::vector<std::shared_ptr<DiskComponent>> recovered;  // oldest first
-  for (size_t i = 0; i < recovered_ids.size(); ++i) {
-    uint64_t id = recovered_ids[i];
-    std::string path = tree->ComponentPath(id);
+  for (size_t i = 0; i < intended.size(); ++i) {
+    const IntendedEntry& entry = intended[intended.size() - 1 - i];
+    std::string path = tree->ComponentPath(entry.id);
     auto component = DiskComponent::Open(
-        env, path, id, i + 1,
-        DiskComponentReadOptions{tree->block_cache_});
+        env, path, entry.id, i + 1,
+        DiskComponentReadOptions{tree->block_cache_}, entry.level);
     Status open_status = component.status();
     if (open_status.ok() && tree->options_.paranoid_recovery_checks) {
       open_status = (*component)->VerifyBlockChecksums();
@@ -149,14 +242,15 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
       // cache.
       (*component)->EvictCachedBlocks();
     }
-    // Quarantine this component and everything newer: keeping a newer
-    // component above a hole would un-cancel its anti-matter and resurrect
-    // deleted records. Renaming (not deleting) keeps the bytes for forensics.
+    // Quarantine this component and everything newer in stack order: keeping
+    // a newer component above a hole would un-cancel its anti-matter and
+    // resurrect deleted records. Renaming (not deleting) keeps the bytes for
+    // forensics.
     LSMSTATS_LOG(kError) << tree->options_.name << ": component " << path
                          << " failed recovery (" << open_status.ToString()
                          << "); quarantining it and all newer components";
-    for (size_t j = i; j < recovered_ids.size(); ++j) {
-      std::string victim = tree->ComponentPath(recovered_ids[j]);
+    for (size_t j = 0; j + i < intended.size(); ++j) {
+      std::string victim = tree->ComponentPath(intended[j].id);
       if (!env->FileExists(victim)) continue;
       LSMSTATS_RETURN_IF_ERROR(
           env->RenameFile(victim, victim + ".quarantine"));
@@ -168,6 +262,36 @@ StatusOr<std::unique_ptr<LsmTree>> LsmTree::Open(LsmTreeOptions options) {
   }
   tree->components_.assign(recovered.rbegin(), recovered.rend());
   tree->logical_clock_ = recovered.size() + 1;
+
+  if (manifest.has_value()) {
+    // Re-synchronize the manifest with what actually survived BEFORE
+    // removing any file it mentions: if the removals ran first and the
+    // rewrite then failed, the next Open would find listed-but-missing
+    // components and needlessly quarantine the newer half of the stack.
+    ComponentManifest rewritten;
+    {
+      // Open() owns the tree exclusively, but the accessors assert mu_.
+      rewritten.next_component_id = tree->next_component_id_;
+      rewritten.stack.reserve(tree->components_.size());
+      for (const auto& component : tree->components_) {
+        rewritten.stack.push_back(ManifestEntry{component->metadata().id,
+                                                component->metadata().level});
+      }
+    }
+    LSMSTATS_RETURN_IF_ERROR(WriteComponentManifest(
+        env, tree->options_.directory, tree->options_.name, rewritten));
+    tree->manifest_present_ = true;
+    for (uint64_t id : doomed) {
+      std::string stale = tree->ComponentPath(id);
+      LSMSTATS_LOG(kWarning) << tree->options_.name << ": removing component "
+                             << stale << " left behind by an interrupted merge";
+      LSMSTATS_RETURN_IF_ERROR(env->RemoveFileIfExists(stale));
+    }
+    if (!doomed.empty()) {
+      LSMSTATS_RETURN_IF_ERROR(env->SyncDir(tree->options_.directory));
+    }
+  }
+  tree->CheckLevelInvariantLocked();
 
   // Replay write-ahead-log segments a previous incarnation left behind into
   // the fresh memtable. This runs even when the WAL is currently disabled so
@@ -286,8 +410,10 @@ Status LsmTree::MaybeFlushAfterWrite() {
     return Flush();
   }
   // Schedule without holding mu_: after a scheduler shutdown the job runs
-  // inline on this thread, and the job itself takes mu_.
-  options_.scheduler->Schedule([this] { BackgroundFlushJob(); });
+  // inline on this thread, and the job itself takes mu_. Flush class: a
+  // backlogged immutable queue stalls writers, so flushes outrank merges.
+  options_.scheduler->Schedule(TaskPriority{TaskClass::kFlush, 0},
+                               [this] { BackgroundFlushJob(); });
   // Backpressure: stall the writer once too many rotated memtables are
   // waiting for the workers, so memory stays bounded under write bursts.
   MutexLock lock(&mu_);
@@ -521,7 +647,7 @@ Status LsmTree::WriteComponent(
     MutexLock lock(&mu_);
     timestamp = logical_clock_++;
   }
-  auto component_or = builder.Finish(id, timestamp);
+  auto component_or = builder.Finish(id, timestamp, context.target_level);
   LSMSTATS_RETURN_IF_ERROR(component_or.status());
   *out = std::move(component_or).value();
   {
@@ -636,7 +762,10 @@ Status LsmTree::RequestFlush() {
     rotated = *rotated_or;
     if (rotated) ++pending_jobs_;
   }
-  if (rotated) options_.scheduler->Schedule([this] { BackgroundFlushJob(); });
+  if (rotated) {
+    options_.scheduler->Schedule(TaskPriority{TaskClass::kFlush, 0},
+                                 [this] { BackgroundFlushJob(); });
+  }
   return Status::OK();
 }
 
@@ -893,12 +1022,28 @@ HealthSnapshot LsmTree::Health() const {
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - degraded_since_);
   }
+  snap.merges_completed = merges_completed_;
+  snap.merge_bytes_read = merge_bytes_read_;
+  snap.merge_bytes_written = merge_bytes_written_;
+  std::map<uint32_t, LevelStats> levels;
+  for (const auto& component : components_) {
+    const ComponentMetadata& md = component->metadata();
+    LevelStats& stats = levels[md.level];
+    stats.level = md.level;
+    ++stats.components;
+    stats.bytes += md.file_size;
+    stats.records += md.record_count;
+    stats.anti_matter += md.anti_matter_count;
+  }
+  snap.levels.reserve(levels.size());
+  for (const auto& [level, stats] : levels) snap.levels.push_back(stats);
   return snap;
 }
 
 void LsmTree::BackgroundFlushJob() {
   Status s = FlushOneImmutableWithRetry();
   bool want_merge = false;
+  uint64_t merge_weight = 0;
   if (s.ok()) {
     MutexLock lock(&mu_);
     std::vector<ComponentMetadata> metadata;
@@ -906,13 +1051,28 @@ void LsmTree::BackgroundFlushJob() {
     for (const auto& component : components_) {
       metadata.push_back(component->metadata());
     }
-    want_merge = options_.merge_policy->PickMerge(metadata).has_value();
-    if (want_merge) ++pending_jobs_;
+    auto decision = options_.merge_policy->PickMerge(metadata);
+    want_merge = decision.has_value();
+    if (want_merge) {
+      // The plan's input bytes become the task's priority weight, so small
+      // merges dispatch before big ones. BackgroundMergeJob re-picks under
+      // work_mu_, so the weight is advisory — staleness only costs ordering.
+      for (uint64_t id : decision->input_ids) {
+        for (const ComponentMetadata& md : metadata) {
+          if (md.id == id) {
+            merge_weight += md.file_size;
+            break;
+          }
+        }
+      }
+      ++pending_jobs_;
+    }
   }
   // Schedule outside mu_ (see MaybeFlushAfterWrite); post-shutdown this
   // runs the whole merge inline before the flush job is accounted done.
   if (want_merge) {
-    options_.scheduler->Schedule([this] { BackgroundMergeJob(); });
+    options_.scheduler->Schedule(TaskPriority{TaskClass::kMerge, merge_weight},
+                                 [this] { BackgroundMergeJob(); });
   }
   FinishJob(std::move(s));
 }
@@ -931,36 +1091,38 @@ Status LsmTree::MaybeMerge() {
         metadata.push_back(component->metadata());
       }
       decision = options_.merge_policy->PickMerge(metadata);
+      // Full validation happens in ResolvePlanLocked against the live
+      // stack; an empty plan is nonsense from any policy.
       if (decision.has_value()) {
-        LSMSTATS_CHECK(decision->begin < decision->end);
-        LSMSTATS_CHECK(decision->end <= components_.size());
-        LSMSTATS_CHECK(decision->end - decision->begin >= 2);
+        LSMSTATS_CHECK(!decision->input_ids.empty());
       }
     }
     if (!decision.has_value()) return Status::OK();
-    Status s = MergeRangeWithRetry(*decision);
+    Status s = MergePlanWithRetry(*decision);
     if (!s.ok()) return NoteStructuralFailure(std::move(s));
   }
 }
 
-Status LsmTree::MergeRangeWithRetry(const MergeDecision& decision) {
-  // Retrying the install phase with the same decision is safe: a failed
-  // MergeRange never ran its install, and work_mu_ (held by the caller) pins
-  // the component stack, so the picked index range stays valid. Once the
-  // install ran the stack HAS changed — `installed` makes sure a retry only
-  // re-runs the idempotent cleanup, never the merge itself.
+Status LsmTree::MergePlanWithRetry(const MergeDecision& plan) {
+  // Retrying the install phase with the same plan is safe: a failed
+  // ExecuteMergePlan never ran its install, and work_mu_ (held by the
+  // caller) pins the component stack, so the plan's input ids stay valid.
+  // Once the install ran the stack HAS changed — `installed` makes sure a
+  // retry only re-runs the idempotent commit + cleanup, never the merge.
   std::vector<std::shared_ptr<DiskComponent>> obsolete;
   bool installed = false;
-  return RunWithTransientRetry(
-      "merge", [this, &decision, &obsolete, &installed] {
-        work_mu_.AssertHeld();
-        if (!installed) {
-          LSMSTATS_RETURN_IF_ERROR(CheckFreeSpace("merge"));
-          LSMSTATS_RETURN_IF_ERROR(MergeRange(decision, &obsolete));
-          installed = true;
-        }
-        return DeleteObsoleteComponents(&obsolete);
-      });
+  return RunWithTransientRetry("merge", [this, &plan, &obsolete, &installed] {
+    work_mu_.AssertHeld();
+    if (!installed) {
+      LSMSTATS_RETURN_IF_ERROR(CheckFreeSpace("merge"));
+      LSMSTATS_RETURN_IF_ERROR(ExecuteMergePlan(plan, &obsolete));
+      installed = true;
+    }
+    // Commit the manifest BEFORE unlinking inputs: recovery must never find
+    // input files gone while the manifest still calls the merge pending.
+    LSMSTATS_RETURN_IF_ERROR(PersistManifest(std::nullopt));
+    return DeleteObsoleteComponents(&obsolete);
+  });
 }
 
 Status LsmTree::DeleteObsoleteComponents(
@@ -977,71 +1139,380 @@ Status LsmTree::DeleteObsoleteComponents(
 
 Status LsmTree::ForceFullMerge() {
   MutexLock work(&work_mu_);
-  size_t component_count;
+  MergeDecision plan;
   {
     MutexLock lock(&mu_);
-    component_count = components_.size();
+    if (components_.size() < 2) return Status::OK();
+    for (const auto& component : components_) {
+      plan.input_ids.push_back(component->metadata().id);
+      // Deepest input level, so a leveled stack collapses into its bottom
+      // level; an all-level-0 (paper-mode) stack keeps target 0 and behaves
+      // exactly as the flat full merge always has.
+      plan.target_level =
+          std::max(plan.target_level, component->metadata().level);
+    }
   }
-  if (component_count < 2) return Status::OK();
-  Status s = MergeRangeWithRetry(MergeDecision{0, component_count});
+  Status s = MergePlanWithRetry(plan);
   if (!s.ok()) return NoteStructuralFailure(std::move(s));
   return Status::OK();
 }
 
-Status LsmTree::MergeRange(
-    const MergeDecision& decision,
-    std::vector<std::shared_ptr<DiskComponent>>* obsolete) {
-  // Caller holds work_mu_: no other structural operation can move the range
-  // between the snapshot below and the install.
-  OperationContext context;
-  context.op = LsmOperation::kMerge;
+void LsmTree::ResolvePlanLocked(const MergeDecision& plan,
+                                ResolvedPlan* resolved) {
+  // An invalid plan is a merge-policy bug, not an environment condition, so
+  // violations abort (the seed's stance on policy contract checks).
+  LSMSTATS_CHECK(!plan.input_ids.empty());
+  for (uint64_t id : plan.input_ids) {
+    size_t pos = components_.size();
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (components_[i]->metadata().id == id) {
+        pos = i;
+        break;
+      }
+    }
+    LSMSTATS_CHECK(pos < components_.size());  // unknown input id
+    resolved->positions.push_back(pos);
+  }
+  std::sort(resolved->positions.begin(), resolved->positions.end());
+  for (size_t i = 1; i < resolved->positions.size(); ++i) {
+    // Duplicate input ids would double-free on install.
+    LSMSTATS_CHECK(resolved->positions[i] != resolved->positions[i - 1]);
+  }
 
-  std::vector<std::shared_ptr<DiskComponent>> replaced;
-  std::vector<uint64_t> replaced_ids;
+  uint32_t max_input_level = 0;
+  for (size_t pos : resolved->positions) {
+    const ComponentMetadata& md = components_[pos]->metadata();
+    max_input_level = std::max(max_input_level, md.level);
+    resolved->inputs.push_back(components_[pos]);
+    resolved->replaced_ids.push_back(md.id);
+    resolved->input_bytes += md.file_size;
+    resolved->context.expected_records += md.record_count;
+    resolved->context.expected_anti_matter += md.anti_matter_count;
+  }
+  resolved->context.op = LsmOperation::kMerge;
+  resolved->context.target_level = plan.target_level;
+
+  if (resolved->inputs.size() == 1) {
+    // A single-input plan must still change something: a split rewrite or a
+    // level move. Anything else would install a byte-identical copy forever.
+    LSMSTATS_CHECK(plan.output_split_bytes > 0 ||
+                   plan.target_level !=
+                       resolved->inputs.front()->metadata().level);
+  }
+
+  auto is_input = [resolved](size_t pos) {
+    return std::binary_search(resolved->positions.begin(),
+                              resolved->positions.end(), pos);
+  };
+
+  if (plan.target_level == 0) {
+    // Flat-stack semantics: a contiguous range collapses in place. Valid
+    // regardless of the inputs' levels, which keeps legacy policies working
+    // on a stack a leveled run shaped before a policy switch.
+    for (size_t i = 1; i < resolved->positions.size(); ++i) {
+      LSMSTATS_CHECK(resolved->positions[i] == resolved->positions[i - 1] + 1);
+    }
+    resolved->install_before = resolved->positions.front();
+    resolved->drop_anti_matter =
+        resolved->positions.back() == components_.size() - 1;
+  } else {
+    LSMSTATS_CHECK(plan.target_level == max_input_level ||
+                   plan.target_level == max_input_level + 1);
+    // Outputs go where the target level's order puts them: before the first
+    // survivor at a deeper level, or before the first same-level survivor
+    // whose range starts past the inputs'.
+    LsmKey input_min{};
+    bool have_min = false;
+    for (const auto& input : resolved->inputs) {
+      const ComponentMetadata& md = input->metadata();
+      if (md.record_count + md.anti_matter_count == 0) continue;
+      if (!have_min || md.min_key < input_min) {
+        input_min = md.min_key;
+        have_min = true;
+      }
+    }
+    size_t install = components_.size();
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (is_input(i)) continue;
+      const ComponentMetadata& md = components_[i]->metadata();
+      if (md.level > plan.target_level ||
+          (md.level == plan.target_level && have_min &&
+           input_min < md.min_key)) {
+        install = i;
+        break;
+      }
+    }
+    resolved->install_before = install;
+    // Recency safety: a survivor that key-overlaps a NEWER input must stay
+    // below the outputs (its records lose to theirs), one that overlaps an
+    // OLDER input must stay above them. A survivor pinched between the two
+    // has no valid slot — the policy produced an impossible plan.
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (is_input(i)) continue;
+      const ComponentMetadata& md = components_[i]->metadata();
+      bool newer_overlap = false;
+      bool older_overlap = false;
+      for (size_t pos : resolved->positions) {
+        if (!ComponentRangesOverlap(components_[pos]->metadata(), md)) {
+          continue;
+        }
+        if (pos < i) newer_overlap = true;
+        if (pos > i) older_overlap = true;
+      }
+      if (newer_overlap) LSMSTATS_CHECK(install <= i);
+      if (older_overlap) LSMSTATS_CHECK(install > i);
+    }
+    // Anti-matter reconciles away when nothing older than the outputs
+    // overlaps the inputs' key ranges.
+    bool older_overlapping = false;
+    for (size_t i = install; i < components_.size() && !older_overlapping;
+         ++i) {
+      if (is_input(i)) continue;
+      for (const auto& input : resolved->inputs) {
+        if (ComponentRangesOverlap(input->metadata(),
+                                   components_[i]->metadata())) {
+          older_overlapping = true;
+          break;
+        }
+      }
+    }
+    resolved->drop_anti_matter = !older_overlapping;
+  }
+  resolved->context.includes_oldest_component = resolved->drop_anti_matter;
+}
+
+Status LsmTree::PersistManifest(
+    const std::optional<ManifestPendingMerge>& pending) {
+  ComponentManifest manifest;
   {
     MutexLock lock(&mu_);
-    LSMSTATS_CHECK(decision.end <= components_.size());
-    context.includes_oldest_component = decision.end == components_.size();
-    for (size_t i = decision.begin; i < decision.end; ++i) {
-      const ComponentMetadata& md = components_[i]->metadata();
-      context.expected_records += md.record_count;
-      context.expected_anti_matter += md.anti_matter_count;
-      replaced.push_back(components_[i]);
-      replaced_ids.push_back(md.id);
+    manifest.next_component_id = next_component_id_;
+    manifest.stack.reserve(components_.size());
+    for (const auto& component : components_) {
+      manifest.stack.push_back(ManifestEntry{component->metadata().id,
+                                             component->metadata().level});
     }
   }
+  manifest.pending = pending;
+  LSMSTATS_RETURN_IF_ERROR(WriteComponentManifest(env_, options_.directory,
+                                                  options_.name, manifest));
+  manifest_present_ = true;
+  return Status::OK();
+}
+
+void LsmTree::CheckLevelInvariantLocked() const {
+#ifndef NDEBUG
+  // Within each level >= 1 the components must cover pairwise-disjoint key
+  // ranges — the property install positions and leveled reads rely on.
+  std::map<uint32_t, std::vector<const ComponentMetadata*>> by_level;
+  for (const auto& component : components_) {
+    const ComponentMetadata& md = component->metadata();
+    if (md.level == 0) continue;
+    if (md.record_count + md.anti_matter_count == 0) continue;
+    by_level[md.level].push_back(&md);
+  }
+  for (auto& [level, mds] : by_level) {
+    std::sort(mds.begin(), mds.end(),
+              [](const ComponentMetadata* a, const ComponentMetadata* b) {
+                return a->min_key < b->min_key;
+              });
+    for (size_t i = 1; i < mds.size(); ++i) {
+      LSMSTATS_CHECK(mds[i - 1]->max_key < mds[i]->min_key);
+    }
+  }
+#endif
+}
+
+Status LsmTree::ExecuteMergePlan(
+    const MergeDecision& plan,
+    std::vector<std::shared_ptr<DiskComponent>>* obsolete) {
+  // Caller holds work_mu_: no other structural operation can reshape the
+  // stack between the resolve below and the install.
+  ResolvedPlan resolved;
+  {
+    MutexLock lock(&mu_);
+    ResolvePlanLocked(plan, &resolved);
+  }
+
+  // Write-ahead record of the merge BEFORE any output file exists,
+  // re-written as each output id is allocated: a crash at any point leaves
+  // the committed stack intact and the uncommitted outputs identifiable.
+  ManifestPendingMerge pending;
+  pending.target_level = plan.target_level;
+  pending.input_ids = resolved.replaced_ids;
+  LSMSTATS_RETURN_IF_ERROR(PersistManifest(pending));
+
   std::vector<std::unique_ptr<EntryCursor>> inputs;
-  inputs.reserve(replaced.size());
-  for (const auto& component : replaced) {
+  inputs.reserve(resolved.inputs.size());
+  for (const auto& component : resolved.inputs) {
     inputs.push_back(component->NewCursor());
   }
-  MergeCursor merged(std::move(inputs),
-                     /*drop_anti_matter=*/context.includes_oldest_component);
+  MergeCursor merged(std::move(inputs), resolved.drop_anti_matter);
 
-  std::shared_ptr<DiskComponent> component;
-  Status s = WriteComponent(
-      context, &merged, replaced_ids,
-      [this, &decision](std::shared_ptr<DiskComponent> sealed) {
-        mu_.AssertHeld();  // WriteComponent invokes install under mu_
-        // Replace the merged range with its result in one step, so readers
-        // see either all inputs or the output (recency order is preserved:
-        // everything in the range is newer than what follows and older than
-        // what precedes).
-        auto first = components_.begin() +
-                     static_cast<ptrdiff_t>(decision.begin);
-        components_.erase(
-            first, first + static_cast<ptrdiff_t>(decision.end -
-                                                  decision.begin));
-        if (sealed) {
-          components_.insert(components_.begin() +
-                                 static_cast<ptrdiff_t>(decision.begin),
-                             std::move(sealed));
-        }
-      },
-      &component);
-  // On failure the install callback never ran, so the stack is untouched.
-  LSMSTATS_RETURN_IF_ERROR(s);
-  *obsolete = std::move(replaced);
+  struct SealedOutput {
+    std::shared_ptr<DiskComponent> component;
+    std::vector<std::unique_ptr<ComponentWriteObserver>> observers;
+  };
+  std::vector<SealedOutput> outputs;
+  // Unwinds sealed-but-uninstalled outputs on failure; the stack is
+  // untouched, so retrying the same plan is safe. Deletion is best effort: a
+  // leftover file is listed in the manifest's pending record, so the next
+  // commit or the next recovery disposes of it.
+  auto unwind = [&](Status s) -> Status {
+    for (SealedOutput& output : outputs) {
+      output.component->EvictCachedBlocks();
+      Status removed = output.component->DeleteFile();
+      if (!removed.ok()) {
+        LSMSTATS_LOG(kWarning)
+            << options_.name << ": could not remove abandoned merge output: "
+            << removed.ToString();
+      }
+    }
+    return s;
+  };
+
+  uint64_t consumed_records = 0;
+  uint64_t consumed_anti = 0;
+  while (merged.Valid()) {
+    OperationContext context = resolved.context;
+    // Still an upper bound for THIS output: whatever the inputs held minus
+    // what earlier outputs already took.
+    context.expected_records -=
+        std::min(context.expected_records, consumed_records);
+    context.expected_anti_matter -=
+        std::min(context.expected_anti_matter, consumed_anti);
+    std::vector<std::unique_ptr<ComponentWriteObserver>> observers;
+    for (LsmEventListener* listener : listeners_) {
+      auto observer = listener->OnOperationBegin(context);
+      if (observer) observers.push_back(std::move(observer));
+    }
+    uint64_t id;
+    {
+      MutexLock lock(&mu_);
+      id = next_component_id_++;
+    }
+    // Record the output id before its file can exist.
+    pending.output_ids.push_back(id);
+    Status persisted = PersistManifest(pending);
+    if (!persisted.ok()) return unwind(std::move(persisted));
+
+    DiskComponentBuilder builder(env_, ComponentPath(id),
+                                 context.expected_records, write_options_,
+                                 DiskComponentReadOptions{block_cache_});
+    uint64_t approx_bytes = 0;
+    while (merged.Valid()) {
+      const Entry& entry = merged.entry();
+      Status s = builder.Add(entry);
+      if (!s.ok()) {
+        builder.Abandon();
+        return unwind(std::move(s));
+      }
+      for (auto& observer : observers) observer->OnEntry(entry);
+      if (entry.anti_matter) {
+        ++consumed_anti;
+      } else {
+        ++consumed_records;
+      }
+      approx_bytes += entry.value.size() + 32;  // key + framing estimate
+      merged.Next();
+      if (plan.output_split_bytes > 0 &&
+          approx_bytes >= plan.output_split_bytes && merged.Valid()) {
+        break;  // split at a key boundary; the next output continues here
+      }
+    }
+    if (!merged.status().ok()) {
+      builder.Abandon();
+      return unwind(merged.status());
+    }
+    uint64_t timestamp;
+    {
+      MutexLock lock(&mu_);
+      timestamp = logical_clock_++;
+    }
+    auto component_or = builder.Finish(id, timestamp, plan.target_level);
+    if (!component_or.ok()) return unwind(component_or.status());
+    outputs.push_back(
+        SealedOutput{std::move(component_or).value(), std::move(observers)});
+  }
+  // Covers a cursor that went invalid before the first output started.
+  if (!merged.status().ok()) return unwind(merged.status());
+
+  auto is_input = [&resolved](size_t pos) {
+    return std::binary_search(resolved.positions.begin(),
+                              resolved.positions.end(), pos);
+  };
+  auto install_locked = [&] {
+    mu_.AssertHeld();
+    std::vector<std::shared_ptr<DiskComponent>> next;
+    next.reserve(components_.size() - resolved.positions.size() +
+                 outputs.size());
+    bool inserted = false;
+    for (size_t i = 0; i < components_.size(); ++i) {
+      if (i == resolved.install_before) {
+        for (SealedOutput& output : outputs) next.push_back(output.component);
+        inserted = true;
+      }
+      if (is_input(i)) continue;
+      next.push_back(components_[i]);
+    }
+    if (!inserted) {
+      for (SealedOutput& output : outputs) next.push_back(output.component);
+    }
+    components_ = std::move(next);
+    ++merges_completed_;
+    merge_bytes_read_ += resolved.input_bytes;
+    for (const SealedOutput& output : outputs) {
+      merge_bytes_written_ += output.component->metadata().file_size;
+    }
+    CheckLevelInvariantLocked();
+  };
+
+  if (outputs.empty()) {
+    // Everything reconciled away: no new component, the inputs just vanish.
+    // Listener-visible shape matches the single-output path (operation
+    // begins, an empty metadata seals), and an id is still consumed, so the
+    // id sequence is identical to the historical behavior.
+    std::vector<std::unique_ptr<ComponentWriteObserver>> observers;
+    for (LsmEventListener* listener : listeners_) {
+      auto observer = listener->OnOperationBegin(resolved.context);
+      if (observer) observers.push_back(std::move(observer));
+    }
+    ComponentMetadata empty;
+    empty.level = plan.target_level;
+    {
+      MutexLock lock(&mu_);
+      empty.id = next_component_id_++;
+      empty.timestamp = logical_clock_++;
+      install_locked();
+    }
+    for (auto& observer : observers) {
+      observer->OnComponentSealed(empty, resolved.replaced_ids);
+    }
+    *obsolete = std::move(resolved.inputs);
+    return Status::OK();
+  }
+
+  {
+    MutexLock lock(&mu_);
+    install_locked();
+  }
+  // Seal notifications run without mu_, after the atomic install, so
+  // listeners see a stack that already contains every output. Only the first
+  // output carries the replaced ids: downstream sinks drop the inputs once
+  // and register each output exactly once.
+  bool first = true;
+  for (SealedOutput& output : outputs) {
+    for (auto& observer : output.observers) {
+      observer->OnComponentSealed(
+          output.component->metadata(),
+          first ? resolved.replaced_ids : std::vector<uint64_t>{});
+    }
+    first = false;
+  }
+  LSMSTATS_LOG(kDebug) << options_.name << ": merge sealed " << outputs.size()
+                       << " component(s) at level " << plan.target_level
+                       << " from " << resolved.inputs.size() << " input(s)";
+  *obsolete = std::move(resolved.inputs);
   return Status::OK();
 }
 

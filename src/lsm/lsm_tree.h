@@ -41,6 +41,7 @@
 #include "common/error_taxonomy.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "lsm/component_manifest.h"
 #include "lsm/disk_component.h"
 #include "lsm/entry.h"
 #include "lsm/entry_cursor.h"
@@ -65,7 +66,8 @@ struct LsmTreeOptions {
   // When false, the caller drives flushes explicitly (paper §4.3.4 stages
   // ingestion with forced flushes to control anti-matter placement).
   bool auto_flush = true;
-  // Defaults to NoMergePolicy when null.
+  // Null resolves to EnvironmentMergePolicy() (LSMSTATS_MERGE_POLICY), and
+  // to NoMergePolicy when that is unset too — the paper-mode default.
   std::shared_ptr<MergePolicy> merge_policy;
   // When set, flush and merge jobs run on this scheduler's worker threads
   // and a full memtable rotates instead of blocking the writer. Must outlive
@@ -158,6 +160,15 @@ enum class TreeMode {
 
 const char* TreeModeToString(TreeMode mode);
 
+// Aggregate shape of one compaction level (HealthSnapshot::levels).
+struct LevelStats {
+  uint32_t level = 0;
+  uint64_t components = 0;
+  uint64_t bytes = 0;        // sum of component file sizes
+  uint64_t records = 0;      // live records (anti-matter excluded)
+  uint64_t anti_matter = 0;  // anti-matter entries still carried forward
+};
+
 // Point-in-time health of one tree (LsmTree::Health()).
 struct HealthSnapshot {
   TreeMode mode = TreeMode::kHealthy;
@@ -171,17 +182,32 @@ struct HealthSnapshot {
   uint64_t recoveries_succeeded = 0;
   // Total time spent outside kHealthy, including the current episode.
   std::chrono::milliseconds time_in_degraded{0};
+  // Per-level shape of the component stack, ascending level, empty levels
+  // omitted. A flat (never-merged) tree reports one level-0 row.
+  std::vector<LevelStats> levels;
+  // Lifetime merge work: plans installed, bytes read from merge inputs, and
+  // bytes written to merge outputs. The benches derive write amplification
+  // and "bytes rewritten per policy" from these.
+  uint64_t merges_completed = 0;
+  uint64_t merge_bytes_read = 0;
+  uint64_t merge_bytes_written = 0;
 };
 
 class LsmTree {
  public:
   // Opens a tree, recovering any components a previous incarnation left in
-  // the directory (discovered by file name, ordered by component id — ids
-  // are monotone in creation order, so id order is recency order). Orphaned
-  // `<name>_*.tmp` files from builds that crashed before sealing are
-  // deleted; components that fail to open or fail checksum verification are
-  // quarantined along with everything newer (see
-  // LsmTreeOptions::quarantine_corrupt_components). Surviving write-ahead-log
+  // the directory. When a component manifest exists (any tree that has
+  // merged writes one; see lsm/component_manifest.h) it dictates stack order
+  // and levels: uncommitted outputs of an in-flight merge are deleted, stale
+  // merge inputs whose unlink the crash interrupted are deleted, and
+  // components flushed after the last manifest write are stacked on top.
+  // Without a manifest, recovery falls back to id order (ids are monotone in
+  // creation order, so for a merge-free tree id order is recency order) with
+  // every component at level 0. Orphaned `<name>_*.tmp` files from builds
+  // that crashed before sealing are deleted; components that fail to open or
+  // fail checksum verification are quarantined along with everything newer
+  // (see LsmTreeOptions::quarantine_corrupt_components), as is a manifest
+  // that fails its checksum. Surviving write-ahead-log
   // segments are replayed into the fresh memtable (torn tail truncated,
   // mid-log corruption quarantined) — without them the memtable's contents at
   // crash time are lost; see DESIGN.md "Failure model & durability".
@@ -406,16 +432,57 @@ class LsmTree {
       const std::function<void(std::shared_ptr<DiskComponent>)>& install,
       std::shared_ptr<DiskComponent>* out) REQUIRES(work_mu_) EXCLUDES(mu_);
 
-  // Performs one merge over components_[decision.begin, decision.end) up to
-  // and including the install, filling `obsolete` with the replaced
-  // components (whose files still exist — pass them to
-  // DeleteObsoleteComponents). On failure the install never ran and
-  // `obsolete` is untouched, so retrying with the same decision is safe; a
-  // success must NOT be re-run (the stack has changed under the decision's
-  // indices).
+  // A merge plan resolved against the live stack: the input components (in
+  // stack order, newest first), their positions, where the outputs splice
+  // in, and the listener context. Computed by ResolvePlanLocked, consumed by
+  // ExecuteMergePlan; valid as long as work_mu_ is held (no other structural
+  // operation can reshape the stack underneath it).
+  struct ResolvedPlan {
+    std::vector<std::shared_ptr<DiskComponent>> inputs;
+    std::vector<size_t> positions;  // stack indices of inputs, ascending
+    // Old-stack index the outputs are inserted before (inputs skipped while
+    // rebuilding); components_.size() appends at the bottom.
+    size_t install_before = 0;
+    // True when no surviving component older than the install point overlaps
+    // the inputs' key ranges, so anti-matter reconciles away.
+    bool drop_anti_matter = false;
+    OperationContext context;
+    uint64_t input_bytes = 0;
+    std::vector<uint64_t> replaced_ids;  // input ids, stack order
+  };
+
+  // Validates `plan` against the current stack (LSMSTATS_CHECKs — an invalid
+  // plan is a policy bug, not an environment error) and fills `resolved`.
+  void ResolvePlanLocked(const MergeDecision& plan, ResolvedPlan* resolved)
+      REQUIRES(mu_);
+
+  // Atomically replaces the on-disk manifest with the current stack (and the
+  // id high-water mark) plus `pending`, the write-ahead record of a merge in
+  // flight (nullopt commits). Caller holds work_mu_, so the stack cannot
+  // change between the snapshot and the write.
   [[nodiscard]]
-  Status MergeRange(const MergeDecision& decision,
-                    std::vector<std::shared_ptr<DiskComponent>>* obsolete)
+  Status PersistManifest(const std::optional<ManifestPendingMerge>& pending)
+      REQUIRES(work_mu_) EXCLUDES(mu_);
+
+  // Debug invariant: within every level >= 1, component key ranges are
+  // pairwise disjoint. Compiled out in release builds.
+  void CheckLevelInvariantLocked() const REQUIRES(mu_);
+
+  // Executes one merge plan up to and including the atomic install, filling
+  // `obsolete` with the replaced components (whose files still exist — pass
+  // them to DeleteObsoleteComponents). Streams the merged inputs into one
+  // output, or several when plan.output_split_bytes > 0 (split at key
+  // boundaries once an output reaches that size); outputs install at the
+  // plan's target level, at the stack position ResolvePlanLocked computed.
+  // Writes the manifest's pending record before creating any output file and
+  // re-writes it as each output id is allocated, so a crash at any point
+  // leaves a recoverable directory. On failure the install never ran, sealed
+  // outputs are unlinked best-effort, and `obsolete` is untouched, so
+  // retrying with the same plan is safe; a success must NOT be re-run (the
+  // stack has changed under the plan's ids).
+  [[nodiscard]]
+  Status ExecuteMergePlan(const MergeDecision& plan,
+                          std::vector<std::shared_ptr<DiskComponent>>* obsolete)
       REQUIRES(work_mu_) EXCLUDES(mu_);
 
   // Unlinks replaced components' files, popping each from `obsolete` as it
@@ -425,11 +492,13 @@ class LsmTree {
   Status DeleteObsoleteComponents(
       std::vector<std::shared_ptr<DiskComponent>>* obsolete);
 
-  // One pick-free merge step: CheckFreeSpace + MergeRange + cleanup, with
-  // transient failures of each phase retried independently (the install runs
-  // at most once). Caller holds work_mu_.
+  // One pick-free merge step: CheckFreeSpace + ExecuteMergePlan + manifest
+  // commit + cleanup, with transient failures of each phase retried
+  // independently (the install runs at most once; the manifest is committed
+  // before any input file is unlinked, so recovery never sees a pending
+  // merge whose inputs are already gone). Caller holds work_mu_.
   [[nodiscard]]
-  Status MergeRangeWithRetry(const MergeDecision& decision)
+  Status MergePlanWithRetry(const MergeDecision& plan)
       REQUIRES(work_mu_) EXCLUDES(mu_);
 
   LsmTreeOptions options_;
@@ -458,6 +527,14 @@ class LsmTree {
   std::vector<LsmEventListener*> listeners_;
   uint64_t next_component_id_ GUARDED_BY(mu_) = 1;
   uint64_t logical_clock_ GUARDED_BY(mu_) = 1;
+  // Lifetime merge-work counters surfaced by Health().
+  uint64_t merges_completed_ GUARDED_BY(mu_) = 0;
+  uint64_t merge_bytes_read_ GUARDED_BY(mu_) = 0;
+  uint64_t merge_bytes_written_ GUARDED_BY(mu_) = 0;
+  // Whether a component manifest exists on disk. Written by Open() before
+  // the tree is shared and by PersistManifest under work_mu_; read only on
+  // structural paths (also under work_mu_), so it needs no lock of its own.
+  bool manifest_present_ = false;
   size_t pending_jobs_ GUARDED_BY(mu_) = 0;
   Status background_error_ GUARDED_BY(mu_);
   // Recovery state machine (see DESIGN.md "Error handling & degraded

@@ -1,10 +1,33 @@
 #include "lsm/merge_policy.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/check.h"
 
 namespace lsmstats {
+
+MergeDecision MergePolicy::FromRange(
+    const std::vector<ComponentMetadata>& components, size_t begin,
+    size_t end) {
+  LSMSTATS_CHECK(begin < end);
+  LSMSTATS_CHECK(end <= components.size());
+  MergeDecision decision;
+  decision.input_ids.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    decision.input_ids.push_back(components[i].id);
+  }
+  return decision;
+}
+
+bool ComponentRangesOverlap(const ComponentMetadata& a,
+                            const ComponentMetadata& b) {
+  if (a.record_count + a.anti_matter_count == 0 ||
+      b.record_count + b.anti_matter_count == 0) {
+    return false;  // empty components cover no keys
+  }
+  return !(a.max_key < b.min_key || b.max_key < a.min_key);
+}
 
 std::optional<MergeDecision> NoMergePolicy::PickMerge(
     const std::vector<ComponentMetadata>& components) const {
@@ -23,10 +46,7 @@ std::optional<MergeDecision> ConstantMergePolicy::PickMerge(
   // Merge the oldest surplus components (always at least two) so the stack
   // shrinks back to the bound in one step.
   size_t surplus = components.size() - max_components_ + 1;
-  MergeDecision decision;
-  decision.begin = components.size() - surplus;
-  decision.end = components.size();
-  return decision;
+  return FromRange(components, components.size() - surplus, components.size());
 }
 
 std::string ConstantMergePolicy::name() const {
@@ -42,19 +62,26 @@ PrefixMergePolicy::PrefixMergePolicy(uint64_t max_mergable_size,
 
 std::optional<MergeDecision> PrefixMergePolicy::PickMerge(
     const std::vector<ComponentMetadata>& components) const {
-  // Longest newest-prefix of small components.
-  size_t prefix = 0;
-  uint64_t prefix_bytes = 0;
-  while (prefix < components.size() &&
-         components[prefix].file_size < max_mergable_size_ &&
-         prefix_bytes + components[prefix].file_size < max_mergable_size_) {
-    prefix_bytes += components[prefix].file_size;
-    ++prefix;
+  // Longest newest-prefix of small components. The trigger counts the whole
+  // small run; the byte cap only bounds how much of it one merge chews.
+  // (Coupling the two — as an earlier version did — deadlocks the policy:
+  // once the run's cumulative size passes the cap, the capped prefix stays
+  // below the tolerance forever and the stack grows without bound.)
+  size_t run = 0;
+  while (run < components.size() &&
+         components[run].file_size < max_mergable_size_) {
+    ++run;
   }
-  if (prefix > max_tolerance_count_ && prefix >= 2) {
-    return MergeDecision{0, prefix};
+  if (run <= max_tolerance_count_ || run < 2) return std::nullopt;
+  size_t take = 0;
+  uint64_t take_bytes = 0;
+  while (take < run &&
+         (take < 2 ||
+          take_bytes + components[take].file_size < max_mergable_size_)) {
+    take_bytes += components[take].file_size;
+    ++take;
   }
-  return std::nullopt;
+  return FromRange(components, 0, take);
 }
 
 std::string PrefixMergePolicy::name() const {
@@ -87,7 +114,7 @@ std::optional<MergeDecision> TieredMergePolicy::PickMerge(
           static_cast<double>(max_size) <=
               size_ratio_ * static_cast<double>(std::max<uint64_t>(
                                 1, min_size))) {
-        return MergeDecision{begin, end};
+        return FromRange(components, begin, end);
       }
     }
   }
@@ -96,6 +123,161 @@ std::optional<MergeDecision> TieredMergePolicy::PickMerge(
 
 std::string TieredMergePolicy::name() const {
   return "Tiered(ratio=" + std::to_string(size_ratio_) + ")";
+}
+
+LeveledMergePolicy::LeveledMergePolicy(LeveledPolicyOptions options)
+    : options_(options) {
+  LSMSTATS_CHECK(options_.level0_limit >= 1);
+  LSMSTATS_CHECK(options_.base_level_bytes >= 1);
+  LSMSTATS_CHECK(options_.level_size_ratio >= 1.0);
+}
+
+std::optional<MergeDecision> LeveledMergePolicy::PickMerge(
+    const std::vector<ComponentMetadata>& components) const {
+  // Group stack positions by level (positions stay in stack order, which is
+  // recency order within level 0 and min_key order within deeper levels).
+  std::vector<std::vector<size_t>> levels;
+  for (size_t i = 0; i < components.size(); ++i) {
+    size_t level = components[i].level;
+    if (levels.size() <= level) levels.resize(level + 1);
+    levels[level].push_back(i);
+  }
+
+  // Level-0 pressure: fold the whole arrival area, plus every level-1
+  // partition its key HULL overlaps, into level 1. The hull — not the
+  // individual L0 ranges — because the merge output tiles one contiguous
+  // interval spanning all inputs: a level-1 partition sitting in a gap
+  // between two L0 ranges would end up interval-covered by the output, and
+  // leaving it out would break the level's disjointness invariant.
+  if (!levels.empty() && levels[0].size() > options_.level0_limit) {
+    MergeDecision decision;
+    decision.target_level = 1;
+    decision.output_split_bytes = options_.partition_split_bytes;
+    ComponentMetadata hull;  // empty until the first non-empty L0 component
+    for (size_t pos : levels[0]) {
+      decision.input_ids.push_back(components[pos].id);
+      const ComponentMetadata& md = components[pos];
+      if (md.record_count + md.anti_matter_count == 0) continue;
+      if (hull.record_count == 0) {
+        hull = md;
+      } else {
+        hull.min_key = std::min(hull.min_key, md.min_key);
+        hull.max_key = std::max(hull.max_key, md.max_key);
+      }
+    }
+    if (levels.size() > 1) {
+      for (size_t pos : levels[1]) {
+        if (ComponentRangesOverlap(components[pos], hull)) {
+          decision.input_ids.push_back(components[pos].id);
+        }
+      }
+    }
+    return decision;
+  }
+
+  // Deeper levels: promote one victim from the shallowest over-capacity
+  // level into the next one, merging only the next level's overlapping
+  // partitions. The victim is the component dragging the fewest overlap
+  // bytes with it (the classic write-amplification-minimizing pick); ties
+  // go to the smaller min_key so the choice is deterministic.
+  double capacity = static_cast<double>(options_.base_level_bytes);
+  for (size_t k = 1; k < levels.size();
+       ++k, capacity *= options_.level_size_ratio) {
+    uint64_t level_bytes = 0;
+    for (size_t pos : levels[k]) level_bytes += components[pos].file_size;
+    if (static_cast<double>(level_bytes) <= capacity) continue;
+
+    const std::vector<size_t>* next =
+        k + 1 < levels.size() ? &levels[k + 1] : nullptr;
+    size_t victim = SIZE_MAX;
+    uint64_t victim_overlap = UINT64_MAX;
+    for (size_t pos : levels[k]) {
+      uint64_t overlap_bytes = 0;
+      if (next != nullptr) {
+        for (size_t below : *next) {
+          if (ComponentRangesOverlap(components[pos], components[below])) {
+            overlap_bytes += components[below].file_size;
+          }
+        }
+      }
+      if (victim == SIZE_MAX || overlap_bytes < victim_overlap ||
+          (overlap_bytes == victim_overlap &&
+           components[pos].min_key < components[victim].min_key)) {
+        victim = pos;
+        victim_overlap = overlap_bytes;
+      }
+    }
+    LSMSTATS_CHECK(victim != SIZE_MAX);
+
+    MergeDecision decision;
+    decision.target_level = static_cast<uint32_t>(k + 1);
+    decision.output_split_bytes = options_.partition_split_bytes;
+    decision.input_ids.push_back(components[victim].id);
+    if (next != nullptr) {
+      for (size_t below : *next) {
+        if (ComponentRangesOverlap(components[victim], components[below])) {
+          decision.input_ids.push_back(components[below].id);
+        }
+      }
+    }
+    return decision;
+  }
+
+  // Partitioned hygiene: re-split any partition that outgrew twice the
+  // split bound (a single-input, same-level plan the tree executes as an
+  // in-place rewrite into several disjoint components).
+  if (options_.partition_split_bytes > 0) {
+    for (size_t k = 1; k < levels.size(); ++k) {
+      for (size_t pos : levels[k]) {
+        if (components[pos].file_size > 2 * options_.partition_split_bytes) {
+          MergeDecision decision;
+          decision.target_level = static_cast<uint32_t>(k);
+          decision.output_split_bytes = options_.partition_split_bytes;
+          decision.input_ids.push_back(components[pos].id);
+          return decision;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string LeveledMergePolicy::name() const {
+  std::string label =
+      options_.partition_split_bytes > 0 ? "Partitioned" : "Leveled";
+  label += "(l0=" + std::to_string(options_.level0_limit) +
+           ",base=" + std::to_string(options_.base_level_bytes) +
+           ",ratio=" + std::to_string(options_.level_size_ratio);
+  if (options_.partition_split_bytes > 0) {
+    label += ",split=" + std::to_string(options_.partition_split_bytes);
+  }
+  return label + ")";
+}
+
+std::shared_ptr<MergePolicy> MakeMergePolicyByName(const std::string& name) {
+  if (name == "nomerge") return std::make_shared<NoMergePolicy>();
+  if (name == "constant") return std::make_shared<ConstantMergePolicy>(4);
+  if (name == "prefix") return std::make_shared<PrefixMergePolicy>();
+  if (name == "tiered") return std::make_shared<TieredMergePolicy>();
+  if (name == "leveled") return std::make_shared<LeveledMergePolicy>();
+  if (name == "partitioned") {
+    LeveledPolicyOptions options;
+    options.partition_split_bytes = 1ull << 20;
+    return std::make_shared<LeveledMergePolicy>(options);
+  }
+  return nullptr;
+}
+
+std::shared_ptr<MergePolicy> EnvironmentMergePolicy() {
+  static const std::string kForced = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before worker threads.
+    const char* value = std::getenv("LSMSTATS_MERGE_POLICY");
+    return std::string(value == nullptr ? "" : value);
+  }();
+  if (kForced.empty()) return nullptr;
+  std::shared_ptr<MergePolicy> policy = MakeMergePolicyByName(kForced);
+  LSMSTATS_CHECK(policy != nullptr);  // unknown LSMSTATS_MERGE_POLICY value
+  return policy;
 }
 
 }  // namespace lsmstats

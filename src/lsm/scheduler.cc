@@ -1,12 +1,16 @@
 #include "lsm/scheduler.h"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 
 namespace lsmstats {
 
-BackgroundScheduler::BackgroundScheduler(size_t num_threads) {
+BackgroundScheduler::BackgroundScheduler(size_t num_threads,
+                                         uint64_t fairness_window)
+    : fairness_window_(std::max<uint64_t>(1, fairness_window)) {
   num_threads = std::max<size_t>(1, num_threads);
+  merge_slots_ = std::max<size_t>(1, num_threads - 1);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -16,11 +20,21 @@ BackgroundScheduler::BackgroundScheduler(size_t num_threads) {
 BackgroundScheduler::~BackgroundScheduler() { Shutdown(); }
 
 void BackgroundScheduler::Schedule(std::function<void()> task) {
+  Schedule(TaskPriority{}, std::move(task));
+}
+
+void BackgroundScheduler::Schedule(TaskPriority priority,
+                                   std::function<void()> task) {
   {
     MutexLock lock(&mu_);
     ++tasks_scheduled_;
     if (!shutdown_) {
-      queue_.push_back(std::move(task));
+      QueuedTask queued;
+      queued.priority = priority;
+      queued.seq = next_seq_++;
+      queued.aged_after = dispatches_ + fairness_window_;
+      queued.fn = std::move(task);
+      queue_.push_back(std::move(queued));
       work_cv_.NotifyOne();
       return;
     }
@@ -32,21 +46,71 @@ void BackgroundScheduler::Schedule(std::function<void()> task) {
   idle_cv_.NotifyAll();
 }
 
+size_t BackgroundScheduler::PickTaskLocked() const {
+  size_t best = kNone;
+  size_t aged = kNone;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const QueuedTask& task = queue_[i];
+    // Pacing: merges may not occupy every worker.
+    if (task.priority.task_class == TaskClass::kMerge &&
+        active_merges_ >= merge_slots_) {
+      continue;
+    }
+    // Fairness aging trumps priority; among aged tasks the oldest wins, so
+    // every task's dispatch delay is bounded by the window plus the queue
+    // ahead of it at enqueue time.
+    if (dispatches_ >= task.aged_after) {
+      if (aged == kNone || task.seq < queue_[aged].seq) aged = i;
+      continue;
+    }
+    if (best == kNone) {
+      best = i;
+      continue;
+    }
+    const QueuedTask& incumbent = queue_[best];
+    auto key = [](const QueuedTask& t) {
+      return std::make_tuple(static_cast<uint8_t>(t.priority.task_class),
+                             t.priority.weight, t.seq);
+    };
+    if (key(task) < key(incumbent)) best = i;
+  }
+  return aged != kNone ? aged : best;
+}
+
 void BackgroundScheduler::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    bool is_merge = false;
     {
       MutexLock lock(&mu_);
-      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      size_t index;
+      for (;;) {
+        index = PickTaskLocked();
+        if (index != kNone) break;
+        if (shutdown_ && queue_.empty()) return;
+        // Either no tasks, or only merge tasks while all merge slots are
+        // busy. In the latter case an active worker is running a merge and
+        // will NotifyAll on completion, so this wait cannot deadlock —
+        // during shutdown included.
+        work_cv_.Wait(&mu_);
+      }
+      QueuedTask picked = std::move(queue_[index]);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+      ++dispatches_;
       ++active_;
+      is_merge = picked.priority.task_class == TaskClass::kMerge;
+      if (is_merge) ++active_merges_;
+      task = std::move(picked.fn);
     }
     task();
     MutexLock lock(&mu_);
     --active_;
+    if (is_merge) --active_merges_;
     ++tasks_completed_;
+    // NotifyAll (not NotifyOne): completing a merge frees a slot other
+    // waiting workers may be blocked on, and crossing a dispatch count can
+    // age multiple queued tasks at once.
+    work_cv_.NotifyAll();
     idle_cv_.NotifyAll();
   }
 }

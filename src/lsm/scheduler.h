@@ -1,12 +1,30 @@
 // Background work scheduler for LSM maintenance (flushes and merges).
 //
-// A fixed pool of worker threads drains a FIFO task queue. Trees enqueue
+// A fixed pool of worker threads drains a priority queue. Trees enqueue
 // flush/merge jobs here so ingestion never waits on disk writes (Luo & Carey:
 // overlapping memory-component flushes with writes and taking merges off the
 // write path is the dominant ingestion-throughput lever in LSM systems).
 //
-// Semantics:
-//   * Schedule() never blocks; tasks run in FIFO order across the pool.
+// Priorities (Luo & Carey §3.3: flushes must preempt merges or the immutable
+// memtable backlog stalls writers):
+//   * Class order: kFlush < kDefault < kMerge — a pending flush always
+//     dispatches before any pending merge.
+//   * Within a class, lower `weight` first (small merges before big ones,
+//     so a major merge cannot convoy the cheap ones behind it).
+//   * Ties dispatch FIFO, so equal-priority work keeps the old queue order.
+//
+// Two mechanisms bound merge monopolies:
+//   * Pacing: at most max(1, threads - 1) workers run merge-class tasks at
+//     once, so one worker always remains free for flushes.
+//   * Fairness aging: a task that has watched `fairness_window` dispatches
+//     go by jumps the priority order (oldest first). A starving tree's big
+//     merge therefore runs after a bounded number of other dispatches, no
+//     matter how many smaller tasks keep arriving.
+//
+// Semantics preserved from the FIFO version:
+//   * Schedule() never blocks; the one-argument overload enqueues at
+//     kDefault priority, so callers that never heard of priorities keep
+//     strict FIFO behavior.
 //   * Drain() blocks until every task scheduled so far has finished.
 //   * Shutdown() stops the workers after finishing all queued tasks. After
 //     shutdown, Schedule() runs the task inline on the calling thread, so a
@@ -21,7 +39,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -30,10 +47,27 @@
 
 namespace lsmstats {
 
+// Dispatch class, most urgent first.
+enum class TaskClass : uint8_t {
+  kFlush = 0,    // memtable flushes: block writers when backlogged
+  kDefault = 1,  // untagged work (recovery jobs, legacy callers)
+  kMerge = 2,    // compactions: throughput work, never latency-critical
+};
+
+struct TaskPriority {
+  TaskClass task_class = TaskClass::kDefault;
+  // Secondary order within the class; smaller runs first. Trees pass the
+  // planned input bytes of a merge so small merges win.
+  uint64_t weight = 0;
+};
+
 class BackgroundScheduler {
  public:
-  // Spawns `num_threads` workers (at least one).
-  explicit BackgroundScheduler(size_t num_threads = 2);
+  // Spawns `num_threads` workers (at least one). `fairness_window` is the
+  // aging bound: a queued task is dispatched out of priority order once
+  // that many dispatches have happened since it was enqueued.
+  explicit BackgroundScheduler(size_t num_threads = 2,
+                               uint64_t fairness_window = 16);
 
   BackgroundScheduler(const BackgroundScheduler&) = delete;
   BackgroundScheduler& operator=(const BackgroundScheduler&) = delete;
@@ -47,6 +81,8 @@ class BackgroundScheduler {
   // checker enforces this): the inline path runs the task on the caller,
   // and the task takes tree locks itself.
   void Schedule(std::function<void()> task) EXCLUDES(mu_);
+  void Schedule(TaskPriority priority, std::function<void()> task)
+      EXCLUDES(mu_);
 
   // Blocks until the queue is empty and no worker is mid-task.
   void Drain() EXCLUDES(mu_);
@@ -62,16 +98,35 @@ class BackgroundScheduler {
   uint64_t tasks_completed() const EXCLUDES(mu_);
 
  private:
+  struct QueuedTask {
+    TaskPriority priority;
+    uint64_t seq = 0;         // enqueue order; FIFO tie-break
+    uint64_t aged_after = 0;  // dispatch count at which aging kicks in
+    std::function<void()> fn;
+  };
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
   void WorkerLoop() EXCLUDES(mu_);
+  // Index of the next task to dispatch, or kNone when nothing is eligible
+  // (empty queue, or only merges while the merge slots are full). Linear
+  // scan: the queue holds at most a handful of structural jobs per tree, so
+  // a heap would buy nothing and would complicate aging.
+  size_t PickTaskLocked() const REQUIRES(mu_);
 
   mutable Mutex mu_{LockRank::kScheduler, "scheduler"};
-  CondVar work_cv_;   // workers wait for tasks / shutdown
+  CondVar work_cv_;   // workers wait for tasks / shutdown / a merge slot
   CondVar idle_cv_;   // Drain() waits for quiescence
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<QueuedTask> queue_ GUARDED_BY(mu_);
   // Written only by the constructor, before any concurrent access.
   std::vector<std::thread> threads_;
+  uint64_t fairness_window_;
+  size_t merge_slots_;  // max concurrent merge-class tasks
   size_t active_ GUARDED_BY(mu_) = 0;  // workers currently running a task
+  size_t active_merges_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  uint64_t dispatches_ GUARDED_BY(mu_) = 0;
   uint64_t tasks_scheduled_ GUARDED_BY(mu_) = 0;
   uint64_t tasks_completed_ GUARDED_BY(mu_) = 0;
 };

@@ -211,13 +211,13 @@ TEST(PrefixMergePolicy, MergesSmallPrefixLeavesBigComponentsAlone) {
   stack.insert(stack.begin(), component(4, 100));
   auto decision = policy.PickMerge(stack);
   ASSERT_TRUE(decision.has_value());
-  EXPECT_EQ(decision->begin, 0u);
-  EXPECT_EQ(decision->end, 4u);
+  EXPECT_EQ(decision->input_ids, (std::vector<uint64_t>{4, 3, 2, 1}));
+  EXPECT_EQ(decision->target_level, 0u);
   // A big old component below the prefix is never touched.
   stack.push_back(component(0, 1 << 20));
   decision = policy.PickMerge(stack);
   ASSERT_TRUE(decision.has_value());
-  EXPECT_EQ(decision->end, 4u);
+  EXPECT_EQ(decision->input_ids, (std::vector<uint64_t>{4, 3, 2, 1}));
   // A big component at the TOP blocks prefix merging entirely.
   stack.insert(stack.begin(), component(9, 1 << 20));
   EXPECT_FALSE(policy.PickMerge(stack).has_value());

@@ -93,6 +93,87 @@ TEST(BackgroundScheduler, ZeroThreadsClampedToOne) {
   EXPECT_TRUE(ran.load());
 }
 
+// Wedges a single-worker scheduler on a gate task so tasks enqueued behind
+// it are picked strictly by the priority order when the gate lifts.
+class SchedulerGate {
+ public:
+  explicit SchedulerGate(BackgroundScheduler* scheduler) {
+    scheduler->Schedule(TaskPriority{TaskClass::kMerge, 0}, [this] {
+      started_.store(true);
+      while (!release_.load()) std::this_thread::yield();
+    });
+    while (!started_.load()) std::this_thread::yield();
+  }
+  void Release() { release_.store(true); }
+
+ private:
+  std::atomic<bool> started_{false};
+  std::atomic<bool> release_{false};
+};
+
+TEST(BackgroundScheduler, FlushRunsBeforeQueuedMergeSuccessor) {
+  // A flush enqueued BEHIND a waiting merge must still start before it: the
+  // scheduler dispatches by class, not arrival order. The gate task plays
+  // the "long merge currently running"; the queued merge is its successor.
+  BackgroundScheduler scheduler(1);
+  SchedulerGate gate(&scheduler);
+  std::vector<std::string> order;
+  Mutex order_mu(LockRank::kLeaf, "order");
+  auto record = [&](const char* label) {
+    MutexLock lock(&order_mu);
+    order.push_back(label);
+  };
+  scheduler.Schedule(TaskPriority{TaskClass::kMerge, /*weight=*/1 << 20},
+                     [&] { record("merge"); });
+  scheduler.Schedule(TaskPriority{TaskClass::kFlush, 0},
+                     [&] { record("flush"); });
+  gate.Release();
+  scheduler.Drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "flush");
+  EXPECT_EQ(order[1], "merge");
+}
+
+TEST(BackgroundScheduler, SmallMergeDispatchesBeforeLargeMerge) {
+  BackgroundScheduler scheduler(1);
+  SchedulerGate gate(&scheduler);
+  std::vector<uint64_t> order;
+  Mutex order_mu(LockRank::kLeaf, "order");
+  for (uint64_t weight : {900u, 100u, 500u}) {
+    scheduler.Schedule(TaskPriority{TaskClass::kMerge, weight}, [&, weight] {
+      MutexLock lock(&order_mu);
+      order.push_back(weight);
+    });
+  }
+  gate.Release();
+  scheduler.Drain();
+  EXPECT_EQ(order, (std::vector<uint64_t>{100, 500, 900}));
+}
+
+TEST(BackgroundScheduler, FairnessAgingBoundsMergeStarvation) {
+  // One starving merge against a steady stream of flushes: after
+  // `fairness_window` dispatches the merge jumps the priority order, so it
+  // runs after a bounded number of flushes — neither immediately (priority
+  // holds first) nor last (starvation is what aging prevents).
+  constexpr uint64_t kWindow = 4;
+  BackgroundScheduler scheduler(1, kWindow);
+  SchedulerGate gate(&scheduler);
+  std::atomic<int> flushes_run{0};
+  std::atomic<int> flushes_before_merge{-1};
+  scheduler.Schedule(TaskPriority{TaskClass::kMerge, /*weight=*/1 << 30},
+                     [&] { flushes_before_merge.store(flushes_run.load()); });
+  for (int i = 0; i < 10; ++i) {
+    scheduler.Schedule(TaskPriority{TaskClass::kFlush, 0},
+                       [&] { ++flushes_run; });
+  }
+  gate.Release();
+  scheduler.Drain();
+  EXPECT_EQ(flushes_run.load(), 10);
+  // Flushes outrank the merge until aging kicks in at the window bound.
+  EXPECT_GE(flushes_before_merge.load(), 1);
+  EXPECT_LE(flushes_before_merge.load(), static_cast<int>(kWindow) + 1);
+}
+
 // --------------------------------------------------- Rotation visibility
 
 // A scheduler whose single worker is wedged on a gate lets us observe the

@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -263,12 +265,26 @@ ComponentWriteOptions SweepWriteOptions() {
   return write_options;
 }
 
+// Small-knob leveled policy for the compaction sweep: every other flush
+// triggers an L0 fold and the tiny level capacity forces promotions, so
+// manifest writes, multi-component installs, and input unlinks all land
+// inside the crash window.
+std::shared_ptr<MergePolicy> SweepLeveledPolicy() {
+  LeveledPolicyOptions options;
+  options.level0_limit = 1;
+  options.base_level_bytes = 2048;
+  options.level_size_ratio = 2.0;
+  return std::make_shared<LeveledMergePolicy>(options);
+}
+
 // Ingest keys 0..N-1 in order with periodic flushes, then merge everything.
 // Returns the first error (expected when a crash is scheduled). `wal` pins
 // LsmTreeOptions::wal; unset inherits the environment, as the seed sweep
-// always did.
+// always did. `policy` pins the merge policy; unset inherits the
+// environment default.
 Status RunWorkload(Env* env, const std::string& dir,
-                   std::optional<bool> wal = std::nullopt) {
+                   std::optional<bool> wal = std::nullopt,
+                   std::shared_ptr<MergePolicy> policy = nullptr) {
   LsmTreeOptions options;
   options.directory = dir;
   options.name = "t";
@@ -276,6 +292,7 @@ Status RunWorkload(Env* env, const std::string& dir,
   options.env = env;
   options.write_options = SweepWriteOptions();
   options.wal = wal;
+  options.merge_policy = std::move(policy);
   auto tree_or = LsmTree::Open(options);
   LSMSTATS_RETURN_IF_ERROR(tree_or.status());
   auto& tree = *tree_or;
@@ -288,14 +305,18 @@ Status RunWorkload(Env* env, const std::string& dir,
 }
 
 // Crash RunWorkload at every mutating filesystem op, reboot with power-loss
-// semantics, and check the recovery invariants each time.
-void SweepAllCrashPoints(const std::string& base_dir, std::optional<bool> wal) {
+// semantics, and check the recovery invariants each time. `make_policy` (may
+// return null) builds a fresh policy per run so no state leaks across runs.
+void SweepAllCrashPoints(
+    const std::string& base_dir, std::optional<bool> wal,
+    const std::function<std::shared_ptr<MergePolicy>()>& make_policy =
+        [] { return std::shared_ptr<MergePolicy>(); }) {
   // Clean run to size the sweep.
   uint64_t total_ops;
   {
     std::string clean_dir = base_dir + "/clean";
     FaultInjectionEnv env;
-    ASSERT_TRUE(RunWorkload(&env, clean_dir, wal).ok());
+    ASSERT_TRUE(RunWorkload(&env, clean_dir, wal, make_policy()).ok());
     total_ops = env.MutatingOpCount();
     ASSERT_GT(total_ops, 20u);  // the workload is non-trivial
   }
@@ -305,7 +326,7 @@ void SweepAllCrashPoints(const std::string& base_dir, std::optional<bool> wal) {
     std::string run_dir = base_dir + "/run" + std::to_string(crash_at);
     FaultInjectionEnv env;
     env.CrashAtMutatingOp(crash_at);
-    Status died = RunWorkload(&env, run_dir, wal);
+    Status died = RunWorkload(&env, run_dir, wal, make_policy());
     EXPECT_FALSE(died.ok());  // the crash point is within the workload
     // Power loss: un-synced bytes vanish, then the "machine" reboots.
     env.ClearFaults();
@@ -319,6 +340,7 @@ void SweepAllCrashPoints(const std::string& base_dir, std::optional<bool> wal) {
     options.env = &env;
     options.write_options = SweepWriteOptions();
     options.wal = wal;
+    options.merge_policy = make_policy();
     auto tree_or = LsmTree::Open(options);
     ASSERT_TRUE(tree_or.ok()) << tree_or.status().ToString();
     auto& tree = *tree_or;
@@ -362,6 +384,13 @@ TEST_F(FaultInjectionTest, CrashPointSweep) {
 // the environment (forced-WAL CI) turns the log on globally.
 TEST_F(FaultInjectionTest, CrashPointSweepWithWalPinnedOff) {
   SweepAllCrashPoints(dir_, false);
+}
+
+// The same sweep under leveled compaction: every recovery must cope with a
+// manifest (possibly mid-rewrite), leveled multi-component installs, and
+// interrupted input unlinks — the paths the merge-free sweeps never reach.
+TEST_F(FaultInjectionTest, CrashPointSweepWithLeveledCompaction) {
+  SweepAllCrashPoints(dir_, std::nullopt, SweepLeveledPolicy);
 }
 
 // ------------------------------------------------- WAL every-record sweep

@@ -18,7 +18,14 @@
 namespace lsmstats {
 namespace {
 
-enum class PolicyKind { kNoMerge, kConstant, kPrefix, kTiered };
+enum class PolicyKind {
+  kNoMerge,
+  kConstant,
+  kPrefix,
+  kTiered,
+  kLeveled,
+  kPartitioned
+};
 
 const char* PolicyName(PolicyKind kind) {
   switch (kind) {
@@ -30,11 +37,21 @@ const char* PolicyName(PolicyKind kind) {
       return "Prefix";
     case PolicyKind::kTiered:
       return "Tiered";
+    case PolicyKind::kLeveled:
+      return "Leveled";
+    case PolicyKind::kPartitioned:
+      return "Partitioned";
   }
   return "?";
 }
 
 std::shared_ptr<MergePolicy> MakePolicy(PolicyKind kind) {
+  // Leveling knobs small enough that the property workloads actually form
+  // (and churn) several levels.
+  LeveledPolicyOptions leveled;
+  leveled.level0_limit = 3;
+  leveled.base_level_bytes = 8 << 10;
+  leveled.level_size_ratio = 2.0;
   switch (kind) {
     case PolicyKind::kNoMerge:
       return std::make_shared<NoMergePolicy>();
@@ -44,6 +61,11 @@ std::shared_ptr<MergePolicy> MakePolicy(PolicyKind kind) {
       return std::make_shared<PrefixMergePolicy>(1ull << 20, 3);
     case PolicyKind::kTiered:
       return std::make_shared<TieredMergePolicy>(1.5, 3);
+    case PolicyKind::kLeveled:
+      return std::make_shared<LeveledMergePolicy>(leveled);
+    case PolicyKind::kPartitioned:
+      leveled.partition_split_bytes = 4 << 10;
+      return std::make_shared<LeveledMergePolicy>(leveled);
   }
   return nullptr;
 }
@@ -259,7 +281,9 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, LsmPolicyTest,
                          ::testing::Values(PolicyKind::kNoMerge,
                                            PolicyKind::kConstant,
                                            PolicyKind::kPrefix,
-                                           PolicyKind::kTiered),
+                                           PolicyKind::kTiered,
+                                           PolicyKind::kLeveled,
+                                           PolicyKind::kPartitioned),
                          [](const ::testing::TestParamInfo<PolicyKind>& info) {
                            return PolicyName(info.param);
                          });

@@ -44,6 +44,12 @@ clang-tidy is unavailable:
                  ClearBackgroundErrorLocked) — every other mutation would
                  bypass the mode machine, the health counters, and the
                  auto-recovery scheduling that those setters keep in sync.
+  merge-policy   merge-policy implementations (subclasses of MergePolicy)
+                 live in src/lsm/merge_policy.* only, and those two files
+                 stay pure decision functions: no Env, no Mutex/locks, no
+                 scheduler — PickMerge must be a side-effect-free function
+                 of the component metadata so policies are trivially
+                 testable and callable under the tree lock.
   raw-mutex      no `std::mutex` / `std::lock_guard` / `std::unique_lock` /
                  `std::scoped_lock` / `std::condition_variable` /
                  `std::shared_mutex` in src/ outside src/common/mutex.* —
@@ -345,6 +351,46 @@ def check_raw_mutex(path: Path, raw_lines: list[str], code_lines: list[str]) -> 
                    "lock-rank checker cover it")
 
 
+# -------------------------------------------------------------- merge-policy
+
+# A class deriving from MergePolicy. Implementations are confined to
+# src/lsm/merge_policy.* so there is exactly one place to audit the decision
+# logic (tests may subclass freely).
+MERGE_POLICY_SUBCLASS_RE = re.compile(r":\s*(?:public\s+)?MergePolicy\b")
+
+# Impurity markers inside the policy module itself: environment access,
+# locking, or scheduling would make PickMerge a stateful actor instead of a
+# pure function of the metadata snapshot (it runs under the tree lock).
+MERGE_POLICY_IMPURE_RE = re.compile(
+    r"\bEnv\b|\bMutex\b|\bMutexLock\b|\bCondVar\b|\bLockRank\b|"
+    r"\bBackgroundScheduler\b|->\s*Schedule\s*\("
+)
+# Matched against RAW lines (the code view blanks string literals).
+MERGE_POLICY_INCLUDE_RE = re.compile(
+    r'#\s*include\s*"(?:common/(?:env|mutex)|lsm/scheduler)\.h"'
+)
+
+MERGE_POLICY_FILES = {SRC / "lsm" / "merge_policy.h", SRC / "lsm" / "merge_policy.cc"}
+
+
+def check_merge_policy(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    if path in MERGE_POLICY_FILES:
+        for idx, code in enumerate(code_lines):
+            if ((MERGE_POLICY_IMPURE_RE.search(code)
+                 or MERGE_POLICY_INCLUDE_RE.search(raw_lines[idx]))
+                    and not allowed(raw_lines[idx], "merge-policy")):
+                report(path, idx + 1, "merge-policy",
+                       "merge policies must stay pure decision functions — "
+                       "no Env, locks, or scheduler in merge_policy.*")
+        return
+    for idx, code in enumerate(code_lines):
+        if (MERGE_POLICY_SUBCLASS_RE.search(code)
+                and not allowed(raw_lines[idx], "merge-policy")):
+            report(path, idx + 1, "merge-policy",
+                   "MergePolicy subclass outside src/lsm/merge_policy.* — "
+                   "policy implementations live in the policy module")
+
+
 # ----------------------------------------------------------- background-error
 
 # An assignment to the background-error slot (not `==` comparison). Mutating
@@ -445,6 +491,7 @@ def main() -> int:
         check_env_bypass(path, raw, code)
         check_wal_io(path, raw, code)
         check_raw_mutex(path, raw, code)
+        check_merge_policy(path, raw, code)
         check_background_error(path, raw, code)
     random_impl = REPO / "src" / "common"
     for path in cc_and_h:
