@@ -377,6 +377,111 @@ void Run(const Flags& flags) {
     }
   }
 
+  // Adaptive memory arbiter vs static splits of one fixed budget, over a
+  // phased workload: phase 1 is ingest-heavy (write buffers are the scarce
+  // resource), phase 2 is query-heavy point reads over a hot key subset (the
+  // block cache is). A static split is tuned for one phase and pays for it
+  // in the other; the arbiter re-splits live as utility signals shift.
+  // `--total_mb=` sets the budget, `--passes=` the number of phase-2 sweeps.
+  if (mode == "memory") {
+    const uint64_t total_mb = std::max<uint64_t>(flags.GetU64("total_mb", 8),
+                                                 2);
+    const uint64_t total_bytes = total_mb << 20;
+    const size_t passes = flags.GetU64("passes", 6);
+    // Hot subset: small enough that a read-leaning split caches it, big
+    // enough that a write-leaning split cannot.
+    const uint64_t hot_keys = std::max<uint64_t>(records / 8, 1);
+
+    PrintHeader("adaptive memory arbiter vs static splits (" +
+                    std::to_string(total_mb) + " MiB total, " +
+                    std::to_string(passes) + " query passes over " +
+                    std::to_string(hot_keys) + " hot keys)",
+                {"config", "ingest_sec", "query_sec", "total_sec",
+                 "cache_hit%"});
+
+    // memtable_frac picks the static split; < 0 runs the arbiter instead.
+    auto run_config = [&](const char* label, double memtable_frac) {
+      StatisticsCatalog catalog;
+      LocalCatalogSink sink(&catalog);
+      ScopedTempDir dir;
+      DatasetOptions options;
+      options.directory = dir.path();
+      options.name = "tweets";
+      options.schema = TweetSchema(domain);
+      options.synopsis_type = SynopsisType::kEquiWidthHistogram;
+      options.synopsis_budget = budget;
+      options.sink = &sink;
+      options.merge_policy = std::make_shared<TieredMergePolicy>();
+      if (memtable_frac < 0) {
+        options.total_memory_mb = total_mb;
+        // Seed cache size is irrelevant — the first rebalance overrides it.
+        options.block_cache_mb = std::max<uint64_t>(total_mb / 4, 1);
+        // The byte grant governs rotation; disable the entry bound.
+        options.memtable_max_entries = records + 1;
+      } else {
+        const auto memtable_bytes =
+            static_cast<uint64_t>(static_cast<double>(total_bytes) *
+                                  memtable_frac);
+        options.block_cache_mb =
+            std::max<uint64_t>((total_bytes - memtable_bytes) >> 20, 1);
+        // Static byte split expressed through the entry bound (records are
+        // payload + ~64 B of keys/overhead each).
+        options.memtable_max_entries =
+            std::max<uint64_t>(memtable_bytes / (payload + 64), 64);
+      }
+      auto dataset = Dataset::Open(std::move(options));
+      LSMSTATS_CHECK_OK(dataset.status());
+
+      WallTimer ingest_timer;
+      for (const Record& record : base_records) {
+        LSMSTATS_CHECK_OK((*dataset)->Insert(record));
+      }
+      LSMSTATS_CHECK_OK((*dataset)->Flush());
+      const double ingest_sec = ingest_timer.ElapsedSeconds();
+      if (const MemoryArbiter* arbiter = (*dataset)->memory_arbiter()) {
+        std::printf("    # grants after ingest:");
+        for (const MemoryArbiter::GrantInfo& info : arbiter->Snapshot()) {
+          std::printf(" %s=%.2fMiB", info.name.c_str(),
+                      static_cast<double>(info.granted) / (1 << 20));
+        }
+        std::printf("\n");
+      }
+
+      WallTimer query_timer;
+      for (size_t pass = 0; pass < passes; ++pass) {
+        for (uint64_t pk = 0; pk < hot_keys; ++pk) {
+          LSMSTATS_CHECK_OK(
+              (*dataset)->Get(static_cast<int64_t>(pk)).status());
+        }
+      }
+      const double query_sec = query_timer.ElapsedSeconds();
+
+      PrintCell(label);
+      PrintCell(ingest_sec);
+      PrintCell(query_sec);
+      PrintCell(ingest_sec + query_sec);
+      BlockCache::Stats stats = (*dataset)->block_cache()->GetStats();
+      PrintCell(100.0 * static_cast<double>(stats.hits) /
+                static_cast<double>(std::max<uint64_t>(
+                    stats.hits + stats.misses, 1)));
+      EndRow();
+      if (const MemoryArbiter* arbiter = (*dataset)->memory_arbiter()) {
+        std::printf("    # grants after run (%llu rebalances):",
+                    static_cast<unsigned long long>(arbiter->rebalances()));
+        for (const MemoryArbiter::GrantInfo& info : arbiter->Snapshot()) {
+          std::printf(" %s=%.2fMiB/use %.2fMiB", info.name.c_str(),
+                      static_cast<double>(info.granted) / (1 << 20),
+                      static_cast<double>(info.usage) / (1 << 20));
+        }
+        std::printf("\n");
+      }
+    };
+    run_config("arbiter", -1.0);
+    run_config("static 75/25 (write)", 0.75);
+    run_config("static 50/50 (even)", 0.50);
+    run_config("static 25/75 (read)", 0.25);
+  }
+
   if (mode == "concurrent") {
     const size_t threads = flags.GetU64("threads", 4);
     PrintHeader("Fig 2c: concurrent ingestion (background flush/merge, " +

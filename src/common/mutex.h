@@ -57,6 +57,11 @@ enum class LockRank : int {
   // called with no engine lock held (a post-shutdown Schedule runs the task
   // inline, and workers take tree locks), so nothing may nest inside it.
   kScheduler = 120,
+  // MemoryArbiter::mu_ — guards registrations and grant arithmetic. A
+  // rebalance applies grants by calling INTO trees/cache/estimator (ranks
+  // <= 100) after releasing this lock; pressure notifications from code
+  // holding tree locks are atomics-only and never take it.
+  kMemoryArbiter = 110,
   // LsmTree::work_mu_ — serializes structural ops; held across component
   // writes, listener streams, WAL retirement.
   kTreeWork = 100,

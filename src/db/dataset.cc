@@ -1,6 +1,7 @@
 #include "db/dataset.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <unordered_set>
 
@@ -215,6 +216,66 @@ StatusOr<std::unique_ptr<Dataset>> Dataset::Open(DatasetOptions options) {
     log_options.min_free_bytes = opts.min_free_bytes.value_or(0);
     dataset->shared_wal_ = std::make_unique<WalLog>(std::move(log_options));
   }
+
+  // Global memory budget: when one is configured (option, else env), stand
+  // up the arbiter and register every memory consumer. When none is, the
+  // arbiter is never constructed and no override atomic is ever written —
+  // every knob keeps its static value bit-identically.
+  const uint64_t total_mb = opts.total_memory_mb != 0
+                                ? opts.total_memory_mb
+                                : EnvironmentTotalMemoryMb();
+  if (total_mb > 0) {
+    std::vector<LsmTree*> trees;
+    trees.push_back(dataset->primary_.get());
+    for (auto& secondary : dataset->secondaries_) {
+      trees.push_back(secondary.get());
+    }
+    for (auto& composite : dataset->composite_trees_) {
+      trees.push_back(composite.get());
+    }
+    // A 20 ms tick keeps adaptation fast relative to workload phase shifts
+    // while the 64-call counter gate keeps the per-operation cost at one
+    // relaxed fetch_add.
+    dataset->arbiter_ = std::make_unique<MemoryArbiter>(
+        total_mb << 20, opts.scheduler, std::chrono::milliseconds(20));
+    MemoryArbiter* arbiter = dataset->arbiter_.get();
+    for (LsmTree* tree : trees) {
+      // Backpressure stalls and free-space trips fire with tree locks held;
+      // NotePressure is atomics-only, so the hook is safe there. The arbiter
+      // outlives the trees (declared last in the dataset), so the raw
+      // pointer cannot dangle.
+      tree->SetPressureCallback([arbiter] { arbiter->NotePressure(); });
+    }
+    RegisterMemtableBudget(arbiter, trees);
+    RegisterBloomBudget(arbiter, trees);
+    if (dataset->options_.block_cache != nullptr) {
+      RegisterBlockCacheBudget(arbiter, dataset->options_.block_cache.get());
+    }
+    if (opts.synopsis_type != SynopsisType::kNone) {
+      // Synopsis element budget: the byte grant divided by a nominal
+      // serialized element size, picked up at the next ANALYZE via
+      // EffectiveSynopsisBudget(). Collectors built above keep their static
+      // budget until then.
+      MemoryArbiter::Registration reg;
+      reg.name = "synopses";
+      reg.min_bytes = 32 << 10;
+      reg.max_bytes = std::max<uint64_t>(32 << 10, (total_mb << 20) / 8);
+      // Synopses degrade gracefully to coarser buckets; bid modestly so the
+      // hot read/write components win contested bytes.
+      reg.utility = [] { return 0.05; };
+      Dataset* raw = dataset.get();
+      reg.apply = [raw](uint64_t grant) {
+        // ~16 bytes per serialized synopsis element (bucket bound + count).
+        raw->effective_synopsis_budget_.store(
+            static_cast<size_t>(std::max<uint64_t>(grant / 16, 16)),
+            std::memory_order_relaxed);
+      };
+      arbiter->Register(std::move(reg));
+    }
+    // Initial split so the dataset starts inside the budget instead of at
+    // the static defaults.
+    arbiter->Rebalance();
+  }
   return dataset;
 }
 
@@ -347,10 +408,16 @@ Status Dataset::ReclaimSharedWal() {
 }
 
 Status Dataset::MaybeFlush() {
-  if (!options_.auto_flush ||
-      primary_->MemTableEntryCount() < options_.memtable_max_entries) {
-    return Status::OK();
-  }
+  if (arbiter_ != nullptr) arbiter_->MaybeTick();
+  if (!options_.auto_flush) return Status::OK();
+  // Entry-count trigger always applies; the byte trigger exists only under
+  // an arbiter (the per-tree byte grant is meaningless otherwise, since the
+  // dataset's trees run auto_flush=false and flush only through here).
+  const bool full =
+      primary_->MemTableEntryCount() >= options_.memtable_max_entries ||
+      (arbiter_ != nullptr &&
+       primary_->MemTableBytes() >= primary_->EffectiveMemTableMaxBytes());
+  if (!full) return Status::OK();
   if (options_.scheduler == nullptr) return Flush();
   // Scheduler mode: rotate every index and return to the writer; the worker
   // pool flushes all indexes in parallel off the write path. The shared WAL
@@ -592,6 +659,9 @@ Status Dataset::Load(std::vector<Record> records) {
 }
 
 StatusOr<Record> Dataset::Get(int64_t pk) const {
+  // Read-path tick: a query-heavy phase with no writes still rebalances
+  // (e.g. growing the block cache at the memtables' expense).
+  if (arbiter_ != nullptr) arbiter_->MaybeTick();
   std::string value;
   LSMSTATS_RETURN_IF_ERROR(primary_->Get(PrimaryKey(pk), &value));
   Record record;

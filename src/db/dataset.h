@@ -21,11 +21,13 @@
 #ifndef LSMSTATS_DB_DATASET_H_
 #define LSMSTATS_DB_DATASET_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "db/memory_arbiter.h"
 #include "db/record.h"
 #include "lsm/lsm_tree.h"
 #include "lsm/scheduler.h"
@@ -104,6 +106,12 @@ struct DatasetOptions {
   // LsmTreeOptions::min_free_bytes. Unset defers to LSMSTATS_MIN_FREE_BYTES
   // for the trees and disables the WAL probe.
   std::optional<uint64_t> min_free_bytes;
+  // Global memory budget (MiB) arbitrated across the dataset's memtables,
+  // block cache, bloom filters, and synopsis/estimator cache by a
+  // MemoryArbiter (see db/memory_arbiter.h). 0 defers to
+  // LSMSTATS_TOTAL_MEMORY_MB; when that is also unset no arbiter is
+  // constructed and every knob keeps its static value bit-identically.
+  uint64_t total_memory_mb = 0;
   // One shared log stream (`<name>_wal_<seq>.wal`) owned by the dataset
   // serves every index tree instead of one log per tree: a logical
   // modification spanning the primary, secondary, and composite indexes is
@@ -212,6 +220,20 @@ class Dataset {
   // dataset-wide hit/miss/eviction counters.
   BlockCache* block_cache() const { return options_.block_cache.get(); }
 
+  // The dataset's memory arbiter; null unless a total budget was configured
+  // (DatasetOptions::total_memory_mb or LSMSTATS_TOTAL_MEMORY_MB).
+  MemoryArbiter* memory_arbiter() const { return arbiter_.get(); }
+
+  // Synopsis element budget after any live arbiter grant: the grant (bytes)
+  // is translated into elements when the arbiter rebalances, and the next
+  // ANALYZE / collector rebuild picks it up. Static options_.synopsis_budget
+  // when no arbiter runs.
+  size_t EffectiveSynopsisBudget() const {
+    const size_t granted =
+        effective_synopsis_budget_.load(std::memory_order_relaxed);
+    return granted != 0 ? granted : options_.synopsis_budget;
+  }
+
   // Statistics key under which a field's synopses are published.
   StatisticsKey StatsKey(const std::string& field) const;
 
@@ -318,6 +340,14 @@ class Dataset {
   // Sealed segments awaiting reclamation at the next all-trees-flushed
   // barrier.
   std::vector<std::string> shared_wal_sealed_;
+
+  // Synopsis element budget granted by the arbiter (0 = no grant yet / no
+  // arbiter). Atomic: written from rebalance (possibly a scheduler worker),
+  // read on the ANALYZE path.
+  std::atomic<size_t> effective_synopsis_budget_{0};
+  // Declared last: destroyed first, so a final scheduled rebalance drains
+  // while the trees/cache/estimator callbacks still point at live objects.
+  std::unique_ptr<MemoryArbiter> arbiter_;
 };
 
 }  // namespace lsmstats

@@ -219,7 +219,8 @@ DiskComponentBuilder::DiskComponentBuilder(
       tmp_path_(path_ + ".tmp"),
       write_options_(std::move(write_options)),
       read_options_(read_options),
-      bloom_(std::max<uint64_t>(expected_entries, kMinBloomEntries)) {
+      bloom_(std::max<uint64_t>(expected_entries, kMinBloomEntries),
+             write_options_.bloom_bits_per_key) {
   if (write_options_.format_version != 2 &&
       write_options_.format_version != 3) {
     open_status_ = Status::InvalidArgument(

@@ -116,12 +116,16 @@ class DiskComponentBuilder {
 
   uint64_t entries_added() const { return record_count_; }
 
+  // Floor for bloom sizing, so expected_entries = 0 (unknown) still yields a
+  // filter with a usable false-positive rate. Deliberately small: sizing from
+  // the actual entry count keeps many-small-component workloads from paying
+  // 1024-entry filters per tiny flush (the old floor made blooms dominate
+  // resident memory there). Public: part of the sizing contract tests pin.
+  static constexpr uint64_t kMinBloomEntries = 64;
+
  private:
   // v2: one sparse-index entry every this many entries.
   static constexpr uint64_t kIndexInterval = 64;
-  // Floor for bloom sizing, so expected_entries = 0 (unknown) still yields a
-  // filter with a usable false-positive rate for small components.
-  static constexpr uint64_t kMinBloomEntries = 1024;
 
   // Feeds appended data bytes into the running per-chunk CRC accumulator
   // (v2 format only).

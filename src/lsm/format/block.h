@@ -41,6 +41,11 @@ struct ComponentWriteOptions {
   // Raw (uncompressed) bytes accumulated before a block is sealed. One entry
   // larger than this still becomes a (single-entry) block.
   uint64_t block_size = 4096;
+  // Bloom-filter density for new components. The filter is serialized
+  // size-independently, so any value stays on-disk v3 compatible; the memory
+  // arbiter lowers this under pressure (fewer bits = more false-positive
+  // block reads, less resident memory).
+  int bloom_bits_per_key = 10;
 };
 
 // Write options resolved from the process environment, used wherever options

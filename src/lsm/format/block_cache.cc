@@ -31,7 +31,7 @@ size_t BlockCache::KeyHash::operator()(const Key& key) const {
 BlockCache::BlockCache(uint64_t capacity_bytes, size_t shard_count)
     : capacity_(capacity_bytes) {
   shard_count = std::max<size_t>(shard_count, 1);
-  per_shard_capacity_ = std::max<uint64_t>(capacity_ / shard_count, 1);
+  per_shard_capacity_ = std::max<uint64_t>(capacity_bytes / shard_count, 1);
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -71,13 +71,44 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset, BlockHandle block) {
   shard.lru.push_front(Entry{key, std::move(block), charge});
   shard.map[key] = shard.lru.begin();
   shard.charge += charge;
-  while (shard.charge > per_shard_capacity_ && !shard.lru.empty()) {
+  const uint64_t bound = per_shard_capacity_.load(std::memory_order_relaxed);
+  while (shard.charge > bound && !shard.lru.empty()) {
     Entry& victim = shard.lru.back();
     shard.charge -= victim.charge;
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.evictions;
   }
+}
+
+void BlockCache::SetCapacity(uint64_t capacity_bytes) {
+  capacity_.store(capacity_bytes, std::memory_order_relaxed);
+  const uint64_t per_shard =
+      std::max<uint64_t>(capacity_bytes / shards_.size(), 1);
+  per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  // Shrink takes effect now, not at the next insert: evict each shard down
+  // to its new share so a memory grant taken away is actually returned.
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    while (shard->charge > per_shard && !shard->lru.empty()) {
+      Entry& victim = shard->lru.back();
+      shard->charge -= victim.charge;
+      shard->map.erase(victim.key);
+      shard->lru.pop_back();
+      ++shard->evictions;
+    }
+  }
+}
+
+uint64_t BlockCache::DebugComputeCharge() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    uint64_t shard_total = 0;
+    for (const auto& entry : shard->lru) shard_total += entry.charge;
+    total += shard_total;
+  }
+  return total;
 }
 
 uint64_t BlockCache::Erase(uint64_t file_id) {
@@ -102,7 +133,7 @@ uint64_t BlockCache::Erase(uint64_t file_id) {
 
 BlockCache::Stats BlockCache::GetStats() const {
   Stats stats;
-  stats.capacity = capacity_;
+  stats.capacity = capacity_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     MutexLock lock(&shard->mu);
     stats.hits += shard->hits;

@@ -20,6 +20,7 @@
 #ifndef LSMSTATS_LSM_FORMAT_BLOCK_CACHE_H_
 #define LSMSTATS_LSM_FORMAT_BLOCK_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -66,7 +67,22 @@ class BlockCache {
   };
   Stats GetStats() const;
 
-  uint64_t capacity() const { return capacity_; }
+  // Live capacity change (memory-arbiter grant path). Growing takes effect
+  // lazily as inserts stop evicting; shrinking evicts from every shard's LRU
+  // tail immediately so the cache is within the new budget on return.
+  // Evictions performed here count in GetStats(). Handles already given out
+  // stay valid — eviction only drops the cache's own reference.
+  void SetCapacity(uint64_t capacity_bytes);
+
+  // Recomputes `sum of per-entry charges` across all shards (O(n), each
+  // shard locked in turn). Test-only invariant probe: must equal
+  // GetStats().charge — a mismatch means Insert/Erase/SetCapacity let the
+  // incremental counters drift from the entries actually held.
+  uint64_t DebugComputeCharge() const;
+
+  uint64_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Key {
@@ -97,8 +113,10 @@ class BlockCache {
 
   Shard& ShardFor(const Key& key);
 
-  uint64_t capacity_;
-  uint64_t per_shard_capacity_;
+  // Atomic because Insert's eviction loop and GetStats read them without a
+  // shard lock while SetCapacity may store concurrently.
+  std::atomic<uint64_t> capacity_;
+  std::atomic<uint64_t> per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

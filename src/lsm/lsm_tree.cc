@@ -354,7 +354,7 @@ std::string LsmTree::ComponentPath(uint64_t id) const {
 
 bool LsmTree::MemTableFullLocked() const {
   return memtable_->EntryCount() >= options_.memtable_max_entries ||
-         memtable_->ApproximateBytes() >= options_.memtable_max_bytes;
+         memtable_->ApproximateBytes() >= EffectiveMemTableMaxBytes();
 }
 
 StatusOr<bool> LsmTree::RotateLocked() {
@@ -417,6 +417,11 @@ Status LsmTree::MaybeFlushAfterWrite() {
   // Backpressure: stall the writer once too many rotated memtables are
   // waiting for the workers, so memory stays bounded under write bursts.
   MutexLock lock(&mu_);
+  if (immutables_.size() > options_.max_immutable_memtables &&
+      pressure_callback_) {
+    // Lock-free by contract (see SetPressureCallback): safe under mu_.
+    pressure_callback_();
+  }
   while (immutables_.size() > options_.max_immutable_memtables &&
          background_error_.ok()) {
     cv_.Wait(&mu_);
@@ -607,8 +612,14 @@ Status LsmTree::WriteComponent(
     MutexLock lock(&mu_);
     id = next_component_id_++;
   }
+  // An arbiter bloom grant (0 = none) overrides the configured density for
+  // components built from here on; serialization is size-independent, so the
+  // on-disk format is unchanged.
+  ComponentWriteOptions effective_options = write_options_;
+  const int bloom_bits = bloom_bits_override_.load(std::memory_order_relaxed);
+  if (bloom_bits != 0) effective_options.bloom_bits_per_key = bloom_bits;
   DiskComponentBuilder builder(env_, ComponentPath(id),
-                               context.expected_records, write_options_,
+                               context.expected_records, effective_options,
                                DiskComponentReadOptions{block_cache_});
   while (input->Valid()) {
     const Entry& entry = input->entry();
@@ -721,6 +732,7 @@ Status LsmTree::FlushOneImmutable() {
                                       front.wal_segments.begin(),
                                       front.wal_segments.end());
         immutables_.pop_front();
+        flushes_completed_.fetch_add(1, std::memory_order_relaxed);
         cv_.NotifyAll();
       },
       &component));
@@ -882,6 +894,9 @@ Status LsmTree::CheckFreeSpace(const char* what) const {
   // the floor counts as disk-full.
   if (!free.ok()) return Status::OK();
   if (*free < min_free_bytes_) {
+    // Lock-free by contract (see SetPressureCallback); the caller may hold
+    // work_mu_, so no engine lock may be taken here.
+    if (pressure_callback_) pressure_callback_();
     return Status::IOError(std::string(what) +
                            " aborted by free-space watchdog: " +
                            std::to_string(*free) + " bytes free in " +
@@ -1034,6 +1049,7 @@ HealthSnapshot LsmTree::Health() const {
     stats.bytes += md.file_size;
     stats.records += md.record_count;
     stats.anti_matter += md.anti_matter_count;
+    stats.bloom_bytes += component->bloom_size_bytes();
   }
   snap.levels.reserve(levels.size());
   for (const auto& [level, stats] : levels) snap.levels.push_back(stats);
@@ -1396,8 +1412,14 @@ Status LsmTree::ExecuteMergePlan(
     Status persisted = PersistManifest(pending);
     if (!persisted.ok()) return unwind(std::move(persisted));
 
+    // Same bloom-grant override as WriteComponent: merge outputs built after
+    // a rebalance use the granted density.
+    ComponentWriteOptions effective_options = write_options_;
+    const int bloom_bits =
+        bloom_bits_override_.load(std::memory_order_relaxed);
+    if (bloom_bits != 0) effective_options.bloom_bits_per_key = bloom_bits;
     DiskComponentBuilder builder(env_, ComponentPath(id),
-                                 context.expected_records, write_options_,
+                                 context.expected_records, effective_options,
                                  DiskComponentReadOptions{block_cache_});
     uint64_t approx_bytes = 0;
     while (merged.Valid()) {
@@ -1577,6 +1599,27 @@ uint64_t LsmTree::MemTableBytes() const {
 size_t LsmTree::ImmutableMemTableCount() const {
   MutexLock lock(&mu_);
   return immutables_.size();
+}
+
+uint64_t LsmTree::TotalMemTableBytes() const {
+  MutexLock lock(&mu_);
+  uint64_t total = memtable_->ApproximateBytes();
+  // Rotated memtables stay resident (pinned with their WAL segments) until
+  // their flush completes; a write-buffer accounting that ignores the queue
+  // undercounts exactly when memory pressure is highest.
+  for (const auto& immutable : immutables_) {
+    total += immutable.memtable->ApproximateBytes();
+  }
+  return total;
+}
+
+uint64_t LsmTree::TotalBloomBytes() const {
+  MutexLock lock(&mu_);
+  uint64_t total = 0;
+  for (const auto& component : components_) {
+    total += component->bloom_size_bytes();
+  }
+  return total;
 }
 
 std::vector<std::string> LsmTree::QuarantinedFiles() const {

@@ -29,6 +29,7 @@
 #ifndef LSMSTATS_LSM_LSM_TREE_H_
 #define LSMSTATS_LSM_LSM_TREE_H_
 
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <functional>
@@ -167,6 +168,9 @@ struct LevelStats {
   uint64_t bytes = 0;        // sum of component file sizes
   uint64_t records = 0;      // live records (anti-matter excluded)
   uint64_t anti_matter = 0;  // anti-matter entries still carried forward
+  // Resident bloom-filter bytes across the level's components — the memory
+  // the filters pin in RAM (also counted on disk in `bytes`).
+  uint64_t bloom_bytes = 0;
 };
 
 // Point-in-time health of one tree (LsmTree::Health()).
@@ -313,7 +317,49 @@ class LsmTree {
   uint64_t MemTableBytes() const;
   // Immutable memtables rotated out but not yet flushed.
   size_t ImmutableMemTableCount() const;
+  // Write-buffer bytes the tree actually pins: the mutable memtable PLUS the
+  // rotated immutable queue (whose memtables — and the WAL segments backing
+  // them — stay resident until flushed). MemTableBytes() alone undercounts
+  // under a backlogged scheduler.
+  uint64_t TotalMemTableBytes() const;
+  // Resident bloom-filter bytes across all disk components.
+  uint64_t TotalBloomBytes() const;
+  // Lifetime count of immutable memtables flushed to components; the memory
+  // arbiter derives flushes-avoided-per-MB from its rate of change.
+  uint64_t FlushesCompleted() const {
+    return flushes_completed_.load(std::memory_order_relaxed);
+  }
   const LsmTreeOptions& options() const { return options_; }
+
+  // --- Memory-arbiter grant surface ---------------------------------------
+  // These override the static construction-time knobs and may be called at
+  // any time from any thread (the values are consulted atomically at the
+  // next rotation / component build). 0 restores the configured default.
+
+  // Overrides memtable_max_bytes: the memtable rotates once it holds this
+  // many bytes. Takes effect on the next write.
+  void SetMemTableMaxBytes(uint64_t bytes) {
+    memtable_max_bytes_override_.store(bytes, std::memory_order_relaxed);
+  }
+  // Overrides write_options.bloom_bits_per_key for components built from
+  // now on (existing components keep their filters until merged away).
+  void SetBloomBitsPerKey(int bits_per_key) {
+    bloom_bits_override_.store(bits_per_key, std::memory_order_relaxed);
+  }
+  // memtable_max_bytes after any live arbiter override.
+  uint64_t EffectiveMemTableMaxBytes() const {
+    const uint64_t granted =
+        memtable_max_bytes_override_.load(std::memory_order_relaxed);
+    return granted != 0 ? granted : options_.memtable_max_bytes;
+  }
+  // Lock-free pressure hook invoked from the write path when backpressure
+  // stalls a writer and from the free-space watchdog when the disk floor
+  // trips. Must be set before the tree is shared across threads; the
+  // callback runs with tree locks held, so it must not take engine locks
+  // (the arbiter's NotePressure is atomics-only).
+  void SetPressureCallback(std::function<void()> callback) {
+    pressure_callback_ = std::move(callback);
+  }
   // Files Open() renamed to `<file>.quarantine` during recovery.
   std::vector<std::string> QuarantinedFiles() const;
   // Data fsyncs the WAL has issued / logical records it has logged (0 when
@@ -507,6 +553,15 @@ class LsmTree {
   // defaults applied) at construction; immutable afterwards.
   ComponentWriteOptions write_options_;
   BlockCache* block_cache_ = nullptr;
+
+  // Live memory-arbiter grants (0 = use the static knob) and the lifetime
+  // flush counter. Atomics: written by the arbiter's rebalance thread, read
+  // on write/flush paths without mu_.
+  std::atomic<uint64_t> memtable_max_bytes_override_{0};
+  std::atomic<int> bloom_bits_override_{0};
+  std::atomic<uint64_t> flushes_completed_{0};
+  // See SetPressureCallback. Immutable once the tree is shared.
+  std::function<void()> pressure_callback_;
 
   // Serializes structural operations (flush, merge, bulkload) and thereby
   // all listener callbacks. Never acquired while holding mu_ (kTreeWork sits

@@ -20,12 +20,15 @@ void MemTable::Put(const LsmKey& key, std::string value, bool fresh_insert) {
       // memtable generation; an update of anything older is not.
       fresh_insert = it->second.fresh_insert;
     }
-    approximate_bytes_ -= it->second.value.size();
+    approximate_bytes_ -= it->second.value.capacity();
   } else {
     approximate_bytes_ += kPerEntryOverhead;
   }
-  approximate_bytes_ += value.size();
   it->second.value = std::move(value);
+  // Charge the capacity the entry actually retains after the assignment, not
+  // the incoming value's size: move-assignment may keep the destination's
+  // larger buffer, and a shrinking overwrite retains its old allocation.
+  approximate_bytes_ += it->second.value.capacity();
   it->second.anti_matter = false;
   it->second.fresh_insert = fresh_insert;
 }
@@ -35,7 +38,7 @@ void MemTable::Delete(const LsmKey& key) {
   if (it != entries_.end() && !it->second.anti_matter &&
       it->second.fresh_insert) {
     // Insert + delete within one memtable generation: annihilate silently.
-    approximate_bytes_ -= it->second.value.size() + kPerEntryOverhead;
+    approximate_bytes_ -= it->second.value.capacity() + kPerEntryOverhead;
     entries_.erase(it);
     return;
   }
@@ -61,11 +64,15 @@ void MemTable::PutAntiMatter(const LsmKey& key) {
   auto [it, inserted] = entries_.try_emplace(key);
   if (!inserted) {
     if (it->second.anti_matter) --anti_matter_count_;
-    approximate_bytes_ -= it->second.value.size();
+    approximate_bytes_ -= it->second.value.capacity();
   } else {
     approximate_bytes_ += kPerEntryOverhead;
   }
-  it->second.value.clear();
+  // clear() keeps the heap allocation; swap with a fresh string so an
+  // anti-matter entry that replaced a large value actually releases the
+  // buffer instead of squatting on it uncharged until flush.
+  std::string().swap(it->second.value);
+  approximate_bytes_ += it->second.value.capacity();
   it->second.anti_matter = true;
   it->second.fresh_insert = false;
   ++anti_matter_count_;
@@ -86,6 +93,14 @@ void MemTable::Clear() {
   entries_.clear();
   anti_matter_count_ = 0;
   approximate_bytes_ = 0;
+}
+
+uint64_t MemTable::DebugComputeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, state] : entries_) {
+    total += kPerEntryOverhead + state.value.capacity();
+  }
+  return total;
 }
 
 }  // namespace lsmstats

@@ -61,6 +61,12 @@ class MemTable {
   uint64_t ApproximateBytes() const { return approximate_bytes_; }
   bool Empty() const { return entries_.empty(); }
 
+  // Recomputes the byte accounting from scratch (O(n)). Test-only invariant
+  // probe: must equal ApproximateBytes() after any sequence of operations —
+  // incremental drift (double-counted overwrites, uncharged anti-matter
+  // buffers) shows up as a mismatch here.
+  uint64_t DebugComputeBytes() const;
+
   void Clear();
 
   // In-order iteration for flushes and scans.

@@ -13,6 +13,10 @@ StatusOr<AnalyzeResult> RunAnalyze(Dataset* dataset, const std::string& field,
   if (index == nullptr) {
     return Status::NotFound("no secondary index on field " + field);
   }
+  // budget == 0 defers to the dataset's live element budget, which is where
+  // a memory-arbiter grant lands ("synopsis budgets shrink at the next
+  // ANALYZE"). Without an arbiter this is the static synopsis_budget option.
+  if (budget == 0) budget = dataset->EffectiveSynopsisBudget();
   auto field_index = dataset->schema().FieldIndex(field);
   LSMSTATS_RETURN_IF_ERROR(field_index.status());
   const ValueDomain domain =

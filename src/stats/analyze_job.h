@@ -36,10 +36,12 @@ struct AnalyzeResult {
 
 // Scans `field`'s secondary index of `dataset` and builds one synopsis of
 // `type` over the live (reconciled) records. Supports every synopsis type,
-// including the offline-only kMaxDiff.
+// including the offline-only kMaxDiff. `budget` 0 defers to
+// Dataset::EffectiveSynopsisBudget() — the static option, or the live
+// memory-arbiter grant when one is running.
 [[nodiscard]]
 StatusOr<AnalyzeResult> RunAnalyze(Dataset* dataset, const std::string& field,
-                                   SynopsisType type, size_t budget);
+                                   SynopsisType type, size_t budget = 0);
 
 // Installs an ANALYZE result as THE statistics for `key`, dropping whatever
 // per-component entries were there (the classic model keeps exactly one

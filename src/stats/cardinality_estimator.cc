@@ -2,16 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "common/check.h"
 #include "synopsis/grid_histogram.h"
 
 namespace lsmstats {
 
+namespace {
+
+// Fixed bookkeeping charge per cache slot (map node, key, shared_ptr control
+// blocks) on top of the synopses' serialized size.
+constexpr uint64_t kCacheSlotOverhead = 128;
+
+// Serialized footprint of a cached synopsis (byte-true: what EncodeTo would
+// persist). Null synopses cost nothing.
+uint64_t SynopsisBytes(const std::shared_ptr<const Synopsis>& synopsis) {
+  if (synopsis == nullptr) return 0;
+  Encoder enc;
+  synopsis->EncodeTo(&enc);
+  return enc.size();
+}
+
+}  // namespace
+
 CardinalityEstimator::CardinalityEstimator(const StatisticsCatalog* catalog,
                                            Options options)
-    : catalog_(catalog), options_(options) {
+    : catalog_(catalog),
+      options_(options),
+      cache_byte_budget_(options.cache_byte_budget) {
   LSMSTATS_CHECK(catalog != nullptr);
+}
+
+void CardinalityEstimator::SetCacheByteBudget(uint64_t bytes) {
+  cache_byte_budget_.store(bytes, std::memory_order_relaxed);
+  MutexLock lock(&cache_mu_);
+  EvictToBudgetLocked();
+}
+
+void CardinalityEstimator::EvictToBudgetLocked() {
+  const uint64_t budget = cache_byte_budget_.load(std::memory_order_relaxed);
+  if (budget == 0) return;  // unbounded
+  while (cached_bytes_ > budget && !cache_.empty()) {
+    auto victim = cache_.begin();
+    for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    cached_bytes_ -= victim->second.bytes;
+    cache_.erase(victim);
+  }
 }
 
 double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
@@ -39,6 +78,7 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
       if (it != cache_.end() && it->second.catalog_version == version) {
         cached_merged = it->second.merged;
         cached_anti = it->second.merged_anti;
+        it->second.last_used = ++use_clock_;
       }
     }
     if (cached_merged != nullptr) {
@@ -89,13 +129,24 @@ double CardinalityEstimator::EstimateRangePartition(const StatisticsKey& key,
     }
   }
   if (mergeable) {
+    // Serialized size is measured outside the lock; the synopses are
+    // immutable once built.
+    std::shared_ptr<const Synopsis> merged_shared = std::move(merged);
+    std::shared_ptr<const Synopsis> anti_shared = std::move(merged_anti);
+    const uint64_t bytes = kCacheSlotOverhead + SynopsisBytes(merged_shared) +
+                           SynopsisBytes(anti_shared);
     // Two threads recomputing concurrently both store equivalent results for
     // the same version; last writer wins and nothing is torn.
     MutexLock lock(&cache_mu_);
     CachedMerged& cached = cache_[key];
+    cached_bytes_ -= cached.bytes;  // zero for a fresh slot
     cached.catalog_version = version;
-    cached.merged = std::move(merged);
-    cached.merged_anti = std::move(merged_anti);
+    cached.merged = std::move(merged_shared);
+    cached.merged_anti = std::move(anti_shared);
+    cached.bytes = bytes;
+    cached.last_used = ++use_clock_;
+    cached_bytes_ += bytes;
+    EvictToBudgetLocked();
   }
   return std::max(0.0, total);
 }

@@ -13,6 +13,7 @@
 #ifndef LSMSTATS_STATS_CARDINALITY_ESTIMATOR_H_
 #define LSMSTATS_STATS_CARDINALITY_ESTIMATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,6 +32,12 @@ class CardinalityEstimator {
     // Master switch for the merged-synopsis cache; off reproduces the
     // "query every synopsis separately" path for all types.
     bool enable_merged_cache = true;
+    // Total bytes of cached merged synopses across all datasets/fields;
+    // 0 = unbounded (paper-mode default). `merged_budget` caps each entry's
+    // element count but says nothing about how many (dataset, field,
+    // partition) slots accumulate — this bounds the sum, LRU-evicting whole
+    // slots. Adjustable live via SetCacheByteBudget (memory-arbiter path).
+    uint64_t cache_byte_budget = 0;
   };
 
   // Diagnostics for the overhead experiments (Figures 6b and 8).
@@ -75,6 +82,19 @@ class CardinalityEstimator {
   void InvalidateCache() EXCLUDES(cache_mu_) {
     MutexLock lock(&cache_mu_);
     cache_.clear();
+    cached_bytes_ = 0;
+  }
+
+  // Live byte-budget change (memory-arbiter grant path). Shrinking evicts
+  // least-recently-used cache slots immediately; evicted slots are rebuilt
+  // from the catalog on the next query that needs them.
+  void SetCacheByteBudget(uint64_t bytes) EXCLUDES(cache_mu_);
+
+  // Bytes currently held by the merged-synopsis cache (serialized size of
+  // every cached synopsis pair plus per-slot overhead).
+  uint64_t CachedBytes() const EXCLUDES(cache_mu_) {
+    MutexLock lock(&cache_mu_);
+    return cached_bytes_;
   }
 
  private:
@@ -85,15 +105,26 @@ class CardinalityEstimator {
     uint64_t catalog_version = 0;
     std::shared_ptr<const Synopsis> merged;
     std::shared_ptr<const Synopsis> merged_anti;
+    uint64_t bytes = 0;      // serialized footprint charged to cached_bytes_
+    uint64_t last_used = 0;  // LRU stamp from use_clock_
   };
+
+  // Evicts least-recently-used slots until cached_bytes_ fits the budget
+  // (0 = unbounded).
+  void EvictToBudgetLocked() REQUIRES(cache_mu_);
 
   const StatisticsCatalog* catalog_;
   Options options_;
+  // Atomic so the arbiter can move the budget while queries hold cache_mu_
+  // only briefly; eviction itself happens under the lock.
+  std::atomic<uint64_t> cache_byte_budget_;
   // Guards cache_ only; estimation itself runs lock-free on shared
   // snapshots, so serving estimates concurrently with statistics delivery
   // (which invalidates) is race-free.
   mutable Mutex cache_mu_{LockRank::kEstimatorCache, "estimator_cache"};
   std::map<StatisticsKey, CachedMerged> cache_ GUARDED_BY(cache_mu_);
+  uint64_t cached_bytes_ GUARDED_BY(cache_mu_) = 0;
+  uint64_t use_clock_ GUARDED_BY(cache_mu_) = 0;
 };
 
 }  // namespace lsmstats

@@ -2,8 +2,11 @@
 // block framing (CRC, codec tags, corruption handling), and the sharded LRU
 // block cache.
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -321,6 +324,74 @@ TEST(BlockCacheTest, FileIdsAreProcessUnique) {
   uint64_t a = NewBlockCacheFileId();
   uint64_t b = NewBlockCacheFileId();
   EXPECT_NE(a, b);
+}
+
+// Regression: the incremental charge counter must stay exact across every
+// mutation path — Insert (with replacement), Erase of a whole file while
+// readers hold handles, and live capacity shrink — or the arbiter's usage
+// probe reports garbage. DebugComputeCharge recomputes from the entries.
+TEST(BlockCacheTest, ChargeStaysExactAcrossEraseAndShrink) {
+  BlockCache cache(1 << 20, /*shard_count=*/4);
+  std::vector<BlockCache::BlockHandle> held;
+  for (uint64_t offset = 0; offset < 32; ++offset) {
+    cache.Insert(1, offset, MakeBlock(100 + offset, 'a'));
+    cache.Insert(2, offset, MakeBlock(200, 'b'));
+    if (offset % 3 == 0) held.push_back(cache.Lookup(1, offset));
+  }
+  ASSERT_EQ(cache.GetStats().charge, cache.DebugComputeCharge());
+
+  // Erase file 1 while handles to some of its blocks are still live.
+  cache.Erase(1);
+  EXPECT_EQ(cache.GetStats().charge, cache.DebugComputeCharge());
+  for (const auto& handle : held) {
+    ASSERT_NE(handle, nullptr);
+    EXPECT_EQ(handle->front(), 'a');  // in-flight readers keep their blocks
+  }
+
+  // Shrink below current usage: evicts down to the new budget, exactly.
+  const uint64_t shrunk = cache.GetStats().charge / 2;
+  cache.SetCapacity(shrunk);
+  BlockCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.capacity, shrunk);
+  EXPECT_LE(stats.charge, shrunk);
+  EXPECT_EQ(stats.charge, cache.DebugComputeCharge());
+
+  // Growing back takes effect lazily: nothing is evicted, inserts fit again.
+  cache.SetCapacity(1 << 20);
+  cache.Insert(3, 0, MakeBlock(500, 'c'));
+  EXPECT_NE(cache.Lookup(3, 0), nullptr);
+  EXPECT_EQ(cache.GetStats().charge, cache.DebugComputeCharge());
+}
+
+TEST(BlockCacheTest, ChargeInvariantUnderConcurrentGetErase) {
+  BlockCache cache(64 << 10, /*shard_count=*/4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&cache, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t file = 1 + (i + t) % 3;
+        cache.Insert(file, i % 64, MakeBlock(64 + i % 512, 'w'));
+        cache.Lookup(file, (i * 7) % 64);
+        ++i;
+      }
+    });
+  }
+  threads.emplace_back([&cache, &stop] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.Erase(1 + i % 3);
+      cache.SetCapacity(16 << 10);
+      cache.SetCapacity(64 << 10);
+      ++i;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.GetStats().charge, cache.DebugComputeCharge());
+  EXPECT_LE(cache.GetStats().charge, cache.capacity());
 }
 
 }  // namespace

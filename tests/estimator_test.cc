@@ -145,6 +145,78 @@ TEST(Estimator, CacheInvalidatedByCatalogChange) {
   EXPECT_TRUE(again.served_from_cache);
 }
 
+TEST(Estimator, CacheAccountsBytesAndEnforcesBudget) {
+  StatisticsCatalog catalog;
+  // Ten partitions, each with a mergeable synopsis, so each first query
+  // caches one merged slot.
+  std::vector<StatisticsKey> keys;
+  for (uint32_t p = 0; p < 10; ++p) {
+    StatisticsKey key{"ds", "f", p};
+    catalog.Register(key, MakeEntry(1, MakeSynopsis(
+                              SynopsisType::kEquiWidthHistogram, {5})), {});
+    keys.push_back(key);
+  }
+  CardinalityEstimator estimator(&catalog, {});
+  EXPECT_EQ(estimator.CachedBytes(), 0u);
+  for (const StatisticsKey& key : keys) {
+    estimator.EstimateRangePartition(key, 0, 1023);
+  }
+  const uint64_t unbounded = estimator.CachedBytes();
+  EXPECT_GT(unbounded, 0u);
+
+  // Shrinking the budget evicts immediately; the accounting follows.
+  estimator.SetCacheByteBudget(unbounded / 2);
+  EXPECT_LE(estimator.CachedBytes(), unbounded / 2);
+  EXPECT_LT(estimator.CachedBytes(), unbounded);
+
+  // Evicted partitions rebuild on the next query and are cached again
+  // (within the budget) — eviction loses no correctness, only the shortcut.
+  for (const StatisticsKey& key : keys) {
+    CardinalityEstimator::QueryStats stats;
+    EXPECT_NEAR(estimator.EstimateRangePartition(key, 0, 1023, &stats), 1.0,
+                1e-9);
+  }
+  EXPECT_LE(estimator.CachedBytes(), unbounded / 2);
+  CardinalityEstimator::QueryStats cached;
+  estimator.EstimateRangePartition(keys.back(), 0, 1023, &cached);
+  EXPECT_TRUE(cached.served_from_cache);
+}
+
+TEST(Estimator, CacheEvictsLeastRecentlyUsedFirst) {
+  StatisticsCatalog catalog;
+  StatisticsKey cold{"ds", "f", 0};
+  StatisticsKey hot{"ds", "f", 1};
+  for (const auto& key : {cold, hot}) {
+    catalog.Register(key, MakeEntry(1, MakeSynopsis(
+                              SynopsisType::kEquiWidthHistogram, {5})), {});
+  }
+  CardinalityEstimator estimator(&catalog, {});
+  estimator.EstimateRangePartition(cold, 0, 1023);
+  estimator.EstimateRangePartition(hot, 0, 1023);
+  estimator.EstimateRangePartition(hot, 0, 1023);  // refresh hot's recency
+  const uint64_t both = estimator.CachedBytes();
+  // Room for one slot only: the cold partition goes first.
+  estimator.SetCacheByteBudget(both - 1);
+  CardinalityEstimator::QueryStats hot_stats;
+  estimator.EstimateRangePartition(hot, 0, 1023, &hot_stats);
+  EXPECT_TRUE(hot_stats.served_from_cache);
+  CardinalityEstimator::QueryStats cold_stats;
+  estimator.EstimateRangePartition(cold, 0, 1023, &cold_stats);
+  EXPECT_FALSE(cold_stats.served_from_cache);
+}
+
+TEST(Estimator, InvalidateCacheResetsByteAccounting) {
+  StatisticsCatalog catalog;
+  StatisticsKey key{"ds", "f", 0};
+  catalog.Register(key, MakeEntry(1, MakeSynopsis(
+                            SynopsisType::kEquiWidthHistogram, {1})), {});
+  CardinalityEstimator estimator(&catalog, {});
+  estimator.EstimateRangePartition(key, 0, 1023);
+  EXPECT_GT(estimator.CachedBytes(), 0u);
+  estimator.InvalidateCache();
+  EXPECT_EQ(estimator.CachedBytes(), 0u);
+}
+
 TEST(Estimator, EquiHeightNeverCached) {
   StatisticsCatalog catalog;
   StatisticsKey key{"ds", "f", 0};

@@ -280,8 +280,9 @@ TEST(FormatCompat, UnknownWriteConfigurationIsRejected) {
 }
 
 // Regression: expected_entries = 0 (unknown) used to size a degenerate bloom
-// filter; the builder now floors the sizing so small/unknown components still
-// filter effectively.
+// filter; the builder floors the sizing (kMinBloomEntries) so small/unknown
+// components still filter effectively — without the old 1024-entry floor
+// that cost every tiny component 1.25 KiB regardless of its size.
 TEST(FormatCompat, ZeroEntryEstimateStillGetsUsableBloom) {
   TempDir dir;
   DiskComponentBuilder builder(nullptr, dir.path() + "/c.cmp",
@@ -291,8 +292,11 @@ TEST(FormatCompat, ZeroEntryEstimateStillGetsUsableBloom) {
   }
   auto component = builder.Finish(1, 1);
   ASSERT_TRUE(component.ok()) << component.status().ToString();
-  // Floor sizing: at least the minimum filter (1024 keys x 10 bits).
-  EXPECT_GE((*component)->bloom_size_bytes(), 1024u * 10 / 8);
+  // Floor sizing: at least the minimum filter (kMinBloomEntries keys x 10
+  // bits), and no bigger than the old 1024-entry floor used to force.
+  EXPECT_GE((*component)->bloom_size_bytes(),
+            DiskComponentBuilder::kMinBloomEntries * 10 / 8);
+  EXPECT_LT((*component)->bloom_size_bytes(), 1024u * 10 / 8);
   Entry found;
   for (int64_t k = 0; k < 300; ++k) {
     ASSERT_TRUE((*component)->Get(PrimaryKey(k), &found).ok()) << "key " << k;

@@ -92,6 +92,86 @@ TEST(MemTable, UpdatePreservesFreshness) {
   EXPECT_EQ(mem.EntryCount(), 0u);  // still annihilates silently
 }
 
+// Regression: overwriting a key used to add the new value's bytes without
+// subtracting the old value's, so a hot-key update workload inflated the
+// accounting without bound (and triggered spurious rotations under a byte
+// budget). The invariant probe recomputes from scratch.
+TEST(MemTable, OverwriteDoesNotDoubleCountBytes) {
+  MemTable mem;
+  for (int round = 0; round < 100; ++round) {
+    // Vary the payload size so capacity changes both ways.
+    mem.Put(PrimaryKey(1), std::string(16 + (round % 7) * 400, 'x'), false);
+    ASSERT_EQ(mem.ApproximateBytes(), mem.DebugComputeBytes())
+        << "drift after overwrite round " << round;
+  }
+  EXPECT_EQ(mem.EntryCount(), 1u);
+  // 100 overwrites of one key must cost one entry, not one hundred.
+  EXPECT_LT(mem.ApproximateBytes(), 2 * (64 + 3000));
+}
+
+// Regression: converting a record to anti-matter cleared the value but kept
+// charging (or double-charged) the released buffer; anti-matter must charge
+// exactly its real footprint.
+TEST(MemTable, AntiMatterChargesRealFootprint) {
+  MemTable mem;
+  mem.Put(PrimaryKey(1), std::string(4096, 'x'), /*fresh_insert=*/false);
+  const uint64_t with_value = mem.ApproximateBytes();
+  mem.Delete(PrimaryKey(1));  // disk-backed: records anti-matter
+  EXPECT_EQ(mem.ApproximateBytes(), mem.DebugComputeBytes());
+  // The 4 KiB payload buffer is released, not retained by the tombstone.
+  EXPECT_LT(mem.ApproximateBytes(), with_value - 4000);
+
+  mem.PutAntiMatter(PrimaryKey(2));  // unconditional anti-matter path
+  EXPECT_EQ(mem.ApproximateBytes(), mem.DebugComputeBytes());
+}
+
+TEST(MemTable, AccountingExactUnderMixedWorkload) {
+  MemTable mem;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t k = i % 37;
+    switch (i % 5) {
+      case 0:
+        mem.Put(PrimaryKey(k), std::string(i % 300, 'v'), i % 2 == 0);
+        break;
+      case 1:
+        mem.Delete(PrimaryKey(k));
+        break;
+      case 2:
+        mem.PutAntiMatter(PrimaryKey(k));
+        break;
+      case 3:
+        mem.Put(PrimaryKey(k), "", false);  // empty value overwrite
+        break;
+      case 4:
+        mem.Apply(WalOp::kPut, PrimaryKey(k), std::string(64, 'w'), false);
+        break;
+    }
+    ASSERT_EQ(mem.ApproximateBytes(), mem.DebugComputeBytes())
+        << "drift at step " << i;
+  }
+}
+
+// Regression: after a flush drains the write buffers, the tree's accounted
+// write-buffer bytes must return to zero (no leaked charges from rotated
+// memtables), and the immutable-queue total must have included the pinned
+// memtables while they waited.
+TEST(MemTable, TreeAccountingReturnsToZeroAfterFlush) {
+  TempDir dir;
+  auto tree = OpenTree(dir.path());
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(
+        tree->Put(PrimaryKey(k), std::string(256, 'p'), true).ok());
+    // Overwrite a hot key every step: pre-fix this inflated the accounting.
+    ASSERT_TRUE(
+        tree->Put(PrimaryKey(0), std::string(256, 'q'), false).ok());
+  }
+  EXPECT_GT(tree->TotalMemTableBytes(), 0u);
+  ASSERT_TRUE(tree->Flush().ok());
+  EXPECT_EQ(tree->MemTableBytes(), 0u);
+  EXPECT_EQ(tree->TotalMemTableBytes(), 0u);
+  EXPECT_EQ(tree->ImmutableMemTableCount(), 0u);
+}
+
 // -------------------------------------------------------- DiskComponent
 
 TEST(DiskComponent, BuildGetScan) {

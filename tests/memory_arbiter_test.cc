@@ -1,0 +1,345 @@
+// Tests for the memory arbiter: grant arithmetic (water-filling, mins/maxes),
+// pressure response, dataset wiring, the no-op guarantee when no budget is
+// configured, and concurrent rebalance vs ingest/query (the TSan target).
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/dataset.h"
+#include "db/memory_arbiter.h"
+#include "lsm/format/block_cache.h"
+#include "lsm/scheduler.h"
+#include "stats/cardinality_estimator.h"
+
+namespace lsmstats {
+namespace {
+
+class MemoryArbiterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/lsmstats_arb_XXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Schema OneFieldSchema() {
+    FieldDef value;
+    value.name = "value";
+    value.type = FieldType::kInt32;
+    value.indexed = true;
+    value.domain = ValueDomain(0, 16);
+    return Schema({value});
+  }
+
+  std::unique_ptr<Dataset> OpenDataset(uint64_t total_memory_mb,
+                                       const std::string& subdir,
+                                       BackgroundScheduler* scheduler = nullptr,
+                                       uint64_t block_cache_mb = 0) {
+    const std::string path = dir_ + "/" + subdir;
+    std::filesystem::create_directories(path);
+    DatasetOptions options;
+    options.directory = path;
+    options.name = "arb";
+    options.schema = OneFieldSchema();
+    options.synopsis_type = SynopsisType::kEquiWidthHistogram;
+    options.synopsis_budget = 64;
+    options.memtable_max_entries = 512;
+    options.sink = &sink_;
+    options.scheduler = scheduler;
+    options.total_memory_mb = total_memory_mb;
+    options.block_cache_mb = block_cache_mb;
+    auto dataset = Dataset::Open(std::move(options));
+    EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+    return std::move(dataset).value();
+  }
+
+  Record MakeRecord(int64_t pk, int64_t value) {
+    Record record;
+    record.pk = pk;
+    record.fields = {value};
+    record.payload = std::string(64, 'p');
+    return record;
+  }
+
+  std::string dir_;
+  StatisticsCatalog catalog_;
+  LocalCatalogSink sink_{&catalog_};
+};
+
+// ----------------------------------------------------------- grant arithmetic
+
+TEST_F(MemoryArbiterTest, GrantsSplitProportionallyToUtility) {
+  MemoryArbiter arbiter(1000);
+  MemoryArbiter::Registration light;
+  light.name = "light";
+  light.utility = [] { return 1.0; };
+  const auto* light_handle = arbiter.Register(std::move(light));
+  MemoryArbiter::Registration heavy;
+  heavy.name = "heavy";
+  heavy.utility = [] { return 3.0; };
+  const auto* heavy_handle = arbiter.Register(std::move(heavy));
+
+  arbiter.Rebalance();
+  EXPECT_EQ(light_handle->granted() + heavy_handle->granted(), 1000u);
+  // 3:1 split, up to integer rounding.
+  EXPECT_NEAR(static_cast<double>(heavy_handle->granted()), 750.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(light_handle->granted()), 250.0, 2.0);
+}
+
+TEST_F(MemoryArbiterTest, MinAndMaxBoundsAreHonored) {
+  MemoryArbiter arbiter(1000);
+  MemoryArbiter::Registration capped;
+  capped.name = "capped";
+  capped.max_bytes = 100;
+  capped.utility = [] { return 100.0; };  // wants everything, capped anyway
+  const auto* capped_handle = arbiter.Register(std::move(capped));
+  MemoryArbiter::Registration floored;
+  floored.name = "floored";
+  floored.min_bytes = 200;
+  floored.utility = [] { return 0.0; };  // degenerate utility -> epsilon
+  const auto* floored_handle = arbiter.Register(std::move(floored));
+
+  arbiter.Rebalance();
+  EXPECT_EQ(capped_handle->granted(), 100u);
+  // The floor holds, and the remainder not usable by the capped budget
+  // spills here: the full total is always granted.
+  EXPECT_EQ(floored_handle->granted(), 900u);
+}
+
+TEST_F(MemoryArbiterTest, ApplyFiresOnlyWhenTheGrantChanges) {
+  MemoryArbiter arbiter(1000);
+  auto applies = std::make_shared<std::vector<uint64_t>>();
+  double utility = 1.0;
+  MemoryArbiter::Registration a;
+  a.name = "a";
+  a.utility = [&utility] { return utility; };
+  a.apply = [applies](uint64_t grant) { applies->push_back(grant); };
+  arbiter.Register(std::move(a));
+  MemoryArbiter::Registration b;
+  b.name = "b";
+  arbiter.Register(std::move(b));
+
+  arbiter.Rebalance();
+  ASSERT_EQ(applies->size(), 1u);
+  arbiter.Rebalance();  // same utilities -> same grants -> no re-apply
+  EXPECT_EQ(applies->size(), 1u);
+  utility = 9.0;
+  arbiter.Rebalance();
+  ASSERT_EQ(applies->size(), 2u);
+  EXPECT_GT(applies->back(), applies->front());
+  EXPECT_EQ(arbiter.rebalances(), 3u);
+}
+
+TEST_F(MemoryArbiterTest, PressureMakesNextTickRebalanceImmediately) {
+  // Hour-long tick interval: only a pressure event can trigger work.
+  MemoryArbiter arbiter(1 << 20, nullptr,
+                        std::chrono::milliseconds(60 * 60 * 1000));
+  MemoryArbiter::Registration reg;
+  reg.name = "only";
+  arbiter.Register(std::move(reg));
+
+  for (int i = 0; i < 1000; ++i) arbiter.MaybeTick();
+  // The very first tick may claim the initial interval (last_tick starts at
+  // 0); after that, silence.
+  const uint64_t quiet = arbiter.rebalances();
+  EXPECT_LE(quiet, 1u);
+
+  arbiter.NotePressure();
+  EXPECT_EQ(arbiter.pressure_events(), 1u);
+  arbiter.MaybeTick();
+  EXPECT_EQ(arbiter.rebalances(), quiet + 1);
+  // The pressure flag is consumed: the next ticks are quiet again.
+  for (int i = 0; i < 1000; ++i) arbiter.MaybeTick();
+  EXPECT_EQ(arbiter.rebalances(), quiet + 1);
+}
+
+TEST_F(MemoryArbiterTest, SnapshotReportsGrantsAndUsage) {
+  MemoryArbiter arbiter(4096);
+  MemoryArbiter::Registration reg;
+  reg.name = "probed";
+  reg.min_bytes = 128;
+  reg.usage = [] { return uint64_t{777}; };
+  arbiter.Register(std::move(reg));
+  arbiter.Rebalance();
+  auto snapshot = arbiter.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "probed");
+  EXPECT_EQ(snapshot[0].granted, 4096u);
+  EXPECT_EQ(snapshot[0].usage, 777u);
+  EXPECT_EQ(snapshot[0].min_bytes, 128u);
+}
+
+// --------------------------------------------------------------- dataset wire
+
+TEST_F(MemoryArbiterTest, DatasetWithBudgetRegistersAllComponents) {
+  auto dataset = OpenDataset(/*total_memory_mb=*/16, "with_budget",
+                             /*scheduler=*/nullptr, /*block_cache_mb=*/4);
+  ASSERT_NE(dataset->memory_arbiter(), nullptr);
+  EXPECT_EQ(dataset->memory_arbiter()->total_bytes(), 16ull << 20);
+
+  std::map<std::string, MemoryArbiter::GrantInfo> grants;
+  uint64_t granted_total = 0;
+  for (const auto& info : dataset->memory_arbiter()->Snapshot()) {
+    grants[info.name] = info;
+    granted_total += info.granted;
+  }
+  ASSERT_TRUE(grants.count("memtables"));
+  ASSERT_TRUE(grants.count("blooms"));
+  ASSERT_TRUE(grants.count("block_cache"));
+  ASSERT_TRUE(grants.count("synopses"));
+  // The initial rebalance hands out the entire budget.
+  EXPECT_EQ(granted_total, 16ull << 20);
+
+  // Grants landed on the actual knobs.
+  EXPECT_EQ(dataset->block_cache()->capacity(),
+            grants["block_cache"].granted);
+  // Two trees (primary + one secondary) split the memtable grant evenly.
+  EXPECT_EQ(dataset->primary()->EffectiveMemTableMaxBytes(),
+            grants["memtables"].granted / 2);
+  // The synopsis element budget follows the byte grant, not the static 64.
+  EXPECT_EQ(dataset->EffectiveSynopsisBudget(),
+            grants["synopses"].granted / 16);
+
+  // Ingest through a few flushes so usage probes see real bytes.
+  for (int64_t pk = 0; pk < 2000; ++pk) {
+    ASSERT_TRUE(dataset->Insert(MakeRecord(pk, pk % 1000)).ok());
+  }
+  ASSERT_TRUE(dataset->Flush().ok());
+  bool saw_usage = false;
+  for (const auto& info : dataset->memory_arbiter()->Snapshot()) {
+    if (info.name == "blooms") saw_usage = info.usage > 0;
+  }
+  EXPECT_TRUE(saw_usage) << "bloom usage probe saw no resident filters";
+}
+
+TEST_F(MemoryArbiterTest, UnsetBudgetMeansNoArbiterAndStaticKnobs) {
+  if (EnvironmentTotalMemoryMb() != 0) {
+    GTEST_SKIP() << "LSMSTATS_TOTAL_MEMORY_MB forces an arbiter";
+  }
+  auto dataset = OpenDataset(/*total_memory_mb=*/0, "unset");
+  EXPECT_EQ(dataset->memory_arbiter(), nullptr);
+  EXPECT_EQ(dataset->primary()->EffectiveMemTableMaxBytes(),
+            dataset->primary()->options().memtable_max_bytes);
+  EXPECT_EQ(dataset->EffectiveSynopsisBudget(), 64u);
+}
+
+// The no-op guarantee, bit-for-bit: with no budget configured the write path
+// takes no arbiter branches, so two identical runs — and by extension a run
+// on pre-arbiter code — produce byte-identical component files.
+TEST_F(MemoryArbiterTest, UnsetBudgetKeepsOnDiskBytesDeterministic) {
+  if (EnvironmentTotalMemoryMb() != 0) {
+    GTEST_SKIP() << "LSMSTATS_TOTAL_MEMORY_MB forces an arbiter";
+  }
+  auto run = [&](const std::string& subdir) {
+    auto dataset = OpenDataset(/*total_memory_mb=*/0, subdir);
+    for (int64_t pk = 0; pk < 1500; ++pk) {
+      EXPECT_TRUE(dataset->Insert(MakeRecord(pk, pk % 1000)).ok());
+    }
+    EXPECT_TRUE(dataset->Flush().ok());
+    std::map<std::string, std::string> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_ + "/" + subdir)) {
+      if (entry.path().extension() != ".cmp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::string bytes((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+      files[entry.path().filename().string()] = std::move(bytes);
+    }
+    return files;
+  };
+  auto first = run("det_a");
+  auto second = run("det_b");
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [name, bytes] : first) {
+    ASSERT_TRUE(second.count(name)) << name;
+    EXPECT_EQ(bytes, second[name]) << name << " differs between runs";
+  }
+}
+
+TEST_F(MemoryArbiterTest, ShrinkingCacheGrantEvictsImmediately) {
+  BlockCache cache(4 << 20, 2);
+  for (uint64_t offset = 0; offset < 512; ++offset) {
+    cache.Insert(1, offset,
+                 std::make_shared<const std::string>(std::string(2048, 'x')));
+  }
+  const uint64_t before = cache.GetStats().charge;
+  ASSERT_GT(before, 1u << 20);
+
+  // Smaller than current usage (but above the cache budget's 256 KiB floor,
+  // which is honored even against a tiny total).
+  MemoryArbiter arbiter(400 << 10);
+  RegisterBlockCacheBudget(&arbiter, &cache);
+  arbiter.Rebalance();
+  EXPECT_LE(cache.GetStats().charge, 400u << 10);
+  EXPECT_LT(cache.GetStats().charge, before);
+  EXPECT_EQ(cache.GetStats().charge, cache.DebugComputeCharge());
+}
+
+// ------------------------------------------------------------- concurrency
+
+// TSan target: rebalance (scheduler worker + explicit calls) races against
+// ingest, reads, and pressure notes. Correctness assertions are light; the
+// point is that the annotated locking and the atomics-only pressure path
+// hold up under the race detector.
+TEST_F(MemoryArbiterTest, ConcurrentRebalanceVsIngestAndQuery) {
+  BackgroundScheduler scheduler(3);
+  auto dataset = OpenDataset(/*total_memory_mb=*/8, "concurrent", &scheduler,
+                             /*block_cache_mb=*/2);
+  ASSERT_NE(dataset->memory_arbiter(), nullptr);
+  MemoryArbiter* arbiter = dataset->memory_arbiter();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> next_pk{0};
+  // The dataset is externally synchronized for writes: one writer thread.
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t pk = next_pk.fetch_add(1, std::memory_order_relaxed);
+      ASSERT_TRUE(dataset->Insert(MakeRecord(pk, pk % 1000)).ok());
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t bound = next_pk.load(std::memory_order_relaxed);
+      if (bound == 0) continue;
+      auto record = dataset->Get(bound / 2);
+      if (record.ok()) {
+        EXPECT_EQ(record->pk, bound / 2);
+      }
+    }
+  });
+  std::thread balancer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      arbiter->NotePressure();
+      arbiter->Rebalance();
+      // Snapshot runs the usage probes under the arbiter lock — called here
+      // purely to race them against ingest; the values are not asserted on.
+      (void)arbiter->Snapshot();  // lint:allow(void-drop)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  writer.join();
+  reader.join();
+  balancer.join();
+  ASSERT_TRUE(dataset->WaitForBackgroundWork().ok());
+  EXPECT_GT(arbiter->rebalances(), 0u);
+  EXPECT_GT(arbiter->pressure_events(), 0u);
+  // The dataset survived with every record intact.
+  const int64_t total = next_pk.load();
+  for (int64_t pk = 0; pk < total; pk += std::max<int64_t>(total / 50, 1)) {
+    EXPECT_TRUE(dataset->Get(pk).ok()) << "pk " << pk;
+  }
+}
+
+}  // namespace
+}  // namespace lsmstats

@@ -50,6 +50,14 @@ clang-tidy is unavailable:
                  scheduler — PickMerge must be a side-effect-free function
                  of the component metadata so policies are trivially
                  testable and callable under the tree lock.
+  memory-budget  runtime budget knobs (LsmTree::SetMemTableMaxBytes /
+                 SetBloomBitsPerKey, BlockCache::SetCapacity,
+                 CardinalityEstimator::SetCacheByteBudget) are invoked in
+                 src/ only from src/db/memory_arbiter.* — every live
+                 resize flows through the arbiter so one module owns the
+                 global memory split and grants stay explainable from a
+                 single Snapshot(). (Tests and benches may call the
+                 setters directly.)
   raw-mutex      no `std::mutex` / `std::lock_guard` / `std::unique_lock` /
                  `std::scoped_lock` / `std::condition_variable` /
                  `std::shared_mutex` in src/ outside src/common/mutex.* —
@@ -351,6 +359,37 @@ def check_raw_mutex(path: Path, raw_lines: list[str], code_lines: list[str]) -> 
                    "lock-rank checker cover it")
 
 
+# ------------------------------------------------------------- memory-budget
+
+# A *call* (object->Set.../object.Set...) of a runtime budget knob. Plain
+# declarations and the defining `ReturnType Class::SetX(...)` lines do not
+# match — only invocation sites. Confined to the arbiter module so exactly
+# one place in src/ decides how the global memory budget is split; ad-hoc
+# resizes elsewhere would silently fight the arbiter's grants.
+MEMORY_BUDGET_RE = re.compile(
+    r"(?:->|\.)\s*("
+    r"SetMemTableMaxBytes|SetBloomBitsPerKey|SetCapacity|SetCacheByteBudget"
+    r")\s*\("
+)
+
+MEMORY_BUDGET_FILES = {
+    SRC / "db" / "memory_arbiter.h",
+    SRC / "db" / "memory_arbiter.cc",
+}
+
+
+def check_memory_budget(path: Path, raw_lines: list[str], code_lines: list[str]) -> None:
+    if path in MEMORY_BUDGET_FILES:
+        return
+    for idx, code in enumerate(code_lines):
+        m = MEMORY_BUDGET_RE.search(code)
+        if m and not allowed(raw_lines[idx], "memory-budget"):
+            report(path, idx + 1, "memory-budget",
+                   f"`{m.group(1)}` called outside src/db/memory_arbiter.* — "
+                   "live budget resizes go through the MemoryArbiter so one "
+                   "module owns the global memory split")
+
+
 # -------------------------------------------------------------- merge-policy
 
 # A class deriving from MergePolicy. Implementations are confined to
@@ -491,6 +530,7 @@ def main() -> int:
         check_env_bypass(path, raw, code)
         check_wal_io(path, raw, code)
         check_raw_mutex(path, raw, code)
+        check_memory_budget(path, raw, code)
         check_merge_policy(path, raw, code)
         check_background_error(path, raw, code)
     random_impl = REPO / "src" / "common"
